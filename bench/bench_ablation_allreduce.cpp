@@ -1,0 +1,88 @@
+// Ablation: Allreduce algorithm vs. interference sensitivity.
+//
+// The paper's DL/CosmoFlow workloads use SST's binary-tree Allreduce (§IV).
+// Distributed-training systems in production use ring allreduce (Horovod
+// [35]) or halving-doubling instead. The algorithm changes the workload's
+// peak ingress volume and round structure without changing its total
+// volume, so it shifts where the workload sits on the paper's two intensity
+// axes — this bench quantifies how each algorithm behaves standalone and
+// under Halo3D interference, for PAR and Q-adaptive routing.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+#include "mpi/coll.hpp"
+#include "viz/ascii.hpp"
+#include "workloads/motifs.hpp"
+
+namespace {
+
+using namespace dfly;
+using mpi::coll::AllreduceAlg;
+
+struct Cell {
+  double comm_ms{0};
+  double peak_mb{0};
+};
+
+Cell run_dl(const StudyConfig& config, AllreduceAlg alg, bool interfered) {
+  Study study(config);
+  const int half = config.topo.num_nodes() / 2;
+  workloads::AllreducePeriodicParams params = workloads::AllreducePeriodicMotif::dl();
+  params.iterations = workloads::scaled(params.iterations, config.scale, params.min_iterations);
+  params.algorithm = alg;
+  const int dl = study.add_motif(
+      std::make_unique<workloads::AllreducePeriodicMotif>(std::move(params)), half, "DL");
+  if (interfered) study.add_app("Halo3D", half);
+  const Report report = study.run();
+  Cell cell;
+  cell.comm_ms = report.apps[static_cast<std::size_t>(dl)].comm_mean_ms;
+  cell.peak_mb = report.apps[static_cast<std::size_t>(dl)].peak_ingress_bytes / 1e6;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 48);
+  bench::print_header(
+      "ABLATION: Allreduce algorithm (DL workload, standalone vs +Halo3D)");
+  std::printf("Rounds on n ranks: tree=2log2(n), ring=2(n-1), rdouble=log2(n), "
+              "rabenseifner=2log2(n); bandwidth-optimal: ring, rabenseifner.\n\n");
+
+  const std::vector<AllreduceAlg> algorithms{
+      AllreduceAlg::kBinaryTree, AllreduceAlg::kRing, AllreduceAlg::kRecursiveDoubling,
+      AllreduceAlg::kHalvingDoubling};
+  const std::vector<std::string> routings{"PAR", "Q-adp"};
+
+  std::vector<std::function<Cell()>> tasks;
+  for (const std::string& routing : routings) {
+    for (const AllreduceAlg alg : algorithms) {
+      for (const bool interfered : {false, true}) {
+        StudyConfig config = options.config(routing);
+        tasks.push_back([config, alg, interfered] { return run_dl(config, alg, interfered); });
+      }
+    }
+  }
+  const std::vector<Cell> cells = bench::parallel_map(tasks);
+
+  viz::AsciiTable table({"routing", "algorithm", "alone_ms", "vs_halo3d_ms", "slowdown",
+                         "peak_ingress_mb"});
+  std::size_t i = 0;
+  for (const std::string& routing : routings) {
+    for (const AllreduceAlg alg : algorithms) {
+      const Cell alone = cells[i++];
+      const Cell mixed = cells[i++];
+      table.row({routing, mpi::coll::to_string(alg), bench::fmt(alone.comm_ms),
+                 bench::fmt(mixed.comm_ms),
+                 bench::fmt(alone.comm_ms > 0 ? mixed.comm_ms / alone.comm_ms : 0),
+                 bench::fmt(alone.peak_mb)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Expected: ring/rabenseifner smooth injection into per-chunk rounds\n"
+              "(smaller peak ingress, §IV) and absorb interference differently from\n"
+              "tree's fan-out bursts; Q-adp narrows every gap vs PAR.\n");
+  return 0;
+}

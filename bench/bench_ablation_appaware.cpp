@@ -1,0 +1,90 @@
+// Ablation: application-aware routing bias (De Sensi SC'19) vs plain UGAL
+// and Q-adaptive routing.
+//
+// §II-C lists application-aware routing — dynamically adjusting the adaptive
+// routing bias per application — as a competing interference mitigation. Our
+// AppAware policy classifies each application by its share of injected bytes
+// per window: heavy apps are biased non-minimal (spread their load), light
+// apps are biased minimal (protect their latency). This bench replays the
+// paper's two tellings pairwise cases and reports how the per-app bias moves
+// victim and aggressor relative to plain UGALn and to Q-adaptive routing.
+//
+// Expected shape: AppAware sits between UGALn and Q-adp for the victim's
+// comm time — the static heuristic recovers part of the interference
+// without learning, and the aggressor pays little because it is
+// bandwidth-bound (extra hops do not reduce delivered throughput).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+#include "viz/ascii.hpp"
+
+namespace {
+
+using namespace dfly;
+
+struct Outcome {
+  double victim_ms{0};
+  double victim_p99_us{0};
+  double victim_nonmin{0};
+  double aggressor_ms{0};
+  double aggressor_nonmin{0};
+};
+
+Outcome run_pair(const StudyConfig& config, const std::string& victim_app,
+                 const std::string& aggressor_app) {
+  Study study(config);
+  const int half = config.topo.num_nodes() / 2;
+  const int victim = study.add_app(victim_app, half);
+  const int aggressor = study.add_app(aggressor_app, half);
+  const Report report = study.run();
+  const AppReport& v = report.apps[static_cast<std::size_t>(victim)];
+  const AppReport& a = report.apps[static_cast<std::size_t>(aggressor)];
+  return Outcome{v.comm_mean_ms, v.lat_p99_us, v.nonminimal_fraction, a.comm_mean_ms,
+                 a.nonminimal_fraction};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 32);
+  bench::print_header("ABLATION: application-aware routing bias (victim vs aggressor)");
+
+  const std::vector<std::string> routings =
+      options.routing.empty() ? std::vector<std::string>{"UGALn", "AppAware", "Q-adp"}
+                              : std::vector<std::string>{options.routing};
+  const std::vector<std::pair<std::string, std::string>> pairs{
+      {"FFT3D", "Halo3D"},
+      {"LU", "DL"},
+  };
+
+  for (const auto& [victim_app, aggressor_app] : pairs) {
+    std::vector<std::function<Outcome()>> tasks;
+    for (const std::string& routing : routings) {
+      tasks.push_back([config = options.config(routing), victim_app, aggressor_app] {
+        return run_pair(config, victim_app, aggressor_app);
+      });
+    }
+    const std::vector<Outcome> outcomes = bench::parallel_map(tasks);
+
+    std::printf("\n--- victim %s vs aggressor %s ---\n", victim_app.c_str(),
+                aggressor_app.c_str());
+    viz::AsciiTable table({"routing", "victim comm (ms)", "victim p99 (us)", "victim nonmin",
+                           "aggr comm (ms)", "aggr nonmin"});
+    for (std::size_t i = 0; i < routings.size(); ++i) {
+      const Outcome& o = outcomes[i];
+      table.row({routings[i], bench::fmt(o.victim_ms), bench::fmt(o.victim_p99_us),
+                 bench::fmt(o.victim_nonmin), bench::fmt(o.aggressor_ms),
+                 bench::fmt(o.aggressor_nonmin)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  std::puts(
+      "\nExpected: AppAware lowers the victim's comm time and p99 relative\n"
+      "to UGALn by keeping the victim minimal and spreading the aggressor\n"
+      "(victim nonmin < aggressor nonmin); Q-adp remains the strongest\n"
+      "overall, per the paper's conclusion.");
+  return 0;
+}

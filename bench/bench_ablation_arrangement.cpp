@@ -1,0 +1,102 @@
+// Ablation: global-link arrangement (relative vs absolute wiring).
+//
+// Hastings et al. (CLUSTER'15) showed the mapping of a group's a*h global
+// slots onto peer groups changes performance even though every pair keeps
+// the same link count: the arrangement decides *which router* inside the
+// group owns the link to a given peer, i.e. how adversarial traffic
+// concentrates on local links feeding the gateway.
+//
+// Setup: ADV+1 under linear placement (every node in group G fires at
+// group G+1 — all minimal traffic of a group wants one gateway router) and
+// the paper's FFT3D/Halo3D pairwise case, both arrangements, UGALg vs
+// Q-adp. Expected: the arrangement moves adaptive routing's numbers (it
+// changes where the minimal-path hot spot lands and how the two sampled
+// candidates see it) but matters much less under Q-adaptive routing, which
+// learns whatever wiring it is given — the interference conclusions are
+// wiring-robust.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+#include "viz/ascii.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace dfly;
+
+struct Outcome {
+  double adv_comm_ms{0};
+  double victim_ms{0};
+};
+
+Outcome run_case(StudyConfig config, GlobalArrangement arrangement) {
+  config.topo.arrangement = arrangement;
+  Outcome outcome;
+  {
+    StudyConfig adv = config;
+    adv.placement = PlacementPolicy::kLinear;
+    Study study(adv);
+    workloads::GroupAdversarialParams params;
+    params.ranks_per_group = adv.topo.p * adv.topo.a;
+    params.msg_bytes = 4096;
+    params.iterations = 400 / (adv.scale < 1 ? 1 : adv.scale) + 30;
+    params.interval = 0;
+    study.add_motif(std::make_unique<workloads::GroupAdversarialMotif>(params),
+                    adv.topo.num_nodes(), "ADV+1");
+    const Report report = study.run();
+    outcome.adv_comm_ms = report.apps[0].comm_mean_ms;
+  }
+  {
+    Study study(config);
+    const int victim = study.add_app("FFT3D", config.topo.num_nodes() / 2);
+    study.add_app("Halo3D", config.topo.num_nodes() / 2);
+    const Report report = study.run();
+    outcome.victim_ms = report.apps[static_cast<std::size_t>(victim)].comm_mean_ms;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 32);
+  bench::print_header("ABLATION: global-link arrangement (relative vs absolute)");
+
+  const std::vector<std::string> routings =
+      options.routing.empty() ? std::vector<std::string>{"UGALg", "Q-adp"}
+                              : std::vector<std::string>{options.routing};
+  const GlobalArrangement arrangements[] = {GlobalArrangement::kRelative,
+                                            GlobalArrangement::kAbsolute};
+
+  std::vector<std::function<Outcome()>> tasks;
+  for (const std::string& routing : routings) {
+    for (const GlobalArrangement arrangement : arrangements) {
+      tasks.push_back([config = options.config(routing), arrangement] {
+        return run_case(config, arrangement);
+      });
+    }
+  }
+  const std::vector<Outcome> outcomes = bench::parallel_map(tasks);
+
+  viz::AsciiTable table(
+      {"routing", "arrangement", "ADV+1 comm (ms)", "FFT3D victim comm (ms)"});
+  std::size_t index = 0;
+  for (const std::string& routing : routings) {
+    for (const GlobalArrangement arrangement : arrangements) {
+      const Outcome& o = outcomes[index++];
+      table.row({routing, to_string(arrangement), bench::fmt(o.adv_comm_ms),
+                 bench::fmt(o.victim_ms)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts(
+      "\nExpected: arrangement shifts adaptive routing's adversarial numbers\n"
+      "(it moves the gateway hot spot inside each group); Q-adp's results\n"
+      "stay close across wirings — the paper's conclusions do not hinge on\n"
+      "the particular global-link arrangement.");
+  return 0;
+}

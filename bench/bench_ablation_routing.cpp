@@ -1,0 +1,83 @@
+// Ablation: routing design choices beyond the paper's headline comparison.
+//  (a) Q-adaptive hyperparameters — learning rate, exploration, and the
+//      instantaneous-queue penalty weight — on the FFT3D+Halo3D pair.
+//  (b) UGAL candidate count / non-minimal weight / minimal bias.
+// These probe DESIGN.md's modelling decisions (Q init, epsilon-greedy,
+// occupancy tie-break) and quantify their contribution. All variants run
+// concurrently.
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+
+namespace {
+
+using namespace dfly;
+
+double run_pair(const StudyConfig& config) {
+  Study study(config);
+  const int half = config.topo.num_nodes() / 2;
+  study.add_app("FFT3D", half);
+  study.add_app("Halo3D", half);
+  const Report report = study.run();
+  return report.app("FFT3D").comm_mean_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 64);
+
+  std::vector<std::string> labels;
+  std::vector<std::function<double()>> tasks;
+  const auto add = [&](const std::string& label, const StudyConfig& config) {
+    labels.push_back(label);
+    tasks.push_back([config] { return run_pair(config); });
+  };
+
+  // --- Q-adaptive variants ---
+  add("Q default (a=.2 e=.01 w=1)", options.config("Q-adp"));
+  for (const double alpha : {0.05, 0.5}) {
+    StudyConfig config = options.config("Q-adp");
+    config.qadp.alpha = alpha;
+    add("Q alpha=" + bench::fmt(alpha), config);
+  }
+  for (const double epsilon : {0.0, 0.05}) {
+    StudyConfig config = options.config("Q-adp");
+    config.qadp.epsilon = epsilon;
+    add("Q epsilon=" + bench::fmt(epsilon), config);
+  }
+  for (const double weight : {0.0, 2.0}) {
+    StudyConfig config = options.config("Q-adp");
+    config.qadp.queue_weight = weight;
+    add("Q queue_weight=" + bench::fmt(weight), config);
+  }
+  // --- UGAL variants ---
+  add("UGALn default (2+2, w2, b0)", options.config("UGALn"));
+  for (const int candidates : {1, 4}) {
+    StudyConfig config = options.config("UGALn");
+    config.ugal.min_candidates = candidates;
+    config.ugal.nonmin_candidates = candidates;
+    add("UGALn candidates=" + std::to_string(candidates), config);
+  }
+  for (const int weight : {1, 3}) {
+    StudyConfig config = options.config("UGALn");
+    config.ugal.nonmin_weight = weight;
+    add("UGALn nonmin_weight=" + std::to_string(weight), config);
+  }
+  for (const int bias : {2, 8}) {
+    StudyConfig config = options.config("UGALn");
+    config.ugal.bias = bias;
+    add("UGALn min_bias=" + std::to_string(bias), config);
+  }
+
+  const auto results = bench::parallel_map(tasks);
+
+  bench::print_header("Ablation — routing design choices (FFT3D comm time, ms, "
+                      "interfered by Halo3D)");
+  std::printf("%-30s %12s\n", "variant", "comm (ms)");
+  bench::print_rule();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-30s %12.3f\n", labels[i].c_str(), results[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dfly::bench {
+
+Options Options::parse(int argc, char** argv, int default_scale) {
+  Options options;
+  options.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      options.scale = std::atoi(arg.c_str() + 8);
+      if (options.scale < 1) options.scale = 1;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--routing=", 0) == 0) {
+      options.routing = arg.substr(10);
+    } else if (arg == "--full") {
+      options.scale = 1;
+    } else if (arg == "--quick") {
+      options.scale = 32;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("options: --scale=N --seed=N --routing=NAME --full --quick\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+std::vector<std::string> Options::routings() const {
+  if (!routing.empty()) return {routing};
+  return routing::paper_routings();
+}
+
+StudyConfig Options::config(const std::string& routing_name) const {
+  StudyConfig config;
+  config.topo = DragonflyParams::paper();
+  config.routing = routing_name;
+  config.seed = seed;
+  config.scale = scale;
+  return config;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace dfly::bench

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pairwise.hpp"
+#include "core/study.hpp"
+
+namespace dfly::bench {
+
+/// Run independent simulation tasks concurrently (each task is a complete
+/// Study; they share no state). Results are returned in submission order, so
+/// callers print deterministic tables. Worker count defaults to
+/// min(hardware_concurrency, 12) to bound peak memory.
+template <typename T>
+std::vector<T> parallel_map(const std::vector<std::function<T()>>& tasks, int threads = 0) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads > 12) threads = 12;
+    if (threads < 1) threads = 1;
+  }
+  std::vector<T> results(tasks.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= tasks.size()) return;
+      results[i] = tasks[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  const int n = std::min<int>(threads, static_cast<int>(tasks.size()));
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+/// Common command-line options for the experiment harnesses.
+///
+///   --scale=N        iteration divisor (default 8; 1 = paper-scale volumes)
+///   --seed=N         placement/routing RNG seed
+///   --routing=NAME   restrict to one routing (default: the paper's four)
+///   --full           shorthand for --scale=1
+///   --quick          shorthand for --scale=32
+struct Options {
+  int scale{8};
+  std::uint64_t seed{42};
+  std::string routing;  ///< empty = sweep the paper's four routings
+
+  /// `default_scale` lets heavy benches (the 168-cell Fig 4 sweep) default
+  /// to a coarser scale so the whole suite completes in minutes; --scale
+  /// and --full always override.
+  static Options parse(int argc, char** argv, int default_scale = 8);
+
+  /// Routings to sweep (honours --routing).
+  std::vector<std::string> routings() const;
+
+  /// A StudyConfig for the paper's 1,056-node system with these options.
+  StudyConfig config(const std::string& routing_name) const;
+};
+
+/// Printf-style row helpers for aligned console tables.
+void print_header(const std::string& title);
+void print_rule();
+
+/// Format helpers.
+std::string fmt(double value, int decimals = 2);
+
+}  // namespace dfly::bench

@@ -1,0 +1,156 @@
+// Extension workloads: MILC and IOBurst on the §IV intensity axes, plus the
+// two interference experiments the paper's introduction motivates but never
+// runs:
+//
+//   (1) MILC under a bandwidth aggressor — Chunduri SC'17 measured 70%
+//       run-to-run variability for MILC on production Dragonfly systems;
+//       here we reproduce the mechanism: the CG solver's tiny-allreduce
+//       chain serialises on tail latency, so a Halo3D-class aggressor
+//       inflates MILC's comm time far beyond what its bandwidth share
+//       suggests. Q-adaptive's tail-latency control (paper §V-B) is
+//       expected to recover most of it.
+//
+//   (2) IOBurst as the aggressor — Mubarak CLUSTER'17 studied I/O traffic
+//       interference on Dragonfly burst buffers. The checkpoint drain is an
+//       *endpoint* hot spot: routing cannot dissolve a many-to-one fan-in,
+//       so the gap between PAR and Q-adp narrows for the co-running victim
+//       (the contention is at the destination NIC, not on shared links).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+#include "viz/ascii.hpp"
+#include "workloads/extended.hpp"
+#include "workloads/intensity.hpp"
+
+namespace {
+
+using namespace dfly;
+
+struct PairOutcome {
+  double alone_ms{0};
+  double corun_ms{0};
+  double corun_p99_us{0};
+};
+
+/// Background IOBurst tuned to the pairwise window: scaled victims finish in
+/// a couple of milliseconds, so checkpoints must recur quickly enough to
+/// overlap them (default 2 ms checkpoints would all land after the victim
+/// exits — measuring nothing).
+void add_background(Study& study, const std::string& name, int nodes) {
+  if (name == "IOBurst") {
+    workloads::IoBurstParams params;
+    params.checkpoint_bytes = 2 * 1024 * 1024;
+    params.period = 250 * kUs;
+    params.iterations = 4;
+    params.window = 32;
+    study.add_motif(std::make_unique<workloads::IoBurstMotif>(params), nodes, "IOBurst");
+    return;
+  }
+  study.add_app(name, nodes);
+}
+
+PairOutcome run_pair(const StudyConfig& config, const std::string& target,
+                     const std::string& background) {
+  const int half = config.topo.num_nodes() / 2;
+  PairOutcome outcome;
+  {
+    Study study(config);
+    study.add_app(target, half);
+    const Report report = study.run();
+    outcome.alone_ms = report.apps[0].comm_mean_ms;
+  }
+  {
+    Study study(config);
+    const int id = study.add_app(target, half);
+    add_background(study, background, half);
+    const Report report = study.run();
+    outcome.corun_ms = report.apps[static_cast<std::size_t>(id)].comm_mean_ms;
+    outcome.corun_p99_us = report.apps[static_cast<std::size_t>(id)].lat_p99_us;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 32);
+  const std::string char_routing = options.routing.empty() ? "UGALg" : options.routing;
+
+  // --- Table I extension rows ------------------------------------------------
+  struct CharRow {
+    std::string app;
+    workloads::IntensityMetrics metrics;
+    bool completed{false};
+  };
+  std::vector<std::function<CharRow()>> char_tasks;
+  for (const std::string app : {"MILC", "IOBurst"}) {
+    const StudyConfig config = options.config(char_routing);
+    char_tasks.push_back([config, app] {
+      Study study(config);
+      study.add_app(app, config.topo.num_nodes() / 2);
+      const Report report = study.run();
+      return CharRow{app, workloads::measure_intensity(study.job(0)), report.completed};
+    });
+  }
+
+  // --- pairwise experiments ----------------------------------------------------
+  const std::vector<std::string> routings =
+      options.routing.empty() ? std::vector<std::string>{"PAR", "Q-adp"}
+                              : std::vector<std::string>{options.routing};
+  struct PairCase {
+    std::string label;
+    std::string target;
+    std::string background;
+    std::string routing;
+  };
+  std::vector<PairCase> cases;
+  for (const std::string& routing : routings) {
+    cases.push_back({"MILC <- Halo3D", "MILC", "Halo3D", routing});
+    cases.push_back({"LU <- IOBurst", "LU", "IOBurst", routing});
+  }
+  std::vector<std::function<PairOutcome()>> pair_tasks;
+  for (const PairCase& c : cases) {
+    pair_tasks.push_back([config = options.config(c.routing), target = c.target,
+                          background = c.background] {
+      return run_pair(config, target, background);
+    });
+  }
+
+  const auto char_rows = bench::parallel_map(char_tasks);
+  const auto pair_rows = bench::parallel_map(pair_tasks);
+
+  bench::print_header("Extension workloads — Table I metrics (standalone, " + char_routing +
+                      ", scale 1/" + std::to_string(options.scale) + ")");
+  viz::AsciiTable char_table({"app", "total MB", "exec ms", "GB/s", "peak ingress"});
+  for (const CharRow& row : char_rows) {
+    char_table.row({row.app + (row.completed ? "" : " [INCOMPLETE]"),
+                    bench::fmt(row.metrics.total_msg_mb), bench::fmt(row.metrics.execution_ms, 3),
+                    bench::fmt(row.metrics.injection_rate_gbs, 1),
+                    workloads::format_volume(row.metrics.peak_ingress_bytes)});
+  }
+  std::fputs(char_table.str().c_str(), stdout);
+
+  bench::print_header("Extension pairwise interference");
+  viz::AsciiTable pair_table(
+      {"experiment", "routing", "alone (ms)", "co-run (ms)", "slowdown", "co-run p99 (us)"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const PairOutcome& o = pair_rows[i];
+    pair_table.row({cases[i].label, cases[i].routing, bench::fmt(o.alone_ms),
+                    bench::fmt(o.corun_ms),
+                    bench::fmt(o.alone_ms > 0 ? o.corun_ms / o.alone_ms : 0.0),
+                    bench::fmt(o.corun_p99_us)});
+  }
+  std::fputs(pair_table.str().c_str(), stdout);
+
+  std::puts(
+      "\nExpected: MILC slows sharply under Halo3D via its CG tail-latency\n"
+      "chain, and Q-adp recovers part of it (the paper's §V-B mechanism).\n"
+      "IOBurst's checkpoint fan-in hurts LU under every routing; Q-adp\n"
+      "contains the spill-over congestion around the buffer nodes (PAR's\n"
+      "non-minimal detours spread it fabric-wide), but the terminal-link\n"
+      "bottleneck itself is routing-invariant — the congestion-control\n"
+      "ablation (ECN+AIMD) is the mechanism that addresses it.");
+  return 0;
+}

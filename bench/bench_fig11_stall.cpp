@@ -1,0 +1,72 @@
+// Figure 11: network stall-time analysis under the mixed workload. Per
+// group: total local-link stall (the figure's circle sizes); per global
+// link from Group 0: stall time (the figure's edge darkness). PAR vs
+// Q-adaptive, run concurrently.
+
+#include <algorithm>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/mixed.hpp"
+#include "stats/congestion.hpp"
+#include "viz/charts.hpp"
+
+namespace {
+
+using namespace dfly;
+
+std::string run_case(const StudyConfig& config) {
+  Study study(config);
+  add_mixed_workload(study);
+  study.run();
+  const GroupStall stall = group_stall(study.topo(), study.network().link_stats());
+
+  std::string out = "\n[" + config.routing + "]\nlocal stall per group (ms):";
+  char line[96];
+  for (std::size_t g = 0; g < stall.local_ms.size(); ++g) {
+    std::snprintf(line, sizeof line, " G%zu=%.2f", g, stall.local_ms[g]);
+    out += line;
+  }
+  out += "\nglobal stall from G0 (ms):";
+  for (std::size_t d = 1; d < stall.global_ms[0].size(); ++d) {
+    std::snprintf(line, sizeof line, " G0-G%zu=%.3f", d, stall.global_ms[0][d]);
+    out += line;
+  }
+  std::vector<std::size_t> order(stall.local_ms.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return stall.local_ms[a] > stall.local_ms[b]; });
+  std::snprintf(line, sizeof line, "\nhot groups: G%zu(%.2fms) G%zu(%.2fms) G%zu(%.2fms)\n",
+                order[0], stall.local_ms[order[0]], order[1], stall.local_ms[order[1]],
+                order[2], stall.local_ms[order[2]]);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "summary %s mean_local_stall_ms_per_group %.3f mean_global_stall_ms_per_link %.4f\n",
+                config.routing.c_str(), stall.mean_local_ms, stall.mean_global_ms);
+  out += line;
+  // The paper's radial diagram: circle size = local stall, edge darkness =
+  // global stall from Group 0.
+  viz::RadialGroupPlot plot("Fig 11 stall — " + config.routing);
+  plot.set_group_values(stall.local_ms);
+  plot.set_focal_edges(0, stall.global_ms[0]);
+  plot.save("fig11_" + config.routing + ".svg");
+  out += "wrote fig11_" + config.routing + ".svg\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 32);
+  std::vector<std::function<std::string()>> tasks;
+  for (const std::string routing : {"PAR", "Q-adp"}) {
+    const StudyConfig config = options.config(routing);
+    tasks.push_back([config] { return run_case(config); });
+  }
+  const auto blocks = bench::parallel_map(tasks);
+  bench::print_header("Figure 11 — per-group stall time under the mixed workload");
+  for (const auto& block : blocks) std::fputs(block.c_str(), stdout);
+  std::printf("\nExpected shape (paper): Q-adp roughly halves both local (31.4 vs 59.2 ms)\n"
+              "and global (0.52 vs 1.33 ms) stall and removes PAR's distinct hot groups.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 4 (a)-(f): pairwise workload interference. For each of the six
+// target applications, co-run with each background application under each
+// routing and report the target's mean per-rank communication time and the
+// standard deviation across ranks (the figure's bars and whiskers).
+//
+// The (target x background x routing) cells are independent simulations and
+// run concurrently across hardware threads.
+
+#include "bench_common.hpp"
+#include "core/pairwise.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfly;
+  const bench::Options options = bench::Options::parse(argc, argv, 96);
+  const auto routings = options.routings();
+
+  struct Cell {
+    double mean{0};
+    double sigma{0};
+    bool ok{false};
+  };
+  struct Key {
+    std::string target, routing, background;
+  };
+  std::vector<Key> keys;
+  std::vector<std::function<Cell()>> tasks;
+  for (const std::string& target : fig4_targets()) {
+    for (const std::string& routing : routings) {
+      for (const std::string& bg : fig4_backgrounds()) {
+        keys.push_back(Key{target, routing, bg});
+        const StudyConfig config = options.config(routing);
+        tasks.push_back([config, target, bg] {
+          const PairwiseResult result = run_pairwise(config, target, bg);
+          return Cell{result.target_report.comm_mean_ms, result.target_report.comm_std_ms,
+                      result.full.completed};
+        });
+      }
+    }
+  }
+
+  const std::vector<Cell> cells = bench::parallel_map(tasks);
+
+  bench::print_header("Figure 4 — pairwise interference: target comm time mean (sigma), ms");
+  std::size_t i = 0;
+  for (const std::string& target : fig4_targets()) {
+    std::printf("\n--- target: %s ---\n", target.c_str());
+    std::printf("%-10s", "routing");
+    for (const std::string& bg : fig4_backgrounds()) std::printf(" %18s", bg.c_str());
+    std::printf("\n");
+    for (const std::string& routing : routings) {
+      std::printf("%-10s", routing.c_str());
+      double standalone = 0;
+      for (const std::string& bg : fig4_backgrounds()) {
+        const Cell& cell = cells[i++];
+        if (bg == "None") standalone = cell.mean;
+        char text[64];
+        if (bg == "None" || standalone <= 0) {
+          std::snprintf(text, sizeof text, "%.2f(%.2f)%s", cell.mean, cell.sigma,
+                        cell.ok ? "" : "!");
+        } else {
+          std::snprintf(text, sizeof text, "%.2f(%.2f)%+.0f%%%s", cell.mean, cell.sigma,
+                        (cell.mean / standalone - 1.0) * 100.0, cell.ok ? "" : "!");
+        }
+        std::printf(" %18s", text);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape (paper): Halo3D and DL (highest injection rates) delay\n"
+              "low-rate targets 2-3x under adaptive routing; Q-adp cuts both the delay and\n"
+              "the variation sharply; LQCD/Stencil5D (largest peak ingress) barely move.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7: LQCD and Stencil5D packet latency along simulated time (alone
+// vs co-run, PAR vs Q-adp). Stencil5D's much larger peak ingress volume
+// lets it push its packets ahead of LQCD's, visibly inflating LQCD's
+// latency under PAR. The four cases run concurrently.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+
+namespace {
+
+using namespace dfly;
+
+std::string run_case(StudyConfig config, bool interfered) {
+  config.observability.keep_packet_records = true;
+  Study study(config);
+  const int half = config.topo.num_nodes() / 2;
+  study.add_app("LQCD", half);
+  if (interfered) study.add_app("Stencil5D", half);
+  const Report report = study.run();
+
+  std::string out;
+  char line[160];
+  const SimTime window = kMs / 2;  // 0.5 ms buckets
+  for (int a = 0; a < study.num_jobs(); ++a) {
+    const std::string label = report.apps[a].app + (interfered ? "_interfered" : "_alone") +
+                              "_" + config.routing;
+    std::snprintf(line, sizeof line, "series %s window_ms 0.5 mean_us :", label.c_str());
+    out += line;
+    for (SimTime t0 = 0; t0 < report.makespan; t0 += window) {
+      const Histogram h = study.network().packet_log().latency_between(a, t0, t0 + window);
+      std::snprintf(line, sizeof line, " %.2f",
+                    h.empty() ? 0.0 : h.mean() / static_cast<double>(kUs));
+      out += line;
+    }
+    out += '\n';
+    const Histogram& all = study.network().packet_log().latency(a);
+    std::snprintf(line, sizeof line, "summary %s mean_us %.2f p99_us %.2f\n", label.c_str(),
+                  all.mean() / static_cast<double>(kUs),
+                  static_cast<double>(all.p99()) / static_cast<double>(kUs));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 32);
+  std::vector<std::function<std::string()>> tasks;
+  for (const std::string routing : {"PAR", "Q-adp"}) {
+    for (const bool interfered : {false, true}) {
+      const StudyConfig config = options.config(routing);
+      tasks.push_back([config, interfered] { return run_case(config, interfered); });
+    }
+  }
+  const auto blocks = bench::parallel_map(tasks);
+  bench::print_header("Figure 7 — LQCD / Stencil5D packet latency over time");
+  for (const auto& block : blocks) std::fputs(block.c_str(), stdout);
+  std::printf("\nExpected shape (paper): Stencil5D's latency profile is unchanged by LQCD;\n"
+              "LQCD's mean/p99 rise sharply under PAR when Stencil5D joins (+57%%/+80%%)\n"
+              "but far less under Q-adp.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 9: CosmoFlow and Halo3D throughput along simulated time. The
+// compute-dominated CosmoFlow masks interference: Halo3D behaves as if it
+// ran alone except for brief dents when CosmoFlow's Allreduce pulses fire.
+// The four cases run concurrently.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+
+namespace {
+
+using namespace dfly;
+
+std::string run_case(const StudyConfig& config, bool interfered) {
+  Study study(config);
+  const int half = config.topo.num_nodes() / 2;
+  study.add_app("CosmoFlow", half);
+  if (interfered) study.add_app("Halo3D", half);
+  const Report report = study.run();
+
+  std::string out;
+  char line[160];
+  const PacketLog& log = study.network().packet_log();
+  for (int a = 0; a < study.num_jobs(); ++a) {
+    const std::string label = report.apps[a].app + (interfered ? "_interfered" : "_alone") +
+                              "_" + config.routing;
+    const TimeSeries& series = log.delivered(a);
+    std::snprintf(line, sizeof line, "series %s buckets_ms %.3f :", label.c_str(),
+                  to_ms(series.bucket_width()));
+    out += line;
+    for (std::size_t b = 0; b < series.num_buckets(); ++b) {
+      std::snprintf(line, sizeof line, " %.3f",
+                    series.bucket(b) / 1e9 / to_ms(series.bucket_width()));
+      out += line;
+    }
+    out += '\n';
+    const TimeSeries::Peak peak = series.peak();
+    std::snprintf(line, sizeof line, "summary %s peak_gb_per_ms %.3f at_ms %.3f comm_ms %.3f\n",
+                  label.c_str(), peak.value / 1e9 / to_ms(series.bucket_width()),
+                  to_ms(peak.when), report.apps[a].comm_mean_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv, 32);
+  std::vector<std::function<std::string()>> tasks;
+  for (const std::string routing : {"PAR", "Q-adp"}) {
+    for (const bool interfered : {false, true}) {
+      const StudyConfig config = options.config(routing);
+      tasks.push_back([config, interfered] { return run_case(config, interfered); });
+    }
+  }
+  const auto blocks = bench::parallel_map(tasks);
+  bench::print_header("Figure 9 — CosmoFlow / Halo3D throughput over time (compute masking)");
+  for (const auto& block : blocks) std::fputs(block.c_str(), stdout);
+  std::printf("\nExpected shape (paper): CosmoFlow shows isolated Allreduce pulses; Halo3D's\n"
+              "average throughput is nearly identical alone vs co-run, with only momentary\n"
+              "dips at the pulses. CosmoFlow's comm time moves little (esp. under Q-adp).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark): the discrete-event engine's event
+// throughput and the end-to-end simulator packet rate. These bound how
+// large a --scale the experiment benches can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "core/study.hpp"
+#include "net/network.hpp"
+#include "routing/factory.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dfly;
+
+class NullComponent final : public Component {
+ public:
+  void handle(Engine& engine, const Event& event) override {
+    if (event.a > 0) engine.schedule_in(10, *this, 0, event.a - 1);
+  }
+};
+
+/// Pure engine overhead: schedule + dispatch of chained events.
+void BM_EngineEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    NullComponent component;
+    const std::uint64_t chain = 100000;
+    engine.schedule_at(0, component, 0, chain);
+    engine.run();
+    benchmark::DoNotOptimize(engine.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100001);
+}
+BENCHMARK(BM_EngineEventChain)->Unit(benchmark::kMillisecond);
+
+/// Engine with a populated heap: random-time scheduling.
+void BM_EngineRandomHeap(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    NullComponent component;
+    Rng rng(1);
+    for (int i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<SimTime>(rng.next_below(1000000)), component, 0, 0);
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * events);
+}
+BENCHMARK(BM_EngineRandomHeap)->Arg(1000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+/// End-to-end packet rate: uniform-random traffic on the tiny system.
+void BM_NetworkPacketRate(benchmark::State& state) {
+  const std::string routing_name =
+      state.range(0) == 0 ? "MIN" : (state.range(0) == 1 ? "UGALn" : "Q-adp");
+  std::int64_t packets = 0;
+  for (auto _ : state) {
+    Engine engine;
+    Dragonfly topo(DragonflyParams::tiny());
+    NetConfig cfg;
+    routing::RoutingContext context{&engine, &topo, &cfg, 1};
+    auto routing = routing::make_routing(routing_name, context);
+    Network net(engine, topo, cfg, *routing, 1, 1);
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(topo.num_nodes())));
+      int dst = src;
+      while (dst == src) {
+        dst = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(topo.num_nodes())));
+      }
+      net.send_message(src, dst, 2048, 0);
+    }
+    engine.run();
+    packets += static_cast<std::int64_t>(net.packet_log().delivered_packets(0));
+  }
+  state.SetItemsProcessed(packets);
+  state.SetLabel(routing_name);
+}
+BENCHMARK(BM_NetworkPacketRate)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+/// Full-stack rate: one FFT3D iteration on the paper topology.
+void BM_StudyFft3dIteration(benchmark::State& state) {
+  for (auto _ : state) {
+    StudyConfig config;
+    config.topo = DragonflyParams::paper();
+    config.routing = "UGALg";
+    config.scale = 13;  // exactly one FFT3D iteration
+    Study study(config);
+    study.add_app("FFT3D", 528);
+    const Report report = study.run();
+    benchmark::DoNotOptimize(report.events_executed);
+  }
+}
+BENCHMARK(BM_StudyFft3dIteration)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Table I: the nine applications and their communication-intensity metrics
+// (total message volume, execution time, injection rate, peak ingress
+// volume), each measured standalone on half of the 1,056-node system.
+// The nine standalone runs execute concurrently.
+//
+// Paper reference values are printed alongside. Note that --scale=N shrinks
+// iteration counts, so total volume and execution time shrink by ~N while
+// injection rate (GB/s) and peak ingress volume are scale-invariant.
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+#include "workloads/intensity.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* app;
+  double total_mb;
+  double exec_ms;
+  double rate_gbs;
+  const char* peak;
+};
+
+// Table I of the paper.
+constexpr PaperRow kPaper[] = {
+    {"UR", 11829.48, 13.31, 888.48, "3.07KB"},
+    {"LU", 13713.22, 13.71, 999.88, "30.0KB"},
+    {"FFT3D", 15781.09, 12.53, 1259.35, "51.68KB"},
+    {"Halo3D", 47769.10, 10.85, 4403.81, "1.15MB"},
+    {"LQCD", 11924.31, 13.79, 864.70, "4.60MB"},
+    {"Stencil5D", 9833.95, 13.70, 717.87, "14.0MB"},
+    {"CosmoFlow", 2373.84, 13.65, 173.86, "2.25MB"},
+    {"DL", 9714.44, 11.86, 819.12, "2.30MB"},
+    {"LULESH", 17900.12, 12.34, 1450.78, "1.95MB"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfly;
+  const bench::Options options = bench::Options::parse(argc, argv, 16);
+  const std::string routing = options.routing.empty() ? "UGALg" : options.routing;
+
+  struct Row {
+    workloads::IntensityMetrics metrics;
+    bool completed{false};
+  };
+  std::vector<std::function<Row()>> tasks;
+  for (const PaperRow& ref : kPaper) {
+    const StudyConfig config = options.config(routing);
+    const std::string app = ref.app;
+    tasks.push_back([config, app] {
+      Study study(config);
+      study.add_app(app, config.topo.num_nodes() / 2);
+      const Report report = study.run();
+      return Row{workloads::measure_intensity(study.job(0)), report.completed};
+    });
+  }
+  const auto rows = bench::parallel_map(tasks);
+
+  bench::print_header("Table I — application communication patterns (standalone, " + routing +
+                      ", scale 1/" + std::to_string(options.scale) + ")");
+  std::printf("%-10s | %12s %10s %10s %10s | %10s %8s %8s %8s\n", "app", "meas MB",
+              "exec ms", "GB/s", "peak", "paper MB", "ms", "GB/s", "peak");
+  bench::print_rule();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PaperRow& ref = kPaper[i];
+    const workloads::IntensityMetrics& m = rows[i].metrics;
+    std::printf("%-10s | %12.2f %10.3f %10.1f %10s | %10.2f %8.2f %8.1f %8s %s\n", ref.app,
+                m.total_msg_mb, m.execution_ms, m.injection_rate_gbs,
+                workloads::format_volume(m.peak_ingress_bytes).c_str(), ref.total_mb,
+                ref.exec_ms, ref.rate_gbs, ref.peak, rows[i].completed ? "" : "[INCOMPLETE]");
+  }
+  std::printf("\n(measured MB and exec ms are ~1/%d of paper values by design; GB/s and\n"
+              " peak ingress are scale-invariant and comparable directly)\n",
+              options.scale);
+  return 0;
+}

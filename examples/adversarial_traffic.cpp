@@ -1,0 +1,55 @@
+// Adversarial traffic: reproduce the classic Dragonfly worst case (Kim et
+// al. ISCA'08) where every group attacks its neighbour group and minimal
+// routing funnels all of it through one global link per group pair.
+//
+//   $ ./adversarial_traffic [stride]      (default: 1, i.e. ADV+1)
+//
+// Demonstrates:
+//   - workloads::GroupAdversarialMotif + linear placement,
+//   - comparing routing policies on a single hostile pattern,
+//   - reading network-level evidence (non-minimal fraction, throughput).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  const int stride = argc > 1 ? std::atoi(argv[1]) : 1;
+  const dfly::DragonflyParams topo{4, 8, 4, 9};  // 288-node demo system
+  std::printf("ADV+%d on %d nodes (%d groups), linear placement\n\n", stride,
+              topo.num_nodes(), topo.g);
+  std::printf("%-10s %-14s %-12s %-14s\n", "routing", "comm (ms)", "nonmin", "tput (GB/ms)");
+
+  bool all_ok = true;
+  for (const std::string& routing : {"MIN", "VALn", "UGALn", "PAR", "Q-adp"}) {
+    dfly::StudyConfig config;
+    config.topo = topo;
+    config.routing = routing;
+    config.placement = dfly::PlacementPolicy::kLinear;  // rank blocks == groups
+    config.seed = 3;
+    dfly::Study study(config);
+
+    dfly::workloads::GroupAdversarialParams params;
+    params.group_stride = stride;
+    params.ranks_per_group = topo.p * topo.a;
+    params.iterations = 400;
+    params.msg_bytes = 4096;
+    params.interval = 0;
+    study.add_motif(std::make_unique<dfly::workloads::GroupAdversarialMotif>(params),
+                    topo.num_nodes(), "ADV");
+    const dfly::Report report = study.run();
+    all_ok = all_ok && report.completed;
+    std::printf("%-10s %-14.3f %-12.2f %-14.2f\n", routing.c_str(),
+                report.apps[0].comm_mean_ms, report.apps[0].nonminimal_fraction,
+                report.agg_throughput_gb_per_ms);
+  }
+  std::printf("\nMinimal routing serialises the whole pattern on one global link per\n"
+              "group pair; everything that can spread non-minimally is ~an order of\n"
+              "magnitude faster. This is why Dragonfly needs adaptive routing at all.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Link-fault resilience: degrade a slice of the global fabric and compare
+// how adaptive and intelligent routing absorb the fault.
+//
+//   $ ./link_faults [fraction] [slowdown]     (defaults: 0.10 8)
+//
+// Production Dragonfly links retrain to lower speeds after error bursts.
+// A degraded wire is invisible to source-side heuristics (UGAL/PAR read
+// local queues; backpressure arrives late), while Q-adaptive's learned
+// delivery-time estimates steer around it. This example degrades a random
+// `fraction` of global links by `slowdown`x and prints the victim
+// application's communication time under both policies, healthy vs faulted.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/study.hpp"
+#include "net/fault.hpp"
+
+namespace {
+
+double run_case(const std::string& routing, double fraction, int slowdown) {
+  dfly::StudyConfig config;
+  config.topo = dfly::DragonflyParams::paper();
+  config.routing = routing;
+  config.scale = 32;
+  config.seed = 7;
+  if (fraction > 0) {
+    const dfly::Dragonfly topo(config.topo);
+    config.faults =
+        dfly::FaultPlan::degrade_random_globals(topo, fraction, slowdown, 0, config.seed);
+  }
+  dfly::Study study(config);
+  study.add_app("FFT3D", 528);
+  study.add_app("UR", 528);
+  const dfly::Report report = study.run();
+  return report.apps[0].comm_mean_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double fraction = argc > 1 ? std::atof(argv[1]) : 0.10;
+  const int slowdown = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::printf("degrading %.0f%% of global links by %dx (FFT3D + UR background)\n\n",
+              fraction * 100.0, slowdown);
+  std::printf("%-8s %18s %18s %10s\n", "routing", "healthy comm (ms)", "faulted comm (ms)",
+              "penalty");
+  for (const std::string routing : {"PAR", "Q-adp"}) {
+    const double healthy = run_case(routing, 0.0, slowdown);
+    const double faulted = run_case(routing, fraction, slowdown);
+    std::printf("%-8s %18.3f %18.3f %9.2fx\n", routing.c_str(), healthy, faulted,
+                healthy > 0 ? faulted / healthy : 0.0);
+  }
+  std::puts("\nQ-adp's penalty should be markedly smaller: it learns end-to-end");
+  std::puts("delivery times and detours around slow wires that PAR cannot see.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// QoS isolation: protect a latency-sensitive job from a bandwidth hog with
+// weighted traffic classes instead of (or on top of) intelligent routing.
+//
+//   $ ./qos_isolation [victim_weight aggressor_weight]   (default 4 1)
+//
+// Demonstrates:
+//   - NetConfig::qos — deficit-weighted round-robin arbitration classes,
+//   - Study::set_traffic_class — assigning applications to classes,
+//   - reading per-application outcomes from the Report.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/study.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  const int victim_weight = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int aggressor_weight = argc > 2 ? std::atoi(argv[2]) : 1;
+
+  auto run = [&](bool qos_on) {
+    dfly::StudyConfig config;
+    config.topo = dfly::DragonflyParams{4, 8, 4, 9};  // 288-node demo system
+    config.routing = "MIN";  // no adaptive escape: contention is settled by arbitration
+    config.seed = 7;
+    if (qos_on) {
+      config.net.qos.num_classes = 2;
+      config.net.qos.weights = {victim_weight, aggressor_weight};
+    }
+    dfly::Study study(config);
+
+    // Victim: bandwidth-bound bisection exchange — every message crosses
+    // the machine's halves, competing with the flood on the global links.
+    dfly::workloads::BisectionParams victim_params;
+    victim_params.iterations = 20;
+    victim_params.msg_bytes = 65536;
+    const int victim = study.add_motif(
+        std::make_unique<dfly::workloads::BisectionMotif>(victim_params), 96, "Victim");
+
+    // Aggressor: full-rate uniform-random flood.
+    dfly::workloads::UniformRandomParams aggressor_params;
+    aggressor_params.iterations = 2500;
+    aggressor_params.msg_bytes = 4096;
+    aggressor_params.interval = 0;
+    const int aggressor = study.add_motif(
+        std::make_unique<dfly::workloads::UniformRandomMotif>(aggressor_params), 192,
+        "Aggressor");
+
+    study.set_traffic_class(victim, 0);
+    study.set_traffic_class(aggressor, 1);
+    const dfly::Report report = study.run();
+    std::printf("%-14s victim comm %7.3f ms (p99 %7.2f us) | aggressor comm %7.3f ms\n",
+                qos_on ? "QoS on:" : "QoS off:",
+                report.apps[static_cast<std::size_t>(victim)].comm_mean_ms,
+                report.apps[static_cast<std::size_t>(victim)].lat_p99_us,
+                report.apps[static_cast<std::size_t>(aggressor)].comm_mean_ms);
+    return report.completed;
+  };
+
+  std::printf("Weighted traffic classes, victim:aggressor = %d:%d (MIN routing)\n\n",
+              victim_weight, aggressor_weight);
+  const bool ok = run(false) && run(true);
+  std::printf("\nThe victim's communication time and tail latency shrink under QoS;\n"
+              "the aggressor pays, because arbitration now divides contended links\n"
+              "%d:%d instead of first-come-first-served.\n",
+              victim_weight, aggressor_weight);
+  return ok ? 0 : 1;
+}

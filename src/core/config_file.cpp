@@ -1,0 +1,162 @@
+#include "core/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dfly {
+
+namespace {
+
+std::string trim(const std::string& raw) {
+  const auto first = raw.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = raw.find_last_not_of(" \t\r\n");
+  return raw.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ConfigFile: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+ConfigFile ConfigFile::parse(const std::string& text) {
+  ConfigFile file;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#' || stripped.front() == ';') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("ConfigFile: line " + std::to_string(line_no) +
+                               " has no '=': " + stripped);
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("ConfigFile: empty key on line " + std::to_string(line_no));
+    }
+    file.values_[key] = value;
+  }
+  return file;
+}
+
+std::string ConfigFile::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int ConfigFile::get_int(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ConfigFile: key '" + key + "' is not an int: " + it->second);
+  }
+}
+
+double ConfigFile::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ConfigFile: key '" + key + "' is not a number: " + it->second);
+  }
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("ConfigFile: key '" + key + "' is not a bool: " + it->second);
+}
+
+std::vector<int> ConfigFile::get_int_list(const std::string& key) const {
+  const auto it = values_.find(key);
+  std::vector<int> out;
+  if (it == values_.end()) return out;
+  std::istringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::string t = trim(item);
+    if (t.empty()) continue;
+    try {
+      out.push_back(std::stoi(t));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("ConfigFile: key '" + key + "' has a non-int item: " + t);
+    }
+  }
+  return out;
+}
+
+StudyConfig apply_config(StudyConfig base, const ConfigFile& file) {
+  for (const auto& [key, value] : file.values()) {
+    (void)value;
+    if (key == "topo.p") base.topo.p = file.get_int(key);
+    else if (key == "topo.a") base.topo.a = file.get_int(key);
+    else if (key == "topo.h") base.topo.h = file.get_int(key);
+    else if (key == "topo.g") base.topo.g = file.get_int(key);
+    else if (key == "topo.arrangement")
+      base.topo.arrangement = arrangement_from_string(file.get_string(key));
+    else if (key == "routing") base.routing = file.get_string(key);
+    else if (key == "placement") base.placement = placement_from_string(file.get_string(key));
+    else if (key == "seed") base.seed = static_cast<std::uint64_t>(file.get_int(key));
+    else if (key == "scale") base.scale = file.get_int(key);
+    else if (key == "time_limit_ms") base.time_limit = file.get_int(key) * kMs;
+    else if (key == "net.flit_bytes") base.net.flit_bytes = file.get_int(key);
+    else if (key == "net.packet_bytes") base.net.packet_bytes = file.get_int(key);
+    else if (key == "net.buffer_packets") base.net.buffer_packets = file.get_int(key);
+    else if (key == "net.num_vcs") base.net.num_vcs = file.get_int(key);
+    else if (key == "net.link_gbps") base.net.link_gbps = file.get_double(key);
+    else if (key == "net.local_latency_ns") base.net.local_latency = file.get_int(key) * kNs;
+    else if (key == "net.global_latency_ns") base.net.global_latency = file.get_int(key) * kNs;
+    else if (key == "net.router_latency_ns") base.net.router_latency = file.get_int(key) * kNs;
+    else if (key == "protocol.eager_threshold") {
+      base.protocol.eager_threshold = file.get_int(key);
+    } else if (key == "qos.num_classes") base.net.qos.num_classes = file.get_int(key);
+    else if (key == "qos.weights") base.net.qos.weights = file.get_int_list(key);
+    else if (key == "qos.quantum_packets") base.net.qos.quantum_packets = file.get_int(key);
+    else if (key == "cc.enabled") base.net.cc.enabled = file.get_bool(key);
+    else if (key == "cc.ecn_threshold_packets") {
+      base.net.cc.ecn_threshold_packets = file.get_int(key);
+    } else if (key == "cc.md_factor") base.net.cc.md_factor = file.get_double(key);
+    else if (key == "cc.ai_step") base.net.cc.ai_step = file.get_double(key);
+    else if (key == "cc.min_rate") base.net.cc.min_rate = file.get_double(key);
+    else if (key == "qadp.alpha") base.qadp.alpha = file.get_double(key);
+    else if (key == "qadp.epsilon") base.qadp.epsilon = file.get_double(key);
+    else if (key == "ugal.bias") base.ugal.bias = file.get_int(key);
+    else if (key == "ugal.nonmin_weight") base.ugal.nonmin_weight = file.get_int(key);
+    else {
+      throw std::invalid_argument("apply_config: unknown key '" + key + "'");
+    }
+  }
+  return base;
+}
+
+}  // namespace dfly

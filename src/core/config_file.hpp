@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/study.hpp"
+
+/// Flat `key = value` configuration files for the experiment binaries.
+///
+/// Every bench accepts `--config=FILE` so the paper system (and any variant)
+/// can be described declaratively instead of recompiled. Format:
+///
+///     # paper.cfg — the 1,056-node SC'22 system
+///     topo.p = 4
+///     topo.a = 8
+///     topo.h = 4
+///     topo.g = 33
+///     routing = Q-adp
+///     placement = random
+///     seed = 42
+///     net.buffer_packets = 30
+///     qos.num_classes = 2
+///     qos.weights = 4,1
+///     cc.enabled = true
+///
+/// Lines starting with `#` or `;` are comments; whitespace is trimmed;
+/// unknown keys are rejected by `apply_config` (typo safety).
+namespace dfly {
+
+class ConfigFile {
+ public:
+  ConfigFile() = default;
+
+  /// Parse from a file (throws std::runtime_error on IO failure or syntax
+  /// errors) or from an in-memory string.
+  static ConfigFile load(const std::string& path);
+  static ConfigFile parse(const std::string& text);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Typed getters; the default is returned when the key is absent. Throws
+  /// std::invalid_argument when a present value fails to convert.
+  std::string get_string(const std::string& key, const std::string& fallback = "") const;
+  int get_int(const std::string& key, int fallback = 0) const;
+  double get_double(const std::string& key, double fallback = 0.0) const;
+  /// Accepts true/false/1/0/yes/no/on/off (case-insensitive).
+  bool get_bool(const std::string& key, bool fallback = false) const;
+  /// Comma-separated integer list.
+  std::vector<int> get_int_list(const std::string& key) const;
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Overlay a config file onto a StudyConfig. Recognised keys:
+///   topo.{p,a,h,g}            Dragonfly shape
+///   routing                   MIN/VALg/VALn/UGALg/UGALn/PAR/Q-adp/...
+///   placement                 random/contiguous/linear
+///   seed, scale               run knobs
+///   time_limit_ms             simulation guard
+///   net.{flit_bytes,packet_bytes,buffer_packets,num_vcs,link_gbps}
+///   net.{local_latency_ns,global_latency_ns,router_latency_ns}
+///   protocol.eager_threshold  eager/rendezvous split (bytes)
+///   qos.{num_classes,weights,quantum_packets}
+///   cc.{enabled,ecn_threshold_packets,md_factor,ai_step,min_rate}
+///   qadp.{alpha,epsilon}      Q-adaptive hyperparameters
+///   ugal.{bias,nonmin_weight} UGAL family tunables
+/// Unknown keys throw std::invalid_argument.
+StudyConfig apply_config(StudyConfig base, const ConfigFile& file);
+
+}  // namespace dfly

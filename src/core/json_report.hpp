@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "core/sweep.hpp"
+
+/// Machine-readable run output.
+///
+/// Complements the IO module's CSV streams: where CSV carries bulk series
+/// (per-packet records, congestion matrices), the JSON report is the
+/// single-document summary of one run or one sweep — the thing a CI job or
+/// a plotting notebook ingests. Hand-rolled writer (no dependency), RFC 8259
+/// escaping, stable key order.
+namespace dfly {
+
+/// Streaming JSON writer with container tracking; misuse (value outside a
+/// container, key inside an array) throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key for the next value (objects only).
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Final document; throws if containers are still open.
+  std::string str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  enum class Ctx : char { kObject, kArray };
+
+  void comma_if_needed();
+  void on_value();
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_;
+  bool want_key_{false};
+  bool has_pending_key_{false};
+};
+
+/// Serialise a single run's Report.
+std::string report_to_json(const Report& report);
+
+/// Serialise a SweepSummary (multi-seed aggregate).
+std::string sweep_to_json(const SweepSummary& summary);
+
+/// Write `json` to `path` (throws on IO failure).
+void save_json(const std::string& path, const std::string& json);
+
+}  // namespace dfly

@@ -1,0 +1,92 @@
+#include "core/study.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "workloads/factory.hpp"
+
+namespace dfly {
+
+Study::Study(StudyConfig config)
+    : config_(std::move(config)),
+      topo_(config_.topo),
+      placer_(topo_, config_.placement, Rng(config_.seed, 0x9 /*placement stream*/)) {}
+
+Study::~Study() = default;
+
+int Study::add_app(const std::string& name, int max_nodes) {
+  if (ran_) throw std::logic_error("Study: cannot add jobs after run()");
+  const int budget = max_nodes > 0 ? max_nodes : placer_.free_nodes();
+  workloads::AppInstance app = workloads::make_app(name, budget, config_.scale);
+  return add_motif(std::move(app.motif), app.nodes, name);
+}
+
+int Study::add_motif(std::unique_ptr<mpi::Motif> motif, int nodes, const std::string& label) {
+  if (ran_) throw std::logic_error("Study: cannot add jobs after run()");
+  PendingJob pending;
+  pending.motif = std::move(motif);
+  pending.label = label;
+  pending.nodes = placer_.allocate(nodes);
+  pending_.push_back(std::move(pending));
+  return static_cast<int>(pending_.size()) - 1;
+}
+
+void Study::set_traffic_class(int app_id, int traffic_class) {
+  if (ran_) throw std::logic_error("Study: cannot assign classes after run()");
+  if (app_id < 0 || app_id >= static_cast<int>(pending_.size())) {
+    throw std::out_of_range("Study::set_traffic_class: unknown app id");
+  }
+  pending_[static_cast<std::size_t>(app_id)].traffic_class = traffic_class;
+}
+
+void Study::record_trace(int app_id) {
+  if (ran_) throw std::logic_error("Study: cannot enable tracing after run()");
+  if (app_id < 0 || app_id >= static_cast<int>(pending_.size())) {
+    throw std::out_of_range("Study::record_trace: unknown app id");
+  }
+  pending_[static_cast<std::size_t>(app_id)].record_trace = true;
+}
+
+const trace::MessageTrace& Study::trace(int app_id) const {
+  if (app_id < 0 || app_id >= static_cast<int>(traces_.size()) ||
+      traces_[static_cast<std::size_t>(app_id)] == nullptr) {
+    throw std::out_of_range("Study::trace: tracing was not enabled for this app");
+  }
+  return *traces_[static_cast<std::size_t>(app_id)];
+}
+
+void Study::build() {
+  const int num_apps = static_cast<int>(pending_.size());
+  routing::RoutingContext context{&engine_, &topo_, &config_.net, config_.seed, config_.ugal,
+                                  config_.qadp};
+  routing_ = routing::make_routing(config_.routing, context);
+  network_ = std::make_unique<Network>(engine_, topo_, config_.net, *routing_, num_apps,
+                                       config_.seed, config_.observability);
+  if (!config_.faults.empty()) network_->apply_faults(config_.faults);
+  mpi_system_ = std::make_unique<mpi::MpiSystem>(*network_);
+  int app_id = 0;
+  for (auto& pending : pending_) {
+    motifs_.push_back(std::move(pending.motif));
+    jobs_.push_back(std::make_unique<mpi::Job>(engine_, *network_, *mpi_system_, app_id,
+                                               pending.label, *motifs_.back(),
+                                               std::move(pending.nodes), config_.seed,
+                                               config_.protocol));
+    network_->set_app_class(app_id, pending.traffic_class);
+    traces_.push_back(pending.record_trace ? std::make_unique<trace::MessageTrace>() : nullptr);
+    if (traces_.back() != nullptr) jobs_.back()->set_send_observer(traces_.back().get());
+    ++app_id;
+  }
+  pending_.clear();
+}
+
+Report Study::run() {
+  if (ran_) throw std::logic_error("Study: run() called twice");
+  if (pending_.empty()) throw std::logic_error("Study: no jobs added");
+  ran_ = true;
+  build();
+  for (auto& job : jobs_) job->start();
+  engine_.run(config_.time_limit);
+  return report();
+}
+
+}  // namespace dfly

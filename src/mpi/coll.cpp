@@ -1,0 +1,574 @@
+#include "mpi/coll.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dfly::mpi::coll {
+
+namespace {
+
+/// Largest power of two <= n (n >= 1).
+int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+int ceil_log2(int n) {
+  int rounds = 0;
+  int span = 1;
+  while (span < n) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+std::int64_t chunk_size(std::int64_t bytes, int n) {
+  const std::int64_t chunk = (bytes + n - 1) / n;
+  return chunk < 1 ? 1 : chunk;
+}
+
+/// Index of `rank` inside `members`, asserting membership.
+int member_index(const std::vector<int>& members, int rank) {
+  for (int i = 0; i < static_cast<int>(members.size()); ++i) {
+    if (members[static_cast<std::size_t>(i)] == rank) return i;
+  }
+  assert(false && "caller is not a member of the communicator");
+  return -1;
+}
+
+}  // namespace
+
+const char* to_string(AllreduceAlg alg) {
+  switch (alg) {
+    case AllreduceAlg::kBinaryTree: return "tree";
+    case AllreduceAlg::kRing: return "ring";
+    case AllreduceAlg::kRecursiveDoubling: return "rdouble";
+    case AllreduceAlg::kHalvingDoubling: return "rabenseifner";
+  }
+  return "?";
+}
+
+const char* to_string(AlltoallAlg alg) {
+  switch (alg) {
+    case AlltoallAlg::kRing: return "ring";
+    case AlltoallAlg::kPairwise: return "pairwise";
+    case AlltoallAlg::kBruck: return "bruck";
+  }
+  return "?";
+}
+
+AllreduceAlg allreduce_from_string(const std::string& name) {
+  if (name == "tree") return AllreduceAlg::kBinaryTree;
+  if (name == "ring") return AllreduceAlg::kRing;
+  if (name == "rdouble") return AllreduceAlg::kRecursiveDoubling;
+  if (name == "rabenseifner") return AllreduceAlg::kHalvingDoubling;
+  throw std::invalid_argument("unknown allreduce algorithm: " + name);
+}
+
+AlltoallAlg alltoall_from_string(const std::string& name) {
+  if (name == "ring") return AlltoallAlg::kRing;
+  if (name == "pairwise") return AlltoallAlg::kPairwise;
+  if (name == "bruck") return AlltoallAlg::kBruck;
+  throw std::invalid_argument("unknown alltoall algorithm: " + name);
+}
+
+const char* to_string(ReduceScatterAlg alg) {
+  switch (alg) {
+    case ReduceScatterAlg::kRing: return "ring";
+    case ReduceScatterAlg::kHalving: return "halving";
+  }
+  return "?";
+}
+
+ReduceScatterAlg reduce_scatter_from_string(const std::string& name) {
+  if (name == "ring") return ReduceScatterAlg::kRing;
+  if (name == "halving") return ReduceScatterAlg::kHalving;
+  throw std::invalid_argument("unknown reduce-scatter algorithm: " + name);
+}
+
+Task allreduce(RankCtx& ctx, std::int64_t bytes, AllreduceAlg alg) {
+  switch (alg) {
+    case AllreduceAlg::kBinaryTree: co_await ctx.allreduce(bytes); break;
+    case AllreduceAlg::kRing: co_await ring_allreduce(ctx, bytes); break;
+    case AllreduceAlg::kRecursiveDoubling: co_await recursive_doubling_allreduce(ctx, bytes); break;
+    case AllreduceAlg::kHalvingDoubling: co_await halving_doubling_allreduce(ctx, bytes); break;
+  }
+}
+
+Task alltoall(RankCtx& ctx, std::int64_t bytes, std::vector<int> members, AlltoallAlg alg) {
+  const auto n = static_cast<int>(members.size());
+  const bool pow2 = (n & (n - 1)) == 0;
+  switch (alg) {
+    case AlltoallAlg::kRing: co_await ctx.alltoall(bytes, std::move(members)); break;
+    case AlltoallAlg::kPairwise:
+      if (pow2) {
+        co_await alltoall_pairwise(ctx, bytes, std::move(members));
+      } else {
+        co_await ctx.alltoall(bytes, std::move(members));
+      }
+      break;
+    case AlltoallAlg::kBruck: co_await alltoall_bruck(ctx, bytes, std::move(members)); break;
+  }
+}
+
+Task reduce_scatter(RankCtx& ctx, std::int64_t bytes, ReduceScatterAlg alg) {
+  const int n = ctx.size();
+  const bool pow2 = n >= 1 && (n & (n - 1)) == 0;
+  switch (alg) {
+    case ReduceScatterAlg::kRing: co_await reduce_scatter_ring(ctx, bytes); break;
+    case ReduceScatterAlg::kHalving:
+      if (pow2) {
+        co_await reduce_scatter_halving(ctx, bytes);
+      } else {
+        co_await reduce_scatter_ring(ctx, bytes);
+      }
+      break;
+  }
+}
+
+Task reduce_scatter_ring(RankCtx& ctx, std::int64_t bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  const std::int64_t chunk = chunk_size(bytes, n);
+  const int tag = ctx.alloc_coll_tag();
+  // Round r: pass the partially reduced chunk one step round the ring; the
+  // receive is posted before the send so rendezvous chunks cannot deadlock.
+  for (int round = 0; round < n - 1; ++round) {
+    const ReqId r = ctx.irecv(left, tag);
+    const ReqId s = ctx.isend(right, chunk, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+}
+
+Task reduce_scatter_halving(RankCtx& ctx, std::int64_t bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  if ((n & (n - 1)) != 0) {
+    throw std::invalid_argument("reduce_scatter_halving: job size must be a power of two");
+  }
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  // Round k exchanges the half of the remaining payload that belongs to the
+  // partner's side of the recursion tree.
+  std::int64_t piece = bytes;
+  for (int mask = 1; mask < n; mask *= 2) {
+    piece = piece / 2 < 1 ? 1 : piece / 2;
+    const int partner = me ^ mask;
+    const ReqId r = ctx.irecv(partner, tag);
+    const ReqId s = ctx.isend(partner, piece, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+}
+
+Task alltoallv_ring(RankCtx& ctx, std::vector<std::int64_t> send_bytes,
+                    std::vector<std::int64_t> recv_bytes, std::vector<int> members) {
+  const int n = static_cast<int>(members.size());
+  if (static_cast<int>(send_bytes.size()) != n || static_cast<int>(recv_bytes.size()) != n) {
+    throw std::invalid_argument("alltoallv_ring: count vectors must match the membership");
+  }
+  if (n < 2) co_return;
+  const int me = member_index(members, ctx.rank());
+  const int tag = ctx.alloc_coll_tag();
+  // Ring schedule as in SST's alltoall: round i talks to me+i / me-i, but a
+  // zero-byte lane moves no message at all (both sides skip it in lockstep
+  // because the vectors are mirror-consistent).
+  for (int round = 1; round < n; ++round) {
+    const int dst = (me + round) % n;
+    const int src = (me - round + n) % n;
+    const bool expect = recv_bytes[static_cast<std::size_t>(src)] > 0;
+    const bool sending = send_bytes[static_cast<std::size_t>(dst)] > 0;
+    ReqId r = 0;
+    ReqId s = 0;
+    if (expect) r = ctx.irecv(members[static_cast<std::size_t>(src)], tag);
+    if (sending) {
+      s = ctx.isend(members[static_cast<std::size_t>(dst)],
+                    send_bytes[static_cast<std::size_t>(dst)], tag);
+    }
+    if (expect) co_await ctx.wait(r);
+    if (sending) co_await ctx.wait(s);
+  }
+}
+
+Task ring_allreduce(RankCtx& ctx, std::int64_t bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  const std::int64_t chunk = chunk_size(bytes, n);
+  const int tag_rs = ctx.alloc_coll_tag();
+  const int tag_ag = ctx.alloc_coll_tag();
+
+  // Reduce-scatter pass: after n-1 rounds every rank owns one fully reduced
+  // chunk. Each round posts the receive before the send so rendezvous-sized
+  // chunks cannot deadlock.
+  for (int round = 0; round < n - 1; ++round) {
+    const ReqId r = ctx.irecv(left, tag_rs);
+    const ReqId s = ctx.isend(right, chunk, tag_rs);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+  // Allgather pass: circulate the reduced chunks the rest of the way round.
+  for (int round = 0; round < n - 1; ++round) {
+    const ReqId r = ctx.irecv(left, tag_ag);
+    const ReqId s = ctx.isend(right, chunk, tag_ag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+}
+
+namespace {
+
+/// MPICH-style power-of-two fold. Returns this rank's id in the folded
+/// communicator, or -1 when the rank sits out the core exchange.
+///   ranks < 2*rem: even ranks fold onto rank+1 (and sit out), odd ranks
+///   act for the pair; ranks >= 2*rem participate directly.
+struct Fold {
+  int new_rank;   ///< id within the pof2 core, or -1
+  int pof2;
+  int rem;
+};
+
+Fold fold_of(int me, int n) {
+  const int pof2 = floor_pow2(n);
+  const int rem = n - pof2;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) return {-1, pof2, rem};
+    return {me / 2, pof2, rem};
+  }
+  return {me - rem, pof2, rem};
+}
+
+int unfolded_rank(int new_rank, int rem) {
+  return new_rank < rem ? new_rank * 2 + 1 : new_rank + rem;
+}
+
+}  // namespace
+
+Task recursive_doubling_allreduce(RankCtx& ctx, std::int64_t bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  const Fold fold = fold_of(me, n);
+
+  if (fold.new_rank < 0) {
+    // Folded-out even rank: contribute the payload, then wait for the result.
+    co_await ctx.send(me + 1, bytes, tag);
+    co_await ctx.recv(me + 1, tag);
+    co_return;
+  }
+  if (me < 2 * fold.rem) {
+    co_await ctx.recv(me - 1, tag);  // absorb the folded partner's payload
+  }
+  for (int mask = 1; mask < fold.pof2; mask *= 2) {
+    const int partner = unfolded_rank(fold.new_rank ^ mask, fold.rem);
+    const ReqId r = ctx.irecv(partner, tag);
+    const ReqId s = ctx.isend(partner, bytes, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+  if (me < 2 * fold.rem) {
+    co_await ctx.send(me - 1, bytes, tag);  // return the result to the fold
+  }
+}
+
+Task halving_doubling_allreduce(RankCtx& ctx, std::int64_t bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  const Fold fold = fold_of(me, n);
+
+  if (fold.new_rank < 0) {
+    co_await ctx.send(me + 1, bytes, tag);
+    co_await ctx.recv(me + 1, tag);
+    co_return;
+  }
+  if (me < 2 * fold.rem) {
+    co_await ctx.recv(me - 1, tag);
+  }
+  // Recursive-halving reduce-scatter: round k exchanges half the remaining
+  // payload with partner new_rank XOR 2^k.
+  std::int64_t piece = bytes;
+  for (int mask = 1; mask < fold.pof2; mask *= 2) {
+    piece = piece / 2 < 1 ? 1 : piece / 2;
+    const int partner = unfolded_rank(fold.new_rank ^ mask, fold.rem);
+    const ReqId r = ctx.irecv(partner, tag);
+    const ReqId s = ctx.isend(partner, piece, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+  // Recursive-doubling allgather: mirror image, pieces grow back.
+  for (int mask = fold.pof2 / 2; mask >= 1; mask /= 2) {
+    const int partner = unfolded_rank(fold.new_rank ^ mask, fold.rem);
+    const ReqId r = ctx.irecv(partner, tag);
+    const ReqId s = ctx.isend(partner, piece, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+    piece = piece * 2 > bytes ? bytes : piece * 2;
+  }
+  if (me < 2 * fold.rem) {
+    co_await ctx.send(me - 1, bytes, tag);
+  }
+}
+
+Task bcast_binomial(RankCtx& ctx, int root, std::int64_t bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  const int vrank = (me - root + n) % n;
+
+  // Receive from the parent: clear the lowest set bit of vrank.
+  if (vrank != 0) {
+    const int parent_v = vrank & (vrank - 1);
+    // parent owns subtree [parent_v, parent_v + lowbit); it sent to us.
+    co_await ctx.recv((parent_v + root) % n, tag);
+  }
+  // Forward to children, largest subtree first: child = vrank | mask for
+  // masks above our lowest set bit (or all masks when we are the root).
+  const int lowbit = vrank == 0 ? n : vrank & (-vrank);
+  std::vector<ReqId> sends;
+  for (int mask = floor_pow2(n); mask >= 1; mask /= 2) {
+    if (mask >= lowbit) continue;
+    const int child_v = vrank | mask;
+    if (child_v == vrank || child_v >= n) continue;
+    sends.push_back(ctx.isend((child_v + root) % n, bytes, tag));
+  }
+  if (!sends.empty()) co_await ctx.wait_all(std::move(sends));
+}
+
+Task reduce_binomial(RankCtx& ctx, int root, std::int64_t bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  const int vrank = (me - root + n) % n;
+
+  // Mirror of bcast: gather from children (smallest subtree first, the
+  // order they become ready in the balanced case), then send to the parent.
+  const int lowbit = vrank == 0 ? n : vrank & (-vrank);
+  for (int mask = 1; mask < lowbit && mask < n; mask *= 2) {
+    const int child_v = vrank | mask;
+    if (child_v == vrank || child_v >= n) continue;
+    co_await ctx.recv((child_v + root) % n, tag);
+  }
+  if (vrank != 0) {
+    const int parent_v = vrank & (vrank - 1);
+    co_await ctx.send((parent_v + root) % n, bytes, tag);
+  }
+}
+
+Task gather_binomial(RankCtx& ctx, int root, std::int64_t per_rank_bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  const int vrank = (me - root + n) % n;
+
+  // Subtree of vrank covers [vrank, min(vrank + lowbit, n)). The message to
+  // the parent carries the whole subtree's blocks.
+  const int lowbit = vrank == 0 ? n : vrank & (-vrank);
+  for (int mask = 1; mask < lowbit && mask < n; mask *= 2) {
+    const int child_v = vrank | mask;
+    if (child_v == vrank || child_v >= n) continue;
+    co_await ctx.recv((child_v + root) % n, tag);
+  }
+  if (vrank != 0) {
+    const int parent_v = vrank & (vrank - 1);
+    const int subtree = std::min(lowbit, n - vrank);
+    co_await ctx.send((parent_v + root) % n, per_rank_bytes * subtree, tag);
+  }
+}
+
+Task scatter_binomial(RankCtx& ctx, int root, std::int64_t per_rank_bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  const int vrank = (me - root + n) % n;
+
+  if (vrank != 0) {
+    const int parent_v = vrank & (vrank - 1);
+    co_await ctx.recv((parent_v + root) % n, tag);
+  }
+  const int lowbit = vrank == 0 ? n : vrank & (-vrank);
+  for (int mask = floor_pow2(n); mask >= 1; mask /= 2) {
+    if (mask >= lowbit) continue;
+    const int child_v = vrank | mask;
+    if (child_v == vrank || child_v >= n) continue;
+    const int subtree = std::min(mask, n - child_v);
+    co_await ctx.send((child_v + root) % n, per_rank_bytes * subtree, tag);
+  }
+}
+
+Task allgather_ring(RankCtx& ctx, std::int64_t per_rank_bytes) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  const int tag = ctx.alloc_coll_tag();
+  for (int round = 0; round < n - 1; ++round) {
+    const ReqId r = ctx.irecv(left, tag);
+    const ReqId s = ctx.isend(right, per_rank_bytes, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+}
+
+Task alltoall_pairwise(RankCtx& ctx, std::int64_t bytes, std::vector<int> members) {
+  const int n = static_cast<int>(members.size());
+  assert((n & (n - 1)) == 0 && "pairwise alltoall requires power-of-two membership");
+  const int me_idx = member_index(members, ctx.rank());
+  const int tag = ctx.alloc_coll_tag();
+  for (int round = 1; round < n; ++round) {
+    const int partner = members[static_cast<std::size_t>(me_idx ^ round)];
+    const ReqId r = ctx.irecv(partner, tag);
+    const ReqId s = ctx.isend(partner, bytes, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+}
+
+Task alltoall_bruck(RankCtx& ctx, std::int64_t bytes, std::vector<int> members) {
+  const int n = static_cast<int>(members.size());
+  if (n < 2) co_return;
+  const int me_idx = member_index(members, ctx.rank());
+  const int tag = ctx.alloc_coll_tag();
+  // Round r ships every block whose index has bit r set, aggregated into a
+  // single message to member me + 2^r (with the matching receive from
+  // me - 2^r). Block count per round is n/2 rounded by the bit pattern.
+  for (int mask = 1; mask < n; mask *= 2) {
+    int blocks = 0;
+    for (int j = 1; j < n; ++j) {
+      if ((j & mask) != 0) ++blocks;
+    }
+    const int to = members[static_cast<std::size_t>((me_idx + mask) % n)];
+    const int from = members[static_cast<std::size_t>((me_idx - mask % n + n) % n)];
+    const ReqId r = ctx.irecv(from, tag);
+    const ReqId s = ctx.isend(to, bytes * blocks, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+}
+
+Task barrier_dissemination(RankCtx& ctx) {
+  const int n = ctx.size();
+  if (n < 2) co_return;
+  const int me = ctx.rank();
+  const int tag = ctx.alloc_coll_tag();
+  for (int mask = 1; mask < n; mask *= 2) {
+    const int to = (me + mask) % n;
+    const int from = (me - mask % n + n) % n;
+    const ReqId r = ctx.irecv(from, tag);
+    const ReqId s = ctx.isend(to, 8, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+  }
+}
+
+int allreduce_rounds(AllreduceAlg alg, int n) {
+  if (n < 2) return 0;
+  const Fold fold = fold_of(0, n);
+  const int fold_rounds = fold.rem > 0 ? 2 : 0;
+  switch (alg) {
+    case AllreduceAlg::kBinaryTree: {
+      // Tree depth up + down.
+      int depth = 0;
+      for (int span = 1; span < n; span = span * 2 + 1) ++depth;
+      return 2 * depth;
+    }
+    case AllreduceAlg::kRing: return 2 * (n - 1);
+    case AllreduceAlg::kRecursiveDoubling: return ceil_log2(fold.pof2) + fold_rounds;
+    case AllreduceAlg::kHalvingDoubling: return 2 * ceil_log2(fold.pof2) + fold_rounds;
+  }
+  return 0;
+}
+
+int alltoall_rounds(AlltoallAlg alg, int n) {
+  if (n < 2) return 0;
+  switch (alg) {
+    case AlltoallAlg::kRing: return n - 1;
+    case AlltoallAlg::kPairwise: return n - 1;
+    case AlltoallAlg::kBruck: return ceil_log2(n);
+  }
+  return 0;
+}
+
+std::int64_t allreduce_bytes_per_rank(AllreduceAlg alg, int n, std::int64_t bytes) {
+  if (n < 2) return 0;
+  switch (alg) {
+    case AllreduceAlg::kBinaryTree: {
+      // Non-root, non-leaf ranks send the payload up once and to both
+      // children on the way down; exact value depends on tree position, so
+      // report the per-rank average: every rank sends up once except the
+      // root (n-1 sends) and every rank receives the broadcast once (n-1
+      // downward sends), spread over n ranks.
+      return 2 * bytes * (n - 1) / n;
+    }
+    case AllreduceAlg::kRing: return 2 * (n - 1) * chunk_size(bytes, n);
+    case AllreduceAlg::kRecursiveDoubling: {
+      const Fold fold = fold_of(0, n);
+      std::int64_t total = static_cast<std::int64_t>(ceil_log2(fold.pof2)) * bytes;
+      // Folding adds one full-payload send each way for 2*rem ranks;
+      // average over n.
+      total += fold.rem > 0 ? 2 * bytes * fold.rem / n : 0;
+      return total;
+    }
+    case AllreduceAlg::kHalvingDoubling: {
+      const Fold fold = fold_of(0, n);
+      std::int64_t total = 0;
+      std::int64_t piece = bytes;
+      for (int mask = 1; mask < fold.pof2; mask *= 2) {
+        piece = piece / 2 < 1 ? 1 : piece / 2;
+        total += piece;
+      }
+      for (int mask = fold.pof2 / 2; mask >= 1; mask /= 2) {
+        total += piece;
+        piece = piece * 2 > bytes ? bytes : piece * 2;
+      }
+      total += fold.rem > 0 ? 2 * bytes * fold.rem / n : 0;
+      return total;
+    }
+  }
+  return 0;
+}
+
+int reduce_scatter_rounds(ReduceScatterAlg alg, int n) {
+  if (n < 2) return 0;
+  switch (alg) {
+    case ReduceScatterAlg::kRing: return n - 1;
+    case ReduceScatterAlg::kHalving: return ceil_log2(n);
+  }
+  return 0;
+}
+
+std::int64_t reduce_scatter_bytes_per_rank(ReduceScatterAlg alg, int n, std::int64_t bytes) {
+  if (n < 2) return 0;
+  switch (alg) {
+    case ReduceScatterAlg::kRing: return (n - 1) * chunk_size(bytes, n);
+    case ReduceScatterAlg::kHalving: {
+      std::int64_t total = 0;
+      std::int64_t piece = bytes;
+      for (int mask = 1; mask < n; mask *= 2) {
+        piece = piece / 2 < 1 ? 1 : piece / 2;
+        total += piece;
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace dfly::mpi::coll

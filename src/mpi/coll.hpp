@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/rank.hpp"
+#include "mpi/task.hpp"
+
+/// Extended collective-communication algorithms.
+///
+/// SST/Firefly implements Allreduce as a binary tree and Alltoall as a ring
+/// exchange; those live on RankCtx (mpi/collectives.cpp) and are what the
+/// paper's workloads use. This header adds the classic algorithm families
+/// from the MPI-implementation literature (MPICH/Horovod lineage) so that
+/// the interference study can be extended with algorithm ablations: the
+/// same logical collective stresses the network very differently depending
+/// on the algorithm (burst fan-out vs. pipelined neighbour traffic), which
+/// shifts an application's peak ingress volume (§IV metric 2) without
+/// changing its total message volume.
+///
+/// All algorithms are modelled at the message level: payload bytes cross the
+/// network exactly as the real algorithm would move them, reduction compute
+/// is not modelled (consistent with SST/Ember motifs).
+namespace dfly::mpi::coll {
+
+/// Allreduce algorithm families.
+///  - kBinaryTree: SST/Firefly default — reduce to root then broadcast
+///    (peak ingress = 2 messages at the fan-out, latency O(log n) rounds of
+///    full-size payloads).
+///  - kRing: Horovod-style reduce-scatter + allgather ring, 2(n-1) rounds of
+///    bytes/n chunks — bandwidth-optimal, smooth injection.
+///  - kRecursiveDoubling: log2(n) rounds of full-size exchange with partner
+///    me XOR 2^k — latency-optimal for short payloads.
+///  - kHalvingDoubling: Rabenseifner recursive-halving reduce-scatter plus
+///    recursive-doubling allgather — bandwidth-optimal, log-round.
+enum class AllreduceAlg {
+  kBinaryTree,
+  kRing,
+  kRecursiveDoubling,
+  kHalvingDoubling,
+};
+
+/// Alltoall algorithm families.
+///  - kRing: SST default, n-1 rounds, one message per round.
+///  - kPairwise: XOR-partner exchange (n power of two; falls back to ring).
+///  - kBruck: ceil(log2 n) rounds of aggregated blocks — fewer, larger
+///    messages; raises peak ingress volume but cuts round count.
+enum class AlltoallAlg {
+  kRing,
+  kPairwise,
+  kBruck,
+};
+
+/// Reduce-scatter algorithm families.
+///  - kRing: n-1 rounds of bytes/n chunks between ring neighbours — the
+///    first pass of Horovod ring allreduce, bandwidth-optimal.
+///  - kHalving: MPICH recursive halving — log2(n) rounds, round k exchanges
+///    bytes/2^(k+1) with partner me XOR 2^k (power-of-two membership; the
+///    dispatcher falls back to ring otherwise).
+enum class ReduceScatterAlg {
+  kRing,
+  kHalving,
+};
+
+const char* to_string(AllreduceAlg alg);
+const char* to_string(AlltoallAlg alg);
+const char* to_string(ReduceScatterAlg alg);
+AllreduceAlg allreduce_from_string(const std::string& name);
+AlltoallAlg alltoall_from_string(const std::string& name);
+ReduceScatterAlg reduce_scatter_from_string(const std::string& name);
+
+/// Dispatch on `alg`; every rank of the job must call with the same values.
+Task allreduce(RankCtx& ctx, std::int64_t bytes, AllreduceAlg alg);
+Task alltoall(RankCtx& ctx, std::int64_t bytes, std::vector<int> members, AlltoallAlg alg);
+Task reduce_scatter(RankCtx& ctx, std::int64_t bytes, ReduceScatterAlg alg);
+
+// --- allreduce family -------------------------------------------------------
+
+/// Horovod ring allreduce: reduce-scatter pass then allgather pass, each
+/// n-1 rounds of ceil(bytes/n)-byte chunks between ring neighbours.
+Task ring_allreduce(RankCtx& ctx, std::int64_t bytes);
+
+/// Recursive doubling: log2 rounds exchanging the full payload with partner
+/// me XOR 2^k. Non-power-of-two sizes fold the excess ranks onto partners
+/// first (MPICH scheme) and unfold at the end.
+Task recursive_doubling_allreduce(RankCtx& ctx, std::int64_t bytes);
+
+/// Rabenseifner: recursive-halving reduce-scatter (round k exchanges
+/// bytes/2^(k+1) with partner me XOR 2^k) followed by the mirror-image
+/// recursive-doubling allgather. Non-power-of-two handled by folding.
+Task halving_doubling_allreduce(RankCtx& ctx, std::int64_t bytes);
+
+// --- rooted collectives ------------------------------------------------------
+
+/// Binomial-tree broadcast from `root`: receive once, forward to
+/// log-spaced children (largest subtree first).
+Task bcast_binomial(RankCtx& ctx, int root, std::int64_t bytes);
+
+/// Binomial-tree reduction to `root` (communication mirror of bcast).
+Task reduce_binomial(RankCtx& ctx, int root, std::int64_t bytes);
+
+/// Binomial gather to `root`: subtree payloads aggregate upward, so a
+/// message covering a subtree of s ranks carries s * per_rank_bytes.
+Task gather_binomial(RankCtx& ctx, int root, std::int64_t per_rank_bytes);
+
+/// Binomial scatter from `root` (communication mirror of gather).
+Task scatter_binomial(RankCtx& ctx, int root, std::int64_t per_rank_bytes);
+
+// --- unrooted data movement ---------------------------------------------------
+
+/// Ring allgather: n-1 rounds forwarding the next per-rank block around the
+/// ring (each round moves per_rank_bytes to the right neighbour).
+Task allgather_ring(RankCtx& ctx, std::int64_t per_rank_bytes);
+
+/// Pairwise-exchange alltoall: n-1 rounds, partner me XOR round (requires
+/// power-of-two membership; the dispatcher falls back to ring otherwise).
+Task alltoall_pairwise(RankCtx& ctx, std::int64_t bytes, std::vector<int> members);
+
+/// Bruck alltoall: ceil(log2 n) rounds; round r ships every block whose
+/// index has bit r set (about n/2 blocks of `bytes` each) to member me+2^r.
+Task alltoall_bruck(RankCtx& ctx, std::int64_t bytes, std::vector<int> members);
+
+/// Ring reduce-scatter: after n-1 rounds of ceil(bytes/n) chunks each rank
+/// owns one fully reduced block (the first pass of ring allreduce).
+Task reduce_scatter_ring(RankCtx& ctx, std::int64_t bytes);
+
+/// MPICH recursive-halving reduce-scatter: log2(n) rounds, halving the
+/// exchanged payload each round. Requires power-of-two job size.
+Task reduce_scatter_halving(RankCtx& ctx, std::int64_t bytes);
+
+/// Vector alltoall (MPI_Alltoallv): member at index i of `members` sends
+/// `send_bytes[j]` to the member at index j and receives `recv_bytes[j]`
+/// from it. Zero-byte lanes move no message at all, so sparse exchange
+/// patterns cost only their non-zero traffic. Every member must pass
+/// mirror-consistent vectors (my send_bytes[j] == j's recv_bytes[my index]);
+/// ring schedule (round i talks to members me+i / me-i).
+Task alltoallv_ring(RankCtx& ctx, std::vector<std::int64_t> send_bytes,
+                    std::vector<std::int64_t> recv_bytes, std::vector<int> members);
+
+/// Dissemination barrier: ceil(log2 n) rounds of 8-byte flags to member
+/// me + 2^k. Completes in log rounds regardless of arrival skew.
+Task barrier_dissemination(RankCtx& ctx);
+
+/// Number of point-to-point rounds algorithm `alg` takes on `n` ranks
+/// (used by tests and by the ablation bench's analytic columns).
+int allreduce_rounds(AllreduceAlg alg, int n);
+int alltoall_rounds(AlltoallAlg alg, int n);
+
+/// Total bytes one rank sends for an allreduce of `bytes` over `n` ranks
+/// under `alg` (analytic; tests compare the simulation against this).
+std::int64_t allreduce_bytes_per_rank(AllreduceAlg alg, int n, std::int64_t bytes);
+
+/// Rounds / bytes-per-rank for reduce-scatter (analytic, power-of-two n for
+/// kHalving; tests compare the simulation against these).
+int reduce_scatter_rounds(ReduceScatterAlg alg, int n);
+std::int64_t reduce_scatter_bytes_per_rank(ReduceScatterAlg alg, int n, std::int64_t bytes);
+
+}  // namespace dfly::mpi::coll

@@ -1,0 +1,84 @@
+#include <cassert>
+#include <utility>
+
+#include "mpi/job.hpp"
+#include "mpi/rank.hpp"
+
+namespace dfly::mpi {
+
+Task RankCtx::send(int dst_rank, std::int64_t bytes, int tag) {
+  const ReqId id = isend(dst_rank, bytes, tag);
+  co_await wait(id);
+}
+
+Task RankCtx::recv(int src_rank, int tag) {
+  const ReqId id = irecv(src_rank, tag);
+  co_await wait(id);
+}
+
+Task RankCtx::wait_all(std::vector<ReqId> ids) {
+  // Waiting sequentially is equivalent: the rank unblocks when the slowest
+  // request completes, and each wait accounts only the residual block time.
+  for (const ReqId id : ids) co_await wait(id);
+}
+
+Task RankCtx::barrier() {
+  // Zero-payload allreduce; 8B control messages model the header exchange.
+  co_await allreduce(8);
+}
+
+Task RankCtx::allreduce(std::int64_t bytes) {
+  // SST/Firefly arranges ranks in a binary tree: the payload is reduced from
+  // the leaves to the root and broadcast back down. The down-phase fan-out
+  // posts both child messages back-to-back (peak ingress = 2 messages).
+  const int tag_up = next_coll_tag();
+  const int tag_down = next_coll_tag();
+  const int n = size();
+  const int me = rank_;
+  const int left = 2 * me + 1;
+  const int right = 2 * me + 2;
+  const int parent = (me - 1) / 2;
+
+  if (left < n && right < n) {
+    std::vector<ReqId> kids{irecv(left, tag_up), irecv(right, tag_up)};
+    co_await wait_all(std::move(kids));
+  } else if (left < n) {
+    co_await recv(left, tag_up);
+  }
+
+  if (me != 0) {
+    co_await send(parent, bytes, tag_up);
+    co_await recv(parent, tag_down);
+  }
+
+  std::vector<ReqId> down;
+  if (left < n) down.push_back(isend(left, bytes, tag_down));
+  if (right < n) down.push_back(isend(right, bytes, tag_down));
+  if (!down.empty()) co_await wait_all(std::move(down));
+}
+
+Task RankCtx::alltoall(std::int64_t bytes, std::vector<int> members) {
+  // SST's multi-step ring exchange: in round i, member m sends to member
+  // m+i and receives from member m-i. One send per round, so the operation
+  // peak ingress is a single message (§IV).
+  const int n = static_cast<int>(members.size());
+  int me_idx = -1;
+  for (int i = 0; i < n; ++i) {
+    if (members[static_cast<std::size_t>(i)] == rank_) {
+      me_idx = i;
+      break;
+    }
+  }
+  assert(me_idx >= 0 && "caller is not a member of the communicator");
+  const int tag = next_coll_tag();
+  for (int i = 1; i < n; ++i) {
+    const int to = members[static_cast<std::size_t>((me_idx + i) % n)];
+    const int from = members[static_cast<std::size_t>((me_idx - i + n) % n)];
+    const ReqId r = irecv(from, tag);
+    const ReqId s = isend(to, bytes, tag);
+    co_await wait(r);
+    co_await wait(s);
+  }
+}
+
+}  // namespace dfly::mpi

@@ -1,0 +1,31 @@
+#include "mpi/match.hpp"
+
+namespace dfly::mpi {
+
+std::uint32_t MatchList::on_arrival(int src_rank, int tag, std::int64_t bytes, SimTime now,
+                                    std::uint64_t rdv_id) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if ((it->src_rank == kAnySource || it->src_rank == src_rank) && it->tag == tag) {
+      const std::uint32_t request = it->request;
+      posted_.erase(it);
+      return request;
+    }
+  }
+  unexpected_.push_back(Unexpected{src_rank, tag, bytes, now, rdv_id});
+  return kNoMatch;
+}
+
+std::optional<MatchList::Unexpected> MatchList::post_recv(int src_rank, int tag,
+                                                          std::uint32_t request) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if ((src_rank == kAnySource || it->src_rank == src_rank) && it->tag == tag) {
+      Unexpected hit = *it;
+      unexpected_.erase(it);
+      return hit;
+    }
+  }
+  posted_.push_back(Posted{src_rank, tag, request});
+  return std::nullopt;
+}
+
+}  // namespace dfly::mpi

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace dfly::mpi {
+
+inline constexpr int kAnySource = -1;
+
+/// MPI-style (source, tag) matching for one rank.
+///
+/// Posted receives match inbound arrivals in post order; arrivals that find
+/// no matching receive park in the unexpected queue. An "arrival" is either
+/// a completed eager message (rdv_id == 0) or a rendezvous RTS header
+/// (rdv_id != 0) whose payload is still at the sender.
+class MatchList {
+ public:
+  struct Posted {
+    int src_rank;  ///< kAnySource matches any sender
+    int tag;
+    std::uint32_t request;  ///< rank-local request id
+  };
+  struct Unexpected {
+    int src_rank;
+    int tag;
+    std::int64_t bytes;
+    SimTime arrived;
+    std::uint64_t rdv_id;  ///< 0 for eager data, else the rendezvous handle
+  };
+
+  static constexpr std::uint32_t kNoMatch = 0xffffffffu;
+
+  /// Match an arrival against posted receives. Returns the matched request
+  /// id, or kNoMatch after parking the arrival as unexpected.
+  std::uint32_t on_arrival(int src_rank, int tag, std::int64_t bytes, SimTime now,
+                           std::uint64_t rdv_id);
+
+  /// Satisfy a new receive from the unexpected queue if possible; otherwise
+  /// post it. Returns the consumed unexpected entry on a hit.
+  std::optional<Unexpected> post_recv(int src_rank, int tag, std::uint32_t request);
+
+  std::size_t posted_count() const { return posted_.size(); }
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+
+ private:
+  std::deque<Posted> posted_;
+  std::deque<Unexpected> unexpected_;
+};
+
+}  // namespace dfly::mpi

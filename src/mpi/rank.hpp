@@ -1,0 +1,156 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mpi/match.hpp"
+#include "mpi/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace dfly::mpi {
+
+class Job;
+
+using ReqId = std::uint32_t;
+
+/// Completion state of one outstanding non-blocking operation.
+struct Request {
+  bool in_use{false};
+  bool complete{false};
+  SimTime complete_time{0};
+  std::coroutine_handle<> waiter{};
+};
+
+/// The simulated-MPI execution context of one rank (our Firefly stand-in).
+///
+/// Motifs drive it from a coroutine: non-blocking isend/irecv return request
+/// ids, `co_await ctx.wait(r)` blocks the rank until completion, and
+/// `co_await ctx.compute(ns)` models computation. Collectives (barrier,
+/// allreduce tree, alltoall ring) are built on these primitives exactly as
+/// SST/Firefly builds them, so their network footprint is faithful.
+///
+/// Accounting: time spent suspended in MPI awaits accumulates as the rank's
+/// *communication time* (the paper's Fig 4/8/10 metric); consecutive sends
+/// posted without an intervening block form an *ingress burst* whose maximum
+/// is the rank's peak ingress volume (§IV metric 2).
+class RankCtx final : public Component {
+ public:
+  RankCtx(Job& job, int rank, int node, Rng rng);
+
+  int rank() const { return rank_; }
+  int size() const;
+  int node() const { return node_; }
+  SimTime now() const;
+  Rng& rng() { return rng_; }
+
+  // --- non-blocking primitives ---------------------------------------------
+  ReqId isend(int dst_rank, std::int64_t bytes, int tag);
+  ReqId irecv(int src_rank, int tag);
+
+  // --- awaitables ------------------------------------------------------------
+  struct [[nodiscard]] WaitAwaiter {
+    RankCtx* ctx;
+    ReqId id;
+    SimTime suspended_at{-1};
+    bool await_ready() const { return ctx->request(id).complete; }
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended_at = ctx->now();
+      ctx->note_block();
+      ctx->request(id).waiter = h;
+    }
+    void await_resume() { ctx->finish_wait(id, suspended_at); }
+  };
+  WaitAwaiter wait(ReqId id) { return WaitAwaiter{this, id}; }
+
+  struct [[nodiscard]] ComputeAwaiter {
+    RankCtx* ctx;
+    SimTime duration;
+    bool await_ready() const { return duration <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ctx->note_block();
+      ctx->schedule_resume(h, duration);
+    }
+    void await_resume() {}
+  };
+  /// Model `duration` of computation (does not count as communication time).
+  ComputeAwaiter compute(SimTime duration) { return ComputeAwaiter{this, duration}; }
+
+  // --- composite operations (collectives.cpp) -------------------------------
+  Task send(int dst_rank, std::int64_t bytes, int tag);  ///< isend + wait
+  Task recv(int src_rank, int tag);                      ///< irecv + wait
+  Task wait_all(std::vector<ReqId> ids);
+  Task barrier();
+  /// Binary-tree reduce + broadcast, `bytes` per edge (SST Allreduce).
+  Task allreduce(std::int64_t bytes);
+  /// Multi-step ring exchange over `members` (job-rank ids), `bytes` per
+  /// pair (SST Alltoall): round i sends to member me+i, receives from me-i.
+  Task alltoall(std::int64_t bytes, std::vector<int> members);
+
+  /// Timestamp an application-defined iteration boundary.
+  void mark_iteration() { iteration_marks_.push_back(now()); }
+
+  /// Background-traffic mode: inbound eager messages that match no posted
+  /// receive are dropped instead of parked (pure traffic generators like UR
+  /// never consume what they receive; this bounds memory).
+  void set_sink_mode(bool on) { sink_mode_ = on; }
+  bool sink_mode() const { return sink_mode_; }
+
+  /// Allocate a fresh collective tag. Ranks of one job allocate tags in
+  /// lockstep (SPMD: every rank runs the same collective sequence), so the
+  /// i-th collective gets the same tag on every rank. Used by the extended
+  /// collective algorithms in mpi/coll.hpp.
+  int alloc_coll_tag() { return next_coll_tag(); }
+
+  // --- accounting ------------------------------------------------------------
+  SimTime comm_time() const { return comm_time_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  std::int64_t messages_sent() const { return messages_sent_; }
+  std::int64_t peak_ingress_bytes() const { return peak_burst_; }
+  const std::vector<SimTime>& iteration_marks() const { return iteration_marks_; }
+
+  void handle(Engine& engine, const Event& event) override;
+
+  // --- Job-side entry points -------------------------------------------------
+  /// A complete eager message arrived for this rank.
+  void deliver_eager(int src_rank, int tag, std::int64_t bytes);
+  /// A rendezvous RTS header arrived for this rank.
+  void deliver_rts(int src_rank, int tag, std::int64_t bytes, std::uint64_t rdv_id);
+  void complete_request(ReqId id);
+  Request& request(ReqId id) { return slots_[id]; }
+
+ private:
+  friend class Job;
+
+  ReqId alloc_request();
+  void release_request(ReqId id);
+  void finish_wait(ReqId id, SimTime suspended_at);
+  void note_block();
+  void schedule_resume(std::coroutine_handle<> h, SimTime delay);
+  int next_coll_tag() { return kCollTagBase + coll_seq_++; }
+
+  static constexpr int kCollTagBase = 1 << 20;
+
+  Job* job_;
+  int rank_;
+  int node_;
+  Rng rng_;
+  MatchList match_;
+  std::deque<Request> slots_;
+  std::vector<ReqId> free_slots_;
+  std::coroutine_handle<> pending_resume_{};
+
+  SimTime comm_time_{0};
+  std::int64_t bytes_sent_{0};
+  std::int64_t messages_sent_{0};
+  std::int64_t burst_{0};
+  std::int64_t peak_burst_{0};
+  int coll_seq_{0};
+  bool sink_mode_{false};
+  std::vector<SimTime> iteration_marks_;
+};
+
+}  // namespace dfly::mpi

@@ -1,0 +1,23 @@
+#include "net/buffer.hpp"
+
+namespace dfly {
+
+InputBuffers::InputBuffers(int num_ports, int num_vcs, int capacity)
+    : num_ports_(num_ports),
+      num_vcs_(num_vcs),
+      capacity_(capacity),
+      queues_(static_cast<std::size_t>(num_ports) * static_cast<std::size_t>(num_vcs)) {}
+
+int InputBuffers::port_occupancy(int port) const {
+  int total = 0;
+  for (int vc = 0; vc < num_vcs_; ++vc) total += size(port, vc);
+  return total;
+}
+
+int InputBuffers::total_occupancy() const {
+  int total = 0;
+  for (const auto& queue : queues_) total += static_cast<int>(queue.size());
+  return total;
+}
+
+}  // namespace dfly

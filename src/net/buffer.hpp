@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace dfly {
+
+/// Per-input-port virtual-channel buffers of a router: one FIFO of packet
+/// ids per (port, vc), each with `capacity` packet slots (the credit count
+/// advertised to the upstream sender).
+class InputBuffers {
+ public:
+  InputBuffers(int num_ports, int num_vcs, int capacity);
+
+  bool full(int port, int vc) const { return static_cast<int>(q(port, vc).size()) >= capacity_; }
+  bool empty(int port, int vc) const { return q(port, vc).empty(); }
+  int size(int port, int vc) const { return static_cast<int>(q(port, vc).size()); }
+
+  void push(int port, int vc, std::uint32_t packet_id) { q(port, vc).push_back(packet_id); }
+
+  std::uint32_t front(int port, int vc) const { return q(port, vc).front(); }
+  std::uint32_t pop(int port, int vc) {
+    auto& queue = q(port, vc);
+    const std::uint32_t id = queue.front();
+    queue.pop_front();
+    return id;
+  }
+
+  /// Total packets buffered across all VCs of one input port.
+  int port_occupancy(int port) const;
+  /// Total packets buffered in the whole router.
+  int total_occupancy() const;
+
+  int num_ports() const { return num_ports_; }
+  int num_vcs() const { return num_vcs_; }
+  int capacity() const { return capacity_; }
+
+ private:
+  std::deque<std::uint32_t>& q(int port, int vc) {
+    return queues_[static_cast<std::size_t>(port) * num_vcs_ + static_cast<std::size_t>(vc)];
+  }
+  const std::deque<std::uint32_t>& q(int port, int vc) const {
+    return queues_[static_cast<std::size_t>(port) * num_vcs_ + static_cast<std::size_t>(vc)];
+  }
+
+  int num_ports_;
+  int num_vcs_;
+  int capacity_;
+  std::vector<std::deque<std::uint32_t>> queues_;
+};
+
+}  // namespace dfly

@@ -1,0 +1,114 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+namespace dfly {
+
+void FaultPlan::merge(const FaultPlan& other) {
+  faults_.insert(faults_.end(), other.faults_.begin(), other.faults_.end());
+}
+
+FaultPlan FaultPlan::degrade_global(const Dragonfly& topo, int group_a, int group_b,
+                                    int slowdown, SimTime extra_latency) {
+  if (group_a == group_b) throw std::invalid_argument("degrade_global: group_a == group_b");
+  FaultPlan plan;
+  for (const auto& [src, dst] : {std::pair{group_a, group_b}, std::pair{group_b, group_a}}) {
+    for (const GlobalEndpoint& ep : topo.gateways(src, dst)) {
+      plan.add(LinkFault{ep.router, topo.global_port(ep.global_port), slowdown, extra_latency});
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::degrade_random_globals(const Dragonfly& topo, double fraction,
+                                            int slowdown, SimTime extra_latency,
+                                            std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("degrade_random_globals: fraction outside [0,1]");
+  }
+  FaultPlan plan;
+  Rng rng(seed, 0xFA017);
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    for (int k = 0; k < topo.params().h; ++k) {
+      if (rng.next_bernoulli(fraction)) {
+        plan.add(LinkFault{r, topo.global_port(k), slowdown, extra_latency});
+      }
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::degrade_router_locals(const Dragonfly& topo, int router,
+                                           int slowdown, SimTime extra_latency) {
+  FaultPlan plan;
+  for (int port = topo.first_local_port(); port < topo.first_global_port(); ++port) {
+    plan.add(LinkFault{router, port, slowdown, extra_latency});
+  }
+  return plan;
+}
+
+namespace {
+
+/// Parse one non-negative integer field of a fault entry.
+long parse_field(const std::string& entry, std::size_t& pos, const char* what) {
+  std::size_t used = 0;
+  long value = 0;
+  try {
+    value = std::stol(entry.substr(pos), &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("fault plan: bad ") + what + " in '" + entry + "'");
+  }
+  if (value < 0) {
+    throw std::invalid_argument(std::string("fault plan: negative ") + what + " in '" + entry +
+                                "'");
+  }
+  pos += used;
+  return value;
+}
+
+LinkFault parse_entry(const std::string& entry) {
+  LinkFault fault;
+  std::size_t pos = 0;
+  fault.router = static_cast<int>(parse_field(entry, pos, "router"));
+  if (pos >= entry.size() || entry[pos] != ':') {
+    throw std::invalid_argument("fault plan: expected ':port' in '" + entry + "'");
+  }
+  ++pos;
+  fault.port = static_cast<int>(parse_field(entry, pos, "port"));
+  if (pos >= entry.size() || entry[pos] != ':') {
+    throw std::invalid_argument("fault plan: expected ':slowdown' in '" + entry + "'");
+  }
+  ++pos;
+  fault.slowdown = static_cast<int>(parse_field(entry, pos, "slowdown"));
+  if (fault.slowdown < 1) {
+    throw std::invalid_argument("fault plan: slowdown must be >= 1 in '" + entry + "'");
+  }
+  if (pos < entry.size()) {
+    if (entry[pos] != ':') {
+      throw std::invalid_argument("fault plan: trailing garbage in '" + entry + "'");
+    }
+    ++pos;
+    fault.extra_latency = parse_field(entry, pos, "extra_ns") * kNs;
+  }
+  if (pos != entry.size()) {
+    throw std::invalid_argument("fault plan: trailing garbage in '" + entry + "'");
+  }
+  return fault;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) plan.add(parse_entry(spec.substr(start, end - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return plan;
+}
+
+}  // namespace dfly

@@ -1,0 +1,3 @@
+#include "net/link.hpp"
+
+// LinkMap is header-only; this TU anchors the library target.

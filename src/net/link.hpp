@@ -1,0 +1,43 @@
+#pragma once
+
+#include "net/config.hpp"
+#include "stats/link_stats.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfly {
+
+/// Stable link-id scheme for statistics:
+///   router output links:  router * radix + port   (terminal/local/global)
+///   NIC injection links:  num_routers * radix + node
+/// Every directed wire in the system has exactly one id.
+class LinkMap {
+ public:
+  explicit LinkMap(const Dragonfly& topo)
+      : radix_(topo.radix()),
+        router_links_(topo.num_routers() * topo.radix()),
+        total_(router_links_ + topo.num_nodes()) {}
+
+  int router_out(int router, int port) const { return router * radix_ + port; }
+  int nic_out(int node) const { return router_links_ + node; }
+  int total_links() const { return total_; }
+
+  /// Latency of the wire behind a router output port.
+  static SimTime port_latency(const Dragonfly& topo, const NetConfig& cfg, int port) {
+    if (topo.is_global_port(port)) return cfg.global_latency;
+    if (topo.is_local_port(port)) return cfg.local_latency;
+    return cfg.terminal_latency;
+  }
+
+  static LinkClass port_class(const Dragonfly& topo, int port) {
+    if (topo.is_global_port(port)) return LinkClass::kGlobal;
+    if (topo.is_local_port(port)) return LinkClass::kLocal;
+    return LinkClass::kTerminal;
+  }
+
+ private:
+  int radix_;
+  int router_links_;
+  int total_;
+};
+
+}  // namespace dfly

@@ -1,0 +1,98 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dfly {
+
+Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
+                 RoutingAlgorithm& routing, int num_apps, std::uint64_t seed,
+                 NetworkObservability observability)
+    : engine_(&engine),
+      topo_(&topo),
+      cfg_(cfg),
+      links_(topo),
+      link_stats_(links_.total_links(), num_apps),
+      packet_log_(num_apps, observability.keep_packet_records, observability.throughput_bucket),
+      traffic_classes_(num_apps) {
+  routers_.reserve(static_cast<std::size_t>(topo.num_routers()));
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    routers_.push_back(std::make_unique<Router>(engine, topo, cfg_, r, pool_, link_stats_,
+                                                links_, seed));
+    routers_.back()->set_routing(routing);
+  }
+  nics_.reserve(static_cast<std::size_t>(topo.num_nodes()));
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    nics_.push_back(std::make_unique<Nic>(engine, topo, cfg_, n, pool_, link_stats_,
+                                          packet_log_, links_));
+    nics_.back()->attach(*routers_[static_cast<std::size_t>(topo.router_of_node(n))]);
+    nics_.back()->set_traffic_classes(&traffic_classes_);
+    nics_.back()->set_directory(this);
+  }
+
+  // Wire router-to-router links (both the forward data path and the reverse
+  // credit path) and router-to-NIC terminal links.
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    Router& router = *routers_[static_cast<std::size_t>(r)];
+    for (int port = 0; port < topo.radix(); ++port) {
+      const int link = links_.router_out(r, port);
+      if (topo.is_terminal_port(port)) {
+        const int node = topo.node_id(r, port);
+        Nic& nic = *nics_[static_cast<std::size_t>(node)];
+        router.connect(port, nic, 0, /*peer_is_router=*/false);
+        router.in_[static_cast<std::size_t>(port)] =
+            Router::InWire{&nic, 0, cfg_.terminal_latency, false};
+        link_stats_.set_link_info(link, LinkClass::kTerminal, r, r);
+        link_stats_.set_link_info(links_.nic_out(node), LinkClass::kTerminal, r, r);
+        continue;
+      }
+      const Dragonfly::Wire wire = topo.wire(r, port);
+      Router& peer = *routers_[static_cast<std::size_t>(wire.peer_router)];
+      router.connect(port, peer, wire.peer_port, /*peer_is_router=*/true);
+      const SimTime latency = LinkMap::port_latency(topo, cfg_, port);
+      peer.in_[static_cast<std::size_t>(wire.peer_port)] =
+          Router::InWire{&router, static_cast<std::int16_t>(port), latency, true};
+      link_stats_.set_link_info(link, LinkMap::port_class(topo, port), r, wire.peer_router);
+    }
+  }
+}
+
+void Network::apply_faults(const FaultPlan& plan) {
+  for (const LinkFault& fault : plan.faults()) {
+    if (fault.router < 0 || fault.router >= topo_->num_routers()) {
+      throw std::out_of_range("apply_faults: router id outside system");
+    }
+    routers_[static_cast<std::size_t>(fault.router)]->degrade_port(fault.port, fault.slowdown,
+                                                                   fault.extra_latency);
+  }
+}
+
+void Network::set_sink(MessageEvents& sink) {
+  sink_ = &sink;
+  for (auto& nic : nics_) nic->set_sink(&sink);
+}
+
+std::uint64_t Network::send_message(int src_node, int dst_node, std::int64_t bytes, int app_id) {
+  assert(bytes >= 1);
+  const std::uint64_t msg_id = next_msg_id_++;
+  if (src_node == dst_node) {
+    // Local (intra-node) message: no network involvement. Completes after a
+    // memcpy-like delay at link rate so timing stays monotone.
+    const SimTime delay = cfg_.serialization(static_cast<int>(bytes > cfg_.packet_bytes
+                                                                  ? cfg_.packet_bytes
+                                                                  : bytes));
+    MessageEvents* sink = sink_;
+    engine_->call_at(engine_->now() + delay, [sink, msg_id] {
+      if (sink != nullptr) {
+        sink->message_sent(msg_id);
+        sink->message_delivered(msg_id);
+      }
+    });
+    return msg_id;
+  }
+  nics_[static_cast<std::size_t>(dst_node)]->expect_message(msg_id, bytes);
+  nics_[static_cast<std::size_t>(src_node)]->enqueue_message(msg_id, dst_node, bytes, app_id);
+  return msg_id;
+}
+
+}  // namespace dfly

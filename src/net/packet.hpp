@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dfly {
+
+/// Route phases of the constrained Dragonfly path DFA. Every admissible path
+/// is a prefix-respecting walk of (local?, global, local?, global, local?),
+/// which all routing algorithms in this suite obey; the phase plus hop count
+/// determines the legal candidate ports at each router.
+enum class RoutePhase : std::uint8_t {
+  kAtSource = 0,      ///< at the injection router, no hops taken
+  kSrcLocalDone = 1,  ///< took a local hop in the source group; must go global
+  kMidGroup = 2,      ///< landed in a non-destination group after a global hop
+  kMidLocalDone = 3,  ///< took the intermediate group's local hop; must go global
+  kDstGroup = 4,      ///< inside the destination group
+};
+
+/// In-flight packet. Kept POD-small; packets are pool-allocated and recycled
+/// so the hot path never touches the general-purpose allocator.
+struct Packet {
+  SimTime enter_router_time{0};  ///< arrival time at the current router (Q feedback)
+  SimTime wire_time{0};          ///< when the first flit left the source NIC
+  std::uint64_t msg_id{0};
+  std::uint32_t id{0};  ///< pool slot
+  std::int32_t src_node{0};
+  std::int32_t dst_node{0};
+  std::int32_t bytes{0};  ///< payload carried by this packet
+  std::int16_t app_id{0};
+  std::int16_t int_group{-1};   ///< Valiant intermediate group, -1 = none
+  std::int16_t int_router{-1};  ///< Valiant intermediate router, -1 = none
+  std::int16_t prev_router{-1};
+  std::int16_t prev_port{-1};
+  std::int16_t out_port{-1};
+  std::int16_t out_vc{0};
+  std::uint8_t hops{0};
+  std::uint8_t traffic_class{0};  ///< QoS class (net/qos.hpp), set at injection
+  RoutePhase phase{RoutePhase::kAtSource};
+  bool nonminimal{false};
+  bool reached_int{false};   ///< passed the Valiant midpoint
+  bool par_revisable{false}; ///< PAR may still divert this packet
+  bool ecn{false};           ///< congestion-experienced mark (net/congestion_control.hpp)
+};
+
+/// Free-list pool with stable addresses (deque-backed slabs).
+class PacketPool {
+ public:
+  Packet& alloc() {
+    if (free_.empty()) {
+      slab_.emplace_back();
+      slab_.back().id = static_cast<std::uint32_t>(slab_.size() - 1);
+      return slab_.back();
+    }
+    const std::uint32_t id = free_.back();
+    free_.pop_back();
+    Packet& p = slab_[id];
+    const std::uint32_t keep = p.id;
+    p = Packet{};
+    p.id = keep;
+    return p;
+  }
+
+  void release(const Packet& p) { free_.push_back(p.id); }
+
+  Packet& get(std::uint32_t id) { return slab_[id]; }
+  const Packet& get(std::uint32_t id) const { return slab_[id]; }
+
+  std::size_t capacity() const { return slab_.size(); }
+  std::size_t in_use() const { return slab_.size() - free_.size(); }
+
+ private:
+  std::deque<Packet> slab_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace dfly

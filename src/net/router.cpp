@@ -1,0 +1,340 @@
+#include "net/router.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "net/nic.hpp"
+#include "sim/log.hpp"
+
+namespace dfly {
+
+Router::Router(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
+               PacketPool& pool, LinkStats& stats, const LinkMap& links,
+               std::uint64_t seed)
+    : engine_(&engine),
+      topo_(&topo),
+      cfg_(&cfg),
+      id_(id),
+      pool_(&pool),
+      stats_(&stats),
+      links_(&links),
+      rng_(seed, static_cast<std::uint64_t>(id) + 0x10000),
+      buffers_(topo.radix(), cfg.num_vcs, cfg.buffer_packets),
+      out_(static_cast<std::size_t>(topo.radix())),
+      credits_(static_cast<std::size_t>(topo.radix()) * cfg.num_vcs, cfg.buffer_packets),
+      credits_used_(static_cast<std::size_t>(topo.radix()), 0),
+      pending_(static_cast<std::size_t>(topo.radix()), 0),
+      in_(static_cast<std::size_t>(topo.radix())) {
+  for (int port = 0; port < topo.radix(); ++port) {
+    auto& o = out_[static_cast<std::size_t>(port)];
+    o.latency = LinkMap::port_latency(topo, cfg, port);
+    o.stalled.resize(static_cast<std::size_t>(cfg.num_vcs));
+    if (cfg.qos.enabled()) {
+      o.class_requests.resize(static_cast<std::size_t>(cfg.qos.num_classes));
+      o.deficit.assign(static_cast<std::size_t>(cfg.qos.num_classes), 0);
+    }
+  }
+}
+
+void Router::degrade_port(int port, int slowdown, SimTime extra_latency) {
+  if (port < 0 || port >= topo_->radix()) {
+    throw std::out_of_range("degrade_port: port outside radix");
+  }
+  if (slowdown < 1 || extra_latency < 0) {
+    throw std::invalid_argument("degrade_port: slowdown must be >= 1 and latency >= 0");
+  }
+  auto& o = out_[static_cast<std::size_t>(port)];
+  o.slowdown = slowdown;
+  o.extra_latency = extra_latency;
+}
+
+void Router::connect(int port, Component& peer, int peer_port, bool peer_is_router) {
+  auto& o = out_[static_cast<std::size_t>(port)];
+  o.peer = &peer;
+  o.peer_port = static_cast<std::int16_t>(peer_port);
+  o.peer_is_router = peer_is_router;
+  // The reverse direction of the same wire carries our credit returns: the
+  // peer's input wiring is recorded when *they* connect to us, so here we
+  // record who feeds our input `port` (symmetric wiring done by Network).
+}
+
+void Router::handle(Engine& engine, const Event& event) {
+  switch (event.kind) {
+    case router_ev::kArrive:
+      on_arrive(engine, static_cast<std::uint32_t>(event.a),
+                static_cast<int>(event.b & 0xff), static_cast<int>((event.b >> 8) & 0xff));
+      break;
+    case router_ev::kTryPort:
+      on_try_port(engine, static_cast<int>(event.a));
+      break;
+    case router_ev::kCredit:
+      on_credit(engine, static_cast<int>(event.a), static_cast<int>(event.b));
+      break;
+    default:
+      assert(false && "unknown router event");
+  }
+}
+
+void Router::on_arrive(Engine& engine, std::uint32_t packet_id, int in_port, int in_vc) {
+  Packet& pkt = pool_->get(packet_id);
+  assert(routing_ != nullptr && "router has no routing algorithm");
+  if (in_port >= topo_->radix() || in_vc >= cfg_->num_vcs) {
+    // A VC index beyond the budget means a routing policy produced a path
+    // longer than the admissible DFA allows (a potential livelock). Fail
+    // loudly rather than corrupt buffer state.
+    DFLY_LOG_ERROR("router %d: packet %u arrived on port %d vc %d (radix %d, vcs %d) — "
+                   "routing policy violated the hop budget",
+                   id_, packet_id, in_port, in_vc, topo_->radix(), cfg_->num_vcs);
+    std::abort();
+  }
+  assert(!buffers_.full(in_port, in_vc) && "arrival into a full buffer: credit protocol violated");
+
+  // on_arrival runs before enter_router_time is refreshed: learning policies
+  // read it as "time the packet entered the previous router" to measure the
+  // full per-hop delay (queueing + serialisation + wire + pipeline).
+  routing_->on_arrival(*this, pkt);
+  pkt.enter_router_time = engine.now();
+  const RouteDecision decision = routing_->route(*this, pkt);
+  assert(decision.out_port >= 0 && decision.out_port < topo_->radix());
+  pkt.out_port = decision.out_port;
+  pkt.out_vc = decision.out_vc;
+
+  buffers_.push(in_port, in_vc, packet_id);
+  pending_[static_cast<std::size_t>(decision.out_port)]++;
+  if (buffers_.size(in_port, in_vc) == 1) {
+    post_request(engine, in_port, in_vc);
+  }
+}
+
+void Router::post_request(Engine& engine, int in_port, int in_vc) {
+  const Packet& pkt = pool_->get(buffers_.front(in_port, in_vc));
+  auto& o = out_[static_cast<std::size_t>(pkt.out_port)];
+  const Request request{static_cast<std::int16_t>(in_port), static_cast<std::int16_t>(in_vc)};
+  if (cfg_->qos.enabled()) {
+    int cls = pkt.traffic_class;
+    if (cls >= cfg_->qos.num_classes) cls = cfg_->qos.num_classes - 1;
+    o.class_requests[static_cast<std::size_t>(cls)].push_back(request);
+  } else {
+    o.requests.push_back(request);
+  }
+  schedule_try(engine, pkt.out_port, engine.now() >= o.busy_until ? engine.now() : o.busy_until);
+}
+
+int Router::head_class(const Request& request) const {
+  const Packet& pkt = pool_->get(buffers_.front(request.in_port, request.in_vc));
+  int cls = pkt.traffic_class;
+  if (cls >= cfg_->qos.num_classes) cls = cfg_->qos.num_classes - 1;
+  return cls;
+}
+
+bool Router::has_requests(const OutPort& o) const {
+  if (!cfg_->qos.enabled()) return !o.requests.empty();
+  for (const auto& queue : o.class_requests) {
+    if (!queue.empty()) return true;
+  }
+  return false;
+}
+
+void Router::schedule_try(Engine& engine, int port, SimTime when) {
+  auto& o = out_[static_cast<std::size_t>(port)];
+  if (o.try_pending) return;
+  o.try_pending = true;
+  engine.schedule_at(when, *this, router_ev::kTryPort, static_cast<std::uint64_t>(port));
+}
+
+bool Router::transmit(Engine& engine, int port, const Request& request) {
+  auto& o = out_[static_cast<std::size_t>(port)];
+  const std::uint32_t packet_id = buffers_.pop(request.in_port, request.in_vc);
+  Packet& pkt = pool_->get(packet_id);
+  assert(pkt.out_port == port);
+
+  pending_[static_cast<std::size_t>(port)]--;
+  credits_ref(port, pkt.out_vc)--;
+  credits_used_[static_cast<std::size_t>(port)]++;
+
+  if (o.stall_start >= 0) {
+    stats_->add_stall(links_->router_out(id_, port), engine.now() - o.stall_start);
+    o.stall_start = -1;
+  }
+
+  const SimTime ser = cfg_->serialization(pkt.bytes) * o.slowdown;
+  o.busy_until = engine.now() + ser;
+  stats_->add_traffic(links_->router_out(id_, port), pkt.app_id, pkt.bytes);
+  routing_->on_forward(*this, pkt, port);
+
+  // ECN: mark packets leaving through a congested output (occupancy counts
+  // packets queued here for `port` plus downstream slots already claimed).
+  if (cfg_->cc.enabled && occupancy(port) >= cfg_->cc.ecn_threshold_packets) {
+    pkt.ecn = true;
+  }
+
+  pkt.prev_router = static_cast<std::int16_t>(id_);
+  pkt.prev_port = static_cast<std::int16_t>(port);
+
+  if (o.peer_is_router) {
+#ifdef DFLY_HOP_GUARD
+    if (pkt.hops >= 7) {
+      std::fprintf(stderr,
+                   "HOPGUARD pkt id=%u hops=%d router=%d grp=%d port=%d dst_node=%d dst_router=%d "
+                   "phase=%d nonmin=%d reached=%d intg=%d intr=%d\n",
+                   pkt.id, pkt.hops, id_, group(), port, pkt.dst_node,
+                   topo_->router_of_node(pkt.dst_node), static_cast<int>(pkt.phase),
+                   pkt.nonminimal, pkt.reached_int, pkt.int_group, pkt.int_router);
+    }
+#endif
+    pkt.hops++;
+    engine.schedule_at(o.busy_until + o.latency + o.extra_latency + cfg_->router_latency,
+                       *o.peer, router_ev::kArrive, packet_id,
+                       static_cast<std::uint64_t>(o.peer_port) |
+                           (static_cast<std::uint64_t>(pkt.out_vc) << 8));
+  } else {
+    engine.schedule_at(o.busy_until + o.latency + o.extra_latency, *o.peer, /*nic kArrive*/ 1,
+                       packet_id, 0);
+  }
+
+  // Return the freed buffer slot upstream (reverse wire of `in_port`).
+  const auto& up = in_[static_cast<std::size_t>(request.in_port)];
+  if (up.peer != nullptr) {
+    engine.schedule_at(engine.now() + up.latency, *up.peer,
+                       up.peer_is_router ? router_ev::kCredit : /*nic kCredit*/ 3u,
+                       static_cast<std::uint64_t>(up.peer_port),
+                       static_cast<std::uint64_t>(request.in_vc));
+  }
+
+  // The vacated queue head exposes the next packet: post its request.
+  if (!buffers_.empty(request.in_port, request.in_vc)) {
+    post_request(engine, request.in_port, request.in_vc);
+  }
+  return true;
+}
+
+void Router::on_try_port(Engine& engine, int port) {
+  auto& o = out_[static_cast<std::size_t>(port)];
+  o.try_pending = false;
+  if (engine.now() < o.busy_until) {
+    schedule_try(engine, port, o.busy_until);
+    return;
+  }
+  if (cfg_->qos.enabled()) {
+    try_port_dwrr(engine, port);
+  } else {
+    try_port_fifo(engine, port);
+  }
+}
+
+void Router::try_port_fifo(Engine& engine, int port) {
+  auto& o = out_[static_cast<std::size_t>(port)];
+  // FIFO arbitration with per-VC stall parking.
+  while (!o.requests.empty()) {
+    const Request request = o.requests.front();
+    o.requests.pop_front();
+    const Packet& pkt = pool_->get(buffers_.front(request.in_port, request.in_vc));
+    if (credits_ref(port, pkt.out_vc) > 0) {
+      transmit(engine, port, request);
+      if (!o.requests.empty()) schedule_try(engine, port, o.busy_until);
+      return;
+    }
+    o.stalled[static_cast<std::size_t>(pkt.out_vc)].push_back(request);
+  }
+  // Demand exists but every requester is credit-blocked: the link stalls.
+  bool any_stalled = false;
+  for (const auto& queue : o.stalled) {
+    if (!queue.empty()) {
+      any_stalled = true;
+      break;
+    }
+  }
+  if (any_stalled && o.stall_start < 0) o.stall_start = engine.now();
+}
+
+void Router::try_port_dwrr(Engine& engine, int port) {
+  auto& o = out_[static_cast<std::size_t>(port)];
+  const int num_classes = cfg_->qos.num_classes;
+
+  // Park credit-blocked heads so only transmittable requests arbitrate;
+  // within a class, FIFO order is preserved.
+  for (int cls = 0; cls < num_classes; ++cls) {
+    auto& queue = o.class_requests[static_cast<std::size_t>(cls)];
+    while (!queue.empty()) {
+      const Request request = queue.front();
+      const Packet& pkt = pool_->get(buffers_.front(request.in_port, request.in_vc));
+      if (credits_ref(port, pkt.out_vc) > 0) break;
+      queue.pop_front();
+      o.stalled[static_cast<std::size_t>(pkt.out_vc)].push_back(request);
+    }
+    // Standard DWRR: an idle class may not bank deficit.
+    if (queue.empty()) o.deficit[static_cast<std::size_t>(cls)] = 0;
+  }
+
+  // Serve the eligible class with the largest deficit; replenish every
+  // eligible class by weight * quantum until one can afford its head
+  // packet. Bandwidth therefore converges to the weight proportions
+  // whenever multiple classes have demand.
+  for (;;) {
+    int chosen = -1;
+    std::int32_t chosen_bytes = 0;
+    bool any_eligible = false;
+    for (int cls = 0; cls < num_classes; ++cls) {
+      const auto& queue = o.class_requests[static_cast<std::size_t>(cls)];
+      if (queue.empty()) continue;
+      any_eligible = true;
+      const Packet& pkt = pool_->get(buffers_.front(queue.front().in_port, queue.front().in_vc));
+      if (o.deficit[static_cast<std::size_t>(cls)] < pkt.bytes) continue;
+      if (chosen < 0 || o.deficit[static_cast<std::size_t>(cls)] >
+                            o.deficit[static_cast<std::size_t>(chosen)]) {
+        chosen = cls;
+        chosen_bytes = pkt.bytes;
+      }
+    }
+    if (chosen >= 0) {
+      auto& queue = o.class_requests[static_cast<std::size_t>(chosen)];
+      const Request request = queue.front();
+      queue.pop_front();
+      o.deficit[static_cast<std::size_t>(chosen)] -= chosen_bytes;
+      transmit(engine, port, request);
+      if (has_requests(o)) schedule_try(engine, port, o.busy_until);
+      return;
+    }
+    if (!any_eligible) break;
+    const std::int64_t quantum_bytes =
+        static_cast<std::int64_t>(cfg_->qos.quantum_packets) * cfg_->packet_bytes;
+    for (int cls = 0; cls < num_classes; ++cls) {
+      if (o.class_requests[static_cast<std::size_t>(cls)].empty()) continue;
+      o.deficit[static_cast<std::size_t>(cls)] +=
+          static_cast<std::int64_t>(cfg_->qos.weight_of(cls)) * quantum_bytes;
+    }
+  }
+
+  bool any_stalled = false;
+  for (const auto& queue : o.stalled) {
+    if (!queue.empty()) {
+      any_stalled = true;
+      break;
+    }
+  }
+  if (any_stalled && o.stall_start < 0) o.stall_start = engine.now();
+}
+
+void Router::on_credit(Engine& engine, int port, int vc) {
+  credits_ref(port, vc)++;
+  credits_used_[static_cast<std::size_t>(port)]--;
+  assert(credits_ref(port, vc) <= cfg_->buffer_packets);
+  auto& o = out_[static_cast<std::size_t>(port)];
+  auto& parked = o.stalled[static_cast<std::size_t>(vc)];
+  // Re-activate parked requesters ahead of newer arrivals (FIFO fairness);
+  // under QoS each returns to the front of its own class queue.
+  while (!parked.empty()) {
+    if (cfg_->qos.enabled()) {
+      const int cls = head_class(parked.back());
+      o.class_requests[static_cast<std::size_t>(cls)].push_front(parked.back());
+    } else {
+      o.requests.push_front(parked.back());
+    }
+    parked.pop_back();
+  }
+  if (has_requests(o)) {
+    schedule_try(engine, port, engine.now() >= o.busy_until ? engine.now() : o.busy_until);
+  }
+}
+
+}  // namespace dfly

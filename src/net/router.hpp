@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/config.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/routing_iface.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "stats/link_stats.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfly {
+
+namespace router_ev {
+inline constexpr std::uint32_t kArrive = 1;   ///< a = packet id, b = in_port | in_vc<<8
+inline constexpr std::uint32_t kTryPort = 2;  ///< a = output port
+inline constexpr std::uint32_t kCredit = 3;   ///< a = output port, b = vc
+}  // namespace router_ev
+
+/// Input-queued virtual-channel router with credit-based flow control.
+///
+/// Microarchitecture (one event-driven pipeline per output port):
+///  - packets are routed on arrival (route computation at the input),
+///  - the head of each (input port, VC) FIFO posts a request to its output
+///    port's FIFO arbiter,
+///  - an output transmits when it is idle and the requester's VC has
+///    downstream credits; blocked requests park in a per-VC stall list that
+///    is re-activated by credit returns (no head-of-line scan loops),
+///  - credits return to the upstream hop one reverse-wire latency after the
+///    packet leaves the input buffer.
+///
+/// Time a loaded output spends blocked on credits while demand exists is
+/// accumulated as that link's *stall time* (the paper's Fig 11 metric).
+class Router final : public Component {
+ public:
+  Router(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
+         PacketPool& pool, LinkStats& stats, const LinkMap& links,
+         std::uint64_t seed);
+
+  /// Wire output `port` to a peer component (router or NIC). `peer_port` is
+  /// the input port index on the receiving side (ignored for NICs).
+  void connect(int port, Component& peer, int peer_port, bool peer_is_router);
+
+  void set_routing(RoutingAlgorithm& routing) { routing_ = &routing; }
+
+  void handle(Engine& engine, const Event& event) override;
+
+  // --- introspection for routing policies and tests ------------------------
+  int id() const { return id_; }
+  int group() const { return topo_->group_of_router(id_); }
+  const Dragonfly& topo() const { return *topo_; }
+  const NetConfig& cfg() const { return *cfg_; }
+  Rng& rng() { return rng_; }
+  Engine& engine() { return *engine_; }
+
+  /// Congestion estimate used by adaptive policies: packets queued in this
+  /// router for `port` plus downstream buffer slots already claimed.
+  int occupancy(int port) const {
+    return pending_[static_cast<std::size_t>(port)] + credits_used_[static_cast<std::size_t>(port)];
+  }
+  int credits(int port, int vc) const {
+    return credits_[static_cast<std::size_t>(port) * cfg_->num_vcs + static_cast<std::size_t>(vc)];
+  }
+  int buffered_packets() const { return buffers_.total_occupancy(); }
+
+  /// Degrade the wire behind output `port`: packets serialise `slowdown`
+  /// times slower and the propagation delay grows by `extra_latency`.
+  /// Adaptive policies are not told explicitly — they observe the fault the
+  /// way real hardware does, through queue growth and delivery-time feedback.
+  void degrade_port(int port, int slowdown, SimTime extra_latency);
+  int port_slowdown(int port) const { return out_[static_cast<std::size_t>(port)].slowdown; }
+  SimTime port_extra_latency(int port) const {
+    return out_[static_cast<std::size_t>(port)].extra_latency;
+  }
+
+ private:
+  struct Request {
+    std::int16_t in_port;
+    std::int16_t in_vc;
+  };
+  struct OutPort {
+    Component* peer{nullptr};
+    std::int16_t peer_port{-1};
+    bool peer_is_router{false};
+    SimTime latency{0};
+    int slowdown{1};          ///< fault injection: serialisation multiplier
+    SimTime extra_latency{0};  ///< fault injection: added propagation delay
+    SimTime busy_until{0};
+    bool try_pending{false};
+    SimTime stall_start{-1};
+    std::deque<Request> requests;
+    std::vector<std::deque<Request>> stalled;  ///< per VC
+    // QoS (cfg.qos.num_classes > 1): per-class request queues arbitrated by
+    // deficit-weighted round-robin; `requests` is unused in that mode.
+    std::vector<std::deque<Request>> class_requests;
+    std::vector<std::int64_t> deficit;  ///< DWRR deficit per class, in bytes
+  };
+
+  void on_arrive(Engine& engine, std::uint32_t packet_id, int in_port, int in_vc);
+  void on_try_port(Engine& engine, int port);
+  void try_port_fifo(Engine& engine, int port);
+  void try_port_dwrr(Engine& engine, int port);
+  void on_credit(Engine& engine, int port, int vc);
+  /// Traffic class of the packet at the head of a request's input queue.
+  int head_class(const Request& request) const;
+  /// True when any request queue of `port` is non-empty (mode-aware).
+  bool has_requests(const OutPort& o) const;
+  void schedule_try(Engine& engine, int port, SimTime when);
+  void post_request(Engine& engine, int in_port, int in_vc);
+  bool transmit(Engine& engine, int port, const Request& request);
+
+  int& credits_ref(int port, int vc) {
+    return credits_[static_cast<std::size_t>(port) * cfg_->num_vcs + static_cast<std::size_t>(vc)];
+  }
+
+  Engine* engine_;
+  const Dragonfly* topo_;
+  const NetConfig* cfg_;
+  int id_;
+  PacketPool* pool_;
+  LinkStats* stats_;
+  const LinkMap* links_;
+  RoutingAlgorithm* routing_{nullptr};
+  Rng rng_;
+
+  InputBuffers buffers_;
+  std::vector<OutPort> out_;
+  std::vector<int> credits_;       ///< [port][vc] downstream slots free
+  std::vector<int> credits_used_;  ///< [port] downstream slots in flight
+  std::vector<int> pending_;       ///< [port] packets here routed to port
+  struct InWire {
+    Component* peer{nullptr};
+    std::int16_t peer_port{-1};
+    SimTime latency{0};
+    bool peer_is_router{false};
+  };
+  std::vector<InWire> in_;  ///< reverse wiring for credit returns
+  friend class Network;
+};
+
+}  // namespace dfly

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "net/routing_iface.hpp"
+#include "routing/ugal.hpp"
+#include "sim/time.hpp"
+
+namespace dfly::routing {
+
+/// Tunables for application-aware adaptive routing (after De Sensi et al.,
+/// "Mitigating network noise on Dragonfly networks through application-aware
+/// routing", SC'19).
+struct AppAwareParams {
+  UgalParams ugal{};  ///< base candidate counts / non-minimal weight
+
+  /// Classification window: per-app injected bytes are folded into an EWMA
+  /// every `update_period` of simulated time.
+  SimTime update_period{100 * kUs};
+  /// EWMA weight of the newest window (smooths bursty injectors such as
+  /// FFT3D's Alltoall pulses so a short burst does not flip the class).
+  double smoothing{0.3};
+  /// An application is bandwidth-bound (an "aggressor") while its smoothed
+  /// injection rate exceeds this fraction of the system's aggregate
+  /// injection bandwidth (num_nodes x link rate) — the §IV message
+  /// injection rate metric, measured online.
+  double aggressor_fraction{0.10};
+  /// Bias for latency-sensitive apps: positive values keep them on minimal
+  /// paths (in the UGAL rule, minimal wins when q_min <= w*q_nonmin + bias).
+  int latency_bias{8};
+  /// Bias for bandwidth-bound apps: negative values push them non-minimal,
+  /// spreading their load away from the hot minimal corridor.
+  int bandwidth_bias{-4};
+};
+
+/// UGALn with a per-application routing bias set from observed behaviour.
+///
+/// Plain adaptive routing treats every packet identically, so a bandwidth-
+/// bound application drags latency-sensitive ones into its congestion (the
+/// paper's bully effect). This policy measures each application's injection
+/// rate online (EWMA over fixed windows, the §IV intensity metric) and
+/// biases the UGAL decision per application: apps whose smoothed rate
+/// exceeds `aggressor_fraction` of aggregate injection bandwidth are pushed
+/// toward non-minimal paths (they are throughput-bound; spreading relieves
+/// the minimal corridor), everything else is held on minimal paths (they
+/// are latency-bound; detours only expose them to more shared links).
+/// Classification is continuous: an app whose phase changes is reclassified
+/// a few windows later as its EWMA crosses the threshold.
+class AppAwareUgalRouting final : public RoutingAlgorithm {
+ public:
+  explicit AppAwareUgalRouting(AppAwareParams params = {}) : p_(params) {}
+
+  std::string name() const override { return "AppAware"; }
+  RouteDecision route(Router& router, Packet& pkt) override;
+
+  const AppAwareParams& params() const { return p_; }
+  /// Current bias of `app_id` (0 until the first classification window).
+  int bias_of(int app_id) const;
+  /// Smoothed injection intensity of `app_id`, as a fraction of aggregate
+  /// injection bandwidth (comparable against `aggressor_fraction`).
+  double intensity_of(int app_id) const;
+
+ private:
+  void note_injection(int app_id, int bytes, SimTime now);
+  void fold_window();
+
+  AppAwareParams p_;
+  SimTime window_end_{0};
+  double window_capacity_bytes_{0};  ///< aggregate injection bytes per window
+  std::vector<std::int64_t> window_bytes_;  ///< per app, current window
+  std::vector<double> ewma_bytes_;          ///< per app, smoothed bytes/window
+  std::vector<int> bias_;                   ///< per app, applied to decisions
+};
+
+}  // namespace dfly::routing

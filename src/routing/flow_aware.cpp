@@ -1,0 +1,64 @@
+#include "routing/flow_aware.hpp"
+
+#include "routing/common.hpp"
+
+namespace dfly::routing {
+
+FlowAwareRouting::FlowEntry FlowAwareRouting::decide(Router& router, Packet& pkt) const {
+  // Same sampled decision rule as UgalRouting (UGALn variant: a midpoint
+  // router is drawn for non-minimal paths), but the outcome is recorded for
+  // the whole flow instead of applying to one packet.
+  Candidate best_min;
+  for (int i = 0; i < params_.ugal.min_candidates; ++i) {
+    const Candidate c = sample_minimal(router, pkt);
+    if (best_min.port < 0 || c.occupancy < best_min.occupancy) best_min = c;
+  }
+  Candidate best_nonmin;
+  for (int i = 0; i < params_.ugal.nonmin_candidates; ++i) {
+    const Candidate c = sample_nonminimal(router, pkt, /*pick_router=*/true);
+    if (c.int_group < 0) continue;
+    if (best_nonmin.port < 0 || c.occupancy < best_nonmin.occupancy) best_nonmin = c;
+  }
+  const bool go_minimal =
+      best_nonmin.port < 0 ||
+      best_min.occupancy <= params_.ugal.nonmin_weight * best_nonmin.occupancy +
+                                params_.ugal.bias;
+  FlowEntry entry;
+  entry.decided_at = router.engine().now();
+  if (go_minimal) {
+    entry.port = static_cast<std::int16_t>(best_min.port);
+  } else {
+    entry.port = static_cast<std::int16_t>(best_nonmin.port);
+    entry.int_group = static_cast<std::int16_t>(best_nonmin.int_group);
+    entry.int_router = static_cast<std::int16_t>(best_nonmin.int_router);
+  }
+  return entry;
+}
+
+RouteDecision FlowAwareRouting::route(Router& router, Packet& pkt) {
+  const Dragonfly& topo = router.topo();
+  const int dst_group = topo.group_of_router(dst_router_of(router, pkt));
+  if (pkt.hops == 0 && dst_group != router.group()) {
+    const std::uint64_t key = flow_key(pkt);
+    auto it = flows_.find(key);
+    const SimTime now = router.engine().now();
+    if (it == flows_.end() || now - it->second.decided_at >= params_.refresh_period) {
+      const FlowEntry fresh = decide(router, pkt);
+      if (it == flows_.end()) {
+        it = flows_.emplace(key, fresh).first;
+      } else {
+        it->second = fresh;
+        ++refreshes_;
+      }
+    }
+    const FlowEntry& entry = it->second;
+    if (entry.int_group >= 0) {
+      commit_valiant(pkt, entry.int_group, entry.int_router);
+      pkt.phase = RoutePhase::kAtSource;
+    }
+    return RouteDecision{entry.port, vc_for(pkt)};
+  }
+  return continue_route(router, pkt);
+}
+
+}  // namespace dfly::routing

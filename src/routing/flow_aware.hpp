@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/routing_iface.hpp"
+#include "routing/ugal.hpp"
+#include "sim/time.hpp"
+
+namespace dfly::routing {
+
+/// Tunables for flow-aware adaptive routing.
+struct FlowAwareParams {
+  /// UGAL sampling parameters for the per-flow path decision.
+  UgalParams ugal{};
+  /// A flow keeps its path this long before the next packet re-evaluates.
+  SimTime refresh_period{50 * kUs};
+};
+
+/// Flow-aware adaptive routing (after Smith et al., SC'18: "Mitigating
+/// inter-job interference using adaptive flow-aware routing").
+///
+/// Per-packet adaptive routing lets two packets of the same (src, dst) flow
+/// take different paths, so a congestion transient scatters a flow across
+/// the network and causes rate jitter. Flow-aware routing makes the UGAL
+/// min-vs-nonmin decision *once per flow* and pins it — first-hop port and
+/// Valiant midpoint included — until `refresh_period` elapses, when the next
+/// packet of the flow re-runs the decision against current queue state.
+///
+/// The result: stable paths within a reaction window (less self-interference
+/// and reordering) at the cost of slower response to congestion onset —
+/// exactly the trade-off the interference ablation bench quantifies against
+/// per-packet UGAL and Q-adaptive routing.
+class FlowAwareRouting final : public RoutingAlgorithm {
+ public:
+  explicit FlowAwareRouting(FlowAwareParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "FlowUGAL"; }
+  RouteDecision route(Router& router, Packet& pkt) override;
+
+  const FlowAwareParams& params() const { return params_; }
+  std::size_t active_flows() const { return flows_.size(); }
+  std::uint64_t refreshes() const { return refreshes_; }
+
+ private:
+  struct FlowEntry {
+    std::int16_t port{-1};
+    std::int16_t int_group{-1};   ///< -1 = minimal path
+    std::int16_t int_router{-1};
+    SimTime decided_at{0};
+  };
+
+  static std::uint64_t flow_key(const Packet& pkt) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pkt.src_node)) << 32) |
+           static_cast<std::uint32_t>(pkt.dst_node);
+  }
+
+  FlowEntry decide(Router& router, Packet& pkt) const;
+
+  FlowAwareParams params_;
+  std::unordered_map<std::uint64_t, FlowEntry> flows_;
+  std::uint64_t refreshes_{0};
+};
+
+}  // namespace dfly::routing

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "net/routing_iface.hpp"
+
+namespace dfly::routing {
+
+/// Static minimal routing: always the shortest path (local, global, local).
+/// Not used in the paper's evaluation (it performs poorly on Dragonfly under
+/// adversarial traffic) but serves as a baseline and for validation tests.
+class MinimalRouting final : public RoutingAlgorithm {
+ public:
+  std::string name() const override { return "MIN"; }
+  RouteDecision route(Router& router, Packet& pkt) override;
+};
+
+}  // namespace dfly::routing

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "net/routing_iface.hpp"
+#include "routing/ugal.hpp"
+
+namespace dfly::routing {
+
+/// Progressive Adaptive Routing (Jiang, Kim, Dally ISCA'09).
+///
+/// Like UGALn, but a minimal decision is provisional while the packet is
+/// still inside its source group: each source-group router re-evaluates the
+/// congestion comparison and may divert the packet non-minimally (once).
+/// After the packet leaves the source group, or after a diversion, the
+/// decision is final. Our revision step considers the current router's own
+/// global ports as diversion targets, which keeps the worst-case path at
+/// local-global-local-global-local.
+class ParRouting final : public RoutingAlgorithm {
+ public:
+  explicit ParRouting(UgalParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "PAR"; }
+  RouteDecision route(Router& router, Packet& pkt) override;
+
+ private:
+  UgalParams params_;
+};
+
+}  // namespace dfly::routing

@@ -1,0 +1,12 @@
+#include "routing/q_table.hpp"
+
+namespace dfly {
+
+QTable::QTable(int num_groups, int num_locals, int radix)
+    : radix_(static_cast<std::size_t>(radix)),
+      num_groups_(num_groups),
+      num_locals_(num_locals),
+      global_(static_cast<std::size_t>(num_groups) * radix_, 0.0),
+      local_(static_cast<std::size_t>(num_locals) * radix_, 0.0) {}
+
+}  // namespace dfly

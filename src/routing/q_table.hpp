@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dfly {
+
+/// Two-level Q-table of one router (Kang, Wang, Lan — HPDC'21).
+///
+/// Level 1 ("to group"): Q[dest_group][out_port] estimates the remaining
+/// delivery time (ps) to any node in `dest_group` when leaving through
+/// `out_port`. Level 2 ("in group"): Q[dest_local][out_port] estimates the
+/// remaining time to the router with local index `dest_local` in this
+/// router's own group. Both levels are updated by one-hop feedback signals
+/// carrying the downstream router's own best estimate.
+class QTable {
+ public:
+  QTable(int num_groups, int num_locals, int radix);
+
+  double global_q(int dest_group, int port) const {
+    return global_[static_cast<std::size_t>(dest_group) * radix_ + static_cast<std::size_t>(port)];
+  }
+  double local_q(int dest_local, int port) const {
+    return local_[static_cast<std::size_t>(dest_local) * radix_ + static_cast<std::size_t>(port)];
+  }
+
+  void set_global(int dest_group, int port, double value) {
+    global_[static_cast<std::size_t>(dest_group) * radix_ + static_cast<std::size_t>(port)] = value;
+  }
+  void set_local(int dest_local, int port, double value) {
+    local_[static_cast<std::size_t>(dest_local) * radix_ + static_cast<std::size_t>(port)] = value;
+  }
+
+  /// Exponential update: Q += alpha * (sample - Q). Returns the new value.
+  double update_global(int dest_group, int port, double sample, double alpha) {
+    auto& q = global_[static_cast<std::size_t>(dest_group) * radix_ + static_cast<std::size_t>(port)];
+    q += alpha * (sample - q);
+    return q;
+  }
+  double update_local(int dest_local, int port, double sample, double alpha) {
+    auto& q = local_[static_cast<std::size_t>(dest_local) * radix_ + static_cast<std::size_t>(port)];
+    q += alpha * (sample - q);
+    return q;
+  }
+
+  int radix() const { return static_cast<int>(radix_); }
+  int num_groups() const { return num_groups_; }
+  int num_locals() const { return num_locals_; }
+
+  /// Memory footprint in bytes (the paper stresses the table is lightweight).
+  std::size_t footprint_bytes() const {
+    return (global_.size() + local_.size()) * sizeof(double);
+  }
+
+ private:
+  std::size_t radix_;
+  int num_groups_;
+  int num_locals_;
+  std::vector<double> global_;
+  std::vector<double> local_;
+};
+
+}  // namespace dfly

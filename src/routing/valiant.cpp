@@ -1,0 +1,19 @@
+#include "routing/valiant.hpp"
+
+#include "routing/common.hpp"
+
+namespace dfly::routing {
+
+RouteDecision ValiantRouting::route(Router& router, Packet& pkt) {
+  if (pkt.hops == 0 && !pkt.nonminimal) {
+    const Dragonfly& topo = router.topo();
+    const int dst_group = topo.group_of_router(dst_router_of(router, pkt));
+    if (dst_group != router.group()) {
+      const Candidate c = sample_nonminimal(router, pkt, node_variant_);
+      if (c.int_group >= 0) commit_valiant(pkt, c.int_group, c.int_router);
+    }
+  }
+  return continue_route(router, pkt);
+}
+
+}  // namespace dfly::routing

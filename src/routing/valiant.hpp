@@ -1,0 +1,22 @@
+#pragma once
+
+#include "net/routing_iface.hpp"
+
+namespace dfly::routing {
+
+/// Valiant randomised routing: every inter-group packet detours through a
+/// uniformly random intermediate group (and, in the `node` variant, a random
+/// router inside it). Perfectly balances load at the price of doubled path
+/// length; the classic stress-test baseline.
+class ValiantRouting final : public RoutingAlgorithm {
+ public:
+  explicit ValiantRouting(bool node_variant) : node_variant_(node_variant) {}
+
+  std::string name() const override { return node_variant_ ? "VALn" : "VALg"; }
+  RouteDecision route(Router& router, Packet& pkt) override;
+
+ private:
+  bool node_variant_;
+};
+
+}  // namespace dfly::routing

@@ -1,0 +1,67 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dfly {
+
+/// Adapter that lets std::function callbacks ride the component event path.
+class Engine::Closure final : public Component {
+ public:
+  explicit Closure(std::function<void()> fn) : fn_(std::move(fn)) {}
+  void handle(Engine&, const Event&) override { fn_(); }
+
+ private:
+  std::function<void()> fn_;
+};
+
+void Engine::schedule_at(SimTime when, Component& target, std::uint32_t kind,
+                         std::uint64_t a, std::uint64_t b) {
+  assert(when >= now_ && "cannot schedule into the past");
+  push(Entry{when, next_seq_++, &target, kind, a, b});
+}
+
+void Engine::call_at(SimTime when, std::function<void()> fn) {
+  closures_.push_back(std::make_unique<Closure>(std::move(fn)));
+  schedule_at(when, *closures_.back(), 0);
+}
+
+void Engine::push(Entry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+Engine::Entry Engine::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Entry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
+
+bool Engine::step() {
+  if (heap_.empty()) return false;
+  const Entry entry = pop();
+  now_ = entry.when;
+  ++executed_;
+  Event event{entry.when, entry.seq, entry.target, entry.kind, entry.a, entry.b};
+  entry.target->handle(*this, event);
+  return true;
+}
+
+std::uint64_t Engine::run(SimTime until) {
+  std::uint64_t count = 0;
+  while (!heap_.empty() && heap_.front().when <= until) {
+    step();
+    ++count;
+  }
+  if (now_ < until && heap_.empty()) now_ = now_;  // time only advances with events
+  return count;
+}
+
+void Engine::clear() {
+  heap_.clear();
+  closures_.clear();
+}
+
+}  // namespace dfly

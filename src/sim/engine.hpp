@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace dfly {
+
+/// Deterministic sequential discrete-event engine.
+///
+/// Replaces the SST core for this study: the paper's metrics are statistics
+/// over simulated time, so a sequential deterministic engine reproduces them
+/// exactly and makes every run replayable from a seed.
+///
+/// Ordering: events fire in (when, seq) order where seq is the global
+/// scheduling order, i.e. same-time events fire in the order scheduled.
+class Engine {
+ public:
+  Engine() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `target->handle` at absolute time `when` (>= now).
+  void schedule_at(SimTime when, Component& target, std::uint32_t kind,
+                   std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Schedule after a relative delay (>= 0).
+  void schedule_in(SimTime delay, Component& target, std::uint32_t kind,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+    schedule_at(now_ + delay, target, kind, a, b);
+  }
+
+  /// Convenience: schedule an owned closure (allocates; for tests/setup, not
+  /// the per-packet hot path).
+  void call_at(SimTime when, std::function<void()> fn);
+  void call_in(SimTime delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the queue is empty or `until` is passed. Returns the number of
+  /// events executed. Events at exactly `until` are executed.
+  std::uint64_t run(SimTime until = kSec * 3600);
+
+  /// Execute at most one event; returns false when the queue is empty.
+  bool step();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t queued() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  /// Drop every pending event (used by tests and by teardown).
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Component* target;
+    std::uint32_t kind;
+    std::uint64_t a, b;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  class Closure;
+
+  void push(Entry entry);
+  Entry pop();
+
+  std::vector<Entry> heap_;  // binary min-heap via std::push_heap/greater
+  std::vector<std::unique_ptr<Component>> closures_;
+  SimTime now_{0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace dfly

@@ -1,0 +1,37 @@
+#include "sim/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dfly {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (level > g_level) return;
+  std::fprintf(stderr, "[dfly %s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace dfly

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace dfly {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide log verbosity; defaults to warnings only. The simulator's
+/// hot paths never format messages unless the level is enabled.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define DFLY_LOG_ERROR(...) ::dfly::detail::vlog(::dfly::LogLevel::kError, __VA_ARGS__)
+#define DFLY_LOG_WARN(...)                                        \
+  do {                                                            \
+    if (::dfly::log_level() >= ::dfly::LogLevel::kWarn)           \
+      ::dfly::detail::vlog(::dfly::LogLevel::kWarn, __VA_ARGS__); \
+  } while (0)
+#define DFLY_LOG_INFO(...)                                        \
+  do {                                                            \
+    if (::dfly::log_level() >= ::dfly::LogLevel::kInfo)           \
+      ::dfly::detail::vlog(::dfly::LogLevel::kInfo, __VA_ARGS__); \
+  } while (0)
+#define DFLY_LOG_DEBUG(...)                                        \
+  do {                                                             \
+    if (::dfly::log_level() >= ::dfly::LogLevel::kDebug)           \
+      ::dfly::detail::vlog(::dfly::LogLevel::kDebug, __VA_ARGS__); \
+  } while (0)
+
+}  // namespace dfly

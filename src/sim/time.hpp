@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dfly {
+
+/// Simulated time in picoseconds. Signed so durations/differences are safe.
+/// int64 picoseconds covers ~106 days of simulated time, far beyond any run.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kPs = 1;
+inline constexpr SimTime kNs = 1000 * kPs;
+inline constexpr SimTime kUs = 1000 * kNs;
+inline constexpr SimTime kMs = 1000 * kUs;
+inline constexpr SimTime kSec = 1000 * kMs;
+
+/// Convert picoseconds to floating-point convenience units.
+constexpr double to_ns(SimTime t) { return static_cast<double>(t) / static_cast<double>(kNs); }
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / static_cast<double>(kUs); }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / static_cast<double>(kMs); }
+
+/// Time to serialise `bytes` onto a link of `gbps` gigabits/second, in ps.
+/// 1 byte at 1 Gb/s = 8 ns = 8000 ps.
+constexpr SimTime serialization_ps(std::int64_t bytes, double gbps) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8000.0 / gbps);
+}
+
+}  // namespace dfly

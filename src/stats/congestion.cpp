@@ -1,0 +1,111 @@
+#include "stats/congestion.hpp"
+
+#include <cmath>
+
+namespace dfly {
+
+double CongestionMatrix::mean() const {
+  double acc = 0.0;
+  for (const double c : cells_) acc += c;
+  return cells_.empty() ? 0.0 : acc / static_cast<double>(cells_.size());
+}
+
+double CongestionMatrix::mean_global() const {
+  double acc = 0.0;
+  int n = 0;
+  for (int s = 0; s < g_; ++s) {
+    for (int d = 0; d < g_; ++d) {
+      if (s == d) continue;
+      acc += cell(s, d);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / n;
+}
+
+double CongestionMatrix::mean_local() const {
+  double acc = 0.0;
+  for (int s = 0; s < g_; ++s) acc += cell(s, s);
+  return g_ == 0 ? 0.0 : acc / g_;
+}
+
+double CongestionMatrix::max() const {
+  double best = 0.0;
+  for (const double c : cells_) best = c > best ? c : best;
+  return best;
+}
+
+double CongestionMatrix::imbalance_global() const {
+  double sum = 0.0, sum_sq = 0.0;
+  int n = 0;
+  for (int s = 0; s < g_; ++s) {
+    for (int d = 0; d < g_; ++d) {
+      if (s == d) continue;
+      sum += cell(s, d);
+      sum_sq += cell(s, d) * cell(s, d);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  const double mean = sum / n;
+  if (mean <= 0.0) return 0.0;
+  const double var = sum_sq / n - mean * mean;
+  return var <= 0.0 ? 0.0 : std::sqrt(var) / mean;
+}
+
+CongestionMatrix congestion_matrix(const Dragonfly& topo, const LinkStats& stats,
+                                   SimTime elapsed, double gbps) {
+  const int g = topo.num_groups();
+  CongestionMatrix m(g);
+  if (elapsed <= 0) return m;
+  // capacity in bytes over the window: gbps/8 bytes per ns.
+  const double capacity_bytes = gbps / 8.0 * to_ns(elapsed);
+
+  std::vector<double> sum(static_cast<std::size_t>(g) * g, 0.0);
+  std::vector<int> cnt(static_cast<std::size_t>(g) * g, 0);
+  for (int link = 0; link < stats.num_links(); ++link) {
+    const LinkClass cls = stats.link_class(link);
+    if (cls == LinkClass::kTerminal) continue;
+    const int sg = topo.group_of_router(stats.src_router(link));
+    const int dg = topo.group_of_router(stats.dst_router(link));
+    const std::size_t idx = static_cast<std::size_t>(sg) * g + static_cast<std::size_t>(dg);
+    sum[idx] += static_cast<double>(stats.bytes(link)) / capacity_bytes;
+    cnt[idx]++;
+  }
+  for (int s = 0; s < g; ++s) {
+    for (int d = 0; d < g; ++d) {
+      const std::size_t idx = static_cast<std::size_t>(s) * g + static_cast<std::size_t>(d);
+      if (cnt[idx] > 0) m.cell(s, d) = sum[idx] / cnt[idx];
+    }
+  }
+  return m;
+}
+
+GroupStall group_stall(const Dragonfly& topo, const LinkStats& stats) {
+  const int g = topo.num_groups();
+  GroupStall out;
+  out.local_ms.assign(static_cast<std::size_t>(g), 0.0);
+  out.global_ms.assign(static_cast<std::size_t>(g), std::vector<double>(static_cast<std::size_t>(g), 0.0));
+  int local_links = 0, global_links = 0;
+  double local_sum = 0.0, global_sum = 0.0;
+  for (int link = 0; link < stats.num_links(); ++link) {
+    const double ms = to_ms(stats.stall(link));
+    const LinkClass cls = stats.link_class(link);
+    if (cls == LinkClass::kLocal) {
+      out.local_ms[static_cast<std::size_t>(topo.group_of_router(stats.src_router(link)))] += ms;
+      local_sum += ms;
+      ++local_links;
+    } else if (cls == LinkClass::kGlobal) {
+      const int sg = topo.group_of_router(stats.src_router(link));
+      const int dg = topo.group_of_router(stats.dst_router(link));
+      out.global_ms[static_cast<std::size_t>(sg)][static_cast<std::size_t>(dg)] += ms;
+      global_sum += ms;
+      ++global_links;
+    }
+  }
+  out.mean_local_ms = local_links > 0 ? local_sum / topo.num_groups() : 0.0;
+  out.mean_global_ms = global_links > 0 ? global_sum / global_links : 0.0;
+  return out;
+}
+
+}  // namespace dfly

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/link_stats.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfly {
+
+/// Congestion-index matrix for the paper's Fig 12 heat map.
+///
+/// The congestion index of a link (adapted from He et al.) is the ratio of
+/// its mean delivered throughput to its capacity. Cell (s,d), s != d, is the
+/// average index over the global links from group s to group d; diagonal
+/// cell (s,s) averages the local links inside group s.
+class CongestionMatrix {
+ public:
+  CongestionMatrix(int num_groups) : g_(num_groups), cells_(static_cast<std::size_t>(num_groups) * num_groups, 0.0) {}
+
+  double cell(int src_group, int dst_group) const {
+    return cells_[static_cast<std::size_t>(src_group) * g_ + static_cast<std::size_t>(dst_group)];
+  }
+  double& cell(int src_group, int dst_group) {
+    return cells_[static_cast<std::size_t>(src_group) * g_ + static_cast<std::size_t>(dst_group)];
+  }
+
+  int num_groups() const { return g_; }
+
+  /// Mean over all cells (overall system congestion level).
+  double mean() const;
+  /// Mean over off-diagonal (global) cells only.
+  double mean_global() const;
+  /// Mean over diagonal (local) cells only.
+  double mean_local() const;
+  /// Max cell value.
+  double max() const;
+  /// Coefficient of variation over off-diagonal cells: the paper's
+  /// "unbalanced traffic distribution" manifests as a high value.
+  double imbalance_global() const;
+
+ private:
+  int g_;
+  std::vector<double> cells_;
+};
+
+/// Build the matrix from per-link byte counters accumulated over [0, elapsed)
+/// on a system with link capacity `gbps` gigabits/s.
+CongestionMatrix congestion_matrix(const Dragonfly& topo, const LinkStats& stats,
+                                   SimTime elapsed, double gbps);
+
+/// Per-group stall summary for Fig 11: total local-link stall inside each
+/// group, and per-destination-group global-link stall.
+struct GroupStall {
+  std::vector<double> local_ms;                ///< [g] sum of local stall per group, ms
+  std::vector<std::vector<double>> global_ms;  ///< [g][g] global stall from s to d, ms
+  double mean_local_ms{0};
+  double mean_global_ms{0};
+};
+GroupStall group_stall(const Dragonfly& topo, const LinkStats& stats);
+
+}  // namespace dfly

@@ -1,0 +1,73 @@
+#include "stats/io_module.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace dfly {
+
+CsvWriter::CsvWriter(std::string path, std::vector<std::string> columns,
+                     std::size_t coalesce_rows)
+    : path_(std::move(path)), columns_(std::move(columns)), coalesce_rows_(coalesce_rows) {
+  if (columns_.empty()) throw std::invalid_argument("CsvWriter: need at least one column");
+  pending_.reserve(coalesce_rows_);
+}
+
+CsvWriter::~CsvWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor must not throw; a failed final flush is reported on write.
+  }
+}
+
+void CsvWriter::open_if_needed() {
+  if (out_.is_open()) return;
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path_);
+  if (!header_written_) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out_ << ',';
+      out_ << columns_[i];
+    }
+    out_ << '\n';
+    header_written_ = true;
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  }
+  std::string line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) line += ',';
+    line += values[i];
+  }
+  pending_.push_back(std::move(line));
+  ++rows_written_;
+  if (pending_.size() >= coalesce_rows_) flush();
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> strs;
+  strs.reserve(values.size());
+  for (const double v : values) strs.push_back(num(v));
+  row(strs);
+}
+
+void CsvWriter::flush() {
+  if (pending_.empty()) return;
+  open_if_needed();
+  for (const auto& line : pending_) out_ << line << '\n';
+  out_.flush();
+  pending_.clear();
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace dfly

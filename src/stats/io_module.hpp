@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dfly {
+
+/// Coalescing CSV writer — our version of the paper's §III IO module.
+///
+/// "For the purpose of simulation efficiency, the IO module can be flexibly
+/// configured to coalesce multiple write operations into one action to
+/// balance the trade-off between IO efficiency and system memory usage."
+///
+/// Rows are buffered in memory and flushed to disk in batches of
+/// `coalesce_rows`; flush() and the destructor drain the remainder.
+class CsvWriter {
+ public:
+  CsvWriter(std::string path, std::vector<std::string> columns,
+            std::size_t coalesce_rows = 4096);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one row; `values.size()` must equal the column count.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience for numeric rows.
+  void row(const std::vector<double>& values);
+
+  void flush();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t rows_written() const { return rows_written_; }
+
+  /// Format a double with enough precision for round-tripping.
+  static std::string num(double v);
+
+ private:
+  void open_if_needed();
+
+  std::string path_;
+  std::vector<std::string> columns_;
+  std::size_t coalesce_rows_;
+  std::vector<std::string> pending_;
+  std::ofstream out_;
+  bool header_written_{false};
+  std::uint64_t rows_written_{0};
+};
+
+}  // namespace dfly

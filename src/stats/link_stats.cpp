@@ -1,0 +1,37 @@
+#include "stats/link_stats.hpp"
+
+namespace dfly {
+
+LinkStats::LinkStats(int num_links, int num_apps)
+    : num_apps_(static_cast<std::size_t>(num_apps)),
+      bytes_(static_cast<std::size_t>(num_links), 0),
+      by_app_(static_cast<std::size_t>(num_links) * static_cast<std::size_t>(num_apps), 0),
+      packets_(static_cast<std::size_t>(num_links), 0),
+      stall_(static_cast<std::size_t>(num_links), 0),
+      class_(static_cast<std::size_t>(num_links), LinkClass::kTerminal),
+      src_(static_cast<std::size_t>(num_links), -1),
+      dst_(static_cast<std::size_t>(num_links), -1) {}
+
+void LinkStats::set_link_info(int link, LinkClass cls, int src_router, int dst_router) {
+  class_[static_cast<std::size_t>(link)] = cls;
+  src_[static_cast<std::size_t>(link)] = src_router;
+  dst_[static_cast<std::size_t>(link)] = dst_router;
+}
+
+SimTime LinkStats::total_stall(LinkClass cls) const {
+  SimTime acc = 0;
+  for (std::size_t i = 0; i < stall_.size(); ++i) {
+    if (class_[i] == cls) acc += stall_[i];
+  }
+  return acc;
+}
+
+std::int64_t LinkStats::total_bytes(LinkClass cls) const {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    if (class_[i] == cls) acc += bytes_[i];
+  }
+  return acc;
+}
+
+}  // namespace dfly

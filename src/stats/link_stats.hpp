@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dfly {
+
+enum class LinkClass : std::uint8_t { kTerminal = 0, kLocal = 1, kGlobal = 2 };
+
+/// Per-link counters: traffic volume (total and by app) and stall time.
+///
+/// Stall time follows the paper's Fig 11 metric: time an output port spent
+/// blocked — it had a packet ready to forward but could not transmit because
+/// the downstream buffer had no credits.
+class LinkStats {
+ public:
+  /// `num_links` output links, `num_apps` applications.
+  LinkStats(int num_links, int num_apps);
+
+  void set_link_info(int link, LinkClass cls, int src_router, int dst_router);
+
+  void add_traffic(int link, int app_id, std::int64_t bytes) {
+    bytes_[static_cast<std::size_t>(link)] += bytes;
+    by_app_[static_cast<std::size_t>(link) * num_apps_ + static_cast<std::size_t>(app_id)] += bytes;
+    packets_[static_cast<std::size_t>(link)]++;
+  }
+
+  void add_stall(int link, SimTime duration) {
+    stall_[static_cast<std::size_t>(link)] += duration;
+  }
+
+  std::int64_t bytes(int link) const { return bytes_[static_cast<std::size_t>(link)]; }
+  std::int64_t bytes_by_app(int link, int app_id) const {
+    return by_app_[static_cast<std::size_t>(link) * num_apps_ + static_cast<std::size_t>(app_id)];
+  }
+  std::uint64_t packets(int link) const { return packets_[static_cast<std::size_t>(link)]; }
+  SimTime stall(int link) const { return stall_[static_cast<std::size_t>(link)]; }
+
+  LinkClass link_class(int link) const { return class_[static_cast<std::size_t>(link)]; }
+  int src_router(int link) const { return src_[static_cast<std::size_t>(link)]; }
+  int dst_router(int link) const { return dst_[static_cast<std::size_t>(link)]; }
+
+  int num_links() const { return static_cast<int>(bytes_.size()); }
+  int num_apps() const { return static_cast<int>(num_apps_); }
+
+  /// Aggregate stall over all links of one class (Fig 11 summary numbers).
+  SimTime total_stall(LinkClass cls) const;
+  /// Aggregate bytes over all links of one class.
+  std::int64_t total_bytes(LinkClass cls) const;
+
+ private:
+  std::size_t num_apps_;
+  std::vector<std::int64_t> bytes_;
+  std::vector<std::int64_t> by_app_;
+  std::vector<std::uint64_t> packets_;
+  std::vector<SimTime> stall_;
+  std::vector<LinkClass> class_;
+  std::vector<int> src_, dst_;
+};
+
+}  // namespace dfly

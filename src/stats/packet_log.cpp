@@ -1,0 +1,45 @@
+#include "stats/packet_log.hpp"
+
+namespace dfly {
+
+PacketLog::PacketLog(int num_apps, bool keep_records, SimTime bucket_width)
+    : keep_records_(keep_records),
+      per_app_lat_(static_cast<std::size_t>(num_apps)),
+      system_bytes_(bucket_width),
+      per_app_count_(static_cast<std::size_t>(num_apps), 0),
+      per_app_nonmin_(static_cast<std::size_t>(num_apps), 0),
+      per_app_hops_(static_cast<std::size_t>(num_apps), 0) {
+  per_app_bytes_.reserve(static_cast<std::size_t>(num_apps));
+  for (int i = 0; i < num_apps; ++i) per_app_bytes_.emplace_back(bucket_width);
+}
+
+void PacketLog::record(const PacketRecord& record) {
+  const auto app = static_cast<std::size_t>(record.app_id);
+  const SimTime latency = record.eject_time - record.wire_time;
+  per_app_lat_[app].add(latency);
+  system_lat_.add(latency);
+  per_app_bytes_[app].add(record.eject_time, static_cast<double>(record.bytes));
+  system_bytes_.add(record.eject_time, static_cast<double>(record.bytes));
+  per_app_count_[app]++;
+  per_app_hops_[app] += static_cast<std::uint64_t>(record.hops);
+  if (record.nonminimal) per_app_nonmin_[app]++;
+  if (keep_records_) records_.push_back(record);
+}
+
+Histogram PacketLog::latency_between(int app_id, SimTime t0, SimTime t1) const {
+  Histogram out;
+  for (const auto& r : records_) {
+    if (r.app_id == app_id && r.eject_time >= t0 && r.eject_time < t1) {
+      out.add(r.eject_time - r.wire_time);
+    }
+  }
+  return out;
+}
+
+double PacketLog::mean_hops(int app_id) const {
+  const auto app = static_cast<std::size_t>(app_id);
+  if (per_app_count_[app] == 0) return 0.0;
+  return static_cast<double>(per_app_hops_[app]) / static_cast<double>(per_app_count_[app]);
+}
+
+}  // namespace dfly

@@ -1,0 +1,40 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+
+namespace dfly {
+
+double TimeSeries::total() const {
+  double acc = 0.0;
+  for (const double b : buckets_) acc += b;
+  return acc;
+}
+
+double TimeSeries::mean_rate() const {
+  if (buckets_.empty()) return 0.0;
+  return total() / static_cast<double>(buckets_.size());
+}
+
+double TimeSeries::mean_rate_between(SimTime t0, SimTime t1) const {
+  if (buckets_.empty() || t1 <= t0) return 0.0;
+  const auto first = static_cast<std::size_t>(t0 / bucket_width_);
+  auto last = static_cast<std::size_t>((t1 + bucket_width_ - 1) / bucket_width_);
+  last = std::min(last, buckets_.size());
+  if (first >= last) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = first; i < last; ++i) acc += buckets_[i];
+  return acc / static_cast<double>(last - first);
+}
+
+TimeSeries::Peak TimeSeries::peak() const {
+  Peak best;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > best.value) {
+      best.value = buckets_[i];
+      best.when = bucket_start(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace dfly

@@ -1,0 +1,106 @@
+#include "topo/dragonfly.hpp"
+
+#include <string>
+
+namespace dfly {
+
+const char* to_string(GlobalArrangement arrangement) {
+  switch (arrangement) {
+    case GlobalArrangement::kRelative: return "relative";
+    case GlobalArrangement::kAbsolute: return "absolute";
+  }
+  return "?";
+}
+
+GlobalArrangement arrangement_from_string(const std::string& name) {
+  if (name == "relative") return GlobalArrangement::kRelative;
+  if (name == "absolute") return GlobalArrangement::kAbsolute;
+  throw std::invalid_argument("unknown global arrangement: " + name);
+}
+
+Dragonfly::Dragonfly(DragonflyParams params) : params_(params) {
+  if (params_.p < 1 || params_.a < 2 || params_.h < 1 || params_.g < 2) {
+    throw std::invalid_argument("Dragonfly: require p>=1, a>=2, h>=1, g>=2");
+  }
+  const int slots = params_.a * params_.h;
+  if (slots % (params_.g - 1) != 0) {
+    throw std::invalid_argument(
+        "Dragonfly: a*h must be a multiple of g-1 (got a*h=" + std::to_string(slots) +
+        ", g-1=" + std::to_string(params_.g - 1) + ")");
+  }
+  links_per_pair_ = slots / (params_.g - 1);
+
+  gateways_.assign(static_cast<std::size_t>(params_.g) * params_.g, {});
+  for (int grp = 0; grp < params_.g; ++grp) {
+    for (int local = 0; local < params_.a; ++local) {
+      const int router = router_id(grp, local);
+      for (int k = 0; k < params_.h; ++k) {
+        const int dst = group_reached_by(router, k);
+        gateways_[static_cast<std::size_t>(grp) * params_.g + dst].push_back(
+            GlobalEndpoint{router, k});
+      }
+    }
+  }
+}
+
+int Dragonfly::local_port_to(int router, int peer_local) const {
+  const int self = local_index(router);
+  return first_local_port() + (peer_local < self ? peer_local : peer_local - 1);
+}
+
+int Dragonfly::local_peer_of_port(int router, int port) const {
+  const int self = local_index(router);
+  const int idx = port - first_local_port();
+  return idx < self ? idx : idx + 1;
+}
+
+int Dragonfly::group_reached_by(int router, int k) const {
+  const int grp = group_of_router(router);
+  const int slot = local_index(router) * params_.h + k;
+  const int offset = slot % (params_.g - 1);
+  if (params_.arrangement == GlobalArrangement::kAbsolute) {
+    return offset < grp ? offset : offset + 1;  // enumerate groups, skip self
+  }
+  return (grp + 1 + offset) % params_.g;
+}
+
+GlobalEndpoint Dragonfly::global_peer(int router, int k) const {
+  const int grp = group_of_router(router);
+  const int slot = local_index(router) * params_.h + k;
+  const int offset = slot % (params_.g - 1);
+  const int rep = slot / (params_.g - 1);
+  int peer_group = 0;
+  int peer_offset = 0;
+  if (params_.arrangement == GlobalArrangement::kAbsolute) {
+    // Group T's slot for reaching back to G is G's position in T's
+    // self-skipping enumeration of the other groups.
+    peer_group = offset < grp ? offset : offset + 1;
+    peer_offset = grp < peer_group ? grp : grp - 1;
+  } else {
+    peer_group = (grp + 1 + offset) % params_.g;
+    peer_offset = params_.g - 2 - offset;
+  }
+  const int peer_slot = rep * (params_.g - 1) + peer_offset;
+  return GlobalEndpoint{router_id(peer_group, peer_slot / params_.h), peer_slot % params_.h};
+}
+
+const std::vector<GlobalEndpoint>& Dragonfly::gateways(int src_group, int dst_group) const {
+  if (src_group == dst_group) return empty_;
+  return gateways_[static_cast<std::size_t>(src_group) * params_.g + dst_group];
+}
+
+Dragonfly::Wire Dragonfly::wire(int router, int port) const {
+  if (is_local_port(port)) {
+    const int peer_local = local_peer_of_port(router, port);
+    const int peer = router_id(group_of_router(router), peer_local);
+    return Wire{peer, local_port_to(peer, local_index(router)), false};
+  }
+  if (is_global_port(port)) {
+    const int k = port - first_global_port();
+    const GlobalEndpoint far = global_peer(router, k);
+    return Wire{far.router, global_port(far.global_port), true};
+  }
+  return Wire{};  // terminal ports connect to NICs, not routers
+}
+
+}  // namespace dfly

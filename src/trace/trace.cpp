@@ -1,0 +1,147 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/io_module.hpp"
+
+namespace dfly::trace {
+
+void MessageTrace::on_post_send(int /*app_id*/, SimTime when, int src_rank, int dst_rank,
+                                std::int64_t bytes, int tag) {
+  records_.push_back(MessageRecord{when, src_rank, dst_rank, bytes, tag});
+}
+
+std::vector<MessageRecord> MessageTrace::rank_records(int src_rank) const {
+  std::vector<MessageRecord> out;
+  for (const MessageRecord& record : records_) {
+    if (record.src_rank == src_rank) out.push_back(record);
+  }
+  return out;
+}
+
+int MessageTrace::num_ranks() const {
+  int max_rank = -1;
+  for (const MessageRecord& record : records_) {
+    max_rank = std::max(max_rank, static_cast<int>(record.src_rank));
+  }
+  return max_rank + 1;
+}
+
+TraceSummary MessageTrace::summary(SimTime burst_gap) const {
+  TraceSummary s;
+  if (records_.empty()) return s;
+  s.messages = records_.size();
+  s.num_ranks = num_ranks();
+  s.first_post = records_.front().when;
+  s.last_post = records_.front().when;
+  for (const MessageRecord& record : records_) {
+    s.total_bytes += record.bytes;
+    s.largest_message = std::max(s.largest_message, record.bytes);
+    s.first_post = std::min(s.first_post, record.when);
+    s.last_post = std::max(s.last_post, record.when);
+  }
+  s.duration_ms = to_ms(s.last_post - s.first_post);
+  if (s.last_post > s.first_post) {
+    // bytes / ns == GB/s
+    s.injection_rate_gbs =
+        static_cast<double>(s.total_bytes) / to_ns(s.last_post - s.first_post);
+  }
+  // Peak ingress volume: per source rank, the largest sum of consecutive
+  // posts whose gaps stay within `burst_gap` (§IV metric 2). Records of one
+  // rank are already in post order; group by rank first.
+  struct Burst {
+    SimTime last{0};
+    std::int64_t current{0};
+  };
+  std::vector<Burst> bursts(static_cast<std::size_t>(s.num_ranks));
+  for (const MessageRecord& record : records_) {
+    Burst& b = bursts[static_cast<std::size_t>(record.src_rank)];
+    if (b.current > 0 && record.when - b.last > burst_gap) b.current = 0;
+    b.current += record.bytes;
+    b.last = record.when;
+    s.peak_ingress_bytes = std::max(s.peak_ingress_bytes, b.current);
+  }
+  return s;
+}
+
+void MessageTrace::save_csv(const std::string& path) const {
+  CsvWriter writer(path, {"when_ps", "src_rank", "dst_rank", "bytes", "tag"});
+  for (const MessageRecord& record : records_) {
+    writer.row({std::to_string(record.when), std::to_string(record.src_rank),
+                std::to_string(record.dst_rank), std::to_string(record.bytes),
+                std::to_string(record.tag)});
+  }
+  writer.flush();
+}
+
+MessageTrace MessageTrace::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("MessageTrace::load_csv: cannot open " + path);
+  MessageTrace trace;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {  // skip the column row
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    MessageRecord record;
+    if (!std::getline(ss, field, ',')) continue;
+    record.when = std::stoll(field);
+    if (!std::getline(ss, field, ',')) continue;
+    record.src_rank = std::stoi(field);
+    if (!std::getline(ss, field, ',')) continue;
+    record.dst_rank = std::stoi(field);
+    if (!std::getline(ss, field, ',')) continue;
+    record.bytes = std::stoll(field);
+    if (!std::getline(ss, field, ',')) continue;
+    record.tag = std::stoi(field);
+    trace.records_.push_back(record);
+  }
+  return trace;
+}
+
+ReplayMotif::ReplayMotif(const MessageTrace& trace, ReplayParams params)
+    : params_(params) {
+  if (params_.speed <= 0) throw std::invalid_argument("ReplayMotif: speed must be positive");
+  const int ranks = trace.num_ranks();
+  by_rank_.resize(static_cast<std::size_t>(ranks));
+  base_time_ = trace.empty() ? 0 : trace.records().front().when;
+  for (const MessageRecord& record : trace.records()) {
+    base_time_ = std::min(base_time_, record.when);
+    by_rank_[static_cast<std::size_t>(record.src_rank)].push_back(record);
+  }
+}
+
+mpi::Task ReplayMotif::run(mpi::RankCtx& ctx) const {
+  ctx.set_sink_mode(true);
+  if (ctx.rank() >= static_cast<int>(by_rank_.size())) co_return;
+  const auto& records = by_rank_[static_cast<std::size_t>(ctx.rank())];
+  std::vector<mpi::ReqId> window;
+  window.reserve(static_cast<std::size_t>(params_.window));
+  const SimTime start = ctx.now();
+  for (const MessageRecord& record : records) {
+    if (params_.preserve_timing) {
+      const auto offset = static_cast<SimTime>(
+          static_cast<double>(record.when - base_time_) / params_.speed);
+      const SimTime target = start + offset;
+      if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
+    }
+    if (record.dst_rank == ctx.rank() || record.dst_rank >= ctx.size()) continue;
+    window.push_back(ctx.isend(record.dst_rank, record.bytes, record.tag));
+    if (static_cast<int>(window.size()) >= params_.window) {
+      co_await ctx.wait_all(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  ctx.mark_iteration();
+}
+
+}  // namespace dfly::trace

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/job.hpp"
+#include "sim/time.hpp"
+
+/// Message-trace recording, serialization and summary statistics.
+///
+/// The paper's §III motivates simulation over tracing ("the data collected
+/// in the trace is limited to the given application") but still builds on
+/// trace-shaped data: the enhanced IO module records every packet, and the
+/// motifs themselves are distilled from application communication traces
+/// (LULESH via Durango/AutomaDeD analyses). This module closes the loop:
+///
+///  - `MessageTrace` records every application-level send of a job through
+///    the mpi::SendObserver hook (protocol control traffic excluded);
+///  - traces round-trip to CSV so external tools (or other simulators) can
+///    consume them;
+///  - `ReplayMotif` re-injects a recorded trace as a workload — with the
+///    recorded pacing or as fast as the network admits — turning any live
+///    run into a reusable, deterministic benchmark input;
+///  - `TraceSummary` computes the paper's two intensity metrics (§IV:
+///    message injection rate, peak ingress volume) straight from a trace.
+namespace dfly::trace {
+
+/// One application-level message post.
+struct MessageRecord {
+  SimTime when{0};  ///< post time (simulation clock of the recorded run)
+  std::int32_t src_rank{0};
+  std::int32_t dst_rank{0};
+  std::int64_t bytes{0};
+  std::int32_t tag{0};
+
+  bool operator==(const MessageRecord&) const = default;
+};
+
+/// Aggregate statistics of a trace (per-application view, §IV metrics).
+struct TraceSummary {
+  std::uint64_t messages{0};
+  std::int64_t total_bytes{0};
+  int num_ranks{0};          ///< max rank id seen + 1
+  SimTime first_post{0};
+  SimTime last_post{0};
+  double duration_ms{0};
+  double injection_rate_gbs{0};  ///< total bytes / duration
+  std::int64_t largest_message{0};
+  /// Largest back-to-back byte run a single rank posted without a gap of
+  /// more than `burst_gap` (peak ingress volume, §IV metric 2).
+  std::int64_t peak_ingress_bytes{0};
+};
+
+/// An append-only record of every application-level send of one job.
+class MessageTrace final : public mpi::SendObserver {
+ public:
+  MessageTrace() = default;
+
+  // --- recording -------------------------------------------------------------
+  void on_post_send(int app_id, SimTime when, int src_rank, int dst_rank, std::int64_t bytes,
+                    int tag) override;
+
+  void add(MessageRecord record) { records_.push_back(record); }
+  void clear() { records_.clear(); }
+
+  // --- access ----------------------------------------------------------------
+  const std::vector<MessageRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Records posted by `src_rank`, in post order.
+  std::vector<MessageRecord> rank_records(int src_rank) const;
+
+  /// Ranks that appear as a source, max+1 (0 for an empty trace).
+  int num_ranks() const;
+
+  /// §IV intensity metrics and volume totals. `burst_gap` is the largest
+  /// inter-post gap that still counts as the same ingress burst.
+  TraceSummary summary(SimTime burst_gap = 1 * kUs) const;
+
+  // --- serialization -----------------------------------------------------------
+  /// CSV with header `when_ps,src_rank,dst_rank,bytes,tag`.
+  void save_csv(const std::string& path) const;
+  static MessageTrace load_csv(const std::string& path);
+
+ private:
+  std::vector<MessageRecord> records_;
+};
+
+/// Replays a recorded trace as a workload.
+struct ReplayParams {
+  /// Honour recorded inter-post gaps (scaled by `speed`); false = post each
+  /// rank's messages back-to-back as fast as the window drains.
+  bool preserve_timing{true};
+  /// Time compression factor: 2.0 replays at twice the recorded pace.
+  double speed{1.0};
+  /// Outstanding-send window per rank.
+  int window{64};
+};
+
+/// Each rank re-posts exactly the sends it recorded; receivers run in sink
+/// mode (replay reproduces traffic, not receive-side consumption order).
+class ReplayMotif final : public mpi::Motif {
+ public:
+  ReplayMotif(const MessageTrace& trace, ReplayParams params = {});
+
+  std::string name() const override { return "Replay"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+
+  const ReplayParams& params() const { return params_; }
+  /// Ranks required to cover every recorded source.
+  int required_ranks() const { return static_cast<int>(by_rank_.size()); }
+
+ private:
+  std::vector<std::vector<MessageRecord>> by_rank_;
+  ReplayParams params_;
+  SimTime base_time_{0};
+};
+
+}  // namespace dfly::trace

@@ -1,0 +1,139 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace dfly::viz {
+
+namespace {
+
+const char* const kBlocks[8] = {
+    "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+
+const char* const kShades[10] = {" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"};
+
+struct Range {
+  double lo{std::numeric_limits<double>::max()};
+  double hi{std::numeric_limits<double>::lowest()};
+
+  void add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool flat() const { return hi <= lo; }
+  double norm(double v) const { return flat() ? 0.0 : (v - lo) / (hi - lo); }
+};
+
+}  // namespace
+
+std::string sparkline(const std::vector<double>& values) {
+  if (values.empty()) return "";
+  Range range;
+  for (const double v : values) range.add(v);
+  std::string out;
+  out.reserve(values.size() * 3);
+  for (const double v : values) {
+    const int level =
+        std::min(7, static_cast<int>(range.norm(v) * 8.0));
+    out += kBlocks[level < 0 ? 0 : level];
+  }
+  return out;
+}
+
+std::string ascii_heatmap(const std::vector<std::vector<double>>& rows) {
+  Range range;
+  for (const auto& row : rows) {
+    for (const double v : row) range.add(v);
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (const double v : row) {
+      const int level = std::min(9, static_cast<int>(range.norm(v) * 10.0));
+      out += kShades[level < 0 ? 0 : level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& items, int width) {
+  if (width < 1) throw std::invalid_argument("ascii_bars: width must be positive");
+  std::size_t label_w = 0;
+  double vmax = 0;
+  for (const auto& [label, value] : items) {
+    label_w = std::max(label_w, label.size());
+    vmax = std::max(vmax, value);
+  }
+  if (vmax <= 0) vmax = 1;
+  std::string out;
+  for (const auto& [label, value] : items) {
+    out += label;
+    out.append(label_w - label.size() + 1, ' ');
+    const int len = static_cast<int>(value / vmax * width + 0.5);
+    for (int i = 0; i < len; ++i) out += "#";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), " %.3f", value);
+    out += buffer;
+    out += '\n';
+  }
+  return out;
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("AsciiTable: need at least one column");
+}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("AsciiTable: cell count != column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::row(const std::string& head, const std::vector<double>& values,
+                     int precision) {
+  std::vector<std::string> cells{head};
+  char buffer[48];
+  for (const double v : values) {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+    cells.emplace_back(buffer);
+  }
+  row(std::move(cells));
+}
+
+std::string AsciiTable::str() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& cells : rows_) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {  // left-align the head column
+        line += cells[c];
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += cells[c];
+      }
+      line += c + 1 < cells.size() ? "  " : "";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = emit_row(columns_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& cells : rows_) out += emit_row(cells);
+  return out;
+}
+
+}  // namespace dfly::viz

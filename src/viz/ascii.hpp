@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Terminal renderers: compact, dependency-free views of the same data the
+/// SVG charts draw, for inline bench output (`bench_*` binaries print these
+/// under their tables so a headless run still shows the figure shapes).
+namespace dfly::viz {
+
+/// One-line sparkline using the eight block characters: "▁▂▃▄▅▆▇█".
+/// Values scale to [min, max] of the input; empty input gives "".
+std::string sparkline(const std::vector<double>& values);
+
+/// Multi-row block heat map: one character cell per matrix entry, using a
+/// 10-step shade ramp. Rows render in index order, one line each.
+std::string ascii_heatmap(const std::vector<std::vector<double>>& rows);
+
+/// Horizontal bar chart: one row per (label, value), bars scaled to
+/// `width` characters, annotated with the value.
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& items,
+                       int width = 48);
+
+/// Fixed-width table with a header row and right-aligned numeric columns.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> columns);
+
+  void row(std::vector<std::string> cells);
+  /// Convenience for mixed string/double rows: doubles print with
+  /// `precision` digits after the point.
+  void row(const std::string& head, const std::vector<double>& values, int precision = 3);
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dfly::viz

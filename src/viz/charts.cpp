@@ -1,0 +1,425 @@
+#include "viz/charts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace dfly::viz {
+
+namespace {
+
+constexpr double kMarginLeft = 64;
+constexpr double kMarginRight = 16;
+constexpr double kMarginTop = 34;
+constexpr double kMarginBottom = 52;
+
+std::string tick_label(double v) {
+  char buffer[32];
+  if (v != 0 && (std::fabs(v) >= 10000 || std::fabs(v) < 0.01)) {
+    std::snprintf(buffer, sizeof(buffer), "%.1e", v);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3g", v);
+  }
+  return buffer;
+}
+
+/// "Nice" tick step covering `span` with ~n ticks.
+double nice_step(double span, int n) {
+  if (span <= 0) return 1.0;
+  const double raw = span / n;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step = 10;
+  if (norm <= 1) step = 1;
+  else if (norm <= 2) step = 2;
+  else if (norm <= 5) step = 5;
+  return step * mag;
+}
+
+struct AxisMap {
+  double lo, hi, plot_min, plot_span;
+  bool flip;
+
+  double operator()(double v) const {
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    return flip ? plot_min + plot_span * (1.0 - t) : plot_min + plot_span * t;
+  }
+};
+
+void draw_frame(Svg& svg, const std::string& title, const std::string& x_label,
+                const std::string& y_label) {
+  const double w = svg.width(), h = svg.height();
+  svg.text(w / 2, 18, title, 13, "middle");
+  svg.text(w / 2, h - 8, x_label, 11, "middle");
+  svg.text(14, h / 2, y_label, 11, "middle", {0, 0, 0}, -90);
+  // Axes
+  svg.line(kMarginLeft, kMarginTop, kMarginLeft, h - kMarginBottom, {0, 0, 0});
+  svg.line(kMarginLeft, h - kMarginBottom, w - kMarginRight, h - kMarginBottom, {0, 0, 0});
+}
+
+void draw_y_ticks(Svg& svg, const AxisMap& ymap, double lo, double hi) {
+  const double step = nice_step(hi - lo, 6);
+  const double start = std::ceil(lo / step) * step;
+  for (double v = start; v <= hi + step * 0.01; v += step) {
+    const double y = ymap(v);
+    svg.line(kMarginLeft - 4, y, kMarginLeft, y, {0, 0, 0});
+    svg.line(kMarginLeft, y, svg.width() - kMarginRight, y, {220, 220, 220}, 0.5);
+    svg.text(kMarginLeft - 7, y + 3.5, tick_label(v), 9, "end");
+  }
+}
+
+void draw_x_ticks(Svg& svg, const AxisMap& xmap, double lo, double hi) {
+  const double step = nice_step(hi - lo, 7);
+  const double start = std::ceil(lo / step) * step;
+  const double base = svg.height() - kMarginBottom;
+  for (double v = start; v <= hi + step * 0.01; v += step) {
+    const double x = xmap(v);
+    svg.line(x, base, x, base + 4, {0, 0, 0});
+    svg.text(x, base + 15, tick_label(v), 9, "middle");
+  }
+}
+
+}  // namespace
+
+// --- LineChart ---------------------------------------------------------------
+
+LineChart::LineChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void LineChart::add_series(const std::string& name,
+                           std::vector<std::pair<double, double>> points) {
+  series_.push_back(Series{name, std::move(points)});
+}
+
+void LineChart::add_series(const std::string& name, const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("LineChart: xs/ys size mismatch");
+  std::vector<std::pair<double, double>> points;
+  points.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) points.emplace_back(xs[i], ys[i]);
+  add_series(name, std::move(points));
+}
+
+std::string LineChart::render(double width, double height) const {
+  Svg svg(width, height);
+  double xlo = std::numeric_limits<double>::max(), xhi = std::numeric_limits<double>::lowest();
+  double ylo = 0, yhi = std::numeric_limits<double>::lowest();
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      xlo = std::min(xlo, x);
+      xhi = std::max(xhi, x);
+      ylo = std::min(ylo, y);
+      yhi = std::max(yhi, y);
+    }
+  }
+  if (series_.empty() || xlo > xhi) {
+    xlo = 0;
+    xhi = 1;
+    yhi = 1;
+  }
+  if (yhi <= ylo) yhi = ylo + 1;
+  yhi *= 1.05;
+
+  draw_frame(svg, title_, x_label_, y_label_);
+  const AxisMap xmap{xlo, xhi, kMarginLeft, width - kMarginLeft - kMarginRight, false};
+  const AxisMap ymap{ylo, yhi, kMarginTop, height - kMarginTop - kMarginBottom, true};
+  draw_y_ticks(svg, ymap, ylo, yhi);
+  draw_x_ticks(svg, xmap, xlo, xhi);
+
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    std::vector<std::pair<double, double>> path;
+    path.reserve(series_[i].points.size());
+    for (const auto& [x, y] : series_[i].points) path.emplace_back(xmap(x), ymap(y));
+    svg.polyline(path, palette_color(i));
+    // Legend entry.
+    const double ly = kMarginTop + 6 + 14 * static_cast<double>(i);
+    svg.line(width - 150, ly, width - 130, ly, palette_color(i), 2.0);
+    svg.text(width - 126, ly + 3.5, series_[i].name, 10);
+  }
+  return svg.str();
+}
+
+namespace {
+
+void save_doc(const std::string& path, const std::string& doc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("viz: cannot open " + path);
+  out << doc;
+}
+
+}  // namespace
+
+void LineChart::save(const std::string& path, double width, double height) const {
+  save_doc(path, render(width, height));
+}
+
+// --- GroupedBarChart -----------------------------------------------------------
+
+GroupedBarChart::GroupedBarChart(std::string title, std::string y_label)
+    : title_(std::move(title)), y_label_(std::move(y_label)) {}
+
+void GroupedBarChart::set_categories(std::vector<std::string> categories) {
+  categories_ = std::move(categories);
+}
+
+void GroupedBarChart::add_group(const std::string& name, std::vector<double> values,
+                                std::vector<double> errors) {
+  if (values.size() != categories_.size()) {
+    throw std::invalid_argument("GroupedBarChart: values count != categories count");
+  }
+  if (!errors.empty() && errors.size() != values.size()) {
+    throw std::invalid_argument("GroupedBarChart: errors count != values count");
+  }
+  groups_.push_back(Group{name, std::move(values), std::move(errors)});
+}
+
+std::string GroupedBarChart::render(double width, double height) const {
+  Svg svg(width, height);
+  double yhi = 0;
+  for (const Group& g : groups_) {
+    for (std::size_t i = 0; i < g.values.size(); ++i) {
+      const double e = g.errors.empty() ? 0.0 : g.errors[i];
+      yhi = std::max(yhi, g.values[i] + e);
+    }
+  }
+  if (yhi <= 0) yhi = 1;
+  yhi *= 1.08;
+
+  draw_frame(svg, title_, "", y_label_);
+  const AxisMap ymap{0, yhi, kMarginTop, height - kMarginTop - kMarginBottom, true};
+  draw_y_ticks(svg, ymap, 0, yhi);
+
+  const double plot_w = width - kMarginLeft - kMarginRight;
+  const double base_y = height - kMarginBottom;
+  const std::size_t ncat = categories_.size();
+  const std::size_t ngrp = std::max<std::size_t>(groups_.size(), 1);
+  const double cat_w = ncat > 0 ? plot_w / static_cast<double>(ncat) : plot_w;
+  const double bar_w = 0.8 * cat_w / static_cast<double>(ngrp);
+
+  for (std::size_t c = 0; c < ncat; ++c) {
+    const double cat_x = kMarginLeft + cat_w * (static_cast<double>(c) + 0.5);
+    svg.text(cat_x, base_y + 15, categories_[c], 10, "middle");
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const double v = groups_[g].values[c];
+      const double x =
+          cat_x - 0.4 * cat_w + bar_w * static_cast<double>(g);
+      const double y = ymap(v);
+      svg.rect(x, y, bar_w * 0.92, base_y - y, palette_color(g));
+      if (!groups_[g].errors.empty() && groups_[g].errors[c] > 0) {
+        const double e = groups_[g].errors[c];
+        const double cx = x + bar_w * 0.46;
+        svg.line(cx, ymap(v + e), cx, ymap(std::max(0.0, v - e)), {60, 60, 60});
+        svg.line(cx - 3, ymap(v + e), cx + 3, ymap(v + e), {60, 60, 60});
+        svg.line(cx - 3, ymap(std::max(0.0, v - e)), cx + 3, ymap(std::max(0.0, v - e)),
+                 {60, 60, 60});
+      }
+    }
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const double ly = kMarginTop + 6 + 14 * static_cast<double>(g);
+    svg.rect(width - 150, ly - 6, 12, 10, palette_color(g));
+    svg.text(width - 134, ly + 3, groups_[g].name, 10);
+  }
+  return svg.str();
+}
+
+void GroupedBarChart::save(const std::string& path, double width, double height) const {
+  save_doc(path, render(width, height));
+}
+
+// --- Heatmap -------------------------------------------------------------------
+
+Heatmap::Heatmap(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void Heatmap::set_matrix(std::vector<std::vector<double>> rows) {
+  const std::size_t cols = rows.empty() ? 0 : rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != cols) throw std::invalid_argument("Heatmap: ragged matrix");
+  }
+  rows_ = std::move(rows);
+}
+
+void Heatmap::set_range(double lo, double hi) {
+  if (hi <= lo) throw std::invalid_argument("Heatmap: empty range");
+  lo_ = lo;
+  hi_ = hi;
+  has_range_ = true;
+}
+
+std::string Heatmap::render(double width, double height) const {
+  Svg svg(width, height);
+  double lo = lo_, hi = hi_;
+  if (!has_range_) {
+    lo = std::numeric_limits<double>::max();
+    hi = std::numeric_limits<double>::lowest();
+    for (const auto& row : rows_) {
+      for (const double v : row) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (lo > hi) {
+      lo = 0;
+      hi = 1;
+    }
+    if (hi <= lo) hi = lo + 1;
+  }
+
+  draw_frame(svg, title_, x_label_, y_label_);
+  const double plot_w = width - kMarginLeft - kMarginRight - 40;  // 40 for colorbar
+  const double plot_h = height - kMarginTop - kMarginBottom;
+  const std::size_t nrows = rows_.size();
+  const std::size_t ncols = rows_.empty() ? 0 : rows_.front().size();
+  if (nrows > 0 && ncols > 0) {
+    const double cw = plot_w / static_cast<double>(ncols);
+    const double ch = plot_h / static_cast<double>(nrows);
+    for (std::size_t r = 0; r < nrows; ++r) {
+      for (std::size_t c = 0; c < ncols; ++c) {
+        const double t = (rows_[r][c] - lo) / (hi - lo);
+        svg.rect(kMarginLeft + cw * static_cast<double>(c),
+                 kMarginTop + ch * static_cast<double>(r), cw + 0.5, ch + 0.5, viridis(t));
+      }
+    }
+  }
+  // Colorbar.
+  const double bar_x = width - kMarginRight - 26;
+  constexpr int kBarSteps = 32;
+  for (int i = 0; i < kBarSteps; ++i) {
+    const double t = 1.0 - static_cast<double>(i) / (kBarSteps - 1);
+    svg.rect(bar_x, kMarginTop + plot_h * i / kBarSteps, 12, plot_h / kBarSteps + 0.5,
+             viridis(t));
+  }
+  svg.text(bar_x + 16, kMarginTop + 8, tick_label(hi), 9);
+  svg.text(bar_x + 16, kMarginTop + plot_h, tick_label(lo), 9);
+  return svg.str();
+}
+
+void Heatmap::save(const std::string& path, double width, double height) const {
+  save_doc(path, render(width, height));
+}
+
+// --- RadialGroupPlot -------------------------------------------------------------
+
+RadialGroupPlot::RadialGroupPlot(std::string title) : title_(std::move(title)) {}
+
+void RadialGroupPlot::set_group_values(std::vector<double> values) {
+  group_values_ = std::move(values);
+}
+
+void RadialGroupPlot::set_focal_edges(int focal_group, std::vector<double> values) {
+  focal_group_ = focal_group;
+  edge_values_ = std::move(values);
+}
+
+std::string RadialGroupPlot::render(double size) const {
+  Svg svg(size, size);
+  svg.text(size / 2, 18, title_, 13, "middle");
+  const std::size_t n = group_values_.size();
+  if (n == 0) return svg.str();
+  const double cx = size / 2, cy = size / 2 + 10;
+  const double ring = size * 0.38;
+
+  double vmax = 0;
+  for (const double v : group_values_) vmax = std::max(vmax, v);
+  if (vmax <= 0) vmax = 1;
+  double emax = 0;
+  for (const double e : edge_values_) emax = std::max(emax, e);
+  if (emax <= 0) emax = 1;
+
+  auto position = [&](std::size_t i) {
+    const double angle = 2 * 3.14159265358979 * static_cast<double>(i) /
+                             static_cast<double>(n) -
+                         3.14159265358979 / 2;
+    return std::pair<double, double>{cx + ring * std::cos(angle), cy + ring * std::sin(angle)};
+  };
+
+  // Edges from the focal group, darkness proportional to the value.
+  for (std::size_t i = 0; i < edge_values_.size() && i < n; ++i) {
+    if (static_cast<int>(i) == focal_group_) continue;
+    const auto [x1, y1] = position(static_cast<std::size_t>(focal_group_));
+    const auto [x2, y2] = position(i);
+    const double t = edge_values_[i] / emax;
+    const Color c = Color::lerp({235, 235, 235}, {120, 30, 30}, t);
+    svg.line(x1, y1, x2, y2, c, 1.0 + 2.0 * t);
+  }
+  // Group markers sized by local value.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [x, y] = position(i);
+    const double radius = 3.0 + 14.0 * std::sqrt(group_values_[i] / vmax);
+    svg.circle(x, y, radius, palette_color(0), 0.75);
+    const double lx = cx + (ring + 22) * std::cos(2 * 3.14159265358979 *
+                                                      static_cast<double>(i) /
+                                                      static_cast<double>(n) -
+                                                  3.14159265358979 / 2);
+    const double ly = cy + (ring + 22) * std::sin(2 * 3.14159265358979 *
+                                                      static_cast<double>(i) /
+                                                      static_cast<double>(n) -
+                                                  3.14159265358979 / 2);
+    svg.text(lx, ly + 3, "G" + std::to_string(i), 8.5, "middle");
+  }
+  return svg.str();
+}
+
+void RadialGroupPlot::save(const std::string& path, double size) const {
+  save_doc(path, render(size));
+}
+
+// --- BoxPlot ---------------------------------------------------------------------
+
+BoxPlot::BoxPlot(std::string title, std::string y_label)
+    : title_(std::move(title)), y_label_(std::move(y_label)) {}
+
+void BoxPlot::add_box(const std::string& label, Stats stats) {
+  boxes_.emplace_back(label, stats);
+}
+
+std::string BoxPlot::render(double width, double height) const {
+  Svg svg(width, height);
+  double yhi = 0;
+  for (const auto& [label, s] : boxes_) {
+    yhi = std::max({yhi, s.whisker_hi, s.p99});
+  }
+  if (yhi <= 0) yhi = 1;
+  yhi *= 1.08;
+
+  draw_frame(svg, title_, "", y_label_);
+  const AxisMap ymap{0, yhi, kMarginTop, height - kMarginTop - kMarginBottom, true};
+  draw_y_ticks(svg, ymap, 0, yhi);
+
+  const double plot_w = width - kMarginLeft - kMarginRight;
+  const double base_y = height - kMarginBottom;
+  const std::size_t n = std::max<std::size_t>(boxes_.size(), 1);
+  const double slot = plot_w / static_cast<double>(n);
+  const double box_w = slot * 0.42;
+
+  for (std::size_t i = 0; i < boxes_.size(); ++i) {
+    const auto& [label, s] = boxes_[i];
+    const double x = kMarginLeft + slot * (static_cast<double>(i) + 0.5);
+    svg.text(x, base_y + 15, label, 9.5, "middle");
+    // Whiskers.
+    svg.line(x, ymap(s.whisker_lo), x, ymap(s.q1), {60, 60, 60});
+    svg.line(x, ymap(s.q3), x, ymap(s.whisker_hi), {60, 60, 60});
+    svg.line(x - box_w / 4, ymap(s.whisker_lo), x + box_w / 4, ymap(s.whisker_lo), {60, 60, 60});
+    svg.line(x - box_w / 4, ymap(s.whisker_hi), x + box_w / 4, ymap(s.whisker_hi), {60, 60, 60});
+    // Box + median.
+    svg.rect(x - box_w / 2, ymap(s.q3), box_w, ymap(s.q1) - ymap(s.q3), {158, 202, 225}, 1.0,
+             {60, 60, 60}, 1.0);
+    svg.line(x - box_w / 2, ymap(s.median), x + box_w / 2, ymap(s.median), {220, 160, 30}, 2.0);
+    // Percentile + mean markers (the paper annotates p95/p99/mean).
+    svg.line(x - box_w / 2, ymap(s.p95), x + box_w / 2, ymap(s.p95), {200, 60, 60}, 1.0, true);
+    svg.line(x - box_w / 2, ymap(s.p99), x + box_w / 2, ymap(s.p99), {120, 30, 30}, 1.0, true);
+    svg.circle(x, ymap(s.mean), 2.5, {30, 100, 30});
+  }
+  return svg.str();
+}
+
+void BoxPlot::save(const std::string& path, double width, double height) const {
+  save_doc(path, render(width, height));
+}
+
+}  // namespace dfly::viz

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "viz/svg.hpp"
+
+/// Chart builders for the paper's figure types. Each chart renders into a
+/// standalone SVG (viz/svg.hpp). The benches use these to regenerate every
+/// figure graphically in addition to their textual tables:
+///
+///  - LineChart            -> Figs 5, 9, 13(b) (throughput / latency vs time)
+///  - GroupedBarChart      -> Figs 4, 8, 10 (comm time with error bars)
+///  - Heatmap              -> Fig 12 (congestion-index matrix)
+///  - RadialGroupPlot      -> Fig 11 (per-group stall circles + G0 edges)
+///  - BoxPlot              -> Fig 6 (packet latency distribution)
+namespace dfly::viz {
+
+/// Multi-series XY chart with axes, ticks and a legend.
+class LineChart {
+ public:
+  LineChart(std::string title, std::string x_label, std::string y_label);
+
+  /// Add a named series; points need not be sorted.
+  void add_series(const std::string& name, std::vector<std::pair<double, double>> points);
+  void add_series(const std::string& name, const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+  std::string render(double width = 640, double height = 400) const;
+  void save(const std::string& path, double width = 640, double height = 400) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::string title_, x_label_, y_label_;
+  std::vector<Series> series_;
+};
+
+/// Clustered bars with optional error whiskers (Fig 4/8/10 layout: one
+/// cluster per category, one bar per group).
+class GroupedBarChart {
+ public:
+  GroupedBarChart(std::string title, std::string y_label);
+
+  /// Category labels along the x axis (e.g. routing algorithms).
+  void set_categories(std::vector<std::string> categories);
+  /// One bar group across every category (e.g. one background app), with
+  /// optional symmetric error bars (stddev whiskers).
+  void add_group(const std::string& name, std::vector<double> values,
+                 std::vector<double> errors = {});
+
+  std::string render(double width = 720, double height = 400) const;
+  void save(const std::string& path, double width = 720, double height = 400) const;
+
+ private:
+  struct Group {
+    std::string name;
+    std::vector<double> values;
+    std::vector<double> errors;
+  };
+  std::string title_, y_label_;
+  std::vector<std::string> categories_;
+  std::vector<Group> groups_;
+};
+
+/// Dense matrix heat map with a sequential colormap and colorbar (Fig 12).
+class Heatmap {
+ public:
+  Heatmap(std::string title, std::string x_label, std::string y_label);
+
+  /// Row-major matrix; rows render top-to-bottom in index order.
+  void set_matrix(std::vector<std::vector<double>> rows);
+  /// Clamp the color scale (default: data min/max).
+  void set_range(double lo, double hi);
+
+  std::string render(double width = 560, double height = 520) const;
+  void save(const std::string& path, double width = 560, double height = 520) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<std::vector<double>> rows_;
+  double lo_{0}, hi_{0};
+  bool has_range_{false};
+};
+
+/// The paper's Fig 11: groups arranged on a circle; each group's marker
+/// radius encodes its local-link stall, and edges from a focal group encode
+/// that group's global-link stall by darkness.
+class RadialGroupPlot {
+ public:
+  explicit RadialGroupPlot(std::string title);
+
+  /// Per-group scalar (e.g. intra-group stall ms); marker size scales with it.
+  void set_group_values(std::vector<double> values);
+  /// Edges from `focal_group` to every other group (e.g. global stall ms).
+  void set_focal_edges(int focal_group, std::vector<double> values);
+
+  std::string render(double size = 560) const;
+  void save(const std::string& path, double size = 560) const;
+
+ private:
+  std::string title_;
+  std::vector<double> group_values_;
+  std::vector<double> edge_values_;
+  int focal_group_{0};
+};
+
+/// Box-and-whisker plot with p95/p99 markers (Fig 6 layout).
+class BoxPlot {
+ public:
+  BoxPlot(std::string title, std::string y_label);
+
+  struct Stats {
+    double q1{0}, median{0}, q3{0};
+    double whisker_lo{0}, whisker_hi{0};
+    double p95{0}, p99{0}, mean{0};
+  };
+  void add_box(const std::string& label, Stats stats);
+
+  std::string render(double width = 560, double height = 420) const;
+  void save(const std::string& path, double width = 560, double height = 420) const;
+
+ private:
+  std::string title_, y_label_;
+  std::vector<std::pair<std::string, Stats>> boxes_;
+};
+
+}  // namespace dfly::viz

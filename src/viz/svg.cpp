@@ -1,0 +1,148 @@
+#include "viz/svg.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace dfly::viz {
+
+namespace {
+
+std::string fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string Color::css() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "#%02x%02x%02x", r, g, b);
+  return buffer;
+}
+
+Color Color::lerp(Color a, Color b, double t) {
+  if (t < 0) t = 0;
+  if (t > 1) t = 1;
+  auto mix = [t](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(std::lround(x + (y - x) * t));
+  };
+  return Color{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+const std::vector<Color>& palette() {
+  static const std::vector<Color> tab10{
+      {31, 119, 180}, {255, 127, 14},  {44, 160, 44},  {214, 39, 40},  {148, 103, 189},
+      {140, 86, 75},  {227, 119, 194}, {127, 127, 127}, {188, 189, 34}, {23, 190, 207}};
+  return tab10;
+}
+
+Color palette_color(std::size_t i) { return palette()[i % palette().size()]; }
+
+Color viridis(double t) {
+  // Five anchor points of matplotlib's viridis, linearly interpolated.
+  static const Color stops[5] = {
+      {68, 1, 84}, {59, 82, 139}, {33, 145, 140}, {94, 201, 98}, {253, 231, 37}};
+  if (t < 0) t = 0;
+  if (t > 1) t = 1;
+  const double scaled = t * 4.0;
+  const int idx = scaled >= 4.0 ? 3 : static_cast<int>(scaled);
+  return Color::lerp(stops[idx], stops[idx + 1], scaled - idx);
+}
+
+Svg::Svg(double width, double height) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("Svg: non-positive canvas");
+}
+
+void Svg::rect(double x, double y, double w, double h, Color fill, double opacity,
+               Color stroke, double stroke_width) {
+  std::string element = "<rect x=\"" + fmt(x) + "\" y=\"" + fmt(y) + "\" width=\"" + fmt(w) +
+                        "\" height=\"" + fmt(h) + "\" fill=\"" + fill.css() + "\"";
+  if (opacity < 1.0) element += " fill-opacity=\"" + fmt(opacity) + "\"";
+  if (stroke_width > 0) {
+    element += " stroke=\"" + stroke.css() + "\" stroke-width=\"" + fmt(stroke_width) + "\"";
+  }
+  element += "/>";
+  body_.push_back(std::move(element));
+}
+
+void Svg::line(double x1, double y1, double x2, double y2, Color stroke, double width,
+               bool dashed) {
+  std::string element = "<line x1=\"" + fmt(x1) + "\" y1=\"" + fmt(y1) + "\" x2=\"" + fmt(x2) +
+                        "\" y2=\"" + fmt(y2) + "\" stroke=\"" + stroke.css() +
+                        "\" stroke-width=\"" + fmt(width) + "\"";
+  if (dashed) element += " stroke-dasharray=\"4 3\"";
+  element += "/>";
+  body_.push_back(std::move(element));
+}
+
+void Svg::circle(double cx, double cy, double radius, Color fill, double opacity) {
+  std::string element = "<circle cx=\"" + fmt(cx) + "\" cy=\"" + fmt(cy) + "\" r=\"" +
+                        fmt(radius) + "\" fill=\"" + fill.css() + "\"";
+  if (opacity < 1.0) element += " fill-opacity=\"" + fmt(opacity) + "\"";
+  element += "/>";
+  body_.push_back(std::move(element));
+}
+
+void Svg::polyline(const std::vector<std::pair<double, double>>& points, Color stroke,
+                   double width) {
+  if (points.size() < 2) return;
+  std::string element = "<polyline fill=\"none\" stroke=\"" + stroke.css() +
+                        "\" stroke-width=\"" + fmt(width) + "\" points=\"";
+  for (const auto& [x, y] : points) {
+    element += fmt(x) + "," + fmt(y) + " ";
+  }
+  element += "\"/>";
+  body_.push_back(std::move(element));
+}
+
+void Svg::text(double x, double y, const std::string& content, double size,
+               const std::string& anchor, Color fill, double rotate_deg) {
+  std::string element = "<text x=\"" + fmt(x) + "\" y=\"" + fmt(y) + "\" font-size=\"" +
+                        fmt(size) + "\" font-family=\"Helvetica, Arial, sans-serif\"" +
+                        " text-anchor=\"" + anchor + "\" fill=\"" + fill.css() + "\"";
+  if (rotate_deg != 0.0) {
+    element += " transform=\"rotate(" + fmt(rotate_deg) + " " + fmt(x) + " " + fmt(y) + ")\"";
+  }
+  element += ">" + escape(content) + "</text>";
+  body_.push_back(std::move(element));
+}
+
+std::string Svg::str() const {
+  std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" + fmt(width_) +
+                    "\" height=\"" + fmt(height_) + "\" viewBox=\"0 0 " + fmt(width_) + " " +
+                    fmt(height_) + "\">\n";
+  out += "<rect x=\"0\" y=\"0\" width=\"" + fmt(width_) + "\" height=\"" + fmt(height_) +
+         "\" fill=\"#ffffff\"/>\n";
+  for (const std::string& element : body_) {
+    out += element;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+void Svg::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Svg::save: cannot open " + path);
+  out << str();
+}
+
+std::string Svg::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfly::viz

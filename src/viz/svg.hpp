@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Minimal SVG document builder.
+///
+/// The paper presents its results as line charts (Figs 5, 9, 13b), bar
+/// charts with error bars (Figs 4, 8, 10), box plots (Fig 6), scatter
+/// series (Fig 7), a radial stall diagram (Fig 11) and heat maps (Fig 12).
+/// This header provides the drawing substrate for viz/charts.hpp so every
+/// bench can emit a self-contained .svg next to its textual output — no
+/// external plotting dependency.
+namespace dfly::viz {
+
+/// RGB color with CSS serialization.
+struct Color {
+  std::uint8_t r{0}, g{0}, b{0};
+
+  std::string css() const;
+
+  /// Linear interpolation in RGB space.
+  static Color lerp(Color a, Color b, double t);
+};
+
+/// A qualitative palette (matplotlib "tab10" order: the paper's figures use
+/// the same default matplotlib colors).
+const std::vector<Color>& palette();
+Color palette_color(std::size_t i);
+
+/// Sequential colormap for heat maps: 5-stop approximation of viridis.
+Color viridis(double t);
+
+/// Append-only SVG scene graph; emits one standalone <svg> document.
+class Svg {
+ public:
+  Svg(double width, double height);
+
+  void rect(double x, double y, double w, double h, Color fill,
+            double opacity = 1.0, Color stroke = {0, 0, 0}, double stroke_width = 0.0);
+  void line(double x1, double y1, double x2, double y2, Color stroke,
+            double width = 1.0, bool dashed = false);
+  void circle(double cx, double cy, double radius, Color fill, double opacity = 1.0);
+  void polyline(const std::vector<std::pair<double, double>>& points, Color stroke,
+                double width = 1.5);
+  /// `anchor` in {"start", "middle", "end"}; `rotate_deg` spins around (x, y).
+  void text(double x, double y, const std::string& content, double size = 11.0,
+            const std::string& anchor = "start", Color fill = {0, 0, 0},
+            double rotate_deg = 0.0);
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  /// Serialise the complete document.
+  std::string str() const;
+  void save(const std::string& path) const;
+
+  /// XML-escape text content.
+  static std::string escape(const std::string& raw);
+
+ private:
+  double width_, height_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace dfly::viz

@@ -1,0 +1,15 @@
+// DL shares the AllreducePeriodicMotif engine with CosmoFlow (cosmoflow.cpp);
+// this TU hosts the DL-specific helper.
+
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+/// Convenience: a fully-constructed DL motif.
+std::unique_ptr<AllreducePeriodicMotif> make_dl(int scale) {
+  AllreducePeriodicParams p = AllreducePeriodicMotif::dl();
+  p.iterations = scaled(p.iterations, scale, p.min_iterations);
+  return std::make_unique<AllreducePeriodicMotif>(std::move(p));
+}
+
+}  // namespace dfly::workloads

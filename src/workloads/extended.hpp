@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/job.hpp"
+#include "sim/time.hpp"
+#include "workloads/grid.hpp"
+
+/// Extension workloads beyond Table I.
+///
+/// The paper's introduction motivates the study with two workload families
+/// it does not include in the evaluation mix: MILC — whose 70% run-to-run
+/// variability on production Dragonfly systems (Chunduri SC'17) is the
+/// headline evidence that interference matters — and I/O traffic to burst
+/// buffers (Mubarak CLUSTER'17), the classic *endpoint* hot-spot generator.
+/// These motifs extend the study to both, characterised with the same §IV
+/// intensity metrics as the Table I applications.
+namespace dfly::workloads {
+
+// ---------------------------------------------------------------------------
+// MILC — 4D lattice QCD with conjugate-gradient solver synchronisation.
+// ---------------------------------------------------------------------------
+struct MilcParams {
+  std::vector<int> dims{4, 4, 4, 8};
+  /// Halo-exchange message per face neighbour (8 neighbours on a 4D torus).
+  std::int64_t msg_bytes{49152};
+  int iterations{40};
+  /// Lattice update compute between halo exchange and the CG solve.
+  SimTime compute{150 * kUs};
+  /// CG solver: small global allreduces (dot products) per iteration —
+  /// the latency-critical chain that makes MILC interference-sensitive.
+  int cg_per_iteration{3};
+  std::int64_t cg_bytes{64};
+  SimTime cg_compute{20 * kUs};
+};
+
+/// MILC differs from LQCD (Table I) in kind, not degree: its halo messages
+/// are ~12x smaller, but every iteration ends in a chain of tiny global
+/// allreduces whose completion is gated by the *slowest* rank — the tail
+/// latency amplifier behind the 7x MPI-collective variability reported on
+/// production systems (§II-C). Expect MILC to be bullied through its CG
+/// chain even by aggressors that barely move its halo exchange.
+class MilcMotif final : public mpi::Motif {
+ public:
+  explicit MilcMotif(MilcParams params) : p_(std::move(params)), grid_(p_.dims) {}
+  std::string name() const override { return "MILC"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const MilcParams& params() const { return p_; }
+  const Grid& grid() const { return grid_; }
+
+ private:
+  MilcParams p_;
+  Grid grid_;
+};
+
+// ---------------------------------------------------------------------------
+// IOBurst — periodic checkpoint drain to burst-buffer nodes.
+// ---------------------------------------------------------------------------
+struct IoBurstParams {
+  /// One burst-buffer rank per `bb_ratio` job ranks (at least one).
+  int bb_ratio{16};
+  /// Checkpoint bytes each compute rank drains per period (timescale is
+  /// compressed like the paper compresses CosmoFlow: production checkpoints
+  /// are GBs every tens of seconds; the drain/compute duty cycle and the
+  /// many-to-few fan-in shape are what matter for contention).
+  std::int64_t checkpoint_bytes{4 * 1024 * 1024};
+  /// Chunk size of individual write messages.
+  std::int64_t chunk_bytes{262144};
+  /// Compute time between checkpoints.
+  SimTime period{1 * kMs};
+  int iterations{4};
+  /// Outstanding chunk writes per compute rank.
+  int window{16};
+};
+
+/// Ranks [0, n/bb_ratio) act as burst-buffer endpoints (sink mode); every
+/// other rank computes for `period`, then drains `checkpoint_bytes` in
+/// `chunk_bytes` writes to its assigned buffer rank. All compute ranks hit
+/// the checkpoint barrier together, so the drain is a synchronised many-to-
+/// few burst: an *endpoint* hot spot that no routing policy can dissolve
+/// (§II-C positions congestion control, not routing, as the fix).
+class IoBurstMotif final : public mpi::Motif {
+ public:
+  explicit IoBurstMotif(IoBurstParams params) : p_(params) {}
+  std::string name() const override { return "IOBurst"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const IoBurstParams& params() const { return p_; }
+
+  int num_buffer_ranks(int job_size) const {
+    const int bb = job_size / (p_.bb_ratio < 1 ? 1 : p_.bb_ratio);
+    return bb < 1 ? 1 : bb;
+  }
+
+ private:
+  IoBurstParams p_;
+};
+
+/// Names accepted by make_app beyond the paper's nine ("MILC", "IOBurst").
+const std::vector<std::string>& extended_app_names();
+
+}  // namespace dfly::workloads

@@ -1,0 +1,138 @@
+#include "workloads/factory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "workloads/extended.hpp"
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+std::pair<int, int> near_square(int max_nodes) {
+  int best_x = 1, best_y = 1;
+  const int root = static_cast<int>(std::sqrt(static_cast<double>(max_nodes)));
+  for (int nx = 1; nx <= root; ++nx) {
+    int ny = max_nodes / nx;
+    const int cap = nx + nx / 2;  // aspect ratio <= 1.5
+    if (ny > cap) ny = cap;
+    if (nx * ny > best_x * best_y) {
+      best_x = nx;
+      best_y = ny;
+    }
+  }
+  return {best_x, best_y};
+}
+
+namespace {
+
+std::vector<int> lqcd_dims(int max_nodes) {
+  if (max_nodes >= 512) return {4, 4, 4, 8};  // paper pairwise size
+  if (max_nodes >= 256) return {4, 4, 4, 4};  // paper mixed size (Table II)
+  return Grid::balanced_dims(max_nodes, 4);
+}
+
+std::vector<int> stencil5d_dims(int max_nodes) {
+  if (max_nodes >= 486) return {3, 3, 3, 3, 6};  // paper pairwise size
+  if (max_nodes >= 243) return {3, 3, 3, 3, 3};  // paper mixed size (Table II)
+  return Grid::balanced_dims(max_nodes, 5);
+}
+
+int cube_side(int max_nodes) {
+  int side = 1;
+  while ((side + 1) * (side + 1) * (side + 1) <= max_nodes) ++side;
+  return side;
+}
+
+}  // namespace
+
+AppInstance make_app(const std::string& name, int max_nodes, int scale) {
+  if (max_nodes < 2) throw std::invalid_argument("make_app: need at least 2 nodes");
+
+  if (name == "UR") {
+    UniformRandomParams p;
+    p.iterations = scaled(p.iterations, scale);
+    return {std::make_unique<UniformRandomMotif>(p), max_nodes};
+  }
+  if (name == "LU") {
+    LuSweepParams p;
+    const auto [nx, ny] = near_square(max_nodes);
+    p.nx = nx;
+    p.ny = ny;
+    p.iterations = scaled(p.iterations, scale);
+    return {std::make_unique<LuSweepMotif>(p), nx * ny};
+  }
+  if (name == "FFT3D") {
+    Fft3dParams p;
+    const auto [rows, cols] = near_square(max_nodes);
+    p.rows = rows;
+    p.cols = cols;
+    p.iterations = scaled(p.iterations, scale);
+    return {std::make_unique<Fft3dMotif>(p), rows * cols};
+  }
+  if (name == "Halo3D") {
+    NdStencilParams p = NdStencilMotif::halo3d();
+    const int side = cube_side(max_nodes);
+    p.dims = {side, side, side};
+    p.iterations = scaled(p.iterations, scale);
+    auto motif = std::make_unique<NdStencilMotif>(std::move(p));
+    return {std::move(motif), side * side * side};
+  }
+  if (name == "LQCD") {
+    NdStencilParams p = NdStencilMotif::lqcd();
+    p.dims = lqcd_dims(max_nodes);
+    p.iterations = scaled(p.iterations, scale);
+    Grid grid(p.dims);
+    const int nodes = grid.size();
+    auto motif = std::make_unique<NdStencilMotif>(std::move(p));
+    return {std::move(motif), nodes};
+  }
+  if (name == "Stencil5D") {
+    NdStencilParams p = NdStencilMotif::stencil5d();
+    p.dims = stencil5d_dims(max_nodes);
+    p.iterations = scaled(p.iterations, scale);
+    Grid grid(p.dims);
+    const int nodes = grid.size();
+    auto motif = std::make_unique<NdStencilMotif>(std::move(p));
+    return {std::move(motif), nodes};
+  }
+  if (name == "CosmoFlow") {
+    AllreducePeriodicParams p = AllreducePeriodicMotif::cosmoflow();
+    p.iterations = scaled(p.iterations, scale, p.min_iterations);
+    return {std::make_unique<AllreducePeriodicMotif>(std::move(p)), max_nodes};
+  }
+  if (name == "DL") {
+    AllreducePeriodicParams p = AllreducePeriodicMotif::dl();
+    p.iterations = scaled(p.iterations, scale, p.min_iterations);
+    return {std::make_unique<AllreducePeriodicMotif>(std::move(p)), max_nodes};
+  }
+  if (name == "MILC") {
+    MilcParams p;
+    p.dims = lqcd_dims(max_nodes);
+    p.iterations = scaled(p.iterations, scale);
+    Grid grid(p.dims);
+    const int nodes = grid.size();
+    auto motif = std::make_unique<MilcMotif>(std::move(p));
+    return {std::move(motif), nodes};
+  }
+  if (name == "IOBurst") {
+    IoBurstParams p;
+    p.iterations = scaled(p.iterations, scale, /*min_iters=*/2);
+    return {std::make_unique<IoBurstMotif>(p), max_nodes};
+  }
+  if (name == "LULESH") {
+    LuleshParams p;
+    const int side = cube_side(max_nodes);
+    p.nx = p.ny = p.nz = side;
+    p.iterations = scaled(p.iterations, scale);
+    return {std::make_unique<LuleshMotif>(p), side * side * side};
+  }
+  throw std::invalid_argument("unknown application: " + name);
+}
+
+const std::vector<std::string>& app_names() {
+  static const std::vector<std::string> names{"UR",        "LU", "FFT3D",  "Halo3D", "LQCD",
+                                              "Stencil5D", "CosmoFlow",    "DL",     "LULESH"};
+  return names;
+}
+
+}  // namespace dfly::workloads

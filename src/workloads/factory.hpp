@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/job.hpp"
+
+namespace dfly::workloads {
+
+/// A configured application: the motif and the number of nodes it wants.
+struct AppInstance {
+  std::unique_ptr<mpi::Motif> motif;
+  int nodes{0};
+};
+
+/// Build one of the paper's nine applications, sized for at most `max_nodes`
+/// nodes. Process-grid applications take the largest well-shaped grid that
+/// fits (e.g. Halo3D on 528 free nodes uses 8x8x8 = 512). `scale` divides
+/// iteration counts for fast runs; per-message behaviour is unchanged.
+///
+/// Names: UR, LU, FFT3D, Halo3D, LQCD, Stencil5D, CosmoFlow, DL, LULESH.
+AppInstance make_app(const std::string& name, int max_nodes, int scale = 1);
+
+/// All nine application names in Table I order.
+const std::vector<std::string>& app_names();
+
+/// Near-square 2D factorisation: the largest nx*ny <= max_nodes with
+/// ny <= 1.5*nx (LU / FFT3D process arrays; 528 -> 22x24, 140 -> 10x14).
+std::pair<int, int> near_square(int max_nodes);
+
+}  // namespace dfly::workloads

@@ -1,0 +1,29 @@
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+mpi::Task Fft3dMotif::run(mpi::RankCtx& ctx) const {
+  // 2D ("pencil") decomposition: ranks form a rows x cols array. Each FFT
+  // step transposes data with an Alltoall inside the rank's row, computes,
+  // transposes inside its column, computes. The Alltoall is SST's ring
+  // exchange, so the per-rank ingress burst is one 51.68KB message.
+  const int my_row = ctx.rank() / p_.cols;
+  const int my_col = ctx.rank() % p_.cols;
+
+  std::vector<int> row_members;
+  row_members.reserve(static_cast<std::size_t>(p_.cols));
+  for (int c = 0; c < p_.cols; ++c) row_members.push_back(my_row * p_.cols + c);
+  std::vector<int> col_members;
+  col_members.reserve(static_cast<std::size_t>(p_.rows));
+  for (int r = 0; r < p_.rows; ++r) col_members.push_back(r * p_.cols + my_col);
+
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    co_await ctx.alltoall(p_.msg_bytes, row_members);
+    co_await ctx.compute(p_.compute);
+    co_await ctx.alltoall(p_.msg_bytes, col_members);
+    co_await ctx.compute(p_.compute);
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace dfly::workloads

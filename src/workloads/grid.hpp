@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+namespace dfly::workloads {
+
+/// N-dimensional Cartesian process grid used by the stencil/sweep motifs.
+class Grid {
+ public:
+  explicit Grid(std::vector<int> dims) : dims_(std::move(dims)) {
+    size_ = 1;
+    for (const int d : dims_) {
+      assert(d >= 1);
+      size_ *= d;
+    }
+  }
+
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  int size() const { return size_; }
+  int dim(int d) const { return dims_[static_cast<std::size_t>(d)]; }
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Row-major coordinates of `rank`.
+  std::vector<int> coords(int rank) const {
+    std::vector<int> c(dims_.size());
+    for (int d = ndims() - 1; d >= 0; --d) {
+      c[static_cast<std::size_t>(d)] = rank % dim(d);
+      rank /= dim(d);
+    }
+    return c;
+  }
+
+  int rank_of(const std::vector<int>& c) const {
+    int rank = 0;
+    for (int d = 0; d < ndims(); ++d) {
+      rank = rank * dim(d) + c[static_cast<std::size_t>(d)];
+    }
+    return rank;
+  }
+
+  /// Neighbor of `rank` at distance 1 along `d` in direction `dir` (+1/-1).
+  /// Returns -1 at a non-periodic boundary.
+  int neighbor(int rank, int d, int dir, bool periodic) const {
+    std::vector<int> c = coords(rank);
+    int& x = c[static_cast<std::size_t>(d)];
+    x += dir;
+    if (x < 0 || x >= dim(d)) {
+      if (!periodic) return -1;
+      x = (x + dim(d)) % dim(d);
+    }
+    const int peer = rank_of(c);
+    return peer == rank ? -1 : peer;  // dim of size 1 or 2 degeneracies
+  }
+
+  /// Face neighbors (2 per dimension where they exist).
+  std::vector<int> face_neighbors(int rank, bool periodic) const {
+    std::vector<int> out;
+    for (int d = 0; d < ndims(); ++d) {
+      for (const int dir : {-1, +1}) {
+        const int nb = neighbor(rank, d, dir, periodic);
+        if (nb >= 0) out.push_back(nb);
+      }
+    }
+    return out;
+  }
+
+  /// Full Moore neighborhood (3^n - 1 offsets where they exist), used by
+  /// LULESH's 26-point stencil.
+  std::vector<int> moore_neighbors(int rank, bool periodic) const;
+
+  /// Factor `max_nodes` (or fewer) into `ndims` near-equal dimensions,
+  /// maximising the node count actually used. Greedy: repeatedly divide by
+  /// the largest feasible near-balanced factor.
+  static std::vector<int> balanced_dims(int max_nodes, int ndims);
+
+ private:
+  std::vector<int> dims_;
+  int size_{1};
+};
+
+}  // namespace dfly::workloads

@@ -1,0 +1,134 @@
+#include "workloads/grid.hpp"
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+std::vector<int> Grid::moore_neighbors(int rank, bool periodic) const {
+  std::vector<int> out;
+  const std::vector<int> base = coords(rank);
+  std::vector<int> offset(static_cast<std::size_t>(ndims()), -1);
+  for (;;) {
+    bool all_zero = true;
+    for (const int o : offset) {
+      if (o != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (!all_zero) {
+      std::vector<int> c = base;
+      bool valid = true;
+      for (int d = 0; d < ndims(); ++d) {
+        int& x = c[static_cast<std::size_t>(d)];
+        x += offset[static_cast<std::size_t>(d)];
+        if (x < 0 || x >= dim(d)) {
+          if (!periodic) {
+            valid = false;
+            break;
+          }
+          x = (x + dim(d)) % dim(d);
+        }
+      }
+      if (valid) {
+        const int peer = rank_of(c);
+        if (peer != rank) {
+          bool seen = false;
+          for (const int q : out) {
+            if (q == peer) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) out.push_back(peer);
+        }
+      }
+    }
+    // Odometer increment over {-1,0,1}^ndims.
+    int d = ndims() - 1;
+    while (d >= 0) {
+      if (++offset[static_cast<std::size_t>(d)] <= 1) break;
+      offset[static_cast<std::size_t>(d)] = -1;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return out;
+}
+
+std::vector<int> Grid::balanced_dims(int max_nodes, int ndims) {
+  // Start from the floor of the ndims-th root and grow greedily while the
+  // product stays within budget.
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  auto product = [&dims] {
+    long long p = 1;
+    for (const int d : dims) p *= d;
+    return p;
+  };
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    // Grow the currently smallest dimension if it fits.
+    int arg = 0;
+    for (int d = 1; d < ndims; ++d) {
+      if (dims[static_cast<std::size_t>(d)] < dims[static_cast<std::size_t>(arg)]) arg = d;
+    }
+    dims[static_cast<std::size_t>(arg)]++;
+    if (product() <= max_nodes) {
+      grew = true;
+    } else {
+      dims[static_cast<std::size_t>(arg)]--;
+    }
+  }
+  return dims;
+}
+
+mpi::Task NdStencilMotif::run(mpi::RankCtx& ctx) const {
+  // Classic halo exchange: all receives posted first, then all sends
+  // back-to-back — the consecutive sends form the ingress burst that gives
+  // the stencil family its large peak ingress volume (§IV, Table I).
+  const std::vector<int> neighbors = grid_.face_neighbors(ctx.rank(), p_.periodic);
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    std::vector<mpi::ReqId> reqs;
+    reqs.reserve(neighbors.size() * 2);
+    for (const int nb : neighbors) reqs.push_back(ctx.irecv(nb, iter));
+    for (const int nb : neighbors) reqs.push_back(ctx.isend(nb, p_.msg_bytes, iter));
+    co_await ctx.wait_all(std::move(reqs));
+    co_await ctx.compute(p_.compute);
+    ctx.mark_iteration();
+  }
+}
+
+NdStencilParams NdStencilMotif::halo3d() {
+  NdStencilParams p;
+  p.label = "Halo3D";
+  p.dims = {8, 8, 8};
+  p.msg_bytes = 196608;  // 6 x 192KB = 1.15MB peak ingress (Table I)
+  p.iterations = 79;     // 79 x 512 x 6 x 192KB ~= 47.7GB total (Table I)
+  p.compute = 60 * kUs;
+  p.periodic = true;
+  return p;
+}
+
+NdStencilParams NdStencilMotif::lqcd() {
+  NdStencilParams p;
+  p.label = "LQCD";
+  p.dims = {4, 4, 4, 8};
+  p.msg_bytes = 589824;  // 8 x 576KB = 4.6MB peak ingress (Table I)
+  p.iterations = 5;      // 5 x 512 x 8 x 576KB ~= 12.1GB total (Table I)
+  p.compute = 2350 * kUs;
+  p.periodic = true;
+  return p;
+}
+
+NdStencilParams NdStencilMotif::stencil5d() {
+  NdStencilParams p;
+  p.label = "Stencil5D";
+  p.dims = {3, 3, 3, 3, 6};
+  p.msg_bytes = 1468006;  // up to 10 x 1.4MB = 14MB peak ingress (Table I)
+  p.iterations = 2;       // 2 x 3402 edges x 1.4MB ~= 10.0GB total (Table I)
+  p.compute = 5500 * kUs;
+  p.periodic = false;  // edge/surface ranks have fewer neighbours (paper §V-C)
+  return p;
+}
+
+}  // namespace dfly::workloads

@@ -1,0 +1,37 @@
+#include "workloads/intensity.hpp"
+
+#include <cstdio>
+
+namespace dfly::workloads {
+
+IntensityMetrics measure_intensity(const mpi::Job& job) {
+  IntensityMetrics m;
+  m.app = job.name();
+  std::int64_t bytes = 0;
+  std::int64_t peak = 0;
+  std::int64_t msgs = 0;
+  for (int r = 0; r < job.size(); ++r) {
+    bytes += job.rank(r).bytes_sent();
+    msgs += job.rank(r).messages_sent();
+    if (job.rank(r).peak_ingress_bytes() > peak) peak = job.rank(r).peak_ingress_bytes();
+  }
+  m.total_msg_mb = static_cast<double>(bytes) / 1.0e6;
+  m.execution_ms = to_ms(job.execution_time());
+  m.injection_rate_gbs =
+      m.execution_ms > 0 ? static_cast<double>(bytes) / to_ns(job.execution_time()) : 0.0;
+  m.peak_ingress_bytes = static_cast<double>(peak);
+  m.messages = msgs;
+  return m;
+}
+
+std::string format_volume(double bytes) {
+  char buf[32];
+  if (bytes >= 1.0e6) {
+    std::snprintf(buf, sizeof buf, "%.2fMB", bytes / 1.0e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fKB", bytes / 1.0e3);
+  }
+  return buf;
+}
+
+}  // namespace dfly::workloads

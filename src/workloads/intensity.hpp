@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpi/job.hpp"
+
+namespace dfly::workloads {
+
+/// The paper's two communication-intensity metrics (§IV), measured from a
+/// finished job:
+///  - message injection rate: total message volume / execution time — the
+///    application's average bandwidth requirement, and
+///  - peak ingress volume: the largest run of message bytes a rank injected
+///    back-to-back (no intervening blocking operation or compute).
+struct IntensityMetrics {
+  std::string app;
+  double total_msg_mb{0};
+  double execution_ms{0};
+  double injection_rate_gbs{0};
+  double peak_ingress_bytes{0};
+  std::int64_t messages{0};
+};
+
+IntensityMetrics measure_intensity(const mpi::Job& job);
+
+/// Human-readable size, matching Table I's units (KB / MB).
+std::string format_volume(double bytes);
+
+}  // namespace dfly::workloads

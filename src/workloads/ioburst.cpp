@@ -1,0 +1,39 @@
+#include "workloads/extended.hpp"
+
+namespace dfly::workloads {
+
+mpi::Task IoBurstMotif::run(mpi::RankCtx& ctx) const {
+  ctx.set_sink_mode(true);
+  const int n = ctx.size();
+  const int buffers = num_buffer_ranks(n);
+  if (ctx.rank() < buffers) {
+    // Burst-buffer endpoints absorb writes in sink mode. Their lifetime is
+    // bounded by the writers' nominal schedule plus drain slack; they do no
+    // useful communication of their own.
+    co_await ctx.compute(p_.period * p_.iterations + p_.period);
+    co_return;
+  }
+  const int dst = ctx.rank() % buffers;
+  const std::int64_t chunk = p_.chunk_bytes < 1 ? p_.checkpoint_bytes : p_.chunk_bytes;
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    co_await ctx.compute(p_.period);
+    // Checkpoint drain: every compute rank floods its buffer rank with
+    // chunk-sized writes, `window` outstanding at a time.
+    std::vector<mpi::ReqId> window;
+    window.reserve(static_cast<std::size_t>(p_.window));
+    std::int64_t remaining = p_.checkpoint_bytes;
+    while (remaining > 0) {
+      const std::int64_t bytes = remaining < chunk ? remaining : chunk;
+      window.push_back(ctx.isend(dst, bytes, /*tag=*/iter));
+      remaining -= bytes;
+      if (static_cast<int>(window.size()) >= p_.window) {
+        co_await ctx.wait_all(std::move(window));
+        window.clear();
+      }
+    }
+    if (!window.empty()) co_await ctx.wait_all(std::move(window));
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace dfly::workloads

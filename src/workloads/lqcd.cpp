@@ -1,0 +1,17 @@
+// LQCD is an NdStencilMotif configuration (4D torus, 8 neighbours); the
+// preset lives in halo3d.cpp alongside the shared stencil engine. This TU
+// exists so the build mirrors the paper's one-module-per-application layout
+// and hosts LQCD-specific helpers.
+
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+/// Convenience: a fully-constructed LQCD motif.
+std::unique_ptr<NdStencilMotif> make_lqcd(int scale) {
+  NdStencilParams p = NdStencilMotif::lqcd();
+  p.iterations = scaled(p.iterations, scale);
+  return std::make_unique<NdStencilMotif>(std::move(p));
+}
+
+}  // namespace dfly::workloads

@@ -1,0 +1,51 @@
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+namespace {
+/// Tag for (iteration, direction, plane): every rank computes the same
+/// schedule, so the triple is unique across in-flight messages.
+int sweep_tag(int iter, int dir, int plane, int planes) {
+  return (iter * 2 + dir) * planes + plane;
+}
+}  // namespace
+
+mpi::Task LuSweepMotif::run(mpi::RankCtx& ctx) const {
+  // Wavefront sweep over a 2D process rectangle, pipelined over `planes`
+  // k-planes (NPB LU's SSOR pattern). The forward sweep flows from corner
+  // (0,0); the backward sweep cannot start anywhere before the forward one
+  // drains, which is why LU's communication time dominates its runtime and
+  // why interference on any rank delays the whole wavefront.
+  const int ix = ctx.rank() / p_.ny;
+  const int iy = ctx.rank() % p_.ny;
+
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    for (int dir = 0; dir < 2; ++dir) {
+      // Upstream/downstream neighbours under this sweep direction.
+      const int step = dir == 0 ? +1 : -1;
+      const int up_x = ix - step;
+      const int up_y = iy - step;
+      const int down_x = ix + step;
+      const int down_y = iy + step;
+      const bool has_up_x = up_x >= 0 && up_x < p_.nx;
+      const bool has_up_y = up_y >= 0 && up_y < p_.ny;
+      const bool has_down_x = down_x >= 0 && down_x < p_.nx;
+      const bool has_down_y = down_y >= 0 && down_y < p_.ny;
+
+      std::vector<mpi::ReqId> sends;
+      sends.reserve(static_cast<std::size_t>(2 * p_.planes));
+      for (int k = 0; k < p_.planes; ++k) {
+        const int tag = sweep_tag(iter, dir, k, p_.planes);
+        if (has_up_x) co_await ctx.recv(up_x * p_.ny + iy, tag);
+        if (has_up_y) co_await ctx.recv(ix * p_.ny + up_y, tag);
+        co_await ctx.compute(p_.compute_per_plane);
+        if (has_down_x) sends.push_back(ctx.isend(down_x * p_.ny + iy, p_.msg_bytes, tag));
+        if (has_down_y) sends.push_back(ctx.isend(ix * p_.ny + down_y, p_.msg_bytes, tag));
+      }
+      co_await ctx.wait_all(std::move(sends));
+    }
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace dfly::workloads

@@ -1,0 +1,45 @@
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+mpi::Task LuleshMotif::run(mpi::RankCtx& ctx) const {
+  // LULESH communication (Carothers et al. "Durango", Roth et al.): each
+  // timestep exchanges ghost zones with the full 26-point Moore
+  // neighbourhood, then runs a Sweep3D-style diagonal wavefront with small
+  // messages. The stencil phase dominates the peak ingress volume (~1.95MB);
+  // the sweep adds the latency-sensitive 14.91KB component (Table I).
+  const Grid grid({p_.nx, p_.ny, p_.nz});
+  const std::vector<int> stencil = grid.moore_neighbors(ctx.rank(), /*periodic=*/false);
+  const std::vector<int> coords = grid.coords(ctx.rank());
+  const int x = coords[0], y = coords[1], z = coords[2];
+
+  // Sweep predecessors/successors: one step along each axis.
+  std::vector<int> preds, succs;
+  if (x > 0) preds.push_back(grid.rank_of({x - 1, y, z}));
+  if (y > 0) preds.push_back(grid.rank_of({x, y - 1, z}));
+  if (z > 0) preds.push_back(grid.rank_of({x, y, z - 1}));
+  if (x + 1 < p_.nx) succs.push_back(grid.rank_of({x + 1, y, z}));
+  if (y + 1 < p_.ny) succs.push_back(grid.rank_of({x, y + 1, z}));
+  if (z + 1 < p_.nz) succs.push_back(grid.rank_of({x, y, z + 1}));
+
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    // Phase 1: 26-point ghost exchange (non-blocking, single burst).
+    const int stencil_tag = iter * 2;
+    std::vector<mpi::ReqId> reqs;
+    reqs.reserve(stencil.size() * 2);
+    for (const int nb : stencil) reqs.push_back(ctx.irecv(nb, stencil_tag));
+    for (const int nb : stencil) reqs.push_back(ctx.isend(nb, p_.stencil_bytes, stencil_tag));
+    co_await ctx.wait_all(std::move(reqs));
+    co_await ctx.compute(p_.compute);
+
+    // Phase 2: diagonal sweep; blocking sends keep the sweep burst at one
+    // message (14.91KB, Table I's second peak-ingress line).
+    const int sweep_tag = iter * 2 + 1;
+    for (const int pred : preds) co_await ctx.recv(pred, sweep_tag);
+    co_await ctx.compute(p_.sweep_compute);
+    for (const int succ : succs) co_await ctx.send(succ, p_.sweep_bytes, sweep_tag);
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace dfly::workloads

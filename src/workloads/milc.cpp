@@ -1,0 +1,32 @@
+#include "workloads/extended.hpp"
+
+namespace dfly::workloads {
+
+mpi::Task MilcMotif::run(mpi::RankCtx& ctx) const {
+  // 4D torus halo exchange (the LQCD pattern at smaller message size),
+  // followed by the conjugate-gradient chain: `cg_per_iteration` tiny
+  // allreduces, each separated by a slice of solver compute. The allreduce
+  // chain serialises on global tail latency, which is what production MILC
+  // runs are sensitive to.
+  const std::vector<int> neighbors = grid_.face_neighbors(ctx.rank(), /*periodic=*/true);
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    std::vector<mpi::ReqId> reqs;
+    reqs.reserve(neighbors.size() * 2);
+    for (const int nb : neighbors) reqs.push_back(ctx.irecv(nb, iter));
+    for (const int nb : neighbors) reqs.push_back(ctx.isend(nb, p_.msg_bytes, iter));
+    co_await ctx.wait_all(std::move(reqs));
+    co_await ctx.compute(p_.compute);
+    for (int cg = 0; cg < p_.cg_per_iteration; ++cg) {
+      co_await ctx.allreduce(p_.cg_bytes);
+      co_await ctx.compute(p_.cg_compute);
+    }
+    ctx.mark_iteration();
+  }
+}
+
+const std::vector<std::string>& extended_app_names() {
+  static const std::vector<std::string> names{"MILC", "IOBurst"};
+  return names;
+}
+
+}  // namespace dfly::workloads

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/coll.hpp"
+#include "mpi/job.hpp"
+#include "sim/time.hpp"
+#include "workloads/grid.hpp"
+
+namespace dfly::workloads {
+
+/// Divide an iteration count by the run-scale knob, clamping at `min_iters`.
+/// Scaling shrinks run length only: per-message sizes, burst shapes and
+/// compute/communication interleaving (hence injection rate and peak ingress
+/// volume) are preserved, so contention behaviour is unchanged.
+inline int scaled(int iterations, int scale, int min_iters = 1) {
+  const int scaled_iters = iterations / (scale < 1 ? 1 : scale);
+  return scaled_iters < min_iters ? min_iters : scaled_iters;
+}
+
+// ---------------------------------------------------------------------------
+// UR — uniform-random background traffic (Table I: 3.07KB peak, 888 GB/s).
+// ---------------------------------------------------------------------------
+struct UniformRandomParams {
+  std::int64_t msg_bytes{3072};
+  int iterations{7300};
+  SimTime interval{1823 * kNs};  ///< paced so exec ~= 13.31 ms at 528 ranks
+  int window{64};                ///< outstanding sends drained per window
+};
+
+class UniformRandomMotif final : public mpi::Motif {
+ public:
+  explicit UniformRandomMotif(UniformRandomParams params) : p_(params) {}
+  std::string name() const override { return "UR"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const UniformRandomParams& params() const { return p_; }
+
+ private:
+  UniformRandomParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// LU — NPB LU wavefront sweep (Table I: 30KB peak = 2 x 15KB, 1000 GB/s).
+// Each iteration runs a forward sweep from one grid corner and a backward
+// sweep from the opposite corner, pipelined over `planes` k-planes; ranks
+// block on upstream neighbours, so the motif is communication-dominated.
+// ---------------------------------------------------------------------------
+struct LuSweepParams {
+  int nx{22};
+  int ny{22};
+  int planes{6};
+  std::int64_t msg_bytes{15360};
+  int iterations{82};
+  SimTime compute_per_plane{500 * kNs};
+};
+
+class LuSweepMotif final : public mpi::Motif {
+ public:
+  explicit LuSweepMotif(LuSweepParams params) : p_(params) {}
+  std::string name() const override { return "LU"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const LuSweepParams& params() const { return p_; }
+
+ private:
+  LuSweepParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// FFT3D — 2D process array; row Alltoall + column Alltoall per iteration
+// with FFT compute between (Table I: 51.68KB peak = 1 message, 1259 GB/s).
+// ---------------------------------------------------------------------------
+struct Fft3dParams {
+  int rows{22};
+  int cols{24};
+  std::int64_t msg_bytes{52920};
+  int iterations{13};
+  SimTime compute{380 * kUs};  ///< FFT stage between the two Alltoalls
+};
+
+class Fft3dMotif final : public mpi::Motif {
+ public:
+  explicit Fft3dMotif(Fft3dParams params) : p_(params) {}
+  std::string name() const override { return "FFT3D"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const Fft3dParams& params() const { return p_; }
+
+ private:
+  Fft3dParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// N-dimensional halo exchange — shared engine for Halo3D (6 neighbours),
+// LQCD (4D torus, 8 neighbours) and Stencil5D (up to 10 neighbours).
+// Per iteration: post all receives, post all sends back-to-back (the
+// ingress burst that defines peak ingress volume), wait, compute.
+// ---------------------------------------------------------------------------
+struct NdStencilParams {
+  std::string label{"NdStencil"};
+  std::vector<int> dims{8, 8, 8};
+  std::int64_t msg_bytes{196608};
+  int iterations{79};
+  SimTime compute{60 * kUs};
+  bool periodic{true};
+};
+
+class NdStencilMotif final : public mpi::Motif {
+ public:
+  explicit NdStencilMotif(NdStencilParams params) : p_(std::move(params)), grid_(p_.dims) {}
+  std::string name() const override { return p_.label; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const NdStencilParams& params() const { return p_; }
+  const Grid& grid() const { return grid_; }
+
+  /// Table I presets (528/512-node standalone shapes).
+  static NdStencilParams halo3d();     ///< 8x8x8 torus, 192KB, 1.15MB burst
+  static NdStencilParams lqcd();       ///< 4x4x4x8 torus, 576KB, 4.6MB burst
+  static NdStencilParams stencil5d();  ///< 3x3x3x3x6 open grid, 1.4MB, 14MB burst
+
+ private:
+  NdStencilParams p_;
+  Grid grid_;
+};
+
+// ---------------------------------------------------------------------------
+// CosmoFlow / DL — synchronous data-parallel training: long compute, then a
+// binary-tree Allreduce (Table I: 2.25MB peak = 2 x 1.126MB down-phase).
+// DL is the same pattern with a 4.7x higher injection rate (shorter
+// compute interval, more rounds).
+// ---------------------------------------------------------------------------
+struct AllreducePeriodicParams {
+  std::string label{"CosmoFlow"};
+  std::int64_t msg_bytes{1126000};
+  int iterations{2};
+  SimTime interval{5160 * kUs};
+  int min_iterations{2};  ///< keep at least the paper's round structure
+  /// Allreduce algorithm (tree = SST/paper default; ring / rdouble /
+  /// rabenseifner enable the algorithm-ablation benches).
+  mpi::coll::AllreduceAlg algorithm{mpi::coll::AllreduceAlg::kBinaryTree};
+};
+
+class AllreducePeriodicMotif final : public mpi::Motif {
+ public:
+  explicit AllreducePeriodicMotif(AllreducePeriodicParams params) : p_(std::move(params)) {}
+  std::string name() const override { return p_.label; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const AllreducePeriodicParams& params() const { return p_; }
+
+  static AllreducePeriodicParams cosmoflow();  ///< 28.15MB/25 every 129ms/25
+  static AllreducePeriodicParams dl();         ///< ~4.7x CosmoFlow's rate
+
+ private:
+  AllreducePeriodicParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// LULESH — hybrid: 26-point 3D stencil followed by a Sweep3D-style diagonal
+// wavefront (Table I: 1.95MB stencil burst + 14.91KB sweep messages).
+// ---------------------------------------------------------------------------
+struct LuleshParams {
+  int nx{8}, ny{8}, nz{8};
+  std::int64_t stencil_bytes{76800};
+  std::int64_t sweep_bytes{15268};
+  int iterations{22};
+  SimTime compute{300 * kUs};
+  SimTime sweep_compute{2 * kUs};
+};
+
+class LuleshMotif final : public mpi::Motif {
+ public:
+  explicit LuleshMotif(LuleshParams params) : p_(params) {}
+  std::string name() const override { return "LULESH"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const LuleshParams& params() const { return p_; }
+
+ private:
+  LuleshParams p_;
+};
+
+}  // namespace dfly::workloads

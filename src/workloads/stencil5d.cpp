@@ -1,0 +1,16 @@
+// Stencil5D is an NdStencilMotif configuration (5D open grid, <= 10
+// neighbours); the preset lives in halo3d.cpp alongside the shared stencil
+// engine. This TU hosts Stencil5D-specific helpers.
+
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+/// Convenience: a fully-constructed Stencil5D motif.
+std::unique_ptr<NdStencilMotif> make_stencil5d(int scale) {
+  NdStencilParams p = NdStencilMotif::stencil5d();
+  p.iterations = scaled(p.iterations, scale);
+  return std::make_unique<NdStencilMotif>(std::move(p));
+}
+
+}  // namespace dfly::workloads

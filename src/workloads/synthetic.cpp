@@ -1,0 +1,196 @@
+#include "workloads/synthetic.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "mpi/coll.hpp"
+
+namespace dfly::workloads {
+
+mpi::Task IncastMotif::run(mpi::RankCtx& ctx) const {
+  ctx.set_sink_mode(true);
+  const int targets = p_.fanin_targets < 1 ? 1 : p_.fanin_targets;
+  if (ctx.rank() < targets) {
+    // Receivers idle; sink mode counts and drops inbound payloads. They
+    // still participate in job completion, so give them a bounded lifetime
+    // matched to the senders' nominal schedule.
+    co_await ctx.compute(p_.interval * p_.iterations);
+    co_return;
+  }
+  const int dst = ctx.rank() % targets;
+  std::vector<mpi::ReqId> window;
+  window.reserve(static_cast<std::size_t>(p_.window));
+  for (int i = 0; i < p_.iterations; ++i) {
+    window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
+    if (static_cast<int>(window.size()) >= p_.window) {
+      co_await ctx.wait_all(std::move(window));
+      window.clear();
+    }
+    co_await ctx.compute(p_.interval);
+  }
+  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  ctx.mark_iteration();
+}
+
+mpi::Task ShiftMotif::run(mpi::RankCtx& ctx) const {
+  ctx.set_sink_mode(true);
+  const int n = ctx.size();
+  const int dst = (ctx.rank() + p_.stride % n + n) % n;
+  if (dst == ctx.rank()) co_return;  // stride is a multiple of n
+  std::vector<mpi::ReqId> window;
+  window.reserve(static_cast<std::size_t>(p_.window));
+  for (int i = 0; i < p_.iterations; ++i) {
+    window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
+    if (static_cast<int>(window.size()) >= p_.window) {
+      co_await ctx.wait_all(std::move(window));
+      window.clear();
+    }
+    co_await ctx.compute(p_.interval);
+  }
+  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  ctx.mark_iteration();
+}
+
+mpi::Task GroupAdversarialMotif::run(mpi::RankCtx& ctx) const {
+  ctx.set_sink_mode(true);
+  const int n = ctx.size();
+  const int per_group = p_.ranks_per_group < 1 ? 1 : p_.ranks_per_group;
+  const int num_blocks = (n + per_group - 1) / per_group;
+  if (num_blocks < 2) co_return;  // no other group to attack
+  const int my_block = ctx.rank() / per_group;
+  const int dst_block = (my_block + p_.group_stride % num_blocks + num_blocks) % num_blocks;
+  const int block_base = dst_block * per_group;
+  const int block_size =
+      dst_block == num_blocks - 1 ? n - block_base : per_group;  // last block may be short
+
+  std::vector<mpi::ReqId> window;
+  window.reserve(static_cast<std::size_t>(p_.window));
+  for (int i = 0; i < p_.iterations; ++i) {
+    // A fresh random rank inside the destination block every message: the
+    // whole block's ingress is loaded, but (under linear placement) all of
+    // it funnels through the one global link between the two groups.
+    int dst = block_base + static_cast<int>(ctx.rng().next_below(
+                               static_cast<std::uint64_t>(block_size)));
+    if (dst == ctx.rank()) dst = block_base + (dst - block_base + 1) % block_size;
+    window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
+    if (static_cast<int>(window.size()) >= p_.window) {
+      co_await ctx.wait_all(std::move(window));
+      window.clear();
+    }
+    co_await ctx.compute(p_.interval);
+  }
+  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  ctx.mark_iteration();
+}
+
+mpi::Task PingPongMotif::run(mpi::RankCtx& ctx) const {
+  const int n = ctx.size();
+  const int half = n / 2;
+  if (half == 0) co_return;
+  const int me = ctx.rank();
+  if (me >= 2 * half) co_return;  // odd n: last rank sits out
+
+  const int tag = 1;
+  if (me < half) {
+    const int partner = me + half;
+    for (int i = 0; i < p_.iterations; ++i) {
+      co_await ctx.send(partner, p_.msg_bytes, tag);
+      co_await ctx.recv(partner, tag);
+      ctx.mark_iteration();
+    }
+  } else {
+    const int partner = me - half;
+    for (int i = 0; i < p_.iterations; ++i) {
+      co_await ctx.recv(partner, tag);
+      co_await ctx.send(partner, p_.msg_bytes, tag);
+    }
+  }
+}
+
+mpi::Task BisectionMotif::run(mpi::RankCtx& ctx) const {
+  const int n = ctx.size();
+  const int half = n / 2;
+  if (half == 0) co_return;
+  const int me = ctx.rank();
+  if (me >= 2 * half) co_return;
+  const int partner = me < half ? me + half : me - half;
+  const int tag = 2;
+  for (int i = 0; i < p_.iterations; ++i) {
+    // Full-duplex: both directions in flight simultaneously; the receive is
+    // posted first so rendezvous-size payloads cannot deadlock.
+    const mpi::ReqId r = ctx.irecv(partner, tag);
+    const mpi::ReqId s = ctx.isend(partner, p_.msg_bytes, tag);
+    co_await ctx.wait(r);
+    co_await ctx.wait(s);
+    if (p_.interval > 0) co_await ctx.compute(p_.interval);
+    ctx.mark_iteration();
+  }
+}
+
+mpi::Task HotRegionMotif::run(mpi::RankCtx& ctx) const {
+  ctx.set_sink_mode(true);
+  const int n = ctx.size();
+  const int hot = p_.hot_ranks < 1 ? 1 : (p_.hot_ranks > n ? n : p_.hot_ranks);
+  std::vector<mpi::ReqId> window;
+  window.reserve(static_cast<std::size_t>(p_.window));
+  for (int i = 0; i < p_.iterations; ++i) {
+    const bool aim_hot =
+        static_cast<int>(ctx.rng().next_below(1000)) < p_.hot_per_mille;
+    const int span = aim_hot ? hot : n;
+    int dst = static_cast<int>(ctx.rng().next_below(static_cast<std::uint64_t>(span)));
+    if (dst == ctx.rank()) dst = (dst + 1) % span;
+    if (dst == ctx.rank()) {
+      co_await ctx.compute(p_.interval);
+      continue;  // span == 1 and we are the hot rank
+    }
+    window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
+    if (static_cast<int>(window.size()) >= p_.window) {
+      co_await ctx.wait_all(std::move(window));
+      window.clear();
+    }
+    co_await ctx.compute(p_.interval);
+  }
+  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  ctx.mark_iteration();
+}
+
+namespace {
+
+/// splitmix64 — cheap stateless mixer for the deterministic lane pattern.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::int64_t SparseExchangeMotif::lane_bytes(int src, int dst, int iteration) const {
+  if (src == dst) return 0;
+  const std::uint64_t h = mix64(p_.pattern_seed ^ mix64(static_cast<std::uint64_t>(src) << 40 |
+                                                        static_cast<std::uint64_t>(dst) << 16 |
+                                                        static_cast<std::uint64_t>(iteration)));
+  if (static_cast<int>(h % 1000) >= p_.density_per_mille) return 0;
+  return p_.msg_bytes * static_cast<std::int64_t>(1 + (h >> 32) % 4);
+}
+
+mpi::Task SparseExchangeMotif::run(mpi::RankCtx& ctx) const {
+  const int n = ctx.size();
+  std::vector<int> members(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) members[static_cast<std::size_t>(i)] = i;
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    std::vector<std::int64_t> send_bytes(static_cast<std::size_t>(n));
+    std::vector<std::int64_t> recv_bytes(static_cast<std::size_t>(n));
+    for (int peer = 0; peer < n; ++peer) {
+      send_bytes[static_cast<std::size_t>(peer)] = lane_bytes(ctx.rank(), peer, iter);
+      recv_bytes[static_cast<std::size_t>(peer)] = lane_bytes(peer, ctx.rank(), iter);
+    }
+    co_await mpi::coll::alltoallv_ring(ctx, std::move(send_bytes), std::move(recv_bytes),
+                                       members);
+    co_await ctx.compute(p_.compute);
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace dfly::workloads

@@ -1,0 +1,219 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/job.hpp"
+#include "sim/time.hpp"
+
+/// Synthetic traffic patterns from the interconnect-evaluation literature
+/// (Kim et al. ISCA'08 and successors). These are not among the paper's nine
+/// Table I applications; they extend the study with the classic stressors
+/// used to characterise Dragonfly routing: adversarial group-to-group
+/// traffic exposes minimal routing's single-global-link bottleneck, incast
+/// exposes endpoint congestion, and shift/bisection patterns probe specific
+/// path classes. The ablation benches use them to reproduce the classic
+/// minimal-vs-Valiant-vs-UGAL crossover that motivates adaptive routing.
+namespace dfly::workloads {
+
+// ---------------------------------------------------------------------------
+// Incast — many senders converge on few receivers (endpoint hot spot).
+// ---------------------------------------------------------------------------
+struct IncastParams {
+  /// Number of receiver ranks (ranks [0, fanin_targets) receive).
+  int fanin_targets{1};
+  std::int64_t msg_bytes{4096};
+  int iterations{200};
+  /// Pause between bursts on every sender.
+  SimTime interval{2 * kUs};
+  /// Outstanding sends drained per window on every sender.
+  int window{32};
+};
+
+/// All non-target ranks fire at target rank (sender_rank % fanin_targets).
+/// Receivers run in sink mode: the pattern studies network/endpoint
+/// congestion, not receiver-side consumption.
+class IncastMotif final : public mpi::Motif {
+ public:
+  explicit IncastMotif(IncastParams params) : p_(params) {}
+  std::string name() const override { return "Incast"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const IncastParams& params() const { return p_; }
+
+ private:
+  IncastParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// Shift — fixed-stride permutation: rank r sends to (r + stride) mod n.
+// ---------------------------------------------------------------------------
+struct ShiftParams {
+  int stride{1};
+  std::int64_t msg_bytes{4096};
+  int iterations{300};
+  SimTime interval{1 * kUs};
+  int window{32};
+};
+
+/// Permutation traffic: every rank has exactly one destination, so each
+/// minimal path carries exactly one flow — the cleanest probe of path-class
+/// bandwidth. With stride == nodes-per-group (under linear placement) this
+/// becomes the classic neighbour-group adversarial pattern.
+class ShiftMotif final : public mpi::Motif {
+ public:
+  explicit ShiftMotif(ShiftParams params) : p_(params) {}
+  std::string name() const override { return "Shift"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const ShiftParams& params() const { return p_; }
+
+ private:
+  ShiftParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// Group-adversarial (ADV+k) — every rank in group G targets a random rank
+// whose group is G+k (Kim et al. ISCA'08 worst case for minimal routing).
+// ---------------------------------------------------------------------------
+struct GroupAdversarialParams {
+  /// Group offset k: traffic from group G goes to group (G + k) mod g.
+  int group_stride{1};
+  /// Ranks per group under the intended placement. The motif works on rank
+  /// arithmetic, so pair it with PlacementPolicy::kLinear (or kContiguous)
+  /// and set this to nodes-per-group (p*a) so that rank blocks coincide
+  /// with groups; under random placement it degenerates to permutation
+  /// traffic, which is exactly the ISCA'08 observation about randomisation.
+  int ranks_per_group{32};
+  std::int64_t msg_bytes{4096};
+  int iterations{300};
+  SimTime interval{1 * kUs};
+  int window{32};
+};
+
+/// ADV+k: all minimal traffic from one group funnels through the single
+/// global link between the group pair, so minimal routing saturates at
+/// 1/(a*p) of injection bandwidth while Valiant-style spreading keeps
+/// scaling — the canonical argument for non-minimal adaptive routing.
+class GroupAdversarialMotif final : public mpi::Motif {
+ public:
+  explicit GroupAdversarialMotif(GroupAdversarialParams params) : p_(params) {}
+  std::string name() const override { return "ADV+" + std::to_string(p_.group_stride); }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const GroupAdversarialParams& params() const { return p_; }
+
+ private:
+  GroupAdversarialParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// Ping-pong — paired round-trip latency probe.
+// ---------------------------------------------------------------------------
+struct PingPongParams {
+  std::int64_t msg_bytes{1024};
+  int iterations{100};
+};
+
+/// Rank r < n/2 plays ping with partner r + n/2: a strict request/response
+/// chain with exactly one message in flight per pair. Communication time
+/// equals round-trip count x one-way latency, which the latency tests use
+/// to validate the network's timing model end to end.
+class PingPongMotif final : public mpi::Motif {
+ public:
+  explicit PingPongMotif(PingPongParams params) : p_(params) {}
+  std::string name() const override { return "PingPong"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const PingPongParams& params() const { return p_; }
+
+ private:
+  PingPongParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// Bisection exchange — simultaneous full-duplex exchange across the halves.
+// ---------------------------------------------------------------------------
+struct BisectionParams {
+  std::int64_t msg_bytes{65536};
+  int iterations{40};
+  SimTime interval{0};
+};
+
+/// Rank r exchanges with (r + n/2) mod n in both directions at once; every
+/// message crosses the bisection, so aggregate throughput measures the
+/// machine's effective bisection bandwidth under the chosen routing.
+class BisectionMotif final : public mpi::Motif {
+ public:
+  explicit BisectionMotif(BisectionParams params) : p_(params) {}
+  std::string name() const override { return "Bisection"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const BisectionParams& params() const { return p_; }
+
+ private:
+  BisectionParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// Hot-region — a tunable mix of uniform and hot-spot traffic.
+// ---------------------------------------------------------------------------
+struct HotRegionParams {
+  /// Fraction (x1000) of messages aimed at the hot region, e.g. 250 = 25%.
+  int hot_per_mille{250};
+  /// The hot region is ranks [0, hot_ranks).
+  int hot_ranks{8};
+  std::int64_t msg_bytes{4096};
+  int iterations{300};
+  SimTime interval{1 * kUs};
+  int window{32};
+};
+
+/// Background uniform traffic with a dialable hot spot: the knob moves the
+/// system continuously between UR (0) and incast (1000), exposing where each
+/// routing policy starts to collapse.
+class HotRegionMotif final : public mpi::Motif {
+ public:
+  explicit HotRegionMotif(HotRegionParams params) : p_(params) {}
+  std::string name() const override { return "HotRegion"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const HotRegionParams& params() const { return p_; }
+
+ private:
+  HotRegionParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// Sparse exchange — irregular vector alltoall (graph/AMR communication).
+// ---------------------------------------------------------------------------
+struct SparseExchangeParams {
+  /// Probability (x1000) that a (src,dst) lane carries traffic, e.g. 200 = 20%.
+  int density_per_mille{200};
+  /// Base payload of a populated lane; the deterministic pattern scales it
+  /// by 1..4x so lane weights are skewed like real sparse matrices.
+  std::int64_t msg_bytes{16384};
+  int iterations{10};
+  SimTime compute{20 * kUs};
+  /// Seed of the lane pattern (shared by all ranks; decouples the pattern
+  /// from the simulation seed so placements can vary while traffic stays).
+  std::uint64_t pattern_seed{1};
+};
+
+/// Each iteration performs an MPI_Alltoallv over a deterministic random
+/// sparsity pattern: every rank derives the same lane matrix from
+/// (pattern_seed, iteration), so send/receive vectors are mirror-consistent
+/// without any coordination traffic. This is the communication shape of
+/// graph analytics and adaptive-mesh codes — unbalanced per-pair volumes
+/// that stress routing differently from the uniform Alltoall of FFT3D.
+class SparseExchangeMotif final : public mpi::Motif {
+ public:
+  explicit SparseExchangeMotif(SparseExchangeParams params) : p_(params) {}
+  std::string name() const override { return "SparseExchange"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override;
+  const SparseExchangeParams& params() const { return p_; }
+
+  /// Bytes rank `src` sends to rank `dst` in `iteration` (0 for unpopulated
+  /// lanes and for src == dst). Deterministic; tests and the motif share it.
+  std::int64_t lane_bytes(int src, int dst, int iteration) const;
+
+ private:
+  SparseExchangeParams p_;
+};
+
+}  // namespace dfly::workloads

@@ -1,0 +1,28 @@
+#include "workloads/motifs.hpp"
+
+namespace dfly::workloads {
+
+mpi::Task UniformRandomMotif::run(mpi::RankCtx& ctx) const {
+  // UR is a pure traffic generator: every `interval` it fires one message at
+  // a uniformly random peer. Receivers never consume, so sink mode drops
+  // inbound payloads after they are counted by the network statistics.
+  ctx.set_sink_mode(true);
+  std::vector<mpi::ReqId> window;
+  window.reserve(static_cast<std::size_t>(p_.window));
+  for (int i = 0; i < p_.iterations; ++i) {
+    int dst = ctx.rank();
+    while (dst == ctx.rank()) {
+      dst = static_cast<int>(ctx.rng().next_below(static_cast<std::uint64_t>(ctx.size())));
+    }
+    window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
+    if (static_cast<int>(window.size()) >= p_.window) {
+      co_await ctx.wait_all(std::move(window));
+      window.clear();
+    }
+    co_await ctx.compute(p_.interval);
+    if (i % 100 == 0) ctx.mark_iteration();
+  }
+  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+}
+
+}  // namespace dfly::workloads

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/study.hpp"
+
+namespace dfly {
+namespace {
+
+int count_lines(const std::string& path) {
+  std::ifstream in(path);
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+TEST(CsvExport, WritesAllThreeFiles) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "UGALg";
+  config.scale = 64;
+  Study study(config);
+  study.add_app("UR", 24);
+  study.add_app("CosmoFlow", 24);
+  study.run();
+  const std::string prefix = "/tmp/dfly_csv_test";
+  study.write_csv(prefix);
+
+  // apps.csv: header + 2 app rows.
+  EXPECT_EQ(count_lines(prefix + "_apps.csv"), 3);
+  // congestion.csv: header + g*g rows.
+  const int g = config.topo.g;
+  EXPECT_EQ(count_lines(prefix + "_congestion.csv"), 1 + g * g);
+  // stall.csv: header + g rows.
+  EXPECT_EQ(count_lines(prefix + "_stall.csv"), 1 + g);
+
+  // Spot-check the apps header and a data field.
+  std::ifstream in(prefix + "_apps.csv");
+  std::string header, row;
+  std::getline(in, header);
+  EXPECT_NE(header.find("comm_mean_ms"), std::string::npos);
+  std::getline(in, row);
+  EXPECT_EQ(row.rfind("UR,", 0), 0u);
+
+  for (const char* suffix : {"_apps.csv", "_congestion.csv", "_stall.csv"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(CsvExport, ThrowsBeforeRun) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  Study study(config);
+  study.add_app("UR", 8);
+  EXPECT_THROW(study.write_csv("/tmp/dfly_csv_early"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+
+namespace dfly {
+namespace {
+
+/// Failure injection: motifs that misbehave must be reported, not hang the
+/// harness or corrupt state.
+
+class DeadlockMotif final : public mpi::Motif {
+ public:
+  std::string name() const override { return "Deadlock"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    // Rank 0 waits for a message nobody sends.
+    if (ctx.rank() == 0) co_await ctx.recv(1, /*tag=*/99);
+  }
+};
+
+class HalfDeadMotif final : public mpi::Motif {
+ public:
+  std::string name() const override { return "HalfDead"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    if (ctx.rank() % 2 == 0) {
+      co_await ctx.compute(10 * kUs);
+    } else {
+      co_await ctx.recv(mpi::kAnySource, 12345);  // never satisfied
+    }
+  }
+};
+
+StudyConfig tiny_config() {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  config.scale = 64;            // healthy co-runners finish well inside the limit
+  config.time_limit = 5 * kMs;  // fail fast
+  return config;
+}
+
+TEST(Failures, DeadlockedJobReportsIncomplete) {
+  Study study(tiny_config());
+  study.add_motif(std::make_unique<DeadlockMotif>(), 4, "deadlock");
+  const Report report = study.run();
+  EXPECT_FALSE(report.completed);
+}
+
+TEST(Failures, PartialCompletionIsVisiblePerRank) {
+  Study study(tiny_config());
+  study.add_motif(std::make_unique<HalfDeadMotif>(), 8, "halfdead");
+  const Report report = study.run();
+  EXPECT_FALSE(report.completed);
+  // The even ranks finished; the job as a whole did not.
+  EXPECT_FALSE(study.job(0).done());
+}
+
+TEST(Failures, HealthyJobUnaffectedByDeadlockedNeighbor) {
+  // A co-running application must still be able to finish even when the
+  // other job never terminates (the paper's harness runs jobs of unequal
+  // length all the time).
+  Study study(tiny_config());
+  study.add_motif(std::make_unique<DeadlockMotif>(), 4, "deadlock");
+  study.add_app("UR", 16);
+  const Report report = study.run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_FALSE(study.job(0).done());
+  EXPECT_TRUE(study.job(1).done());
+}
+
+TEST(Failures, TimeLimitBoundsRuntime) {
+  Study study(tiny_config());
+  study.add_motif(std::make_unique<DeadlockMotif>(), 2, "deadlock");
+  study.run();
+  EXPECT_LE(study.engine().now(), 5 * kMs + kMs);
+}
+
+TEST(Failures, OversizedJobThrowsAtAdd) {
+  Study study(tiny_config());
+  EXPECT_THROW(study.add_motif(std::make_unique<DeadlockMotif>(), 10000, "huge"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dfly

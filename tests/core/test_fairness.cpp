@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/study.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+StudyConfig tiny_config(const std::string& routing = "UGALg") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = 21;
+  return config;
+}
+
+TEST(JainFairness, ZeroForSingleApp) {
+  Study study(tiny_config());
+  workloads::UniformRandomParams params;
+  params.iterations = 20;
+  params.window = 8;
+  study.add_motif(std::make_unique<workloads::UniformRandomMotif>(params), 16, "UR");
+  const Report report = study.run();
+  EXPECT_EQ(report.jain_fairness, 0.0);
+}
+
+TEST(JainFairness, NearOneForIdenticalApps) {
+  Study study(tiny_config());
+  for (int i = 0; i < 2; ++i) {
+    workloads::UniformRandomParams params;
+    params.iterations = 40;
+    params.window = 8;
+    params.interval = 500 * kNs;
+    study.add_motif(std::make_unique<workloads::UniformRandomMotif>(params), 24,
+                    "UR" + std::to_string(i));
+  }
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.jain_fairness, 0.9);
+  EXPECT_LE(report.jain_fairness, 1.0 + 1e-12);
+}
+
+TEST(JainFairness, LowForSkewedRates) {
+  Study study(tiny_config());
+  workloads::UniformRandomParams heavy;
+  heavy.msg_bytes = 65536;
+  heavy.iterations = 60;
+  heavy.window = 16;
+  heavy.interval = 0;
+  study.add_motif(std::make_unique<workloads::UniformRandomMotif>(heavy), 32, "heavy");
+  workloads::PingPongParams light;
+  light.msg_bytes = 512;
+  light.iterations = 50;
+  study.add_motif(std::make_unique<workloads::PingPongMotif>(light), 8, "light");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  // Two apps: J in [0.5, 1]; a heavy/light pair sits well below identical.
+  EXPECT_GE(report.jain_fairness, 0.5);
+  EXPECT_LT(report.jain_fairness, 0.85);
+}
+
+}  // namespace
+}  // namespace dfly

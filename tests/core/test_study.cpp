@@ -1,0 +1,168 @@
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mixed.hpp"
+#include "core/pairwise.hpp"
+
+namespace dfly {
+namespace {
+
+StudyConfig tiny_config(const std::string& routing = "UGALg") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.scale = 64;
+  return config;
+}
+
+TEST(Study, RunsSingleApp) {
+  Study study(tiny_config());
+  study.add_app("UR", 32);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.apps.size(), 1u);
+  EXPECT_EQ(report.apps[0].app, "UR");
+  EXPECT_GT(report.makespan, 0);
+  EXPECT_GT(report.events_executed, 0u);
+}
+
+TEST(Study, ThrowsOnEmptyRun) {
+  Study study(tiny_config());
+  EXPECT_THROW(study.run(), std::logic_error);
+}
+
+TEST(Study, ThrowsOnDoubleRun) {
+  Study study(tiny_config());
+  study.add_app("UR", 16);
+  study.run();
+  EXPECT_THROW(study.run(), std::logic_error);
+}
+
+TEST(Study, CannotAddJobsAfterRun) {
+  Study study(tiny_config());
+  study.add_app("UR", 16);
+  study.run();
+  EXPECT_THROW(study.add_app("UR", 16), std::logic_error);
+}
+
+TEST(Study, TwoAppsShareTheSystem) {
+  Study study(tiny_config());
+  const int a = study.add_app("UR", 32);
+  const int b = study.add_app("CosmoFlow", 32);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.apps.size(), 2u);
+  EXPECT_EQ(report.apps[static_cast<std::size_t>(a)].app, "UR");
+  EXPECT_EQ(report.apps[static_cast<std::size_t>(b)].app, "CosmoFlow");
+  // Disjoint placement: 32 + 32 <= 72.
+  EXPECT_GE(study.free_nodes(), 72 - 64);
+}
+
+TEST(Study, ReportAppLookupByName) {
+  Study study(tiny_config());
+  study.add_app("UR", 16);
+  const Report report = study.run();
+  EXPECT_EQ(report.app("UR").app, "UR");
+  EXPECT_THROW(report.app("nope"), std::out_of_range);
+}
+
+TEST(Study, DeterministicAcrossIdenticalRuns) {
+  Report r1, r2;
+  {
+    Study study(tiny_config());
+    study.add_app("FFT3D", 32);
+    r1 = study.run();
+  }
+  {
+    Study study(tiny_config());
+    study.add_app("FFT3D", 32);
+    r2 = study.run();
+  }
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.events_executed, r2.events_executed);
+  EXPECT_DOUBLE_EQ(r1.apps[0].comm_mean_ms, r2.apps[0].comm_mean_ms);
+}
+
+TEST(Study, SeedChangesPlacementAndOutcome) {
+  StudyConfig c1 = tiny_config();
+  StudyConfig c2 = tiny_config();
+  c2.seed = 777;
+  Study s1(c1), s2(c2);
+  s1.add_app("FFT3D", 32);
+  s2.add_app("FFT3D", 32);
+  const Report r1 = s1.run();
+  const Report r2 = s2.run();
+  EXPECT_NE(r1.makespan, r2.makespan);
+}
+
+TEST(Pairwise, StandaloneBaselineHasNoBackground) {
+  const PairwiseResult result = run_pairwise(tiny_config(), "FFT3D", "None");
+  EXPECT_EQ(result.background, "None");
+  EXPECT_EQ(result.full.apps.size(), 1u);
+  EXPECT_TRUE(result.full.completed);
+}
+
+TEST(Pairwise, CoRunHasBothApps) {
+  const PairwiseResult result = run_pairwise(tiny_config(), "FFT3D", "UR");
+  EXPECT_EQ(result.full.apps.size(), 2u);
+  EXPECT_EQ(result.target_report.app, "FFT3D");
+  EXPECT_EQ(result.background_report.app, "UR");
+  EXPECT_TRUE(result.full.completed);
+}
+
+TEST(Pairwise, TargetMappingInvariantAcrossBackgrounds) {
+  // The contract behind Fig 4: the target's node mapping must not change
+  // when the background changes, so comm-time deltas are pure interference.
+  StudyConfig config = tiny_config();
+  Study s1(config), s2(config);
+  const int half = 36;
+  s1.add_app("FFT3D", half);
+  s2.add_app("FFT3D", half);
+  s2.add_app("UR", half);
+  // Compare the two jobs' node lists after build (run both).
+  s1.run();
+  s2.run();
+  ASSERT_EQ(s1.job(0).size(), s2.job(0).size());
+  for (int r = 0; r < s1.job(0).size(); ++r) {
+    EXPECT_EQ(s1.job(0).node_of(r), s2.job(0).node_of(r)) << "rank " << r;
+  }
+}
+
+TEST(Pairwise, Fig4MatrixShape) {
+  EXPECT_EQ(fig4_targets().size(), 6u);
+  EXPECT_EQ(fig4_backgrounds().size(), 7u);
+  EXPECT_EQ(fig4_backgrounds().front(), "None");
+}
+
+TEST(Mixed, Table2SpecsSumToFullSystem) {
+  int total = 0;
+  for (const auto& spec : table2_mix()) total += spec.nodes;
+  EXPECT_EQ(total, 1056);
+  EXPECT_EQ(table2_mix().size(), 6u);
+}
+
+TEST(Mixed, RunsOnPaperSystemScaledDown) {
+  StudyConfig config;
+  config.topo = DragonflyParams::paper();
+  config.routing = "UGALg";
+  config.scale = 256;  // minimum iterations: just exercise the plumbing
+  const Report report = run_mixed(config);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.apps.size(), 6u);
+  EXPECT_EQ(report.app("LQCD").nodes, 256);
+  EXPECT_EQ(report.app("Stencil5D").nodes, 243);
+}
+
+TEST(Study, CongestionAndStallFieldsPopulated) {
+  Study study(tiny_config());
+  study.add_app("Halo3D", 64);
+  const Report report = study.run();
+  EXPECT_GT(report.agg_throughput_gb_per_ms, 0.0);
+  EXPECT_GE(report.local_stall_ms, 0.0);
+  EXPECT_GT(report.congestion_mean, 0.0);
+  EXPECT_GE(report.congestion_max, report.congestion_mean);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,261 @@
+// Tests for SeedSweep (core/sweep.hpp), ConfigFile (core/config_file.hpp)
+// and the JSON report writer (core/json_report.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/config_file.hpp"
+#include "core/json_report.hpp"
+#include "core/sweep.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+Report run_shift(std::uint64_t seed, const std::string& routing = "PAR") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = seed;
+  Study study(std::move(config));
+  workloads::ShiftParams p;
+  p.iterations = 40;
+  study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 20, "Shift");
+  return study.run();
+}
+
+// --- SeedSweep ---------------------------------------------------------------
+
+TEST(SeedSweep, AggregatesAcrossSeeds) {
+  const SeedSweep sweep(100, 5);
+  ASSERT_EQ(sweep.seeds().size(), 5u);
+  EXPECT_EQ(sweep.seeds()[4], 104u);
+  const SweepSummary summary = sweep.run([](std::uint64_t seed) { return run_shift(seed); });
+  EXPECT_EQ(summary.runs, 5);
+  EXPECT_EQ(summary.completed_runs, 5);
+  ASSERT_EQ(summary.apps.size(), 1u);
+  EXPECT_EQ(summary.apps[0].app, "Shift");
+  EXPECT_GT(summary.apps[0].comm_ms.mean, 0.0);
+  EXPECT_EQ(summary.apps[0].comm_ms.n, 5);
+  EXPECT_GE(summary.apps[0].comm_ms.max, summary.apps[0].comm_ms.min);
+  // CI must be positive when there is run-to-run variation (random
+  // placement differs per seed) and bounded by the spread.
+  EXPECT_GE(summary.apps[0].comm_ms.ci95_half, 0.0);
+  EXPECT_GT(summary.makespan_ms.mean, 0.0);
+}
+
+TEST(SeedSweep, SingleSeedHasZeroCi) {
+  const SeedSweep sweep(7, 1);
+  const SweepSummary summary = sweep.run([](std::uint64_t seed) { return run_shift(seed); });
+  EXPECT_EQ(summary.apps[0].comm_ms.n, 1);
+  EXPECT_EQ(summary.apps[0].comm_ms.ci95_half, 0.0);
+  EXPECT_EQ(summary.apps[0].comm_ms.stddev, 0.0);
+}
+
+TEST(SeedSweep, IdenticalSeedsGiveZeroSpread) {
+  const SeedSweep sweep(std::vector<std::uint64_t>{42, 42, 42});
+  const SweepSummary summary = sweep.run([](std::uint64_t seed) { return run_shift(seed); });
+  EXPECT_NEAR(summary.apps[0].comm_ms.stddev, 0.0, 1e-9);
+  EXPECT_EQ(summary.makespan_ms.min, summary.makespan_ms.max);
+}
+
+TEST(SeedSweep, Validation) {
+  EXPECT_THROW(SeedSweep(std::vector<std::uint64_t>{}), std::invalid_argument);
+  EXPECT_THROW(SeedSweep(1, 0), std::invalid_argument);
+  EXPECT_THROW(SeedSweep::aggregate({}), std::invalid_argument);
+  const SweepSummary summary = SeedSweep::aggregate({run_shift(1)});
+  EXPECT_THROW(summary.app("nope"), std::out_of_range);
+  EXPECT_NO_THROW(summary.app("Shift"));
+}
+
+// --- ConfigFile ----------------------------------------------------------------
+
+TEST(ConfigFile, ParsesTypedValues) {
+  const ConfigFile cfg = ConfigFile::parse(R"(
+# comment
+; alt comment
+routing = Q-adp
+topo.g = 17
+net.link_gbps = 100.5
+cc.enabled = yes
+qos.weights = 4, 2,1
+)");
+  EXPECT_EQ(cfg.get_string("routing"), "Q-adp");
+  EXPECT_EQ(cfg.get_int("topo.g"), 17);
+  EXPECT_DOUBLE_EQ(cfg.get_double("net.link_gbps"), 100.5);
+  EXPECT_TRUE(cfg.get_bool("cc.enabled"));
+  EXPECT_EQ(cfg.get_int_list("qos.weights"), (std::vector<int>{4, 2, 1}));
+  // Fallbacks.
+  EXPECT_EQ(cfg.get_int("missing", 9), 9);
+  EXPECT_FALSE(cfg.get_bool("missing"));
+  EXPECT_TRUE(cfg.get_int_list("missing").empty());
+}
+
+TEST(ConfigFile, SyntaxAndTypeErrors) {
+  EXPECT_THROW(ConfigFile::parse("novalue\n"), std::runtime_error);
+  EXPECT_THROW(ConfigFile::parse("= 3\n"), std::runtime_error);
+  const ConfigFile cfg = ConfigFile::parse("x = abc\nb = maybe\n");
+  EXPECT_THROW(cfg.get_int("x"), std::invalid_argument);
+  EXPECT_THROW(cfg.get_double("x"), std::invalid_argument);
+  EXPECT_THROW(cfg.get_bool("b"), std::invalid_argument);
+}
+
+TEST(ConfigFile, LoadFromDisk) {
+  const std::string path = std::string(::testing::TempDir()) + "/dfly_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "routing = UGALn\nseed = 77\n";
+  }
+  const ConfigFile cfg = ConfigFile::load(path);
+  EXPECT_EQ(cfg.get_string("routing"), "UGALn");
+  EXPECT_EQ(cfg.get_int("seed"), 77);
+  std::remove(path.c_str());
+  EXPECT_THROW(ConfigFile::load("/nonexistent/x.cfg"), std::runtime_error);
+}
+
+TEST(ApplyConfig, OverlaysOntoStudyConfig) {
+  const ConfigFile cfg = ConfigFile::parse(R"(
+topo.p = 2
+topo.a = 4
+topo.h = 2
+topo.g = 9
+routing = Q-adp
+placement = contiguous
+seed = 123
+scale = 4
+net.buffer_packets = 12
+qos.num_classes = 2
+qos.weights = 3,1
+cc.enabled = true
+qadp.alpha = 0.5
+ugal.bias = 10
+)");
+  const StudyConfig out = apply_config(StudyConfig{}, cfg);
+  EXPECT_EQ(out.topo.g, 9);
+  EXPECT_EQ(out.topo.num_nodes(), 72);
+  EXPECT_EQ(out.routing, "Q-adp");
+  EXPECT_EQ(out.placement, PlacementPolicy::kContiguous);
+  EXPECT_EQ(out.seed, 123u);
+  EXPECT_EQ(out.scale, 4);
+  EXPECT_EQ(out.net.buffer_packets, 12);
+  EXPECT_EQ(out.net.qos.num_classes, 2);
+  EXPECT_EQ(out.net.qos.weights, (std::vector<int>{3, 1}));
+  EXPECT_TRUE(out.net.cc.enabled);
+  EXPECT_DOUBLE_EQ(out.qadp.alpha, 0.5);
+  EXPECT_EQ(out.ugal.bias, 10);
+}
+
+TEST(ApplyConfig, UnknownKeyThrows) {
+  const ConfigFile cfg = ConfigFile::parse("routng = PAR\n");  // typo
+  EXPECT_THROW(apply_config(StudyConfig{}, cfg), std::invalid_argument);
+}
+
+TEST(ApplyConfig, ConfiguredStudyRuns) {
+  const ConfigFile cfg = ConfigFile::parse(
+      "topo.p = 2\ntopo.a = 4\ntopo.h = 2\ntopo.g = 9\nrouting = UGALg\n");
+  Study study(apply_config(StudyConfig{}, cfg));
+  workloads::ShiftParams p;
+  p.iterations = 20;
+  study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 16, "S");
+  EXPECT_TRUE(study.run().completed);
+}
+
+// --- JsonWriter / reports ---------------------------------------------------------
+
+TEST(JsonWriter, BuildsNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("dfly");
+  w.key("n").value(3);
+  w.key("pi").value(3.5);
+  w.key("ok").value(true);
+  w.key("nothing").null();
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.key("nested").begin_object().key("x").value("y").end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"dfly","n":3,"pi":3.5,"ok":true,"nothing":null,)"
+            R"("list":[1,2],"nested":{"x":"y"}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // unclosed
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), std::logic_error);  // consecutive keys
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), std::logic_error);  // two top-level values
+  }
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(ReportJson, ContainsKeyMetrics) {
+  const Report report = run_shift(5);
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"routing\":\"PAR\""), std::string::npos);
+  EXPECT_NE(json.find("\"apps\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"comm_mean_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
+}
+
+TEST(SweepJson, ContainsStats) {
+  const SeedSweep sweep(50, 3);
+  const SweepSummary summary =
+      sweep.run([](std::uint64_t seed) { return run_shift(seed); });
+  const std::string json = sweep_to_json(summary);
+  EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ci95_half\""), std::string::npos);
+  EXPECT_NE(json.find("\"app\":\"Shift\""), std::string::npos);
+}
+
+TEST(SaveJson, RoundTripsToDisk) {
+  const std::string path = std::string(::testing::TempDir()) + "/report.json";
+  save_json(path, "{\"x\":1}");
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "{\"x\":1}");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dfly

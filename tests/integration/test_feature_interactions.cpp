@@ -1,0 +1,184 @@
+// Cross-feature integration: the mitigation mechanisms (QoS classes,
+// congestion control, link faults, app-aware bias, extended workloads) are
+// designed to compose. Each test switches several on at once and checks the
+// run completes with coherent accounting — the regressions these catch are
+// interaction bugs (e.g. a fault-slowed port starving a DWRR class, or CC
+// pacing deadlocking against a degraded wire) that per-feature suites miss.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/study.hpp"
+#include "net/fault.hpp"
+#include "workloads/extended.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+StudyConfig tiny_config(const std::string& routing) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = 31;
+  return config;
+}
+
+void add_pair(Study& study) {
+  workloads::UniformRandomParams heavy;
+  heavy.msg_bytes = 32768;
+  heavy.iterations = 40;
+  heavy.interval = 0;
+  heavy.window = 8;
+  study.add_motif(std::make_unique<workloads::UniformRandomMotif>(heavy), 32, "heavy");
+  workloads::PingPongParams light;
+  light.msg_bytes = 1024;
+  light.iterations = 60;
+  study.add_motif(std::make_unique<workloads::PingPongMotif>(light), 16, "light");
+}
+
+/// Faults + QoS: a degraded local fabric must not break class arbitration.
+TEST(FeatureInteractions, FaultsWithQosClasses) {
+  StudyConfig config = tiny_config("PAR");
+  config.net.qos.num_classes = 2;
+  config.net.qos.weights = {4, 1};
+  {
+    const Dragonfly topo(config.topo);
+    config.faults = FaultPlan::degrade_router_locals(topo, 0, 4);
+  }
+  Study study(config);
+  add_pair(study);
+  study.set_traffic_class(1, 0);  // privilege the light app
+  study.set_traffic_class(0, 1);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.apps[0].packets, 0u);
+  EXPECT_GT(report.apps[1].packets, 0u);
+}
+
+/// Faults + congestion control: AIMD pacing on top of slowed wires must
+/// still drain every message (no pacing deadlock against backpressure).
+TEST(FeatureInteractions, FaultsWithCongestionControl) {
+  StudyConfig config = tiny_config("UGALg");
+  config.net.cc.enabled = true;
+  {
+    const Dragonfly topo(config.topo);
+    config.faults = FaultPlan::degrade_random_globals(topo, 0.25, 8, 100 * kNs, 2);
+  }
+  Study study(config);
+  add_pair(study);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+}
+
+/// App-aware bias + faults: classification must keep working when the
+/// fabric itself is heterogeneous.
+TEST(FeatureInteractions, AppAwareWithFaults) {
+  StudyConfig config = tiny_config("AppAware");
+  {
+    const Dragonfly topo(config.topo);
+    config.faults = FaultPlan::degrade_global(topo, 2, 3, 8);
+  }
+  Study study(config);
+  add_pair(study);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  // Both apps measurable and fairness defined.
+  EXPECT_GT(report.jain_fairness, 0.0);
+}
+
+/// MILC + QoS: collective-chain traffic through class arbitration.
+TEST(FeatureInteractions, MilcUnderQos) {
+  StudyConfig config = tiny_config("PAR");
+  config.net.qos.num_classes = 2;
+  config.net.qos.weights = {3, 1};
+  Study study(config);
+  workloads::MilcParams milc;
+  milc.dims = {2, 2, 2, 2};
+  milc.iterations = 2;
+  const int milc_id = study.add_motif(std::make_unique<workloads::MilcMotif>(milc), 16, "MILC");
+  workloads::UniformRandomParams ur;
+  ur.msg_bytes = 16384;
+  ur.iterations = 40;
+  ur.interval = 0;
+  ur.window = 8;
+  const int ur_id =
+      study.add_motif(std::make_unique<workloads::UniformRandomMotif>(ur), 32, "UR");
+  study.set_traffic_class(milc_id, 0);
+  study.set_traffic_class(ur_id, 1);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+}
+
+/// IOBurst + congestion control: ECN+AIMD is the designed answer to the
+/// checkpoint fan-in; the run must complete and throttle the writers.
+TEST(FeatureInteractions, IoBurstUnderCongestionControl) {
+  for (const bool cc : {false, true}) {
+    StudyConfig config = tiny_config("UGALg");
+    config.net.cc.enabled = cc;
+    Study study(config);
+    workloads::IoBurstParams io;
+    io.bb_ratio = 8;
+    io.checkpoint_bytes = 512 * 1024;
+    io.chunk_bytes = 32 * 1024;
+    io.period = 100 * kUs;
+    io.iterations = 2;
+    study.add_motif(std::make_unique<workloads::IoBurstMotif>(io), 32, "IOBurst");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed) << "cc=" << cc;
+  }
+}
+
+/// Sparse exchange across routings: the alltoallv schedule must be
+/// deadlock-free under adaptive and learning policies alike.
+TEST(FeatureInteractions, SparseExchangeAcrossRoutings) {
+  for (const std::string routing : {"MIN", "UGALn", "AppAware", "Q-adp"}) {
+    StudyConfig config = tiny_config(routing);
+    Study study(config);
+    workloads::SparseExchangeParams params;
+    params.density_per_mille = 350;
+    params.iterations = 2;
+    params.msg_bytes = 4096;
+    study.add_motif(std::make_unique<workloads::SparseExchangeMotif>(params), 24, "sparse");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed) << routing;
+  }
+}
+
+/// Everything at once: faults + QoS + CC + app-aware-equivalent traffic mix
+/// + extension workload. The kitchen-sink run that exercises every code
+/// path the features touch in one simulation.
+TEST(FeatureInteractions, KitchenSink) {
+  StudyConfig config = tiny_config("Q-adp");
+  config.net.qos.num_classes = 2;
+  config.net.qos.weights = {2, 1};
+  config.net.cc.enabled = true;
+  {
+    const Dragonfly topo(config.topo);
+    config.faults = FaultPlan::degrade_random_globals(topo, 0.15, 4, 50 * kNs, 9);
+  }
+  Study study(config);
+  workloads::MilcParams milc;
+  milc.dims = {2, 2, 2, 2};
+  milc.iterations = 2;
+  const int a = study.add_motif(std::make_unique<workloads::MilcMotif>(milc), 16, "MILC");
+  workloads::IoBurstParams io;
+  io.bb_ratio = 8;
+  io.checkpoint_bytes = 256 * 1024;
+  io.chunk_bytes = 32 * 1024;
+  io.period = 100 * kUs;
+  io.iterations = 2;
+  const int b = study.add_motif(std::make_unique<workloads::IoBurstMotif>(io), 32, "IOBurst");
+  study.set_traffic_class(a, 0);
+  study.set_traffic_class(b, 1);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.jain_fairness, 0.0);
+  EXPECT_GT(report.apps[0].packets, 0u);
+  EXPECT_GT(report.apps[1].packets, 0u);
+}
+
+}  // namespace
+}  // namespace dfly

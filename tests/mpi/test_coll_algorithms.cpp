@@ -1,0 +1,401 @@
+// Tests for the extended collective algorithms (mpi/coll.hpp): every
+// algorithm must complete on arbitrary rank counts, move the analytically
+// expected volume, and keep all ranks' tag sequences aligned.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/study.hpp"
+#include "mpi/coll.hpp"
+#include "workloads/motifs.hpp"
+
+namespace dfly {
+namespace {
+
+using mpi::coll::AllreduceAlg;
+using mpi::coll::AlltoallAlg;
+
+/// Motif that runs one collective and records per-rank byte counts.
+class OneCollectiveMotif final : public mpi::Motif {
+ public:
+  enum class Op {
+    kAllreduce,
+    kAlltoall,
+    kBcast,
+    kReduce,
+    kGather,
+    kScatter,
+    kAllgather,
+    kBarrier,
+  };
+
+  OneCollectiveMotif(Op op, std::int64_t bytes, AllreduceAlg ar_alg = AllreduceAlg::kRing,
+                     AlltoallAlg a2a_alg = AlltoallAlg::kRing, int root = 0)
+      : op_(op), bytes_(bytes), ar_alg_(ar_alg), a2a_alg_(a2a_alg), root_(root) {}
+
+  std::string name() const override { return "OneCollective"; }
+
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    switch (op_) {
+      case Op::kAllreduce: co_await mpi::coll::allreduce(ctx, bytes_, ar_alg_); break;
+      case Op::kAlltoall: {
+        std::vector<int> members(static_cast<std::size_t>(ctx.size()));
+        for (int i = 0; i < ctx.size(); ++i) members[static_cast<std::size_t>(i)] = i;
+        co_await mpi::coll::alltoall(ctx, bytes_, std::move(members), a2a_alg_);
+        break;
+      }
+      case Op::kBcast: co_await mpi::coll::bcast_binomial(ctx, root_, bytes_); break;
+      case Op::kReduce: co_await mpi::coll::reduce_binomial(ctx, root_, bytes_); break;
+      case Op::kGather: co_await mpi::coll::gather_binomial(ctx, root_, bytes_); break;
+      case Op::kScatter: co_await mpi::coll::scatter_binomial(ctx, root_, bytes_); break;
+      case Op::kAllgather: co_await mpi::coll::allgather_ring(ctx, bytes_); break;
+      case Op::kBarrier: co_await mpi::coll::barrier_dissemination(ctx); break;
+    }
+    ctx.mark_iteration();
+  }
+
+ private:
+  Op op_;
+  std::int64_t bytes_;
+  AllreduceAlg ar_alg_;
+  AlltoallAlg a2a_alg_;
+  int root_;
+};
+
+/// Run `motif` on `ranks` nodes of the tiny system; returns the report.
+Report run_collective(std::unique_ptr<mpi::Motif> motif, int ranks,
+                      const std::string& routing = "MIN") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = 7;
+  Study study(std::move(config));
+  study.add_motif(std::move(motif), ranks, "coll");
+  return study.run();
+}
+
+// ---------------------------------------------------------------------------
+// Completion across algorithms and rank counts (including non-powers of two
+// and the degenerate 1-rank case).
+// ---------------------------------------------------------------------------
+
+class AllreduceCompletes
+    : public ::testing::TestWithParam<std::tuple<AllreduceAlg, int>> {};
+
+TEST_P(AllreduceCompletes, AllRanksFinish) {
+  const auto [alg, ranks] = GetParam();
+  auto motif = std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kAllreduce,
+                                                    4096, alg);
+  const Report report = run_collective(std::move(motif), ranks);
+  EXPECT_TRUE(report.completed) << mpi::coll::to_string(alg) << " n=" << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgsAllSizes, AllreduceCompletes,
+    ::testing::Combine(::testing::Values(AllreduceAlg::kBinaryTree, AllreduceAlg::kRing,
+                                         AllreduceAlg::kRecursiveDoubling,
+                                         AllreduceAlg::kHalvingDoubling),
+                       ::testing::Values(1, 2, 3, 5, 8, 13, 16, 31)),
+    [](const auto& info) {
+      return std::string(mpi::coll::to_string(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class AlltoallCompletes
+    : public ::testing::TestWithParam<std::tuple<AlltoallAlg, int>> {};
+
+TEST_P(AlltoallCompletes, AllRanksFinish) {
+  const auto [alg, ranks] = GetParam();
+  auto motif = std::make_unique<OneCollectiveMotif>(
+      OneCollectiveMotif::Op::kAlltoall, 2048, AllreduceAlg::kRing, alg);
+  const Report report = run_collective(std::move(motif), ranks);
+  EXPECT_TRUE(report.completed) << mpi::coll::to_string(alg) << " n=" << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgsAllSizes, AlltoallCompletes,
+    ::testing::Combine(::testing::Values(AlltoallAlg::kRing, AlltoallAlg::kPairwise,
+                                         AlltoallAlg::kBruck),
+                       ::testing::Values(2, 3, 4, 7, 8, 16, 21)),
+    [](const auto& info) {
+      return std::string(mpi::coll::to_string(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Volume checks: the simulated traffic matches the algorithm's analytic cost.
+// ---------------------------------------------------------------------------
+
+TEST(RingAllreduce, MovesTwoPassesOfChunks) {
+  // 8 ranks, 8000B payload -> chunk 1000B, every rank sends 2*7 chunks.
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kAllreduce,
+                                                       8000, AllreduceAlg::kRing),
+                  8, "ring");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).bytes_sent(), 2 * 7 * 1000) << "rank " << r;
+    EXPECT_EQ(job.rank(r).messages_sent(), 2 * 7) << "rank " << r;
+  }
+}
+
+TEST(RecursiveDoublingAllreduce, PowerOfTwoSendsLogRoundsFullPayload) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(
+      std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kAllreduce, 5000,
+                                           AllreduceAlg::kRecursiveDoubling),
+      16, "rd");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).bytes_sent(), 4 * 5000) << "rank " << r;  // log2(16) rounds
+    EXPECT_EQ(job.rank(r).messages_sent(), 4) << "rank " << r;
+  }
+}
+
+TEST(RecursiveDoublingAllreduce, NonPowerOfTwoFoldsExtraRanks) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(
+      std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kAllreduce, 1000,
+                                           AllreduceAlg::kRecursiveDoubling),
+      6, "rd6");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  // n=6: pof2=4, rem=2. Ranks 0 and 2 (folded-out evens) send once.
+  // Ranks 1 and 3 absorb, run 2 rounds, and send the result back: 3 sends.
+  // Ranks 4 and 5 run only the 2 RD rounds.
+  EXPECT_EQ(job.rank(0).messages_sent(), 1);
+  EXPECT_EQ(job.rank(2).messages_sent(), 1);
+  EXPECT_EQ(job.rank(1).messages_sent(), 3);
+  EXPECT_EQ(job.rank(3).messages_sent(), 3);
+  EXPECT_EQ(job.rank(4).messages_sent(), 2);
+  EXPECT_EQ(job.rank(5).messages_sent(), 2);
+}
+
+TEST(HalvingDoublingAllreduce, MovesLessThanRecursiveDoubling) {
+  // Rabenseifner is bandwidth-optimal: per-rank bytes ~ 2*(n-1)/n * payload,
+  // vs. log2(n) * payload for recursive doubling.
+  const std::int64_t payload = 64000;
+  const int n = 16;
+  const std::int64_t hd = mpi::coll::allreduce_bytes_per_rank(
+      AllreduceAlg::kHalvingDoubling, n, payload);
+  const std::int64_t rd = mpi::coll::allreduce_bytes_per_rank(
+      AllreduceAlg::kRecursiveDoubling, n, payload);
+  EXPECT_LT(hd, rd);
+  EXPECT_NEAR(static_cast<double>(hd), 2.0 * (n - 1) / n * static_cast<double>(payload),
+              static_cast<double>(payload) * 0.05);
+}
+
+TEST(HalvingDoublingAllreduce, SimulationMatchesAnalyticVolume) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(
+      std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kAllreduce, 32768,
+                                           AllreduceAlg::kHalvingDoubling),
+      8, "hd8");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  // Power of two: every rank sends the same amount; compare to the analytic
+  // per-rank cost (which has no fold contribution at n=8).
+  const std::int64_t expected =
+      mpi::coll::allreduce_bytes_per_rank(AllreduceAlg::kHalvingDoubling, 8, 32768);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).bytes_sent(), expected) << "rank " << r;
+  }
+}
+
+TEST(BcastBinomial, EveryNonRootReceivesOnce) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kBcast, 10000,
+                                                       AllreduceAlg::kRing,
+                                                       AlltoallAlg::kRing, /*root=*/3),
+                  13, "bcast");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  // Total sends across ranks == n-1 (each non-root receives exactly once).
+  std::int64_t messages = 0;
+  for (int r = 0; r < job.size(); ++r) messages += job.rank(r).messages_sent();
+  EXPECT_EQ(messages, 12);
+  // The root never receives, so it spends zero sends receiving; it sends to
+  // ceil(log2 n) children.
+  EXPECT_EQ(job.rank(3).messages_sent(), 4);  // 13 ranks -> 4 children
+}
+
+TEST(ReduceBinomial, MirrorOfBcastVolume) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kReduce, 10000),
+                  13, "reduce");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  std::int64_t messages = 0;
+  for (int r = 0; r < job.size(); ++r) messages += job.rank(r).messages_sent();
+  EXPECT_EQ(messages, 12);      // every non-root sends exactly once
+  EXPECT_EQ(job.rank(0).messages_sent(), 0);  // root only receives
+}
+
+TEST(GatherBinomial, SubtreePayloadsAggregate) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kGather, 1000),
+                  8, "gather");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  // Total bytes = sum over non-root ranks of subtree_size * 1000.
+  // n=8 binomial tree: rank 4 sends 4 blocks, 2 sends 2, 6 sends 2,
+  // odd ranks send 1 each -> 4+2+2+1+1+1+1 = 12 blocks.
+  std::int64_t bytes = 0;
+  for (int r = 0; r < job.size(); ++r) bytes += job.rank(r).bytes_sent();
+  EXPECT_EQ(bytes, 12 * 1000);
+  EXPECT_EQ(job.rank(4).bytes_sent(), 4000);
+}
+
+TEST(ScatterBinomial, MirrorOfGatherVolume) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kScatter, 1000),
+                  8, "scatter");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  std::int64_t bytes = 0;
+  for (int r = 0; r < job.size(); ++r) bytes += job.rank(r).bytes_sent();
+  EXPECT_EQ(bytes, 12 * 1000);
+  EXPECT_EQ(job.rank(0).bytes_sent(), 7000);  // root ships every other block
+}
+
+TEST(AllgatherRing, EveryRankSendsNMinusOneBlocks) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(
+      std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kAllgather, 2500), 9, "ag");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).bytes_sent(), 8 * 2500) << "rank " << r;
+  }
+}
+
+TEST(BarrierDissemination, LogRoundsOfFlags) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kBarrier, 0),
+                  11, "barrier");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).messages_sent(), 4) << "rank " << r;  // ceil(log2 11)
+    EXPECT_EQ(job.rank(r).bytes_sent(), 4 * 8) << "rank " << r;
+  }
+}
+
+TEST(AlltoallBruck, LogRoundsTotalVolumeMatchesRing) {
+  // Bruck moves each of the n-1 foreign blocks through log2 hops on
+  // average, so per-rank volume is bytes * sum over rounds of block counts;
+  // total volume exceeds ring's (n-1)*bytes but rounds shrink to ceil(log2).
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<OneCollectiveMotif>(OneCollectiveMotif::Op::kAlltoall, 1000,
+                                                       AllreduceAlg::kRing,
+                                                       AlltoallAlg::kBruck),
+                  8, "bruck");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  // n=8: rounds at mask 1,2,4 ship 4 blocks each -> 12 blocks of 1000B.
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).bytes_sent(), 12 * 1000) << "rank " << r;
+    EXPECT_EQ(job.rank(r).messages_sent(), 3) << "rank " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analytic helpers.
+// ---------------------------------------------------------------------------
+
+TEST(CollRounds, MatchTextbookValues) {
+  EXPECT_EQ(mpi::coll::allreduce_rounds(AllreduceAlg::kRing, 8), 14);
+  EXPECT_EQ(mpi::coll::allreduce_rounds(AllreduceAlg::kRecursiveDoubling, 8), 3);
+  EXPECT_EQ(mpi::coll::allreduce_rounds(AllreduceAlg::kRecursiveDoubling, 6), 4);  // 2 fold + 2 RD
+  EXPECT_EQ(mpi::coll::allreduce_rounds(AllreduceAlg::kHalvingDoubling, 8), 6);
+  EXPECT_EQ(mpi::coll::alltoall_rounds(AlltoallAlg::kRing, 16), 15);
+  EXPECT_EQ(mpi::coll::alltoall_rounds(AlltoallAlg::kBruck, 16), 4);
+  EXPECT_EQ(mpi::coll::allreduce_rounds(AllreduceAlg::kRing, 1), 0);
+}
+
+TEST(CollNames, RoundTrip) {
+  for (const auto alg : {AllreduceAlg::kBinaryTree, AllreduceAlg::kRing,
+                         AllreduceAlg::kRecursiveDoubling, AllreduceAlg::kHalvingDoubling}) {
+    EXPECT_EQ(mpi::coll::allreduce_from_string(mpi::coll::to_string(alg)), alg);
+  }
+  for (const auto alg :
+       {AlltoallAlg::kRing, AlltoallAlg::kPairwise, AlltoallAlg::kBruck}) {
+    EXPECT_EQ(mpi::coll::alltoall_from_string(mpi::coll::to_string(alg)), alg);
+  }
+  EXPECT_THROW(mpi::coll::allreduce_from_string("nope"), std::invalid_argument);
+  EXPECT_THROW(mpi::coll::alltoall_from_string("nope"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The motif knob: CosmoFlow/DL can switch allreduce algorithms.
+// ---------------------------------------------------------------------------
+
+TEST(AllreducePeriodicMotif, RunsWithRingAlgorithm) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "PAR";
+  Study study(std::move(config));
+  workloads::AllreducePeriodicParams params = workloads::AllreducePeriodicMotif::cosmoflow();
+  params.iterations = 2;
+  params.msg_bytes = 100000;
+  params.interval = 50 * kUs;
+  params.algorithm = AllreduceAlg::kRing;
+  study.add_motif(std::make_unique<workloads::AllreducePeriodicMotif>(std::move(params)), 16,
+                  "CosmoRing");
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.apps[0].total_msg_mb, 0.0);
+}
+
+}  // namespace
+}  // namespace dfly

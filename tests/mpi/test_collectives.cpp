@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "mpi/job.hpp"
+#include "net/network.hpp"
+#include "routing/factory.hpp"
+
+namespace dfly {
+namespace {
+
+struct CollFixture {
+  CollFixture() : topo(DragonflyParams::tiny()) {
+    routing::RoutingContext context{&engine, &topo, &cfg, 31};
+    routing = routing::make_routing("MIN", context);
+    net = std::make_unique<Network>(engine, topo, cfg, *routing, 1, 31);
+    system = std::make_unique<mpi::MpiSystem>(*net);
+  }
+
+  mpi::Job& launch(const mpi::Motif& motif, int ranks) {
+    std::vector<int> nodes;
+    for (int r = 0; r < ranks; ++r) nodes.push_back(r * 2);  // spread over routers
+    job = std::make_unique<mpi::Job>(engine, *net, *system, 0, motif.name(), motif,
+                                     std::move(nodes), 31);
+    job->start();
+    return *job;
+  }
+
+  Engine engine;
+  Dragonfly topo;
+  NetConfig cfg;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<mpi::MpiSystem> system;
+  std::unique_ptr<mpi::Job> job;
+};
+
+class BarrierMotif final : public mpi::Motif {
+ public:
+  explicit BarrierMotif(int rounds) : rounds_(rounds) {}
+  std::string name() const override { return "Barrier"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    for (int i = 0; i < rounds_; ++i) {
+      co_await ctx.barrier();
+      ctx.mark_iteration();
+    }
+  }
+  int rounds_;
+};
+
+class AllreduceMotif final : public mpi::Motif {
+ public:
+  AllreduceMotif(std::int64_t bytes, int rounds) : bytes_(bytes), rounds_(rounds) {}
+  std::string name() const override { return "Allreduce"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    for (int i = 0; i < rounds_; ++i) co_await ctx.allreduce(bytes_);
+  }
+  std::int64_t bytes_;
+  int rounds_;
+};
+
+class AlltoallMotif final : public mpi::Motif {
+ public:
+  explicit AlltoallMotif(std::int64_t bytes) : bytes_(bytes) {}
+  std::string name() const override { return "Alltoall"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    std::vector<int> members;
+    for (int r = 0; r < ctx.size(); ++r) members.push_back(r);
+    co_await ctx.alltoall(bytes_, members);
+  }
+  std::int64_t bytes_;
+};
+
+class StaggeredBarrierMotif final : public mpi::Motif {
+ public:
+  std::string name() const override { return "Staggered"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    // Every rank computes a different amount before the barrier; all must
+    // leave the barrier no earlier than the slowest rank's arrival.
+    co_await ctx.compute(ctx.rank() * 10 * kUs);
+    co_await ctx.barrier();
+    ctx.mark_iteration();
+  }
+};
+
+class ParameterisedAllreduce : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParameterisedAllreduce, CompletesForAnyRankCount) {
+  CollFixture f;
+  AllreduceMotif motif(10000, 2);
+  auto& job = f.launch(motif, GetParam());
+  f.engine.run();
+  EXPECT_TRUE(job.done()) << "ranks=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParameterisedAllreduce,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 31, 32, 33));
+
+TEST(Collectives, BarrierCompletes) {
+  CollFixture f;
+  BarrierMotif motif(3);
+  auto& job = f.launch(motif, 16);
+  f.engine.run();
+  EXPECT_TRUE(job.done());
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).iteration_marks().size(), 3u);
+  }
+}
+
+TEST(Collectives, BarrierSynchronisesStaggeredRanks) {
+  CollFixture f;
+  StaggeredBarrierMotif motif;
+  auto& job = f.launch(motif, 8);
+  f.engine.run();
+  ASSERT_TRUE(job.done());
+  const SimTime slowest_arrival = 7 * 10 * kUs;
+  for (int r = 0; r < job.size(); ++r) {
+    ASSERT_EQ(job.rank(r).iteration_marks().size(), 1u);
+    EXPECT_GE(job.rank(r).iteration_marks()[0], slowest_arrival);
+  }
+}
+
+TEST(Collectives, AllreduceMessageCountMatchesBinaryTree) {
+  CollFixture f;
+  AllreduceMotif motif(5000, 1);
+  auto& job = f.launch(motif, 8);
+  f.engine.run();
+  ASSERT_TRUE(job.done());
+  // Binary tree with n=8: 7 edges, traffic up + down = 2 x 7 messages.
+  EXPECT_EQ(job.total_messages_sent(), 14);
+  EXPECT_EQ(job.total_bytes_sent(), 14 * 5000);
+}
+
+TEST(Collectives, AllreduceDownPhaseBurstIsTwoMessages) {
+  CollFixture f;
+  AllreduceMotif motif(5000, 1);
+  auto& job = f.launch(motif, 15);  // full binary tree: root has 2 children
+  f.engine.run();
+  ASSERT_TRUE(job.done());
+  // Peak ingress: the root (and inner nodes) send to both children
+  // back-to-back (paper §IV: Allreduce peak ingress counts two messages).
+  EXPECT_EQ(job.peak_ingress_bytes(), 2 * 5000);
+}
+
+TEST(Collectives, AlltoallVolumeIsAllPairs) {
+  CollFixture f;
+  AlltoallMotif motif(750);
+  auto& job = f.launch(motif, 9);
+  f.engine.run();
+  ASSERT_TRUE(job.done());
+  // Ring exchange: every rank sends to all n-1 others.
+  EXPECT_EQ(job.total_messages_sent(), 9 * 8);
+  EXPECT_EQ(job.total_bytes_sent(), 9 * 8 * 750);
+}
+
+TEST(Collectives, AlltoallPeakIngressIsOneMessage) {
+  CollFixture f;
+  AlltoallMotif motif(750);
+  auto& job = f.launch(motif, 9);
+  f.engine.run();
+  ASSERT_TRUE(job.done());
+  // One send per ring round (paper §IV: Alltoall peak counts one message).
+  EXPECT_EQ(job.peak_ingress_bytes(), 750);
+}
+
+TEST(Collectives, SubCommunicatorAlltoall) {
+  class RowAlltoall final : public mpi::Motif {
+   public:
+    std::string name() const override { return "RowA2A"; }
+    mpi::Task run(mpi::RankCtx& ctx) const override {
+      // Two disjoint groups of 4 run concurrent alltoalls.
+      std::vector<int> members;
+      const int base = ctx.rank() < 4 ? 0 : 4;
+      for (int i = 0; i < 4; ++i) members.push_back(base + i);
+      co_await ctx.alltoall(600, members);
+    }
+  };
+  CollFixture f;
+  RowAlltoall motif;
+  auto& job = f.launch(motif, 8);
+  f.engine.run();
+  ASSERT_TRUE(job.done());
+  EXPECT_EQ(job.total_messages_sent(), 8 * 3);
+}
+
+TEST(Collectives, BackToBackCollectivesDoNotCrossMatch) {
+  CollFixture f;
+  AllreduceMotif motif(3000, 5);  // five consecutive allreduces
+  auto& job = f.launch(motif, 13);
+  f.engine.run();
+  EXPECT_TRUE(job.done());
+  EXPECT_EQ(job.total_messages_sent(), 5 * 2 * 12);
+}
+
+TEST(Collectives, SingleRankCollectivesAreNoops) {
+  CollFixture f;
+  AllreduceMotif motif(1000, 3);
+  auto& job = f.launch(motif, 1);
+  f.engine.run();
+  EXPECT_TRUE(job.done());
+  EXPECT_EQ(job.total_messages_sent(), 0);
+}
+
+}  // namespace
+}  // namespace dfly

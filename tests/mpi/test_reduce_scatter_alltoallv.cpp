@@ -1,0 +1,325 @@
+// Tests for reduce-scatter, vector alltoall (alltoallv) and the sparse-
+// exchange motif built on it: completion on arbitrary rank counts, exact
+// analytic byte/round accounting, mirror-consistency enforcement.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/study.hpp"
+#include "mpi/coll.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+using mpi::coll::ReduceScatterAlg;
+
+/// Motif that runs one reduce-scatter (or one alltoallv) and nothing else.
+class OneOpMotif final : public mpi::Motif {
+ public:
+  enum class Op { kReduceScatter, kAlltoallv };
+
+  OneOpMotif(ReduceScatterAlg alg, std::int64_t bytes)
+      : op_(Op::kReduceScatter), rs_alg_(alg), bytes_(bytes) {}
+
+  /// Alltoallv: rank r sends `base_bytes * (j + 1)` to every lower-indexed
+  /// rank j < r and nothing upward (a strictly triangular pattern with
+  /// per-pair asymmetry, exercising zero lanes and unequal volumes).
+  explicit OneOpMotif(std::int64_t base_bytes) : op_(Op::kAlltoallv), bytes_(base_bytes) {}
+
+  std::string name() const override { return "OneOp"; }
+
+  static std::int64_t triangular_lane(std::int64_t base, int src, int dst) {
+    return dst < src ? base * (dst + 1) : 0;
+  }
+
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    if (op_ == Op::kReduceScatter) {
+      co_await mpi::coll::reduce_scatter(ctx, bytes_, rs_alg_);
+    } else {
+      const int n = ctx.size();
+      std::vector<int> members(static_cast<std::size_t>(n));
+      std::iota(members.begin(), members.end(), 0);
+      std::vector<std::int64_t> send(static_cast<std::size_t>(n));
+      std::vector<std::int64_t> recv(static_cast<std::size_t>(n));
+      for (int peer = 0; peer < n; ++peer) {
+        send[static_cast<std::size_t>(peer)] = triangular_lane(bytes_, ctx.rank(), peer);
+        recv[static_cast<std::size_t>(peer)] = triangular_lane(bytes_, peer, ctx.rank());
+      }
+      co_await mpi::coll::alltoallv_ring(ctx, std::move(send), std::move(recv),
+                                         std::move(members));
+    }
+    ctx.mark_iteration();
+  }
+
+ private:
+  Op op_;
+  ReduceScatterAlg rs_alg_{ReduceScatterAlg::kRing};
+  std::int64_t bytes_;
+};
+
+struct RunResult {
+  Report report;
+  std::vector<trace::MessageRecord> sends;
+};
+
+RunResult run_one(std::unique_ptr<mpi::Motif> motif, int ranks) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  config.seed = 7;
+  Study study(config);
+  const int app = study.add_motif(std::move(motif), ranks, "op");
+  study.record_trace(app);
+  RunResult result;
+  result.report = study.run();
+  result.sends = study.trace(app).records();
+  return result;
+}
+
+// --- string round trips -----------------------------------------------------
+
+TEST(ReduceScatter, StringRoundTrip) {
+  using mpi::coll::reduce_scatter_from_string;
+  using mpi::coll::to_string;
+  EXPECT_STREQ(to_string(ReduceScatterAlg::kRing), "ring");
+  EXPECT_STREQ(to_string(ReduceScatterAlg::kHalving), "halving");
+  EXPECT_EQ(reduce_scatter_from_string("ring"), ReduceScatterAlg::kRing);
+  EXPECT_EQ(reduce_scatter_from_string("halving"), ReduceScatterAlg::kHalving);
+  EXPECT_THROW(reduce_scatter_from_string("nope"), std::invalid_argument);
+}
+
+// --- analytic helpers ---------------------------------------------------------
+
+TEST(ReduceScatter, AnalyticRoundsAndBytes) {
+  using mpi::coll::reduce_scatter_bytes_per_rank;
+  using mpi::coll::reduce_scatter_rounds;
+  EXPECT_EQ(reduce_scatter_rounds(ReduceScatterAlg::kRing, 8), 7);
+  EXPECT_EQ(reduce_scatter_rounds(ReduceScatterAlg::kHalving, 8), 3);
+  EXPECT_EQ(reduce_scatter_rounds(ReduceScatterAlg::kRing, 1), 0);
+  // Ring: (n-1) chunks of ceil(bytes/n).
+  EXPECT_EQ(reduce_scatter_bytes_per_rank(ReduceScatterAlg::kRing, 8, 8192), 7 * 1024);
+  // Halving on 8 ranks: 4096 + 2048 + 1024.
+  EXPECT_EQ(reduce_scatter_bytes_per_rank(ReduceScatterAlg::kHalving, 8, 8192), 7168);
+}
+
+// --- simulated byte accounting -------------------------------------------------
+
+/// Parameterised over (algorithm, rank count): the simulation's per-rank sent
+/// bytes must match the analytic value exactly on power-of-two sizes.
+class ReduceScatterBytes
+    : public ::testing::TestWithParam<std::tuple<ReduceScatterAlg, int>> {};
+
+TEST_P(ReduceScatterBytes, MatchesAnalytic) {
+  const auto [alg, ranks] = GetParam();
+  const std::int64_t bytes = 65536;
+  RunResult result = run_one(std::make_unique<OneOpMotif>(alg, bytes), ranks);
+  ASSERT_TRUE(result.report.completed);
+  std::map<int, std::int64_t> sent_by_rank;
+  for (const auto& record : result.sends) sent_by_rank[record.src_rank] += record.bytes;
+  const std::int64_t expected = mpi::coll::reduce_scatter_bytes_per_rank(alg, ranks, bytes);
+  ASSERT_EQ(sent_by_rank.size(), static_cast<std::size_t>(ranks));
+  for (const auto& [rank, sent] : sent_by_rank) {
+    EXPECT_EQ(sent, expected) << "rank " << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerOfTwo, ReduceScatterBytes,
+    ::testing::Combine(::testing::Values(ReduceScatterAlg::kRing, ReduceScatterAlg::kHalving),
+                       ::testing::Values(2, 4, 8, 16)),
+    [](const auto& info) {
+      return std::string(mpi::coll::to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ReduceScatter, RingHandlesNonPowerOfTwo) {
+  RunResult result =
+      run_one(std::make_unique<OneOpMotif>(ReduceScatterAlg::kRing, 9000), 7);
+  ASSERT_TRUE(result.report.completed);
+  // 6 rounds of ceil(9000/7) = 1286 bytes.
+  std::map<int, std::int64_t> sent_by_rank;
+  for (const auto& record : result.sends) sent_by_rank[record.src_rank] += record.bytes;
+  for (const auto& [rank, sent] : sent_by_rank) EXPECT_EQ(sent, 6 * 1286) << rank;
+}
+
+TEST(ReduceScatter, HalvingDispatchFallsBackOffPowerOfTwo) {
+  // Dispatcher silently falls back to ring for n = 6 — same bytes as ring.
+  RunResult result =
+      run_one(std::make_unique<OneOpMotif>(ReduceScatterAlg::kHalving, 6000), 6);
+  ASSERT_TRUE(result.report.completed);
+  std::map<int, std::int64_t> sent_by_rank;
+  for (const auto& record : result.sends) sent_by_rank[record.src_rank] += record.bytes;
+  const std::int64_t ring_bytes =
+      mpi::coll::reduce_scatter_bytes_per_rank(ReduceScatterAlg::kRing, 6, 6000);
+  for (const auto& [rank, sent] : sent_by_rank) EXPECT_EQ(sent, ring_bytes) << rank;
+}
+
+// --- alltoallv -----------------------------------------------------------------
+
+TEST(Alltoallv, TriangularPatternDeliversExactLanes) {
+  const std::int64_t base = 4096;
+  const int ranks = 9;
+  RunResult result = run_one(std::make_unique<OneOpMotif>(base), ranks);
+  ASSERT_TRUE(result.report.completed);
+  // Every (src,dst) lane with dst < src carries base*(dst+1); nothing else.
+  std::map<std::pair<int, int>, std::int64_t> lanes;
+  for (const auto& record : result.sends) {
+    lanes[{record.src_rank, record.dst_rank}] += record.bytes;
+  }
+  for (int src = 0; src < ranks; ++src) {
+    for (int dst = 0; dst < ranks; ++dst) {
+      const std::int64_t expected = OneOpMotif::triangular_lane(base, src, dst);
+      const auto it = lanes.find({src, dst});
+      if (expected == 0) {
+        EXPECT_EQ(it, lanes.end()) << src << "->" << dst;
+      } else {
+        ASSERT_NE(it, lanes.end()) << src << "->" << dst;
+        EXPECT_EQ(it->second, expected) << src << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST(Alltoallv, MismatchedVectorSizesThrow) {
+  class BadMotif final : public mpi::Motif {
+   public:
+    std::string name() const override { return "Bad"; }
+    mpi::Task run(mpi::RankCtx& ctx) const override {
+      std::vector<int> members(static_cast<std::size_t>(ctx.size()));
+      std::iota(members.begin(), members.end(), 0);
+      std::vector<std::int64_t> short_vec(static_cast<std::size_t>(ctx.size()) - 1, 1);
+      std::vector<std::int64_t> full_vec(static_cast<std::size_t>(ctx.size()), 1);
+      co_await mpi::coll::alltoallv_ring(ctx, short_vec, full_vec, std::move(members));
+    }
+  };
+  // Simulated ranks must not throw: the coroutine layer escalates the
+  // std::invalid_argument to std::terminate (task.hpp), so misuse dies
+  // loudly instead of corrupting the schedule.
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  EXPECT_DEATH(
+      {
+        Study study(config);
+        study.add_motif(std::make_unique<BadMotif>(), 4, "bad");
+        study.run();
+      },
+      "");
+}
+
+TEST(ReduceScatter, HalvingDirectCallRejectsNonPowerOfTwo) {
+  class DirectHalvingMotif final : public mpi::Motif {
+   public:
+    std::string name() const override { return "DirectHalving"; }
+    mpi::Task run(mpi::RankCtx& ctx) const override {
+      co_await mpi::coll::reduce_scatter_halving(ctx, 4096);
+    }
+  };
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  EXPECT_DEATH(
+      {
+        Study study(config);
+        study.add_motif(std::make_unique<DirectHalvingMotif>(), 6, "direct");
+        study.run();
+      },
+      "");
+}
+
+TEST(Alltoallv, AllZeroVectorsComplete) {
+  class ZeroMotif final : public mpi::Motif {
+   public:
+    std::string name() const override { return "Zero"; }
+    mpi::Task run(mpi::RankCtx& ctx) const override {
+      const int n = ctx.size();
+      std::vector<int> members(static_cast<std::size_t>(n));
+      std::iota(members.begin(), members.end(), 0);
+      std::vector<std::int64_t> zeros(static_cast<std::size_t>(n), 0);
+      co_await mpi::coll::alltoallv_ring(ctx, zeros, zeros, std::move(members));
+      ctx.mark_iteration();
+    }
+  };
+  RunResult result = run_one(std::make_unique<ZeroMotif>(), 8);
+  EXPECT_TRUE(result.report.completed);
+  EXPECT_TRUE(result.sends.empty());
+}
+
+// --- sparse exchange motif -------------------------------------------------------
+
+TEST(SparseExchange, LanePatternIsDeterministicAndSparse) {
+  workloads::SparseExchangeParams params;
+  params.density_per_mille = 200;
+  params.pattern_seed = 5;
+  const workloads::SparseExchangeMotif motif(params);
+  int populated = 0;
+  const int n = 24;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      const std::int64_t a = motif.lane_bytes(s, d, 0);
+      EXPECT_EQ(a, motif.lane_bytes(s, d, 0));  // deterministic
+      if (s == d) EXPECT_EQ(a, 0);
+      if (a > 0) {
+        ++populated;
+        EXPECT_GE(a, params.msg_bytes);
+        EXPECT_LE(a, 4 * params.msg_bytes);
+      }
+    }
+  }
+  // ~20% of n*(n-1) = 552 lanes; allow generous sampling noise.
+  EXPECT_GT(populated, 55);
+  EXPECT_LT(populated, 200);
+}
+
+TEST(SparseExchange, TraceMatchesLanePattern) {
+  workloads::SparseExchangeParams params;
+  params.density_per_mille = 300;
+  params.iterations = 2;
+  params.msg_bytes = 2048;
+  params.pattern_seed = 9;
+  auto motif = std::make_unique<workloads::SparseExchangeMotif>(params);
+  const workloads::SparseExchangeMotif ref(params);  // lane oracle
+  const int ranks = 12;
+  RunResult result = run_one(std::move(motif), ranks);
+  ASSERT_TRUE(result.report.completed);
+  std::int64_t expected_total = 0;
+  int expected_msgs = 0;
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (int s = 0; s < ranks; ++s) {
+      for (int d = 0; d < ranks; ++d) {
+        const std::int64_t lane = ref.lane_bytes(s, d, iter);
+        expected_total += lane;
+        expected_msgs += lane > 0 ? 1 : 0;
+      }
+    }
+  }
+  std::int64_t total = 0;
+  for (const auto& record : result.sends) total += record.bytes;
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(static_cast<int>(result.sends.size()), expected_msgs);
+}
+
+TEST(SparseExchange, ExtremeDensities) {
+  for (const int density : {0, 1000}) {
+    workloads::SparseExchangeParams params;
+    params.density_per_mille = density;
+    params.iterations = 1;
+    params.msg_bytes = 1024;
+    RunResult result =
+        run_one(std::make_unique<workloads::SparseExchangeMotif>(params), 8);
+    ASSERT_TRUE(result.report.completed) << density;
+    if (density == 0) {
+      EXPECT_TRUE(result.sends.empty());
+    } else {
+      EXPECT_EQ(result.sends.size(), 8u * 7u);  // every lane populated
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfly

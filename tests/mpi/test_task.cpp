@@ -1,0 +1,85 @@
+#include "mpi/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dfly::mpi {
+namespace {
+
+Task trivial(int& counter) {
+  ++counter;
+  co_return;
+}
+
+Task nested_child(std::vector<int>& log) {
+  log.push_back(2);
+  co_return;
+}
+
+Task nested_parent(std::vector<int>& log) {
+  log.push_back(1);
+  co_await nested_child(log);
+  log.push_back(3);
+}
+
+Task deeply_nested(std::vector<int>& log, int depth) {
+  log.push_back(depth);
+  if (depth > 0) co_await deeply_nested(log, depth - 1);
+}
+
+TEST(Task, LazyUntilStarted) {
+  int counter = 0;
+  Task task = trivial(counter);
+  EXPECT_EQ(counter, 0);
+  EXPECT_FALSE(task.done());
+  task.start();
+  EXPECT_EQ(counter, 1);
+  EXPECT_TRUE(task.done());
+}
+
+TEST(Task, NestedAwaitRunsInOrder) {
+  std::vector<int> log;
+  Task task = nested_parent(log);
+  task.start();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Task, DeepNestingViaSymmetricTransfer) {
+  std::vector<int> log;
+  Task task = deeply_nested(log, 200);
+  task.start();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(log.size(), 201u);
+  EXPECT_EQ(log.front(), 200);
+  EXPECT_EQ(log.back(), 0);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  int counter = 0;
+  Task a = trivial(counter);
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.start();
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(Task, MoveAssignDestroysPrevious) {
+  int c1 = 0, c2 = 0;
+  Task a = trivial(c1);
+  a = trivial(c2);  // original frame destroyed without running
+  a.start();
+  EXPECT_EQ(c1, 0);
+  EXPECT_EQ(c2, 1);
+}
+
+TEST(Task, DefaultConstructedIsDone) {
+  Task task;
+  EXPECT_FALSE(task.valid());
+  EXPECT_TRUE(task.done());
+}
+
+}  // namespace
+}  // namespace dfly::mpi

@@ -1,0 +1,143 @@
+// Tests for ECN + AIMD congestion control (net/congestion_control.hpp).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/study.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+StudyConfig cc_config(bool enabled, const std::string& routing = "MIN") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = 17;
+  config.net.cc.enabled = enabled;
+  return config;
+}
+
+/// A heavy incast: 23 senders flooding one receiver guarantees deep queues
+/// at the receiver's terminal port, which is exactly what ECN watches.
+workloads::IncastParams heavy_incast() {
+  workloads::IncastParams p;
+  p.fanin_targets = 1;
+  p.iterations = 120;
+  p.msg_bytes = 4096;
+  p.interval = 0;
+  p.window = 16;
+  return p;
+}
+
+TEST(CongestionControl, DisabledMatchesBaselineExactly) {
+  // cc.enabled = false must leave the event stream untouched.
+  Study a(cc_config(false));
+  a.add_motif(std::make_unique<workloads::IncastMotif>(heavy_incast()), 24, "I");
+  const Report ra = a.run();
+
+  StudyConfig base;
+  base.topo = DragonflyParams::tiny();
+  base.routing = "MIN";
+  base.seed = 17;
+  Study b(std::move(base));
+  b.add_motif(std::make_unique<workloads::IncastMotif>(heavy_incast()), 24, "I");
+  const Report rb = b.run();
+
+  ASSERT_TRUE(ra.completed);
+  ASSERT_TRUE(rb.completed);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.events_executed, rb.events_executed);
+}
+
+TEST(CongestionControl, IncastTriggersMarksAndThrottling) {
+  Study study(cc_config(true));
+  study.add_motif(std::make_unique<workloads::IncastMotif>(heavy_incast()), 24, "I");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+
+  std::uint64_t notices = 0;
+  double min_rate_seen = 1.0;
+  for (int n = 0; n < study.topo().num_nodes(); ++n) {
+    notices += study.network().nic(n).ecn_notices();
+    min_rate_seen = std::min(min_rate_seen, study.network().nic(n).injection_rate());
+  }
+  EXPECT_GT(notices, 0u) << "deep incast queues must generate ECN marks";
+  // By the end of the run most sources have recovered; the floor invariant
+  // must hold regardless.
+  EXPECT_GE(min_rate_seen, study.config().net.cc.min_rate);
+}
+
+TEST(CongestionControl, RateNeverBelowFloor) {
+  StudyConfig config = cc_config(true);
+  config.net.cc.min_rate = 0.25;
+  config.net.cc.md_factor = 0.1;  // aggressive cuts to push toward the floor
+  config.net.cc.decrease_guard = 0;
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<workloads::IncastMotif>(heavy_incast()), 24, "I");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  for (int n = 0; n < study.topo().num_nodes(); ++n) {
+    EXPECT_GE(study.network().nic(n).injection_rate(), 0.25) << "node " << n;
+  }
+}
+
+TEST(CongestionControl, ThrottlingReducesNetworkStall) {
+  // The mechanism's whole point (SC'20 / PMBS'21): draining the fabric
+  // trades injection rate for less in-network blocking.
+  auto total_stall = [](bool enabled) {
+    Study study(cc_config(enabled));
+    study.add_motif(std::make_unique<workloads::IncastMotif>(heavy_incast()), 24, "I");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed);
+    const auto& stats = study.network().link_stats();
+    SimTime stall = 0;
+    for (int link = 0; link < stats.num_links(); ++link) stall += stats.stall(link);
+    return stall;
+  };
+  const SimTime stall_off = total_stall(false);
+  const SimTime stall_on = total_stall(true);
+  EXPECT_LT(stall_on, stall_off);
+}
+
+TEST(CongestionControl, LightTrafficUnaffected) {
+  // A paced shift pattern never fills queues: no marks, no throttling, and
+  // the makespan equals the uncontrolled run's.
+  auto run_shift = [](bool enabled) {
+    Study study(cc_config(enabled, "PAR"));
+    workloads::ShiftParams p;
+    p.iterations = 60;
+    p.interval = 2 * kUs;
+    study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 24, "S");
+    return study.run().makespan;
+  };
+  EXPECT_EQ(run_shift(false), run_shift(true));
+}
+
+TEST(CongestionControl, VictimJobBenefitsFromThrottledAggressor) {
+  // Pairwise interference through the CC lens: a paced ping-pong (latency
+  // sensitive victim) co-runs with a flooding incast. With CC on, the
+  // aggressor is throttled and the victim's communication time drops.
+  auto victim_comm = [](bool enabled) {
+    StudyConfig config = cc_config(enabled);
+    config.net.cc.ai_period = 50 * kUs;  // slow recovery keeps pressure off
+    Study study(std::move(config));
+    study.add_motif(std::make_unique<workloads::IncastMotif>(heavy_incast()), 32, "Aggressor");
+    workloads::PingPongParams v;
+    v.iterations = 50;
+    v.msg_bytes = 1024;
+    study.add_motif(std::make_unique<workloads::PingPongMotif>(v), 16, "Victim");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed);
+    return report.apps[1].comm_mean_ms;
+  };
+  const double comm_off = victim_comm(false);
+  const double comm_on = victim_comm(true);
+  EXPECT_LT(comm_on, comm_off * 1.02)
+      << "victim should not get worse when the aggressor is throttled";
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,300 @@
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/study.hpp"
+#include "net/network.hpp"
+#include "routing/factory.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+// --- FaultPlan construction --------------------------------------------------
+
+TEST(FaultPlan, ParseSingleEntry) {
+  const FaultPlan plan = parse_fault_plan("12:11:8");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.faults()[0].router, 12);
+  EXPECT_EQ(plan.faults()[0].port, 11);
+  EXPECT_EQ(plan.faults()[0].slowdown, 8);
+  EXPECT_EQ(plan.faults()[0].extra_latency, 0);
+}
+
+TEST(FaultPlan, ParseEntryWithExtraLatency) {
+  const FaultPlan plan = parse_fault_plan("0:14:4:500");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.faults()[0].extra_latency, 500 * kNs);
+}
+
+TEST(FaultPlan, ParseMultipleEntries) {
+  const FaultPlan plan = parse_fault_plan("0:14:4:500,8:12:2");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.faults()[1].router, 8);
+  EXPECT_EQ(plan.faults()[1].slowdown, 2);
+}
+
+TEST(FaultPlan, ParseEmptyStringIsEmptyPlan) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedEntries) {
+  EXPECT_THROW(parse_fault_plan("12"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("12:3"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("12:3:0"), std::invalid_argument);   // slowdown < 1
+  EXPECT_THROW(parse_fault_plan("a:3:2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("1:2:3:4:5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("1:2:3x"), std::invalid_argument);
+}
+
+TEST(FaultPlan, DegradeGlobalCoversBothDirections) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  const FaultPlan plan = FaultPlan::degrade_global(topo, 0, 1, 4);
+  // tiny(): g = a*h + 1, exactly one link per group pair -> two directions.
+  ASSERT_EQ(plan.size(), 2u);
+  for (const LinkFault& fault : plan.faults()) {
+    EXPECT_TRUE(topo.is_global_port(fault.port));
+    EXPECT_EQ(fault.slowdown, 4);
+    const int group = topo.group_of_router(fault.router);
+    EXPECT_TRUE(group == 0 || group == 1);
+    // The degraded port must be the one wired toward the other group.
+    const int k = fault.port - topo.first_global_port();
+    EXPECT_EQ(topo.group_reached_by(fault.router, k), group == 0 ? 1 : 0);
+  }
+}
+
+TEST(FaultPlan, DegradeGlobalRejectsSameGroup) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  EXPECT_THROW(FaultPlan::degrade_global(topo, 2, 2, 4), std::invalid_argument);
+}
+
+TEST(FaultPlan, DegradeRouterLocalsCoversAllLocalPorts) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  const FaultPlan plan = FaultPlan::degrade_router_locals(topo, 5, 2);
+  ASSERT_EQ(plan.size(), static_cast<std::size_t>(topo.params().a - 1));
+  for (const LinkFault& fault : plan.faults()) {
+    EXPECT_EQ(fault.router, 5);
+    EXPECT_TRUE(topo.is_local_port(fault.port));
+  }
+}
+
+TEST(FaultPlan, DegradeRandomGlobalsFractionBounds) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  EXPECT_TRUE(FaultPlan::degrade_random_globals(topo, 0.0, 4, 0, 7).empty());
+  const std::size_t total =
+      static_cast<std::size_t>(topo.num_routers()) * static_cast<std::size_t>(topo.params().h);
+  EXPECT_EQ(FaultPlan::degrade_random_globals(topo, 1.0, 4, 0, 7).size(), total);
+  const FaultPlan half = FaultPlan::degrade_random_globals(topo, 0.5, 4, 0, 7);
+  EXPECT_GT(half.size(), total / 4);
+  EXPECT_LT(half.size(), 3 * total / 4);
+  EXPECT_THROW(FaultPlan::degrade_random_globals(topo, 1.5, 4, 0, 7), std::invalid_argument);
+}
+
+TEST(FaultPlan, DegradeRandomGlobalsIsDeterministic) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  const FaultPlan a = FaultPlan::degrade_random_globals(topo, 0.3, 4, 0, 11);
+  const FaultPlan b = FaultPlan::degrade_random_globals(topo, 0.3, 4, 0, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.faults()[i].router, b.faults()[i].router);
+    EXPECT_EQ(a.faults()[i].port, b.faults()[i].port);
+  }
+}
+
+TEST(FaultPlan, MergeConcatenates) {
+  FaultPlan a = parse_fault_plan("1:2:3");
+  a.merge(parse_fault_plan("4:5:6"));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.faults()[1].router, 4);
+}
+
+// --- Router / Network behaviour ----------------------------------------------
+
+class SinkRecorder final : public MessageEvents {
+ public:
+  void message_sent(std::uint64_t) override {}
+  void message_delivered(std::uint64_t) override { delivered++; }
+  int delivered{0};
+};
+
+struct FaultNetFixture {
+  explicit FaultNetFixture(const std::string& routing_name = "MIN") {
+    topo = std::make_unique<Dragonfly>(DragonflyParams::tiny());
+    routing::RoutingContext context{&engine, topo.get(), &cfg, 1};
+    routing = routing::make_routing(routing_name, context);
+    NetworkObservability obs;
+    obs.keep_packet_records = true;
+    net = std::make_unique<Network>(engine, *topo, cfg, *routing, /*num_apps=*/1, 1, obs);
+    net->set_sink(sink);
+  }
+
+  Engine engine;
+  NetConfig cfg;
+  std::unique_ptr<Dragonfly> topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  std::unique_ptr<Network> net;
+  SinkRecorder sink;
+};
+
+TEST(FaultInjection, RouterRejectsBadArguments) {
+  FaultNetFixture f;
+  EXPECT_THROW(f.net->router(0).degrade_port(-1, 2, 0), std::out_of_range);
+  EXPECT_THROW(f.net->router(0).degrade_port(f.topo->radix(), 2, 0), std::out_of_range);
+  EXPECT_THROW(f.net->router(0).degrade_port(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(f.net->router(0).degrade_port(0, 2, -1), std::invalid_argument);
+}
+
+TEST(FaultInjection, ApplyFaultsRejectsUnknownRouter) {
+  FaultNetFixture f;
+  FaultPlan plan;
+  plan.add(LinkFault{f.topo->num_routers(), 0, 2, 0});
+  EXPECT_THROW(f.net->apply_faults(plan), std::out_of_range);
+}
+
+TEST(FaultInjection, ApplyFaultsSetsRouterPortState) {
+  FaultNetFixture f;
+  FaultPlan plan;
+  plan.add(LinkFault{3, f.topo->first_local_port(), 4, 250 * kNs});
+  f.net->apply_faults(plan);
+  EXPECT_EQ(f.net->router(3).port_slowdown(f.topo->first_local_port()), 4);
+  EXPECT_EQ(f.net->router(3).port_extra_latency(f.topo->first_local_port()), 250 * kNs);
+  // Other ports untouched.
+  EXPECT_EQ(f.net->router(3).port_slowdown(0), 1);
+}
+
+/// Packet latency across a degraded wire grows by the extra propagation
+/// latency exactly (single packet: no queueing involved).
+TEST(FaultInjection, ExtraLatencyShiftsUnloadedDelivery) {
+  const int src = 0;
+  // Destination on router 1, same group: route is terminal->R0->local->R1.
+  const int dst_base = [] {
+    Dragonfly topo(DragonflyParams::tiny());
+    return topo.params().p;
+  }();
+
+  auto run_once = [&](SimTime extra) {
+    FaultNetFixture f;
+    if (extra > 0) {
+      FaultPlan plan;
+      plan.add(LinkFault{0, f.topo->local_port_to(0, 1), 1, extra});
+      f.net->apply_faults(plan);
+    }
+    f.net->send_message(src, dst_base, 512, 0);
+    f.engine.run();
+    const auto& records = f.net->packet_log().records();
+    EXPECT_EQ(records.size(), 1u);
+    return records.empty() ? SimTime{0} : records[0].eject_time - records[0].wire_time;
+  };
+
+  const SimTime base = run_once(0);
+  const SimTime degraded = run_once(2 * kUs);
+  EXPECT_EQ(degraded - base, 2 * kUs);
+}
+
+/// A slowdown-k wire serialises k times slower, so a long stream through it
+/// takes ~k times longer to drain (bandwidth-bound regime).
+TEST(FaultInjection, SlowdownScalesStreamDrainTime) {
+  auto drain_time = [&](int slowdown) {
+    FaultNetFixture f;
+    if (slowdown > 1) {
+      FaultPlan plan;
+      plan.add(LinkFault{0, f.topo->local_port_to(0, 1), slowdown, 0});
+      f.net->apply_faults(plan);
+    }
+    // 256 packets node0 -> node on router 1 through the degraded local wire.
+    f.net->send_message(0, f.topo->params().p, 256 * 512, 0);
+    f.engine.run();
+    EXPECT_EQ(f.sink.delivered, 1);
+    return f.engine.now();
+  };
+
+  const double base = static_cast<double>(drain_time(1));
+  const double slow4 = static_cast<double>(drain_time(4));
+  // Serialisation dominates a 256-packet stream; expect ~4x within 40%.
+  EXPECT_GT(slow4 / base, 2.4);
+  EXPECT_LT(slow4 / base, 5.0);
+}
+
+/// Degrading a wire that traffic never crosses changes nothing (and the
+/// simulation stays deterministic).
+TEST(FaultInjection, UnusedFaultIsInert) {
+  auto run_once = [&](bool fault) {
+    FaultNetFixture f;
+    if (fault) {
+      // Degrade a global port of the last router; traffic stays in group 0.
+      FaultPlan plan;
+      plan.add(LinkFault{f.topo->num_routers() - 1, f.topo->first_global_port(), 16, kMs});
+      f.net->apply_faults(plan);
+    }
+    f.net->send_message(0, f.topo->params().p, 64 * 512, 0);
+    f.engine.run();
+    return f.engine.now();
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+// --- Study-level integration ---------------------------------------------------
+
+/// Q-adaptive learns delivery-time estimates, so it steers around a degraded
+/// gateway that minimal routing is forced to cross. Compare mean packet
+/// latency for traffic between two groups whose direct global link is slow.
+TEST(FaultInjection, QAdaptiveRoutesAroundDegradedGlobalLink) {
+  auto comm_time = [&](const std::string& routing) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = routing;
+    config.seed = 5;
+    config.placement = PlacementPolicy::kLinear;
+    {
+      const Dragonfly topo(config.topo);
+      // All traffic will flow group 0 <-> group 1; degrade that link hard.
+      config.faults = FaultPlan::degrade_global(topo, 0, 1, 16);
+    }
+    Study study(config);
+    // Linear placement: ranks 0..7 in group 0, 8..15 in group 1 (p=2, a=4).
+    workloads::BisectionParams params;
+    params.msg_bytes = 4096;
+    params.iterations = 40;
+    study.add_motif(std::make_unique<workloads::BisectionMotif>(params), 16, "bisect");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed);
+    return report.apps[0].comm_mean_ms;
+  };
+
+  const double min_time = comm_time("MIN");
+  const double qadp_time = comm_time("Q-adp");
+  // MIN must cross the degraded wire; Q-adaptive detours via healthy groups.
+  EXPECT_LT(qadp_time, min_time * 0.8);
+}
+
+/// StudyConfig::faults is applied before traffic: a degraded-everything plan
+/// visibly slows the same workload.
+TEST(FaultInjection, StudyFaultsSlowDownWorkload) {
+  auto makespan = [&](int slowdown) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = "UGALg";
+    config.seed = 3;
+    if (slowdown > 1) {
+      const Dragonfly topo(config.topo);
+      config.faults = FaultPlan::degrade_random_globals(topo, 1.0, slowdown, 0, 1);
+    }
+    Study study(config);
+    workloads::UniformRandomParams params;
+    params.iterations = 30;
+    params.window = 8;
+    params.interval = 0;
+    study.add_motif(std::make_unique<workloads::UniformRandomMotif>(params),
+                    config.topo.num_nodes(), "UR");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed);
+    return report.makespan;
+  };
+  EXPECT_GT(makespan(8), makespan(1));
+}
+
+}  // namespace
+}  // namespace dfly

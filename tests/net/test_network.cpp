@@ -1,0 +1,185 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/factory.hpp"
+
+namespace dfly {
+namespace {
+
+/// Records message lifecycle events for direct network-level tests.
+class SinkRecorder final : public MessageEvents {
+ public:
+  void message_sent(std::uint64_t id) override { sent.push_back(id); }
+  void message_delivered(std::uint64_t id) override { delivered.push_back(id); }
+  std::vector<std::uint64_t> sent, delivered;
+};
+
+struct NetFixture {
+  explicit NetFixture(const std::string& routing_name = "MIN",
+                      DragonflyParams params = DragonflyParams::tiny()) {
+    topo = std::make_unique<Dragonfly>(params);
+    routing::RoutingContext context{&engine, topo.get(), &cfg, 1};
+    routing = routing::make_routing(routing_name, context);
+    NetworkObservability obs;
+    obs.keep_packet_records = true;
+    net = std::make_unique<Network>(engine, *topo, cfg, *routing, /*num_apps=*/2, 1, obs);
+    net->set_sink(sink);
+  }
+
+  Engine engine;
+  NetConfig cfg;
+  std::unique_ptr<Dragonfly> topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  std::unique_ptr<Network> net;
+  SinkRecorder sink;
+};
+
+TEST(Network, SingleMessageDelivered) {
+  NetFixture f;
+  const auto id = f.net->send_message(0, f.topo->num_nodes() - 1, 4096, 0);
+  f.engine.run();
+  ASSERT_EQ(f.sink.sent.size(), 1u);
+  ASSERT_EQ(f.sink.delivered.size(), 1u);
+  EXPECT_EQ(f.sink.sent[0], id);
+  EXPECT_EQ(f.sink.delivered[0], id);
+  // 4096B = 8 packets of 512B.
+  EXPECT_EQ(f.net->packet_log().delivered_packets(0), 8u);
+}
+
+TEST(Network, PacketPayloadTailIsShort) {
+  NetFixture f;
+  f.net->send_message(0, 9, 1000, 0);  // 512 + 488
+  f.engine.run();
+  EXPECT_EQ(f.net->packet_log().delivered_packets(0), 2u);
+  const auto& records = f.net->packet_log().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].bytes + records[1].bytes, 1000);
+}
+
+TEST(Network, SelfSendBypassesNetwork) {
+  NetFixture f;
+  f.net->send_message(3, 3, 512, 0);
+  f.engine.run();
+  EXPECT_EQ(f.sink.sent.size(), 1u);
+  EXPECT_EQ(f.sink.delivered.size(), 1u);
+  EXPECT_EQ(f.net->packet_log().delivered_packets(0), 0u);  // no wire traffic
+}
+
+TEST(Network, UnloadedLatencyIsNearTopologyBound) {
+  NetFixture f;
+  // One packet, same group, different router: local hop only.
+  const int src = 0;                        // router 0
+  const int dst = f.topo->params().p * 1;   // router 1, same group
+  f.net->send_message(src, dst, 512, 0);
+  f.engine.run();
+  const auto& log = f.net->packet_log();
+  ASSERT_EQ(log.delivered_packets(0), 1u);
+  // wire->eject: ser(terminal) happens before wire_time? wire_time is set at
+  // NIC transmit start, so latency >= terminal ser + local ser + eject ser.
+  const SimTime latency = log.latency(0).median();
+  const SimTime ser = f.cfg.packet_serialization();
+  EXPECT_GT(latency, 2 * ser);
+  EXPECT_LT(latency, 100 * ser + 10 * f.cfg.router_latency);
+}
+
+TEST(Network, MinimalRoutingTakesAtMostThreeHops) {
+  NetFixture f("MIN");
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(f.topo->num_nodes())));
+    int dst = src;
+    while (dst == src) {
+      dst = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(f.topo->num_nodes())));
+    }
+    f.net->send_message(src, dst, 512, 0);
+  }
+  f.engine.run();
+  EXPECT_EQ(f.net->packet_log().delivered_packets(0), 200u);
+  for (const auto& r : f.net->packet_log().records()) {
+    EXPECT_LE(r.hops, 3);
+    EXPECT_FALSE(r.nonminimal);
+  }
+}
+
+TEST(Network, ManyToOneCreatesBackpressureNotLoss) {
+  NetFixture f("MIN");
+  // Every node sends to node 0: heavy ejection contention.
+  std::int64_t expected_bytes = 0;
+  for (int n = 1; n < f.topo->num_nodes(); ++n) {
+    f.net->send_message(n, 0, 8192, 0);
+    expected_bytes += 8192;
+  }
+  f.engine.run();
+  EXPECT_EQ(static_cast<std::int64_t>(f.sink.delivered.size()), f.topo->num_nodes() - 1);
+  EXPECT_DOUBLE_EQ(f.net->packet_log().delivered(0).total(),
+                   static_cast<double>(expected_bytes));
+  // The incast must have produced queueing: p99 well above the median.
+  const auto& lat = f.net->packet_log().latency(0);
+  EXPECT_GT(lat.p99(), lat.median());
+  EXPECT_EQ(f.net->in_flight_packets(), static_cast<std::int64_t>(f.net->pool().capacity()) -
+                                             static_cast<std::int64_t>(f.net->pool().capacity()) +
+                                             static_cast<std::int64_t>(f.net->pool().in_use()));
+  EXPECT_EQ(f.net->pool().in_use(), 0u);  // everything drained back to the pool
+}
+
+TEST(Network, PerAppTrafficSeparated) {
+  NetFixture f;
+  f.net->send_message(0, 8, 2048, 0);
+  f.net->send_message(1, 9, 4096, 1);
+  f.engine.run();
+  EXPECT_EQ(f.net->packet_log().delivered_packets(0), 4u);
+  EXPECT_EQ(f.net->packet_log().delivered_packets(1), 8u);
+  EXPECT_DOUBLE_EQ(f.net->packet_log().delivered(0).total(), 2048.0);
+  EXPECT_DOUBLE_EQ(f.net->packet_log().delivered(1).total(), 4096.0);
+}
+
+TEST(Network, LinkStatsSeeTraffic) {
+  NetFixture f;
+  f.net->send_message(0, f.topo->num_nodes() - 1, 512, 0);
+  f.engine.run();
+  const LinkStats& stats = f.net->link_stats();
+  std::int64_t nic_bytes = 0, router_bytes = 0;
+  for (int link = 0; link < stats.num_links(); ++link) {
+    if (stats.link_class(link) == LinkClass::kTerminal) {
+      nic_bytes += stats.bytes(link);
+    } else {
+      router_bytes += stats.bytes(link);
+    }
+  }
+  EXPECT_GE(nic_bytes, 512 * 2);    // NIC injection link + router terminal out
+  EXPECT_GE(router_bytes, 512);     // at least one network hop
+}
+
+TEST(Network, CreditProtocolConservesCredits) {
+  NetFixture f;
+  for (int n = 1; n < 20; ++n) f.net->send_message(n, 0, 30000, 0);
+  f.engine.run();
+  // After quiescence every credit must be returned.
+  for (int r = 0; r < f.topo->num_routers(); ++r) {
+    Router& router = f.net->router(r);
+    for (int port = 0; port < f.topo->radix(); ++port) {
+      for (int vc = 0; vc < f.cfg.num_vcs; ++vc) {
+        EXPECT_EQ(router.credits(port, vc), f.cfg.buffer_packets)
+            << "router " << r << " port " << port << " vc " << vc;
+      }
+      EXPECT_EQ(router.occupancy(port), 0);
+    }
+  }
+}
+
+TEST(Network, ThroughputBoundedByTerminalLink) {
+  NetFixture f("MIN");
+  // One node streams 1MB to a peer: delivery rate can't beat link rate.
+  f.net->send_message(0, 32, 1 << 20, 0);
+  f.engine.run();
+  const SimTime makespan = f.engine.now();
+  const double gbps = (static_cast<double>(1 << 20) * 8.0) / to_ns(makespan);
+  EXPECT_LE(gbps, f.cfg.link_gbps * 1.01);
+  EXPECT_GT(gbps, f.cfg.link_gbps * 0.5);  // and reasonably close to it
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,190 @@
+// Tests for QoS traffic classes (net/qos.hpp + DWRR arbitration in Router).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/study.hpp"
+#include "net/qos.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(QosConfig, DefaultsDisabled) {
+  const QosConfig qos;
+  EXPECT_FALSE(qos.enabled());
+  EXPECT_EQ(qos.num_classes, 1);
+  EXPECT_EQ(qos.weight_of(0), 1);
+  EXPECT_EQ(qos.weight_of(7), 1);  // out of range -> default weight
+}
+
+TEST(QosConfig, WeightsClampToAtLeastOne) {
+  QosConfig qos;
+  qos.num_classes = 3;
+  qos.weights = {4, 0, -2};
+  EXPECT_TRUE(qos.enabled());
+  EXPECT_EQ(qos.weight_of(0), 4);
+  EXPECT_EQ(qos.weight_of(1), 1);
+  EXPECT_EQ(qos.weight_of(2), 1);
+}
+
+TEST(TrafficClassMap, AssignAndLookup) {
+  TrafficClassMap map(3);
+  EXPECT_EQ(map.klass(0), 0);
+  map.assign(1, 2);
+  EXPECT_EQ(map.klass(1), 2);
+  map.assign(5, 1);  // grows on demand
+  EXPECT_EQ(map.klass(5), 1);
+  EXPECT_EQ(map.klass(-1), 0);   // invalid ids ride class 0
+  EXPECT_EQ(map.klass(99), 0);
+  map.assign(0, -3);             // negative class clamps to 0
+  EXPECT_EQ(map.klass(0), 0);
+}
+
+/// Two identical flooding jobs; returns (comm_time job0, comm_time job1).
+std::pair<double, double> run_two_floods(QosConfig qos, int cls0, int cls1,
+                                         std::uint64_t seed = 5) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";  // maximal contention: no adaptive escape
+  config.seed = seed;
+  config.net.qos = std::move(qos);
+  Study study(std::move(config));
+
+  workloads::UniformRandomParams p;
+  p.msg_bytes = 4096;
+  p.iterations = 150;
+  p.interval = 0;  // flood
+  p.window = 16;
+  const int a = study.add_motif(std::make_unique<workloads::UniformRandomMotif>(p), 24, "A");
+  const int b = study.add_motif(std::make_unique<workloads::UniformRandomMotif>(p), 24, "B");
+  study.set_traffic_class(a, cls0);
+  study.set_traffic_class(b, cls1);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  return {report.apps[0].comm_mean_ms, report.apps[1].comm_mean_ms};
+}
+
+TEST(QosDwrr, HigherWeightClassFinishesFaster) {
+  QosConfig qos;
+  qos.num_classes = 2;
+  qos.weights = {8, 1};
+  const auto [fast, slow] = run_two_floods(qos, 0, 1);
+  // The 8x-weighted class must see clearly less blocked time than the
+  // 1x class when both flood the same fabric.
+  EXPECT_LT(fast * 1.3, slow) << "fast=" << fast << " slow=" << slow;
+}
+
+TEST(QosDwrr, EqualWeightsAreFair) {
+  QosConfig qos;
+  qos.num_classes = 2;
+  qos.weights = {1, 1};
+  const auto [a, b] = run_two_floods(qos, 0, 1);
+  const double ratio = a < b ? b / a : a / b;
+  EXPECT_LT(ratio, 1.25) << "a=" << a << " b=" << b;
+}
+
+TEST(QosDwrr, SameClassBehavesLikeFifoFairness) {
+  // Both jobs in class 0 of an enabled-QoS config: no differentiation.
+  QosConfig qos;
+  qos.num_classes = 2;
+  qos.weights = {4, 1};
+  const auto [a, b] = run_two_floods(qos, 0, 0);
+  const double ratio = a < b ? b / a : a / b;
+  EXPECT_LT(ratio, 1.25) << "a=" << a << " b=" << b;
+}
+
+TEST(QosDwrr, WeightOrderingIsMonotone) {
+  // Swapping the class assignment must swap who wins.
+  QosConfig qos;
+  qos.num_classes = 2;
+  qos.weights = {6, 1};
+  const auto [a0, b0] = run_two_floods(qos, 0, 1);
+  const auto [a1, b1] = run_two_floods(qos, 1, 0);
+  EXPECT_LT(a0, b0);
+  EXPECT_GT(a1, b1);
+}
+
+TEST(QosDwrr, DisabledQosMatchesBaseline) {
+  // num_classes == 1 must reproduce the exact FIFO-arbitration results:
+  // compare against a run with default config (bitwise-deterministic
+  // engine, same seed -> same makespan).
+  StudyConfig base;
+  base.topo = DragonflyParams::tiny();
+  base.routing = "PAR";
+  base.seed = 21;
+  Study study_base(std::move(base));
+  workloads::ShiftParams p;
+  p.iterations = 80;
+  study_base.add_motif(std::make_unique<workloads::ShiftMotif>(p), 24, "S");
+  const Report r_base = study_base.run();
+
+  StudyConfig qos_cfg;
+  qos_cfg.topo = DragonflyParams::tiny();
+  qos_cfg.routing = "PAR";
+  qos_cfg.seed = 21;
+  qos_cfg.net.qos.num_classes = 1;  // explicitly disabled
+  qos_cfg.net.qos.weights = {3};    // ignored
+  Study study_qos(std::move(qos_cfg));
+  study_qos.add_motif(std::make_unique<workloads::ShiftMotif>(p), 24, "S");
+  const Report r_qos = study_qos.run();
+
+  ASSERT_TRUE(r_base.completed);
+  ASSERT_TRUE(r_qos.completed);
+  EXPECT_EQ(r_base.makespan, r_qos.makespan);
+  EXPECT_EQ(r_base.events_executed, r_qos.events_executed);
+}
+
+TEST(QosDwrr, ManyClassesComplete) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "UGALg";
+  config.seed = 9;
+  config.net.qos.num_classes = 4;
+  config.net.qos.weights = {8, 4, 2, 1};
+  Study study(std::move(config));
+  workloads::UniformRandomParams p;
+  p.msg_bytes = 2048;
+  p.iterations = 60;
+  p.interval = 0;
+  for (int j = 0; j < 4; ++j) {
+    const int id = study.add_motif(std::make_unique<workloads::UniformRandomMotif>(p), 12,
+                                   "J" + std::to_string(j));
+    study.set_traffic_class(id, j);
+  }
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  // Comm times must be (weakly) ordered with the weights.
+  EXPECT_LT(report.apps[0].comm_mean_ms, report.apps[3].comm_mean_ms);
+}
+
+TEST(QosDwrr, OutOfRangeClassClampsToLast) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  config.net.qos.num_classes = 2;
+  config.net.qos.weights = {4, 1};
+  Study study(std::move(config));
+  workloads::ShiftParams p;
+  p.iterations = 30;
+  const int id = study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 16, "S");
+  study.set_traffic_class(id, 9);  // beyond num_classes: clamps in router
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+}
+
+TEST(Study, TrafficClassValidation) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  Study study(std::move(config));
+  workloads::ShiftParams p;
+  const int id = study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 8, "S");
+  EXPECT_THROW(study.set_traffic_class(id + 1, 0), std::out_of_range);
+  EXPECT_THROW(study.set_traffic_class(-1, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dfly

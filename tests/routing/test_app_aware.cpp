@@ -1,0 +1,146 @@
+#include "routing/app_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/study.hpp"
+#include "routing/factory.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+using routing::AppAwareParams;
+using routing::AppAwareUgalRouting;
+
+TEST(AppAware, FactoryBuildsIt) {
+  Engine engine;
+  const Dragonfly topo(DragonflyParams::tiny());
+  NetConfig cfg;
+  routing::RoutingContext context{&engine, &topo, &cfg, 1};
+  const auto routing = routing::make_routing("AppAware", context);
+  EXPECT_EQ(routing->name(), "AppAware");
+}
+
+TEST(AppAware, ListedInAllRoutings) {
+  const auto& names = routing::all_routings();
+  EXPECT_NE(std::find(names.begin(), names.end(), "AppAware"), names.end());
+}
+
+TEST(AppAware, BiasDefaultsToZeroBeforeTraffic) {
+  AppAwareUgalRouting routing;
+  EXPECT_EQ(routing.bias_of(0), 0);
+  EXPECT_EQ(routing.bias_of(7), 0);
+  EXPECT_EQ(routing.bias_of(-1), 0);
+  EXPECT_EQ(routing.intensity_of(3), 0.0);
+}
+
+/// Build a heavy/light pair and check the classifier: the aggressor (most of
+/// the injected bytes) must end up with the spread bias, the light app with
+/// the keep-minimal bias.
+TEST(AppAware, ClassifiesAggressorAndVictim) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "AppAware";
+  config.seed = 11;
+  Study study(config);
+
+  // Light victim: sparse ping-pong pairs. Heavy aggressor: saturating UR.
+  workloads::PingPongParams victim_params;
+  victim_params.msg_bytes = 512;
+  victim_params.iterations = 120;
+  const int victim =
+      study.add_motif(std::make_unique<workloads::PingPongMotif>(victim_params), 8, "victim");
+
+  workloads::UniformRandomParams aggressor_params;
+  aggressor_params.msg_bytes = 65536;
+  aggressor_params.iterations = 60;
+  aggressor_params.interval = 0;
+  aggressor_params.window = 16;
+  const int aggressor = study.add_motif(
+      std::make_unique<workloads::UniformRandomMotif>(aggressor_params), 48, "aggressor");
+
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+
+  const auto& routing = dynamic_cast<const AppAwareUgalRouting&>(study.routing());
+  EXPECT_GT(routing.intensity_of(aggressor), routing.intensity_of(victim));
+  EXPECT_EQ(routing.bias_of(aggressor), routing.params().bandwidth_bias);
+  EXPECT_EQ(routing.bias_of(victim), routing.params().latency_bias);
+}
+
+/// The bias must be visible in routing behaviour: with a latency bias the
+/// light app stays more minimal than the spread-biased heavy app.
+TEST(AppAware, BiasShiftsNonminimalFractions) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "AppAware";
+  config.seed = 3;
+  Study study(config);
+
+  workloads::PingPongParams victim_params;
+  victim_params.msg_bytes = 2048;
+  victim_params.iterations = 200;
+  const int victim =
+      study.add_motif(std::make_unique<workloads::PingPongMotif>(victim_params), 8, "victim");
+
+  workloads::UniformRandomParams aggressor_params;
+  aggressor_params.msg_bytes = 65536;
+  aggressor_params.iterations = 80;
+  aggressor_params.interval = 0;
+  aggressor_params.window = 16;
+  const int aggressor = study.add_motif(
+      std::make_unique<workloads::UniformRandomMotif>(aggressor_params), 48, "aggressor");
+
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const AppReport& victim_report = report.apps[static_cast<std::size_t>(victim)];
+  const AppReport& aggressor_report = report.apps[static_cast<std::size_t>(aggressor)];
+  EXPECT_LT(victim_report.nonminimal_fraction, aggressor_report.nonminimal_fraction);
+}
+
+/// Single application: it owns 100% of the traffic, is classified bandwidth-
+/// bound, and behaves like UGAL with a small negative bias — comm time must
+/// stay within a sane factor of UGALn on the same workload.
+TEST(AppAware, SingleAppStaysCloseToUgal) {
+  auto comm_time = [](const std::string& routing) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = routing;
+    config.seed = 17;
+    Study study(config);
+    workloads::UniformRandomParams params;
+    params.iterations = 60;
+    params.interval = 0;
+    params.window = 16;
+    study.add_motif(std::make_unique<workloads::UniformRandomMotif>(params),
+                    config.topo.num_nodes(), "UR");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed);
+    return report.apps[0].comm_mean_ms;
+  };
+  const double ugal = comm_time("UGALn");
+  const double aware = comm_time("AppAware");
+  EXPECT_LT(aware, ugal * 1.5);
+  EXPECT_GT(aware, ugal * 0.5);
+}
+
+/// Idle windows must not erase the classification (silent apps keep their
+/// bias until they inject again).
+TEST(AppAware, ParamsArePluggable) {
+  AppAwareParams params;
+  params.aggressor_fraction = 0.9;
+  params.smoothing = 0.5;
+  params.latency_bias = 2;
+  params.bandwidth_bias = -1;
+  AppAwareUgalRouting routing(params);
+  EXPECT_EQ(routing.params().aggressor_fraction, 0.9);
+  EXPECT_EQ(routing.params().smoothing, 0.5);
+  EXPECT_EQ(routing.params().latency_bias, 2);
+  EXPECT_EQ(routing.params().bandwidth_bias, -1);
+}
+
+}  // namespace
+}  // namespace dfly

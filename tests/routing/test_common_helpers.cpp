@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "routing/common.hpp"
+#include "routing/factory.hpp"
+
+namespace dfly {
+namespace {
+
+/// Property tests for the shared routing helpers, exercised through a real
+/// router (they need occupancy/rng state).
+struct HelperFixture {
+  HelperFixture() : topo(DragonflyParams::tiny()) {
+    routing::RoutingContext context{&engine, &topo, &cfg, 3};
+    routing = routing::make_routing("MIN", context);
+    net = std::make_unique<Network>(engine, topo, cfg, *routing, 1, 3);
+  }
+  Engine engine;
+  Dragonfly topo;
+  NetConfig cfg;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  std::unique_ptr<Network> net;
+};
+
+TEST(RoutingHelpers, TowardGroupAlwaysMakesProgress) {
+  HelperFixture f;
+  for (int r = 0; r < f.topo.num_routers(); ++r) {
+    Router& router = f.net->router(r);
+    const int my_group = f.topo.group_of_router(r);
+    for (int g = 0; g < f.topo.num_groups(); ++g) {
+      if (g == my_group) continue;
+      for (int trial = 0; trial < 5; ++trial) {
+        const int port = routing::toward_group_port(router, g);
+        ASSERT_FALSE(f.topo.is_terminal_port(port));
+        if (f.topo.is_global_port(port)) {
+          // Own global: must land in the target group.
+          EXPECT_EQ(f.topo.group_reached_by(r, port - f.topo.first_global_port()), g);
+        } else {
+          // Local: the peer must own a global to the target group.
+          const int peer_local = f.topo.local_peer_of_port(r, port);
+          const int peer = f.topo.router_id(my_group, peer_local);
+          bool peer_is_gateway = false;
+          for (const auto& e : f.topo.gateways(my_group, g)) {
+            peer_is_gateway = peer_is_gateway || e.router == peer;
+          }
+          EXPECT_TRUE(peer_is_gateway)
+              << "router " << r << " chose a local hop to a non-gateway for group " << g;
+        }
+      }
+    }
+  }
+}
+
+TEST(RoutingHelpers, TowardRouterIntraGroupIsDirect) {
+  HelperFixture f;
+  for (int r = 0; r < f.topo.num_routers(); ++r) {
+    Router& router = f.net->router(r);
+    const int my_group = f.topo.group_of_router(r);
+    for (int l = 0; l < f.topo.params().a; ++l) {
+      const int target = f.topo.router_id(my_group, l);
+      if (target == r) continue;
+      const int port = routing::toward_router_port(router, target);
+      EXPECT_EQ(f.topo.local_peer_of_port(r, port), l);
+    }
+  }
+}
+
+TEST(RoutingHelpers, VcEqualsHopCount) {
+  Packet pkt;
+  for (int hops = 0; hops < 6; ++hops) {
+    pkt.hops = static_cast<std::uint8_t>(hops);
+    EXPECT_EQ(routing::vc_for(pkt), hops);
+  }
+}
+
+TEST(RoutingHelpers, CommitValiantSetsState) {
+  Packet pkt;
+  routing::commit_valiant(pkt, 5, 21);
+  EXPECT_TRUE(pkt.nonminimal);
+  EXPECT_FALSE(pkt.reached_int);
+  EXPECT_EQ(pkt.int_group, 5);
+  EXPECT_EQ(pkt.int_router, 21);
+}
+
+TEST(RoutingHelpers, SampleMinimalTargetsDestinationGroup) {
+  HelperFixture f;
+  Packet pkt;
+  pkt.dst_node = f.topo.num_nodes() - 1;
+  Router& router = f.net->router(0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto c = routing::sample_minimal(router, pkt);
+    EXPECT_GE(c.port, f.topo.first_local_port());
+    EXPECT_EQ(c.int_group, -1);
+    EXPECT_EQ(c.occupancy, 0);  // idle network
+  }
+}
+
+TEST(RoutingHelpers, SampleNonminimalAvoidsEndpointGroups) {
+  HelperFixture f;
+  Packet pkt;
+  pkt.dst_node = f.topo.num_nodes() - 1;
+  const int dst_group = f.topo.group_of_node(pkt.dst_node);
+  Router& router = f.net->router(0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto c = routing::sample_nonminimal(router, pkt, /*pick_router=*/true);
+    ASSERT_GE(c.int_group, 0);
+    EXPECT_NE(c.int_group, 0);          // source group
+    EXPECT_NE(c.int_group, dst_group);  // destination group
+    ASSERT_GE(c.int_router, 0);
+    EXPECT_EQ(f.topo.group_of_router(c.int_router), c.int_group);
+  }
+}
+
+}  // namespace
+}  // namespace dfly

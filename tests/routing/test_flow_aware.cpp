@@ -1,0 +1,109 @@
+// Tests for flow-aware adaptive routing (routing/flow_aware.hpp).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/study.hpp"
+#include "routing/flow_aware.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+Report run_with(const std::string& routing, std::uint64_t seed, int iterations = 60) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = seed;
+  Study study(std::move(config));
+  workloads::ShiftParams p;
+  p.stride = 9;  // cross-group under linear ids
+  p.iterations = iterations;
+  study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 24, "Shift");
+  return study.run();
+}
+
+TEST(FlowAware, CompletesOnShiftTraffic) {
+  const Report report = run_with("FlowUGAL", 3);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.routing, "FlowUGAL");
+}
+
+TEST(FlowAware, CompletesOnAllWorkloadShapes) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "FlowUGAL";
+  config.seed = 5;
+  Study study(std::move(config));
+  workloads::UniformRandomParams ur;
+  ur.iterations = 80;
+  study.add_motif(std::make_unique<workloads::UniformRandomMotif>(ur), 24, "UR");
+  workloads::AllreducePeriodicParams ar = workloads::AllreducePeriodicMotif::cosmoflow();
+  ar.iterations = 1;
+  ar.msg_bytes = 60000;
+  ar.interval = 30 * kUs;
+  study.add_motif(std::make_unique<workloads::AllreducePeriodicMotif>(std::move(ar)), 16,
+                  "CF");
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+}
+
+TEST(FlowAware, PinsFlowsBetweenRefreshes) {
+  // With a long refresh period, a steady flow keeps one path: the flow
+  // table ends up with exactly one entry per cross-group (src,dst) pair and
+  // no refreshes.
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "FlowUGAL";
+  config.seed = 11;
+  Study study(std::move(config));
+  workloads::ShiftParams p;
+  p.stride = 9;
+  p.iterations = 50;
+  study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 24, "Shift");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& flow = dynamic_cast<const routing::FlowAwareRouting&>(study.routing());
+  EXPECT_GT(flow.active_flows(), 0u);
+  EXPECT_LE(flow.active_flows(), 24u);  // at most one flow per sender
+}
+
+TEST(FlowAware, DefaultsAndAccessors) {
+  routing::FlowAwareParams params;
+  params.refresh_period = 1 * kNs;
+  const routing::FlowAwareRouting routing(params);
+  EXPECT_EQ(routing.name(), "FlowUGAL");
+  EXPECT_EQ(routing.params().refresh_period, 1 * kNs);
+  EXPECT_EQ(routing.refreshes(), 0u);
+  EXPECT_EQ(routing.active_flows(), 0u);
+}
+
+TEST(FlowAware, StableUnderMultipleSeeds) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    EXPECT_TRUE(run_with("FlowUGAL", seed, 30).completed) << "seed " << seed;
+  }
+}
+
+TEST(FlowAware, ListedInFactory) {
+  bool found = false;
+  for (const std::string& name : routing::all_routings()) {
+    if (name == "FlowUGAL") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FlowAware, ComparableToUgalOnLightLoad) {
+  // On light, steady traffic a pinned path and a per-packet path should be
+  // within a small factor of each other (no pathological livelock).
+  const Report flow = run_with("FlowUGAL", 21);
+  const Report ugal = run_with("UGALn", 21);
+  ASSERT_TRUE(flow.completed);
+  ASSERT_TRUE(ugal.completed);
+  EXPECT_LT(flow.apps[0].comm_mean_ms, ugal.apps[0].comm_mean_ms * 3 + 0.5);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,202 @@
+#include "routing/q_adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "routing/factory.hpp"
+#include "routing/q_table.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(QTable, InitialisesToZero) {
+  QTable table(9, 4, 8);
+  EXPECT_EQ(table.global_q(3, 5), 0.0);
+  EXPECT_EQ(table.local_q(2, 1), 0.0);
+}
+
+TEST(QTable, UpdateMovesTowardSample) {
+  QTable table(4, 4, 8);
+  table.set_global(1, 2, 100.0);
+  const double next = table.update_global(1, 2, 200.0, 0.5);
+  EXPECT_DOUBLE_EQ(next, 150.0);
+  EXPECT_DOUBLE_EQ(table.global_q(1, 2), 150.0);
+  table.set_local(0, 3, 80.0);
+  table.update_local(0, 3, 0.0, 0.25);
+  EXPECT_DOUBLE_EQ(table.local_q(0, 3), 60.0);
+}
+
+TEST(QTable, FootprintIsLightweight) {
+  // The paper stresses a "light-weight two-level Q-table": for the 1,056-
+  // node system each router stores 33 groups x 15 ports + 8 locals x 15
+  // ports doubles — about 5KB.
+  QTable table(33, 8, 15);
+  EXPECT_LT(table.footprint_bytes(), 8u * 1024u);
+}
+
+struct QFixture {
+  QFixture() : topo(DragonflyParams::tiny()) {
+    routing::RoutingContext context{&engine, &topo, &cfg, 7};
+    algo = std::make_unique<routing::QAdaptiveRouting>(engine, topo, cfg,
+                                                       context.qadp, context.seed);
+    NetworkObservability obs;
+    obs.keep_packet_records = true;
+    net = std::make_unique<Network>(engine, topo, cfg, *algo, 1, 7, obs);
+    net->set_sink(sink);
+  }
+  class CountSink final : public MessageEvents {
+   public:
+    void message_sent(std::uint64_t) override {}
+    void message_delivered(std::uint64_t) override { ++delivered; }
+    int delivered{0};
+  };
+  Engine engine;
+  Dragonfly topo;
+  NetConfig cfg;
+  std::unique_ptr<routing::QAdaptiveRouting> algo;
+  std::unique_ptr<Network> net;
+  CountSink sink;
+};
+
+TEST(QAdaptive, InitTablesPreferMinimalPaths) {
+  QFixture f;
+  // Router 0's global port toward its directly-connected group must have a
+  // smaller initial estimate than any port that needs a detour.
+  const int dst_group = f.topo.group_reached_by(0, 0);
+  const QTable& table = f.algo->table(0);
+  const double direct = table.global_q(dst_group, f.topo.global_port(0));
+  for (int port = f.topo.first_local_port(); port < f.topo.radix(); ++port) {
+    if (port == f.topo.global_port(0)) continue;
+    EXPECT_LE(direct, table.global_q(dst_group, port)) << "port " << port;
+  }
+}
+
+TEST(QAdaptive, IdleNetworkStaysMostlyMinimal) {
+  QFixture f;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(f.topo.num_nodes())));
+    int dst = src;
+    while (dst == src) {
+      dst = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(f.topo.num_nodes())));
+    }
+    f.net->send_message(src, dst, 512, 0);
+    f.engine.run();
+  }
+  const auto& log = f.net->packet_log();
+  EXPECT_EQ(log.delivered_packets(0), 100u);
+  // epsilon exploration allows a few detours, but the bulk must be minimal.
+  EXPECT_LT(static_cast<double>(log.nonminimal_packets(0)), 10.0);
+}
+
+TEST(QAdaptive, FeedbackSignalsFlow) {
+  QFixture f;
+  f.net->send_message(0, f.topo.num_nodes() - 1, 8192, 0);
+  f.engine.run();
+  // Every router-to-router hop generates one feedback signal.
+  EXPECT_GT(f.algo->feedback_signals(), 0u);
+}
+
+TEST(QAdaptive, LearnsToAvoidSaturatedMinimalPath) {
+  QFixture f;
+  // Saturate the single global link 0->1 with a persistent flow, then check
+  // the learned Q-value for the minimal port grew above its initial value.
+  const int dst_group = 1;
+  const auto& gw = f.topo.gateways(0, dst_group);
+  ASSERT_EQ(gw.size(), 1u);
+  const int gw_router = gw[0].router;
+  const int gw_port = f.topo.global_port(gw[0].global_port);
+  const double initial_q = f.algo->table(gw_router).global_q(dst_group, gw_port);
+
+  const int nodes_per_group = f.topo.params().p * f.topo.params().a;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (int n = 0; n < nodes_per_group; ++n) {
+      f.net->send_message(n, nodes_per_group + n, 4096, 0);
+    }
+  }
+  f.engine.run();
+  const double learned_q = f.algo->table(gw_router).global_q(dst_group, gw_port);
+  EXPECT_GT(learned_q, initial_q) << "queueing on the hot link was not learned";
+  // And traffic diverted non-minimally as a result.
+  EXPECT_GT(f.net->packet_log().nonminimal_packets(0), 0u);
+}
+
+TEST(QAdaptive, TrainingIsIncludedNoPretrainedState) {
+  // Two fresh instances from the same seed behave identically (no hidden
+  // global state), and a fresh instance's tables equal the unloaded inits.
+  Engine e1, e2;
+  Dragonfly topo(DragonflyParams::tiny());
+  NetConfig cfg;
+  routing::QAdaptiveParams params;
+  routing::QAdaptiveRouting a(e1, topo, cfg, params, 5);
+  routing::QAdaptiveRouting b(e2, topo, cfg, params, 5);
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    for (int g = 0; g < topo.num_groups(); ++g) {
+      for (int p = 0; p < topo.radix(); ++p) {
+        EXPECT_DOUBLE_EQ(a.table(r).global_q(g, p), b.table(r).global_q(g, p));
+      }
+    }
+  }
+}
+
+TEST(QAdaptive, HopBudgetHoldsOnPaperTopologyUnderLoad) {
+  // Regression: the kMidLocalDone candidate set once allowed any global
+  // port, letting packets chain intermediate groups indefinitely until the
+  // VC budget blew up. Admissible Q-adaptive paths are at most
+  // local-global-local-global-local = 5 hops.
+  Engine engine;
+  Dragonfly topo(DragonflyParams::paper());
+  NetConfig cfg;
+  routing::QAdaptiveParams params;
+  routing::QAdaptiveRouting algo(engine, topo, cfg, params, 13);
+  NetworkObservability obs;
+  obs.keep_packet_records = true;
+  Network net(engine, topo, cfg, algo, 1, 13, obs);
+  QFixture::CountSink sink;
+  net.set_sink(sink);
+  Rng rng(17);
+  // Bursty many-to-few traffic to force detours.
+  for (int rep = 0; rep < 5; ++rep) {
+    for (int n = 0; n < topo.num_nodes(); n += 3) {
+      const int dst = static_cast<int>(rng.next_below(64));
+      if (dst == n) continue;
+      net.send_message(n, dst, 4096, 0);
+    }
+  }
+  engine.run();
+  for (const auto& r : net.packet_log().records()) {
+    EXPECT_LE(r.hops, 5) << "Q-adaptive exceeded the admissible path length";
+  }
+  EXPECT_EQ(net.pool().in_use(), 0u);
+}
+
+class QAdaptiveParamsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QAdaptiveParamsSweep, DeliversUnderAnyLearningRate) {
+  Engine engine;
+  Dragonfly topo(DragonflyParams::tiny());
+  NetConfig cfg;
+  routing::QAdaptiveParams params;
+  params.alpha = GetParam();
+  routing::QAdaptiveRouting algo(engine, topo, cfg, params, 3);
+  Network net(engine, topo, cfg, algo, 1, 3);
+  QFixture::CountSink sink;
+  net.set_sink(sink);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(topo.num_nodes())));
+    int dst = src;
+    while (dst == src) {
+      dst = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(topo.num_nodes())));
+    }
+    net.send_message(src, dst, 2048, 0);
+  }
+  engine.run();
+  EXPECT_EQ(sink.delivered, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, QAdaptiveParamsSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.9));
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,249 @@
+// Batch scheduler tests: FCFS semantics, allocation-policy shapes, the
+// external-fragmentation measurement behind the paper's §I placement
+// argument, and stream-level invariants under every policy.
+
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dfly {
+namespace {
+
+using sched::AllocPolicy;
+using sched::BatchScheduler;
+using sched::JobRequest;
+using sched::ScheduleResult;
+
+/// tiny(): p=2, a=4 -> 8 nodes per group, 9 groups, 72 nodes.
+const DragonflyParams kTinyParams = DragonflyParams::tiny();
+
+ScheduleResult run_stream(AllocPolicy policy, std::vector<JobRequest> jobs,
+                          bool backfill = false, std::uint64_t seed = 1) {
+  const Dragonfly topo(kTinyParams);
+  BatchScheduler scheduler(topo, policy, backfill, seed);
+  return scheduler.run(std::move(jobs));
+}
+
+// --- string round trip ---------------------------------------------------------
+
+TEST(Scheduler, PolicyStrings) {
+  EXPECT_STREQ(sched::to_string(AllocPolicy::kRandom), "random");
+  EXPECT_EQ(sched::alloc_policy_from_string("contiguous"), AllocPolicy::kGroupContiguous);
+  EXPECT_EQ(sched::alloc_policy_from_string("linear"), AllocPolicy::kLinear);
+  EXPECT_THROW(sched::alloc_policy_from_string("zigzag"), std::invalid_argument);
+}
+
+// --- basic FCFS ------------------------------------------------------------------
+
+TEST(Scheduler, EmptyStream) {
+  const ScheduleResult result = run_stream(AllocPolicy::kLinear, {});
+  EXPECT_EQ(result.jobs.size(), 0u);
+  EXPECT_EQ(result.makespan_ms, 0.0);
+  EXPECT_EQ(result.frag_blocked_ms, 0.0);
+}
+
+TEST(Scheduler, SingleJobRunsImmediately) {
+  const ScheduleResult result =
+      run_stream(AllocPolicy::kLinear, {{0, 10, 5.0, 20.0}});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].start_ms, 5.0);
+  EXPECT_EQ(result.jobs[0].wait_ms, 0.0);
+  EXPECT_EQ(result.jobs[0].finish_ms, 25.0);
+  EXPECT_EQ(result.makespan_ms, 25.0);
+  EXPECT_EQ(result.jobs[0].granted_nodes, 10);
+}
+
+TEST(Scheduler, RejectsOversizedJob) {
+  const Dragonfly topo(kTinyParams);
+  BatchScheduler scheduler(topo, AllocPolicy::kLinear, false, 1);
+  EXPECT_THROW(scheduler.run({{0, topo.num_nodes() + 1, 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(scheduler.run({{0, 0, 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(scheduler.run({{0, 1, -1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Scheduler, FcfsQueuesWhenMachineFull) {
+  // Two jobs both need the whole machine; the second waits for the first.
+  const ScheduleResult result = run_stream(
+      AllocPolicy::kLinear, {{0, 72, 0.0, 10.0}, {1, 72, 1.0, 10.0}});
+  EXPECT_EQ(result.jobs[0].start_ms, 0.0);
+  EXPECT_EQ(result.jobs[1].start_ms, 10.0);
+  EXPECT_EQ(result.jobs[1].wait_ms, 9.0);
+  EXPECT_EQ(result.makespan_ms, 20.0);
+  // Head blocked by genuine capacity shortage, not fragmentation.
+  EXPECT_EQ(result.frag_blocked_ms, 0.0);
+}
+
+TEST(Scheduler, FcfsHeadBlocksFollowersWithoutBackfill) {
+  // Job 1 (large) blocks; job 2 (tiny, fits) must still wait behind it.
+  const ScheduleResult result = run_stream(
+      AllocPolicy::kLinear,
+      {{0, 70, 0.0, 10.0}, {1, 10, 1.0, 1.0}, {2, 1, 2.0, 1.0}});
+  EXPECT_EQ(result.jobs[1].start_ms, 10.0);
+  EXPECT_GE(result.jobs[2].start_ms, 10.0);
+}
+
+TEST(Scheduler, BackfillLetsSmallJobsJumpBlockedHead) {
+  const ScheduleResult result = run_stream(
+      AllocPolicy::kLinear,
+      {{0, 70, 0.0, 10.0}, {1, 10, 1.0, 1.0}, {2, 1, 2.0, 1.0}},
+      /*backfill=*/true);
+  // Job 1 needs 10 nodes, only 2 free -> cannot backfill. Job 2 needs 1 -> can.
+  EXPECT_EQ(result.jobs[1].start_ms, 10.0);
+  EXPECT_EQ(result.jobs[2].start_ms, 2.0);
+}
+
+// --- allocation shapes ----------------------------------------------------------
+
+TEST(Scheduler, GroupContiguousGrantsWholeGroups) {
+  const ScheduleResult result =
+      run_stream(AllocPolicy::kGroupContiguous, {{0, 5, 0.0, 1.0}});
+  // 5 nodes round up to one whole 8-node group.
+  EXPECT_EQ(result.jobs[0].granted_nodes, 8);
+  EXPECT_NEAR(result.internal_waste, 3.0 / 8.0, 1e-9);
+}
+
+TEST(Scheduler, LinearAndRandomGrantExactly) {
+  for (const AllocPolicy policy : {AllocPolicy::kLinear, AllocPolicy::kRandom}) {
+    const ScheduleResult result = run_stream(policy, {{0, 5, 0.0, 1.0}});
+    EXPECT_EQ(result.jobs[0].granted_nodes, 5);
+    EXPECT_EQ(result.internal_waste, 0.0);
+  }
+}
+
+/// The paper's §I fragmentation scenario, measured: under strict contiguous
+/// placement a job can be blocked while the machine has plenty of free
+/// nodes; under random placement the same stream never waits.
+TEST(Scheduler, ContiguousFragmentationBlocksDespiteFreeNodes) {
+  // 9 groups x 8 nodes. Nine 1-node jobs dirty every group, then a 16-node
+  // job arrives: 63 nodes free, zero fully-free groups.
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 9; ++i) {
+    jobs.push_back({i, 1, 0.0, 50.0});
+  }
+  jobs.push_back({9, 16, 1.0, 5.0});
+
+  const ScheduleResult contiguous = run_stream(AllocPolicy::kGroupContiguous, jobs);
+  const ScheduleResult random = run_stream(AllocPolicy::kRandom, jobs);
+
+  // Contiguous: the nine 1-node jobs each hold a whole group; the 16-node
+  // job waits for two of them to finish at t = 50 while >= 16 nodes were
+  // free the entire time — pure external fragmentation.
+  EXPECT_NEAR(contiguous.jobs[9].start_ms, 50.0, 1e-9);
+  EXPECT_NEAR(contiguous.frag_blocked_ms, 49.0, 1e-9);
+  // Random: starts immediately, zero fragmentation.
+  EXPECT_NEAR(random.jobs[9].start_ms, 1.0, 1e-9);
+  EXPECT_EQ(random.frag_blocked_ms, 0.0);
+}
+
+/// Contiguous placement's payoff: zero group sharing (full isolation);
+/// random placement exposes jobs to co-resident sharers.
+TEST(Scheduler, SharingExposureByPolicy) {
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({i, 12, 0.0, 100.0});  // 6 x 12 = 72 nodes, all co-resident
+  }
+  const ScheduleResult contiguous = run_stream(AllocPolicy::kGroupContiguous, jobs);
+  const ScheduleResult random = run_stream(AllocPolicy::kRandom, jobs);
+  // Contiguous fits only 4 jobs at once (12 -> 16 nodes = 2 groups, 9 groups
+  // total) but those that run share nothing.
+  for (const auto& stats : contiguous.jobs) {
+    EXPECT_EQ(stats.co_resident_sharers, 0);
+  }
+  EXPECT_EQ(contiguous.mean_sharers, 0.0);
+  // Random: later jobs see earlier ones in their groups.
+  EXPECT_GT(random.mean_sharers, 1.0);
+}
+
+// --- stream-level invariants (parameterised over policy x backfill) --------------
+
+class SchedulerInvariants
+    : public ::testing::TestWithParam<std::tuple<AllocPolicy, bool>> {};
+
+TEST_P(SchedulerInvariants, SyntheticStreamSatisfiesInvariants) {
+  const auto [policy, backfill] = GetParam();
+  const Dragonfly topo(kTinyParams);
+  const auto jobs = sched::synthetic_job_stream(120, 2.0, 12.0, 1, 48, 99);
+  BatchScheduler scheduler(topo, policy, backfill, 3);
+  const ScheduleResult result = scheduler.run(jobs);
+
+  ASSERT_EQ(result.jobs.size(), jobs.size());
+  double max_finish = 0;
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const auto& stats = result.jobs[i];
+    EXPECT_GE(stats.wait_ms, 0.0) << i;
+    EXPECT_GE(stats.granted_nodes, stats.requested_nodes) << i;
+    EXPECT_GT(stats.finish_ms, stats.start_ms) << i;
+    max_finish = std::max(max_finish, stats.finish_ms);
+  }
+  EXPECT_EQ(result.makespan_ms, max_finish);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0);
+  EXPECT_GE(result.internal_waste, 0.0);
+  EXPECT_LT(result.internal_waste, 1.0);
+  if (policy != AllocPolicy::kGroupContiguous) {
+    EXPECT_EQ(result.internal_waste, 0.0);
+    EXPECT_EQ(result.frag_blocked_ms, 0.0);
+  }
+
+  // Determinism: same seed, same schedule.
+  BatchScheduler again(topo, policy, backfill, 3);
+  const ScheduleResult repeat = again.run(jobs);
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    EXPECT_EQ(result.jobs[i].start_ms, repeat.jobs[i].start_ms) << i;
+  }
+}
+
+/// No double allocation, ever: replay the schedule and check that node-time
+/// intervals of concurrent jobs never overlap on a node.
+TEST_P(SchedulerInvariants, NoDoubleAllocation) {
+  const auto [policy, backfill] = GetParam();
+  const Dragonfly topo(kTinyParams);
+  const auto jobs = sched::synthetic_job_stream(60, 1.0, 10.0, 1, 40, 5);
+  BatchScheduler scheduler(topo, policy, backfill, 7);
+  const ScheduleResult result = scheduler.run(jobs);
+  // Sweep: at every start instant, the sum of granted nodes of overlapping
+  // jobs must not exceed the machine.
+  for (const auto& stats : result.jobs) {
+    int busy = 0;
+    for (const auto& other : result.jobs) {
+      if (other.start_ms <= stats.start_ms && stats.start_ms < other.finish_ms) {
+        busy += other.granted_nodes;
+      }
+    }
+    EXPECT_LE(busy, topo.num_nodes()) << "at t=" << stats.start_ms;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulerInvariants,
+    ::testing::Combine(::testing::Values(AllocPolicy::kRandom, AllocPolicy::kLinear,
+                                         AllocPolicy::kGroupContiguous),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(sched::to_string(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_backfill" : "_fcfs");
+    });
+
+// --- synthetic stream generator ---------------------------------------------------
+
+TEST(SyntheticJobStream, ShapeAndDeterminism) {
+  const auto a = sched::synthetic_job_stream(200, 3.0, 15.0, 2, 64, 42);
+  const auto b = sched::synthetic_job_stream(200, 3.0, 15.0, 2, 64, 42);
+  ASSERT_EQ(a.size(), 200u);
+  double prev = -1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].arrival_ms, prev);
+    prev = a[i].arrival_ms;
+    EXPECT_GE(a[i].nodes, 2);
+    EXPECT_LE(a[i].nodes, 64);
+    EXPECT_GT(a[i].runtime_ms, 0.0);
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+  }
+  EXPECT_THROW(sched::synthetic_job_stream(10, 1.0, 1.0, 5, 2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfly

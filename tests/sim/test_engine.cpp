@@ -1,0 +1,142 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace dfly {
+namespace {
+
+class Recorder final : public Component {
+ public:
+  void handle(Engine& engine, const Event& event) override {
+    log.push_back({engine.now(), event.kind, event.a});
+  }
+  struct Entry {
+    SimTime when;
+    std::uint32_t kind;
+    std::uint64_t a;
+  };
+  std::vector<Entry> log;
+};
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.executed(), 0u);
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine engine;
+  Recorder recorder;
+  engine.schedule_at(30, recorder, 3);
+  engine.schedule_at(10, recorder, 1);
+  engine.schedule_at(20, recorder, 2);
+  engine.run();
+  ASSERT_EQ(recorder.log.size(), 3u);
+  EXPECT_EQ(recorder.log[0].kind, 1u);
+  EXPECT_EQ(recorder.log[1].kind, 2u);
+  EXPECT_EQ(recorder.log[2].kind, 3u);
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, SameTimeEventsFireInScheduleOrder) {
+  Engine engine;
+  Recorder recorder;
+  for (std::uint64_t i = 0; i < 100; ++i) engine.schedule_at(5, recorder, 0, i);
+  engine.run();
+  ASSERT_EQ(recorder.log.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(recorder.log[i].a, i);
+}
+
+TEST(Engine, ScheduleInIsRelativeToNow) {
+  Engine engine;
+  Recorder recorder;
+  engine.call_at(100, [&] { engine.schedule_in(50, recorder, 7); });
+  engine.run();
+  ASSERT_EQ(recorder.log.size(), 1u);
+  EXPECT_EQ(recorder.log[0].when, 150);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine engine;
+  Recorder recorder;
+  engine.schedule_at(10, recorder, 1);
+  engine.schedule_at(20, recorder, 2);
+  engine.schedule_at(21, recorder, 3);
+  engine.run(20);
+  EXPECT_EQ(recorder.log.size(), 2u);
+  EXPECT_EQ(engine.queued(), 1u);
+  engine.run(21);
+  EXPECT_EQ(recorder.log.size(), 3u);
+}
+
+TEST(Engine, StepExecutesExactlyOneEvent) {
+  Engine engine;
+  Recorder recorder;
+  engine.schedule_at(1, recorder, 1);
+  engine.schedule_at(2, recorder, 2);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(recorder.log.size(), 1u);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, EventsScheduledDuringExecutionAreProcessed) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) engine.call_at(engine.now() + 1, recurse);
+  };
+  engine.call_at(0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(engine.now(), 9);
+}
+
+TEST(Engine, ClearDropsPendingEvents) {
+  Engine engine;
+  Recorder recorder;
+  engine.schedule_at(10, recorder, 1);
+  engine.clear();
+  engine.run();
+  EXPECT_TRUE(recorder.log.empty());
+}
+
+TEST(Engine, ExecutedCounterAdvances) {
+  Engine engine;
+  Recorder recorder;
+  for (int i = 0; i < 17; ++i) engine.schedule_at(i, recorder, 0);
+  engine.run();
+  EXPECT_EQ(engine.executed(), 17u);
+}
+
+TEST(Engine, PayloadWordsAreDeliveredVerbatim) {
+  Engine engine;
+  Recorder recorder;
+  engine.schedule_at(1, recorder, 42, 0xDEADBEEFCAFEBABEull);
+  engine.run();
+  ASSERT_EQ(recorder.log.size(), 1u);
+  EXPECT_EQ(recorder.log[0].kind, 42u);
+  EXPECT_EQ(recorder.log[0].a, 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine engine;
+  Recorder recorder;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    engine.schedule_at(static_cast<SimTime>(rng.next_below(1000)), recorder, 0);
+  }
+  engine.run();
+  ASSERT_EQ(recorder.log.size(), 10000u);
+  for (std::size_t i = 1; i < recorder.log.size(); ++i) {
+    EXPECT_LE(recorder.log[i - 1].when, recorder.log[i].when);
+  }
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,155 @@
+// Global-link arrangement tests: the relative and absolute wirings must
+// both produce a consistent, fully connected inter-group fabric (Hastings
+// et al. CLUSTER'15 — same pair-wise link counts, different placement of
+// each link inside the group).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/study.hpp"
+#include "topo/dragonfly.hpp"
+#include "workloads/motifs.hpp"
+
+namespace dfly {
+namespace {
+
+TEST(Arrangement, StringRoundTrip) {
+  EXPECT_STREQ(to_string(GlobalArrangement::kRelative), "relative");
+  EXPECT_STREQ(to_string(GlobalArrangement::kAbsolute), "absolute");
+  EXPECT_EQ(arrangement_from_string("relative"), GlobalArrangement::kRelative);
+  EXPECT_EQ(arrangement_from_string("absolute"), GlobalArrangement::kAbsolute);
+  EXPECT_THROW(arrangement_from_string("spiral"), std::invalid_argument);
+}
+
+class ArrangementWiring : public ::testing::TestWithParam<GlobalArrangement> {
+ protected:
+  DragonflyParams params() const {
+    DragonflyParams p = DragonflyParams::tiny();
+    p.arrangement = GetParam();
+    return p;
+  }
+};
+
+/// Every global wire must be symmetric: following it there and back returns
+/// to the same (router, port).
+TEST_P(ArrangementWiring, GlobalWiresAreSymmetric) {
+  const Dragonfly topo(params());
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    for (int k = 0; k < topo.params().h; ++k) {
+      const GlobalEndpoint far = topo.global_peer(r, k);
+      ASSERT_GE(far.router, 0);
+      ASSERT_LT(far.router, topo.num_routers());
+      const GlobalEndpoint back = topo.global_peer(far.router, far.global_port);
+      EXPECT_EQ(back.router, r) << r << ":" << k;
+      EXPECT_EQ(back.global_port, k) << r << ":" << k;
+      // The far end must live in the group this port claims to reach.
+      EXPECT_EQ(topo.group_of_router(far.router), topo.group_reached_by(r, k));
+    }
+  }
+}
+
+/// Every group pair gets exactly links_per_group_pair global links, and a
+/// group never wires to itself.
+TEST_P(ArrangementWiring, EveryGroupPairFullyConnected) {
+  const Dragonfly topo(params());
+  const int g = topo.num_groups();
+  for (int src = 0; src < g; ++src) {
+    int total = 0;
+    for (int dst = 0; dst < g; ++dst) {
+      const auto& gws = topo.gateways(src, dst);
+      if (src == dst) {
+        EXPECT_TRUE(gws.empty());
+        continue;
+      }
+      EXPECT_EQ(static_cast<int>(gws.size()), topo.links_per_group_pair()) << src << "->" << dst;
+      total += static_cast<int>(gws.size());
+      for (const GlobalEndpoint& ep : gws) {
+        EXPECT_EQ(topo.group_of_router(ep.router), src);
+        EXPECT_EQ(topo.group_reached_by(ep.router, ep.global_port), dst);
+      }
+    }
+    EXPECT_EQ(total, topo.params().a * topo.params().h);
+  }
+}
+
+/// wire() round-trips for every non-terminal port under both arrangements.
+TEST_P(ArrangementWiring, WireRoundTrip) {
+  const Dragonfly topo(params());
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    for (int port = topo.first_local_port(); port < topo.radix(); ++port) {
+      const Dragonfly::Wire out = topo.wire(r, port);
+      const Dragonfly::Wire back = topo.wire(out.peer_router, out.peer_port);
+      EXPECT_EQ(back.peer_router, r);
+      EXPECT_EQ(back.peer_port, port);
+    }
+  }
+}
+
+/// Traffic must flow end to end under both arrangements and several
+/// routings (the arrangement changes gateway placement, not reachability).
+TEST_P(ArrangementWiring, TrafficDeliversUnderEveryRouting) {
+  for (const std::string routing : {"MIN", "UGALn", "Q-adp"}) {
+    StudyConfig config;
+    config.topo = params();
+    config.routing = routing;
+    config.seed = 13;
+    Study study(config);
+    workloads::UniformRandomParams ur;
+    ur.iterations = 25;
+    ur.window = 8;
+    ur.interval = 0;
+    study.add_motif(std::make_unique<workloads::UniformRandomMotif>(ur),
+                    config.topo.num_nodes(), "UR");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed) << to_string(GetParam()) << "/" << routing;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, ArrangementWiring,
+                         ::testing::Values(GlobalArrangement::kRelative,
+                                           GlobalArrangement::kAbsolute),
+                         [](const auto& info) { return std::string(to_string(info.param)); });
+
+/// The arrangements place the same group-pair link on different routers —
+/// otherwise they would be one arrangement, not two.
+TEST(Arrangement, PlacementsActuallyDiffer) {
+  DragonflyParams relative = DragonflyParams::tiny();
+  DragonflyParams absolute = relative;
+  absolute.arrangement = GlobalArrangement::kAbsolute;
+  const Dragonfly topo_rel(relative);
+  const Dragonfly topo_abs(absolute);
+  int differing = 0;
+  for (int src = 0; src < topo_rel.num_groups(); ++src) {
+    for (int dst = 0; dst < topo_rel.num_groups(); ++dst) {
+      if (src == dst) continue;
+      if (topo_rel.gateways(src, dst)[0].router != topo_abs.gateways(src, dst)[0].router) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+/// Spot-check the absolute mapping on a hand-computable case: group 0's
+/// slots enumerate groups 1..g-1 in order; group 2's slots enumerate
+/// 0, 1, 3, 4, ...
+TEST(Arrangement, AbsoluteMappingSpotChecks) {
+  DragonflyParams p = DragonflyParams::tiny();  // a=4, h=2 -> 8 slots, g=9
+  p.arrangement = GlobalArrangement::kAbsolute;
+  const Dragonfly topo(p);
+  // Router 0 (group 0, local 0): slots 0,1 -> groups 1,2.
+  EXPECT_EQ(topo.group_reached_by(0, 0), 1);
+  EXPECT_EQ(topo.group_reached_by(0, 1), 2);
+  // Group 2, local 0 (router 8): slots 0,1 -> groups 0,1 (skip self at 2).
+  const int router8 = topo.router_id(2, 0);
+  EXPECT_EQ(topo.group_reached_by(router8, 0), 0);
+  EXPECT_EQ(topo.group_reached_by(router8, 1), 1);
+  // Group 2, local 1: slots 2,3 -> groups 3,4.
+  const int router9 = topo.router_id(2, 1);
+  EXPECT_EQ(topo.group_reached_by(router9, 0), 3);
+  EXPECT_EQ(topo.group_reached_by(router9, 1), 4);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,155 @@
+#include "topo/dragonfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dfly {
+namespace {
+
+TEST(DragonflyParams, PaperSystemCounts) {
+  const DragonflyParams p = DragonflyParams::paper();
+  EXPECT_EQ(p.num_nodes(), 1056);
+  EXPECT_EQ(p.num_routers(), 264);
+  EXPECT_EQ(p.num_groups(), 33);
+  EXPECT_EQ(p.radix(), 4 + 7 + 4);  // 4 terminals, 7 locals, 4 globals
+}
+
+TEST(Dragonfly, RejectsInvalidParams) {
+  EXPECT_THROW(Dragonfly(DragonflyParams{1, 1, 1, 2}), std::invalid_argument);
+  // a*h not a multiple of g-1:
+  EXPECT_THROW(Dragonfly(DragonflyParams{2, 3, 2, 8}), std::invalid_argument);
+}
+
+TEST(Dragonfly, IdArithmeticRoundTrips) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    const int router = topo.router_of_node(node);
+    const int terminal = topo.terminal_port_of_node(node);
+    EXPECT_EQ(topo.node_id(router, terminal), node);
+  }
+  for (int router = 0; router < topo.num_routers(); ++router) {
+    EXPECT_EQ(topo.router_id(topo.group_of_router(router), topo.local_index(router)), router);
+  }
+}
+
+TEST(Dragonfly, PortClassificationPartitionsRadix) {
+  const Dragonfly topo(DragonflyParams::paper());
+  int terminals = 0, locals = 0, globals = 0;
+  for (int port = 0; port < topo.radix(); ++port) {
+    const int kinds = int(topo.is_terminal_port(port)) + int(topo.is_local_port(port)) +
+                      int(topo.is_global_port(port));
+    EXPECT_EQ(kinds, 1) << "port " << port;
+    terminals += topo.is_terminal_port(port);
+    locals += topo.is_local_port(port);
+    globals += topo.is_global_port(port);
+  }
+  EXPECT_EQ(terminals, 4);
+  EXPECT_EQ(locals, 7);
+  EXPECT_EQ(globals, 4);
+}
+
+TEST(Dragonfly, LocalPortsAreSymmetric) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  for (int router = 0; router < topo.num_routers(); ++router) {
+    const int self = topo.local_index(router);
+    for (int peer = 0; peer < topo.params().a; ++peer) {
+      if (peer == self) continue;
+      const int port = topo.local_port_to(router, peer);
+      EXPECT_TRUE(topo.is_local_port(port));
+      EXPECT_EQ(topo.local_peer_of_port(router, port), peer);
+    }
+  }
+}
+
+class DragonflyTopologies : public ::testing::TestWithParam<DragonflyParams> {};
+
+TEST_P(DragonflyTopologies, GlobalWiringIsAnInvolution) {
+  const Dragonfly topo(GetParam());
+  for (int router = 0; router < topo.num_routers(); ++router) {
+    for (int k = 0; k < topo.params().h; ++k) {
+      const GlobalEndpoint far = topo.global_peer(router, k);
+      EXPECT_NE(topo.group_of_router(far.router), topo.group_of_router(router));
+      const GlobalEndpoint back = topo.global_peer(far.router, far.global_port);
+      EXPECT_EQ(back.router, router);
+      EXPECT_EQ(back.global_port, k);
+    }
+  }
+}
+
+TEST_P(DragonflyTopologies, EveryGroupPairHasEqualGlobalLinks) {
+  const Dragonfly topo(GetParam());
+  for (int s = 0; s < topo.num_groups(); ++s) {
+    for (int d = 0; d < topo.num_groups(); ++d) {
+      if (s == d) {
+        EXPECT_TRUE(topo.gateways(s, d).empty());
+        continue;
+      }
+      EXPECT_EQ(static_cast<int>(topo.gateways(s, d).size()), topo.links_per_group_pair())
+          << "groups " << s << "->" << d;
+    }
+  }
+}
+
+TEST_P(DragonflyTopologies, GatewaysActuallyReachTheirGroup) {
+  const Dragonfly topo(GetParam());
+  for (int s = 0; s < topo.num_groups(); ++s) {
+    for (int d = 0; d < topo.num_groups(); ++d) {
+      for (const auto& e : topo.gateways(s, d)) {
+        EXPECT_EQ(topo.group_of_router(e.router), s);
+        EXPECT_EQ(topo.group_reached_by(e.router, e.global_port), d);
+      }
+    }
+  }
+}
+
+TEST_P(DragonflyTopologies, WireIsConsistentBothWays) {
+  const Dragonfly topo(GetParam());
+  for (int router = 0; router < topo.num_routers(); ++router) {
+    for (int port = topo.first_local_port(); port < topo.radix(); ++port) {
+      const Dragonfly::Wire wire = topo.wire(router, port);
+      ASSERT_GE(wire.peer_router, 0);
+      const Dragonfly::Wire back = topo.wire(wire.peer_router, wire.peer_port);
+      EXPECT_EQ(back.peer_router, router);
+      EXPECT_EQ(back.peer_port, port);
+      EXPECT_EQ(wire.global, topo.is_global_port(port));
+    }
+  }
+}
+
+TEST_P(DragonflyTopologies, EachRouterGlobalSlotsCoverDistinctTargets) {
+  const Dragonfly topo(GetParam());
+  // Over a whole group, the a*h global slots must cover every other group
+  // links_per_pair times.
+  for (int g = 0; g < topo.num_groups(); ++g) {
+    std::multiset<int> targets;
+    for (int l = 0; l < topo.params().a; ++l) {
+      const int router = topo.router_id(g, l);
+      for (int k = 0; k < topo.params().h; ++k) {
+        targets.insert(topo.group_reached_by(router, k));
+      }
+    }
+    for (int d = 0; d < topo.num_groups(); ++d) {
+      if (d == g) {
+        EXPECT_EQ(targets.count(d), 0u);
+      } else {
+        EXPECT_EQ(static_cast<int>(targets.count(d)), topo.links_per_group_pair());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DragonflyTopologies,
+                         ::testing::Values(DragonflyParams{1, 2, 2, 5},   // 10 nodes
+                                           DragonflyParams{2, 4, 2, 9},   // 72 nodes (tiny)
+                                           DragonflyParams{2, 4, 2, 5},   // multi-link pairs
+                                           DragonflyParams{4, 8, 4, 33},  // paper system
+                                           DragonflyParams{1, 3, 2, 7}),
+                         [](const auto& info) {
+                           const DragonflyParams& p = info.param;
+                           return "p" + std::to_string(p.p) + "a" + std::to_string(p.a) + "h" +
+                                  std::to_string(p.h) + "g" + std::to_string(p.g);
+                         });
+
+}  // namespace
+}  // namespace dfly

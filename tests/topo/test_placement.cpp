@@ -1,0 +1,91 @@
+#include "topo/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dfly {
+namespace {
+
+TEST(Placement, PolicyNamesRoundTrip) {
+  for (const auto policy : {PlacementPolicy::kRandom, PlacementPolicy::kContiguous,
+                            PlacementPolicy::kLinear}) {
+    EXPECT_EQ(placement_from_string(to_string(policy)), policy);
+  }
+  EXPECT_THROW(placement_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Placement, LinearAllocatesInIdOrder) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  Placer placer(topo, PlacementPolicy::kLinear, Rng(1));
+  const auto nodes = placer.allocate(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(nodes[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Placement, RandomIsDeterministicPerSeed) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  Placer a(topo, PlacementPolicy::kRandom, Rng(42));
+  Placer b(topo, PlacementPolicy::kRandom, Rng(42));
+  EXPECT_EQ(a.allocate(20), b.allocate(20));
+}
+
+TEST(Placement, RandomDiffersAcrossSeeds) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  Placer a(topo, PlacementPolicy::kRandom, Rng(1));
+  Placer b(topo, PlacementPolicy::kRandom, Rng(2));
+  EXPECT_NE(a.allocate(20), b.allocate(20));
+}
+
+TEST(Placement, AllocationsAreDisjoint) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  Placer placer(topo, PlacementPolicy::kRandom, Rng(7));
+  const auto first = placer.allocate(30);
+  const auto second = placer.allocate(30);
+  std::set<int> seen(first.begin(), first.end());
+  for (const int n : second) EXPECT_FALSE(seen.count(n)) << n;
+}
+
+TEST(Placement, ThrowsWhenFull) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  Placer placer(topo, PlacementPolicy::kLinear, Rng(1));
+  placer.allocate(topo.num_nodes());
+  EXPECT_EQ(placer.free_nodes(), 0);
+  EXPECT_THROW(placer.allocate(1), std::runtime_error);
+}
+
+TEST(Placement, ReleaseMakesNodesReusable) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  Placer placer(topo, PlacementPolicy::kLinear, Rng(1));
+  const auto nodes = placer.allocate(topo.num_nodes());
+  placer.release(nodes);
+  EXPECT_EQ(placer.free_nodes(), topo.num_nodes());
+  EXPECT_EQ(static_cast<int>(placer.allocate(5).size()), 5);
+}
+
+TEST(Placement, ReleaseUnallocatedThrows) {
+  const Dragonfly topo(DragonflyParams::tiny());
+  Placer placer(topo, PlacementPolicy::kLinear, Rng(1));
+  EXPECT_THROW(placer.release({0}), std::runtime_error);
+}
+
+TEST(Placement, ContiguousFillsGroupsInOrder) {
+  const Dragonfly topo(DragonflyParams::tiny());  // 8 nodes per group
+  Placer placer(topo, PlacementPolicy::kContiguous, Rng(1));
+  const auto nodes = placer.allocate(topo.params().p * topo.params().a);
+  std::set<int> groups;
+  for (const int n : nodes) groups.insert(topo.group_of_node(n));
+  EXPECT_EQ(groups.size(), 1u);  // exactly one group filled
+}
+
+TEST(Placement, RandomSpreadsAcrossGroups) {
+  const Dragonfly topo(DragonflyParams::paper());
+  Placer placer(topo, PlacementPolicy::kRandom, Rng(3));
+  const auto nodes = placer.allocate(256);
+  std::set<int> groups;
+  for (const int n : nodes) groups.insert(topo.group_of_node(n));
+  EXPECT_GT(groups.size(), 20u);  // 256 random nodes hit most of 33 groups
+}
+
+}  // namespace
+}  // namespace dfly

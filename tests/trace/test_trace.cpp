@@ -1,0 +1,217 @@
+// Tests for the trace record/replay subsystem (trace/trace.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/study.hpp"
+#include "trace/trace.hpp"
+#include "workloads/motifs.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+using trace::MessageRecord;
+using trace::MessageTrace;
+using trace::ReplayMotif;
+using trace::ReplayParams;
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(MessageTrace, RecordsDirectAdds) {
+  MessageTrace trace;
+  trace.add({100, 0, 1, 512, 7});
+  trace.add({200, 1, 0, 1024, 7});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.num_ranks(), 2);
+  EXPECT_EQ(trace.rank_records(0).size(), 1u);
+  EXPECT_EQ(trace.rank_records(1).front().bytes, 1024);
+}
+
+TEST(MessageTrace, SummaryComputesIntensityMetrics) {
+  MessageTrace trace;
+  // Rank 0 posts a 3-message burst at t=0..2ns, then one more after 10us.
+  trace.add({0 * kNs, 0, 1, 1000, 0});
+  trace.add({1 * kNs, 0, 2, 1000, 0});
+  trace.add({2 * kNs, 0, 3, 1000, 0});
+  trace.add({12 * kUs, 0, 1, 500, 0});
+  const trace::TraceSummary s = trace.summary(/*burst_gap=*/1 * kUs);
+  EXPECT_EQ(s.messages, 4u);
+  EXPECT_EQ(s.total_bytes, 3500);
+  EXPECT_EQ(s.largest_message, 1000);
+  EXPECT_EQ(s.peak_ingress_bytes, 3000);  // the burst, not the total
+  EXPECT_EQ(s.num_ranks, 1);
+  EXPECT_GT(s.injection_rate_gbs, 0.0);
+}
+
+TEST(MessageTrace, EmptySummaryIsZero) {
+  const trace::TraceSummary s = MessageTrace{}.summary();
+  EXPECT_EQ(s.messages, 0u);
+  EXPECT_EQ(s.total_bytes, 0);
+  EXPECT_EQ(s.num_ranks, 0);
+}
+
+TEST(MessageTrace, CsvRoundTrip) {
+  MessageTrace trace;
+  trace.add({123456789, 3, 9, 65536, 42});
+  trace.add({223456789, 9, 3, 8, -1});
+  const std::string path = temp_path("trace_roundtrip.csv");
+  trace.save_csv(path);
+  const MessageTrace loaded = MessageTrace::load_csv(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  EXPECT_EQ(loaded.records()[0], trace.records()[0]);
+  EXPECT_EQ(loaded.records()[1], trace.records()[1]);
+  std::remove(path.c_str());
+}
+
+TEST(MessageTrace, LoadMissingFileThrows) {
+  EXPECT_THROW(MessageTrace::load_csv("/nonexistent/zzz.csv"), std::runtime_error);
+}
+
+/// Record a shift pattern through the Study hook.
+MessageTrace record_shift(int ranks, int iterations) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "PAR";
+  config.seed = 31;
+  Study study(std::move(config));
+  workloads::ShiftParams p;
+  p.stride = 3;
+  p.iterations = iterations;
+  const int id = study.add_motif(std::make_unique<workloads::ShiftMotif>(p), ranks, "S");
+  study.record_trace(id);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  return study.trace(id);  // copy
+}
+
+TEST(StudyTracing, CapturesEveryApplicationSend) {
+  const MessageTrace trace = record_shift(16, 40);
+  EXPECT_EQ(trace.size(), 16u * 40u);
+  EXPECT_EQ(trace.num_ranks(), 16);
+  const trace::TraceSummary s = trace.summary();
+  EXPECT_EQ(s.total_bytes, 16 * 40 * 4096);
+}
+
+TEST(StudyTracing, UntracedAppThrows) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  Study study(std::move(config));
+  workloads::ShiftParams p;
+  const int id = study.add_motif(std::make_unique<workloads::ShiftMotif>(p), 8, "S");
+  (void)study.run();
+  EXPECT_THROW(study.trace(id), std::out_of_range);
+}
+
+TEST(StudyTracing, CollectiveSendsAreRecorded) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  workloads::AllreducePeriodicParams p = workloads::AllreducePeriodicMotif::cosmoflow();
+  p.iterations = 1;
+  p.msg_bytes = 10000;
+  p.interval = 10 * kUs;
+  const int id = study.add_motif(
+      std::make_unique<workloads::AllreducePeriodicMotif>(std::move(p)), 8, "CF");
+  study.record_trace(id);
+  (void)study.run();
+  // Binary-tree allreduce on 8 ranks: 7 up + 7 down payload sends.
+  EXPECT_EQ(study.trace(id).size(), 14u);
+}
+
+TEST(Replay, ReproducesTrafficVolume) {
+  const MessageTrace trace = record_shift(12, 30);
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "PAR";
+  config.seed = 99;
+  Study study(std::move(config));
+  auto motif = std::make_unique<ReplayMotif>(trace);
+  ASSERT_EQ(motif->required_ranks(), 12);
+  study.add_motif(std::move(motif), 12, "Replay");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).total_messages_sent(), 12 * 30);
+  EXPECT_EQ(study.job(0).total_bytes_sent(), 12 * 30 * 4096);
+}
+
+TEST(Replay, PreserveTimingMatchesRecordedPace) {
+  const MessageTrace original = record_shift(10, 25);
+  const trace::TraceSummary s0 = original.summary();
+
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "PAR";
+  config.seed = 7;
+  Study study(std::move(config));
+  const int id = study.add_motif(std::make_unique<ReplayMotif>(original), 10, "Replay");
+  study.record_trace(id);
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const trace::TraceSummary s1 = study.trace(id).summary();
+  EXPECT_EQ(s1.messages, s0.messages);
+  // Post-time span of the replay should track the original within the
+  // window-drain slack (the replayer never posts *earlier* than recorded).
+  EXPECT_GE(s1.duration_ms, s0.duration_ms * 0.9);
+  EXPECT_LE(s1.duration_ms, s0.duration_ms * 1.5 + 0.1);
+}
+
+TEST(Replay, SpeedCompressesSchedule) {
+  const MessageTrace original = record_shift(10, 25);
+  auto run_replay = [&original](double speed) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = "PAR";
+    Study study(std::move(config));
+    ReplayParams rp;
+    rp.speed = speed;
+    study.add_motif(std::make_unique<ReplayMotif>(original, rp), 10, "Replay");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed);
+    return report.makespan;
+  };
+  EXPECT_LT(run_replay(4.0), run_replay(1.0));
+}
+
+TEST(Replay, AsFastAsPossibleDropsGaps) {
+  const MessageTrace original = record_shift(10, 25);
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "PAR";
+  Study study(std::move(config));
+  ReplayParams rp;
+  rp.preserve_timing = false;
+  study.add_motif(std::make_unique<ReplayMotif>(original, rp), 10, "Replay");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_LT(to_ms(report.makespan), original.summary().duration_ms);
+}
+
+TEST(Replay, InvalidSpeedThrows) {
+  EXPECT_THROW(ReplayMotif(MessageTrace{}, ReplayParams{true, 0.0, 64}),
+               std::invalid_argument);
+}
+
+TEST(Replay, OutOfRangeDestinationsAreSkipped) {
+  MessageTrace trace;
+  trace.add({0, 0, 5, 100, 0});   // dst beyond the replay job size
+  trace.add({0, 0, 1, 100, 0});
+  trace.add({0, 1, 1, 100, 0});   // self-send in replay ranks: skipped
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  study.add_motif(std::make_unique<ReplayMotif>(trace), 2, "Replay");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).total_messages_sent(), 1);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,195 @@
+// Tests for the visualization module (viz/svg.hpp, viz/charts.hpp,
+// viz/ascii.hpp): structural checks on the generated documents.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "viz/ascii.hpp"
+#include "viz/charts.hpp"
+#include "viz/svg.hpp"
+
+namespace dfly::viz {
+namespace {
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ColorTest, CssAndLerp) {
+  EXPECT_EQ((Color{255, 0, 128}.css()), "#ff0080");
+  const Color mid = Color::lerp({0, 0, 0}, {100, 200, 50}, 0.5);
+  EXPECT_EQ(mid.r, 50);
+  EXPECT_EQ(mid.g, 100);
+  EXPECT_EQ(mid.b, 25);
+  // Clamping.
+  EXPECT_EQ(Color::lerp({0, 0, 0}, {10, 10, 10}, 2.0).r, 10);
+  EXPECT_EQ(Color::lerp({0, 0, 0}, {10, 10, 10}, -1.0).r, 0);
+}
+
+TEST(ColorTest, ViridisEndpoints) {
+  EXPECT_EQ(viridis(0.0).css(), "#440154");  // dark purple
+  EXPECT_EQ(viridis(1.0).css(), "#fde725");  // yellow
+  // Monotone-ish brightness: end brighter than start.
+  const Color lo = viridis(0.0), hi = viridis(1.0);
+  EXPECT_GT(static_cast<int>(hi.r) + hi.g + hi.b, static_cast<int>(lo.r) + lo.g + lo.b);
+}
+
+TEST(SvgTest, DocumentStructure) {
+  Svg svg(200, 100);
+  svg.rect(1, 2, 3, 4, {10, 20, 30});
+  svg.line(0, 0, 10, 10, {0, 0, 0});
+  svg.circle(5, 5, 2, {1, 2, 3});
+  svg.text(1, 1, "hello <world> & \"friends\"");
+  const std::string doc = svg.str();
+  EXPECT_NE(doc.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("&lt;world&gt; &amp; &quot;friends&quot;"), std::string::npos);
+  EXPECT_EQ(doc.find("<world>"), std::string::npos);
+}
+
+TEST(SvgTest, InvalidCanvasThrows) {
+  EXPECT_THROW(Svg(0, 100), std::invalid_argument);
+  EXPECT_THROW(Svg(100, -1), std::invalid_argument);
+}
+
+TEST(SvgTest, PolylineSkipsDegenerate) {
+  Svg svg(10, 10);
+  svg.polyline({{1, 1}}, {0, 0, 0});  // single point: no element
+  EXPECT_EQ(svg.str().find("<polyline"), std::string::npos);
+}
+
+TEST(LineChartTest, RendersSeriesAndLegend) {
+  LineChart chart("Throughput", "time (ms)", "GB/ms");
+  chart.add_series("PAR", {{0, 1.0}, {1, 2.0}, {2, 1.5}});
+  chart.add_series("Q-adp", {{0, 1.2}, {1, 2.5}, {2, 2.2}});
+  const std::string doc = chart.render();
+  EXPECT_EQ(count_occurrences(doc, "<polyline"), 2);
+  EXPECT_NE(doc.find("PAR"), std::string::npos);
+  EXPECT_NE(doc.find("Q-adp"), std::string::npos);
+  EXPECT_NE(doc.find("Throughput"), std::string::npos);
+}
+
+TEST(LineChartTest, MismatchedXYThrows) {
+  LineChart chart("t", "x", "y");
+  EXPECT_THROW(chart.add_series("a", {1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(LineChartTest, EmptyChartStillRenders) {
+  LineChart chart("empty", "x", "y");
+  const std::string doc = chart.render();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+}
+
+TEST(GroupedBarChartTest, BarsErrorsAndValidation) {
+  GroupedBarChart chart("Fig4a", "Comm. time (ms)");
+  chart.set_categories({"UGALg", "UGALn", "PAR", "Q-adp"});
+  chart.add_group("None", {4, 4.2, 4.1, 3.2}, {0.2, 0.3, 0.2, 0.1});
+  chart.add_group("Halo3D", {11, 12, 11.5, 8.9}, {1, 1.2, 0.9, 0.4});
+  const std::string doc = chart.render();
+  // 8 bars + 2 legend swatches + background.
+  EXPECT_GE(count_occurrences(doc, "<rect"), 11);
+  EXPECT_NE(doc.find("UGALn"), std::string::npos);
+  EXPECT_THROW(chart.add_group("bad", {1.0}), std::invalid_argument);
+  EXPECT_THROW(chart.add_group("bad", {1, 2, 3, 4}, {0.1}), std::invalid_argument);
+}
+
+TEST(HeatmapTest, CellsAndColorbar) {
+  Heatmap map("Fig12", "src group", "dst group");
+  map.set_matrix({{0.0, 0.5}, {0.5, 1.0}});
+  const std::string doc = map.render();
+  // 4 cells + 32 colorbar steps + background + frame decorations.
+  EXPECT_GE(count_occurrences(doc, "<rect"), 37);
+  EXPECT_NE(doc.find("Fig12"), std::string::npos);
+}
+
+TEST(HeatmapTest, RaggedMatrixThrows) {
+  Heatmap map("x", "", "");
+  EXPECT_THROW(map.set_matrix({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  EXPECT_THROW(map.set_range(2, 2), std::invalid_argument);
+}
+
+TEST(RadialGroupPlotTest, MarkersAndEdges) {
+  RadialGroupPlot plot("Fig11");
+  plot.set_group_values({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  std::vector<double> edges(9, 0.5);
+  plot.set_focal_edges(0, edges);
+  const std::string doc = plot.render();
+  EXPECT_EQ(count_occurrences(doc, "<circle"), 9);
+  // 8 edges (focal group skips itself).
+  EXPECT_GE(count_occurrences(doc, "<line"), 8);
+  EXPECT_NE(doc.find("G8"), std::string::npos);
+}
+
+TEST(BoxPlotTest, BoxesWithPercentiles) {
+  BoxPlot plot("Fig6", "Packet latency (us)");
+  plot.add_box("PAR_alone", {1.0, 1.3, 1.8, 0.7, 3.0, 4.1, 6.0, 1.5});
+  plot.add_box("Qadp_alone", {0.9, 1.1, 1.5, 0.6, 2.5, 3.2, 4.0, 1.2});
+  const std::string doc = plot.render();
+  EXPECT_EQ(count_occurrences(doc, "<circle"), 2);  // mean markers
+  EXPECT_NE(doc.find("PAR_alone"), std::string::npos);
+}
+
+TEST(SaveTest, WritesFiles) {
+  const std::string path = std::string(::testing::TempDir()) + "/viz_test.svg";
+  LineChart chart("t", "x", "y");
+  chart.add_series("s", {{0, 0}, {1, 1}});
+  chart.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- ASCII -------------------------------------------------------------------
+
+TEST(SparklineTest, ScalesToBlocks) {
+  const std::string line = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_NE(line.find("▁"), std::string::npos);
+  EXPECT_NE(line.find("█"), std::string::npos);
+  EXPECT_EQ(sparkline({}), "");
+  // Flat input renders all-min without dividing by zero.
+  const std::string flat = sparkline({2, 2, 2});
+  EXPECT_EQ(flat, "▁▁▁");
+}
+
+TEST(AsciiHeatmapTest, ShadeRamp) {
+  const std::string art = ascii_heatmap({{0, 1}, {0.5, 0.2}});
+  EXPECT_EQ(count_occurrences(art, "\n"), 2);
+  EXPECT_NE(art.find("@"), std::string::npos);  // max cell
+  EXPECT_NE(art.find(" "), std::string::npos);  // min cell
+}
+
+TEST(AsciiBarsTest, ScalesAndAnnotates) {
+  const std::string art = ascii_bars({{"PAR", 2.0}, {"Q-adp", 1.0}}, 10);
+  EXPECT_NE(art.find("PAR"), std::string::npos);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // full-width bar
+  EXPECT_NE(art.find("2.000"), std::string::npos);
+  EXPECT_THROW(ascii_bars({}, 0), std::invalid_argument);
+}
+
+TEST(AsciiTableTest, AlignmentAndValidation) {
+  AsciiTable table({"app", "comm_ms", "p99_us"});
+  table.row({"FFT3D", "3.100", "9.200"});
+  table.row("LU", {4.25, 11.0}, 2);
+  const std::string out = table.str();
+  EXPECT_NE(out.find("app"), std::string::npos);
+  EXPECT_NE(out.find("FFT3D"), std::string::npos);
+  EXPECT_NE(out.find("4.25"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_THROW(table.row({"too", "few"}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfly::viz

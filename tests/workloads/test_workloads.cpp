@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+#include "workloads/factory.hpp"
+#include "workloads/grid.hpp"
+#include "workloads/intensity.hpp"
+#include "workloads/motifs.hpp"
+
+namespace dfly {
+namespace {
+
+using workloads::Grid;
+
+TEST(Grid, CoordsRoundTrip) {
+  const Grid grid({3, 4, 5});
+  EXPECT_EQ(grid.size(), 60);
+  for (int r = 0; r < grid.size(); ++r) {
+    EXPECT_EQ(grid.rank_of(grid.coords(r)), r);
+  }
+}
+
+TEST(Grid, FaceNeighborsOpenBoundary) {
+  const Grid grid({3, 3});
+  // Corner has 2, edge 3, centre 4.
+  EXPECT_EQ(grid.face_neighbors(0, false).size(), 2u);
+  EXPECT_EQ(grid.face_neighbors(1, false).size(), 3u);
+  EXPECT_EQ(grid.face_neighbors(4, false).size(), 4u);
+}
+
+TEST(Grid, FaceNeighborsPeriodic) {
+  const Grid grid({4, 4});
+  for (int r = 0; r < grid.size(); ++r) {
+    EXPECT_EQ(grid.face_neighbors(r, true).size(), 4u);
+  }
+}
+
+TEST(Grid, MooreNeighborsCount) {
+  const Grid grid({3, 3, 3});
+  // Centre of a 3^3 grid has all 26 Moore neighbours; a corner has 7.
+  EXPECT_EQ(grid.moore_neighbors(13, false).size(), 26u);
+  EXPECT_EQ(grid.moore_neighbors(0, false).size(), 7u);
+}
+
+TEST(Grid, BalancedDimsProductWithinBudget) {
+  for (const int n : {8, 64, 100, 243, 256, 486, 512, 528}) {
+    for (const int d : {2, 3, 4, 5}) {
+      const auto dims = Grid::balanced_dims(n, d);
+      long long product = 1;
+      for (const int x : dims) product *= x;
+      EXPECT_LE(product, n);
+      EXPECT_GT(product, n / 4) << "n=" << n << " d=" << d;  // not pathologically small
+    }
+  }
+}
+
+TEST(Factory, NearSquareMatchesPaperSizes) {
+  EXPECT_EQ(workloads::near_square(528), (std::pair<int, int>{22, 24}));
+  EXPECT_EQ(workloads::near_square(140), (std::pair<int, int>{10, 14}));
+}
+
+TEST(Factory, AllNineAppsBuild) {
+  for (const auto& name : workloads::app_names()) {
+    const auto app = workloads::make_app(name, 528, /*scale=*/8);
+    EXPECT_NE(app.motif, nullptr) << name;
+    EXPECT_GT(app.nodes, 0) << name;
+    EXPECT_LE(app.nodes, 528) << name;
+  }
+  EXPECT_EQ(workloads::app_names().size(), 9u);
+}
+
+TEST(Factory, PaperJobSizes) {
+  EXPECT_EQ(workloads::make_app("Halo3D", 528).nodes, 512);
+  EXPECT_EQ(workloads::make_app("LQCD", 528).nodes, 512);
+  EXPECT_EQ(workloads::make_app("LQCD", 256).nodes, 256);
+  EXPECT_EQ(workloads::make_app("Stencil5D", 528).nodes, 486);
+  EXPECT_EQ(workloads::make_app("Stencil5D", 243).nodes, 243);
+  EXPECT_EQ(workloads::make_app("LULESH", 528).nodes, 512);
+  EXPECT_EQ(workloads::make_app("UR", 139).nodes, 139);
+  EXPECT_EQ(workloads::make_app("CosmoFlow", 138).nodes, 138);
+}
+
+TEST(Factory, UnknownAppThrows) {
+  EXPECT_THROW(workloads::make_app("NotAnApp", 100), std::invalid_argument);
+}
+
+TEST(Scaled, DividesAndClamps) {
+  EXPECT_EQ(workloads::scaled(80, 8), 10);
+  EXPECT_EQ(workloads::scaled(80, 1000), 1);
+  EXPECT_EQ(workloads::scaled(80, 0), 80);
+  EXPECT_EQ(workloads::scaled(2, 8, 2), 2);
+}
+
+/// Each motif, run on a small system, must complete and exhibit its
+/// documented peak-ingress shape.
+class MotifRun : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MotifRun, CompletesOnTinySystem) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();  // 72 nodes
+  config.routing = "UGALg";
+  config.scale = 64;  // keep test fast
+  Study study(config);
+  study.add_app(GetParam(), 64);
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed) << GetParam();
+  const AppReport& app = report.apps[0];
+  EXPECT_GT(app.total_msg_mb, 0.0);
+  EXPECT_GT(app.exec_ms, 0.0);
+  EXPECT_GT(app.packets, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, MotifRun,
+                         ::testing::Values("UR", "LU", "FFT3D", "Halo3D", "LQCD", "Stencil5D",
+                                           "CosmoFlow", "DL", "LULESH"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Intensity, PeakIngressShapes) {
+  // On a small system the structural peak-ingress relationships of §IV
+  // must hold: alltoall = 1 msg, allreduce = 2 msgs, stencil = degree msgs.
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  config.scale = 64;
+  {
+    Study study(config);
+    study.add_app("FFT3D", 64);
+    study.run();
+    const auto m = workloads::measure_intensity(study.job(0));
+    // Alltoall ring: one message of the default 51.68KB size per round.
+    EXPECT_DOUBLE_EQ(m.peak_ingress_bytes, 52920.0);
+  }
+}
+
+TEST(Intensity, StencilPeakIsDegreeTimesMessage) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  config.scale = 64;
+  Study study(config);
+  study.add_app("Halo3D", 64);  // 4x4x4 = 64 nodes? cube_side(64)=4
+  study.run();
+  const auto m = workloads::measure_intensity(study.job(0));
+  // Periodic 3D torus: every rank has 6 neighbours.
+  const double msg = 196608.0;
+  EXPECT_DOUBLE_EQ(m.peak_ingress_bytes, 6 * msg);
+}
+
+TEST(Intensity, FormatVolumeUnits) {
+  EXPECT_EQ(workloads::format_volume(3072), "3.07KB");
+  EXPECT_EQ(workloads::format_volume(1.15e6), "1.15MB");
+}
+
+TEST(Intensity, InjectionRateIsTotalOverExec) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  config.scale = 64;
+  Study study(config);
+  study.add_app("UR", 64);
+  study.run();
+  const auto m = workloads::measure_intensity(study.job(0));
+  EXPECT_NEAR(m.injection_rate_gbs, m.total_msg_mb * 1e6 / (m.execution_ms * 1e6), 1e-6);
+}
+
+}  // namespace
+}  // namespace dfly

@@ -1,0 +1,223 @@
+// dflysim — command-line driver for the interference study framework.
+//
+// Runs any mix of the paper's applications (or replayed traces) on any
+// Dragonfly shape and routing, with machine-readable output. Everything the
+// Study API exposes is reachable from here without recompiling:
+//
+//   # the paper's FFT3D-vs-Halo3D pairwise case, JSON to stdout
+//   dflysim --app=FFT3D:528 --app=Halo3D:528 --routing=Q-adp --json=-
+//
+//   # declarative system + 5-seed sweep with aggregated statistics
+//   dflysim --config=paper.cfg --app=LQCD:256 --app=Stencil5D:243 --sweep=5
+//
+//   # record a trace, write the IO-module CSV set
+//   dflysim --app=LU:140 --trace=0:lu.csv --csv=run1
+//
+// Exit status: 0 when every rank of every job completed, 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config_file.hpp"
+#include "core/json_report.hpp"
+#include "core/study.hpp"
+#include "core/sweep.hpp"
+#include "routing/factory.hpp"
+#include "viz/ascii.hpp"
+#include "workloads/factory.hpp"
+
+namespace {
+
+using namespace dfly;
+
+struct AppSpec {
+  std::string name;
+  int nodes{0};  ///< 0 = all remaining
+};
+
+struct CliOptions {
+  StudyConfig config;
+  std::vector<AppSpec> apps;
+  std::string json_path;   ///< "-" = stdout
+  std::string csv_prefix;
+  int trace_app{-1};
+  std::string trace_path;
+  int sweep{1};
+};
+
+[[noreturn]] void usage(int code) {
+  std::fputs(
+      "usage: dflysim [options]\n"
+      "  --config=FILE        key=value config file (see core/config_file.hpp)\n"
+      "  --app=NAME:NODES     add an application (repeatable; NODES=0 fills the machine)\n"
+      "  --routing=NAME       MIN|VALg|VALn|UGALg|UGALn|PAR|FlowUGAL|AppAware|Q-adp\n"
+      "  --placement=NAME     random|contiguous|linear\n"
+      "  --arrangement=NAME   relative|absolute (global-link wiring)\n"
+      "  --seed=N             RNG seed (default 42)\n"
+      "  --scale=N            iteration divisor (default 1 = paper volumes)\n"
+      "  --sweep=N            repeat with seeds seed..seed+N-1, print aggregate\n"
+      "  --json=FILE          write the report as JSON ('-' = stdout)\n"
+      "  --csv=PREFIX         write <PREFIX>_{apps,congestion,stall}.csv\n"
+      "  --trace=APP:FILE     record application APP's message trace to FILE\n"
+      "  --fault=SPEC         degrade links: router:port:slowdown[:extra_ns],...\n"
+      "  --list-apps          print the nine application names and exit\n"
+      "  --list-routings      print every routing algorithm and exit\n"
+      "  --help               this text\n",
+      code == 0 ? stdout : stderr);
+  std::exit(code);
+}
+
+AppSpec parse_app(const std::string& value) {
+  const auto colon = value.find(':');
+  AppSpec spec;
+  spec.name = value.substr(0, colon);
+  if (colon != std::string::npos) spec.nodes = std::stoi(value.substr(colon + 1));
+  if (spec.name.empty()) throw std::invalid_argument("--app needs NAME[:NODES]");
+  return spec;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  options.config.scale = 1;
+  auto value_of = [](const char* arg) {
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) throw std::invalid_argument(std::string("missing '=' in ") + arg);
+    return std::string(eq + 1);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) usage(0);
+    if (std::strcmp(arg, "--list-apps") == 0) {
+      for (const std::string& name : workloads::app_names()) std::printf("%s\n", name.c_str());
+      std::exit(0);
+    }
+    if (std::strcmp(arg, "--list-routings") == 0) {
+      for (const std::string& name : routing::all_routings()) std::printf("%s\n", name.c_str());
+      std::exit(0);
+    }
+    if (std::strncmp(arg, "--config=", 9) == 0) {
+      options.config = apply_config(std::move(options.config), ConfigFile::load(value_of(arg)));
+    } else if (std::strncmp(arg, "--app=", 6) == 0) {
+      options.apps.push_back(parse_app(value_of(arg)));
+    } else if (std::strncmp(arg, "--routing=", 10) == 0) {
+      options.config.routing = value_of(arg);
+    } else if (std::strncmp(arg, "--placement=", 12) == 0) {
+      options.config.placement = placement_from_string(value_of(arg));
+    } else if (std::strncmp(arg, "--arrangement=", 14) == 0) {
+      options.config.topo.arrangement = arrangement_from_string(value_of(arg));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.config.seed = std::stoull(value_of(arg));
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      options.config.scale = std::stoi(value_of(arg));
+    } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
+      options.sweep = std::stoi(value_of(arg));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path = value_of(arg);
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      options.csv_prefix = value_of(arg);
+    } else if (std::strncmp(arg, "--fault=", 8) == 0) {
+      options.config.faults.merge(parse_fault_plan(value_of(arg)));
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      const std::string value = value_of(arg);
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) throw std::invalid_argument("--trace needs APP:FILE");
+      options.trace_app = std::stoi(value.substr(0, colon));
+      options.trace_path = value.substr(colon + 1);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", arg);
+      usage(2);
+    }
+  }
+  if (options.apps.empty()) {
+    std::fputs("no --app given\n\n", stderr);
+    usage(2);
+  }
+  return options;
+}
+
+Report run_once(const CliOptions& options, std::uint64_t seed, bool side_outputs) {
+  StudyConfig config = options.config;
+  config.seed = seed;
+  Study study(std::move(config));
+  for (const AppSpec& spec : options.apps) study.add_app(spec.name, spec.nodes);
+  if (side_outputs && options.trace_app >= 0) study.record_trace(options.trace_app);
+  const Report report = study.run();
+  if (side_outputs && options.trace_app >= 0) {
+    study.trace(options.trace_app).save_csv(options.trace_path);
+    std::fprintf(stderr, "wrote %s\n", options.trace_path.c_str());
+  }
+  if (side_outputs && !options.csv_prefix.empty()) {
+    study.write_csv(options.csv_prefix);
+    std::fprintf(stderr, "wrote %s_{apps,congestion,stall}.csv\n", options.csv_prefix.c_str());
+  }
+  return report;
+}
+
+void print_table(const Report& report) {
+  viz::AsciiTable out({"app", "nodes", "comm_ms", "sigma_ms", "exec_ms", "inj_GB/s",
+                       "lat_p99_us", "nonmin"});
+  char buffer[32];
+  for (const AppReport& app : report.apps) {
+    std::vector<std::string> cells{app.app, std::to_string(app.nodes)};
+    for (const double v : {app.comm_mean_ms, app.comm_std_ms, app.exec_ms,
+                           app.injection_rate_gbs, app.lat_p99_us, app.nonminimal_fraction}) {
+      std::snprintf(buffer, sizeof buffer, "%.3f", v);
+      cells.emplace_back(buffer);
+    }
+    out.row(std::move(cells));
+  }
+  std::fputs(out.str().c_str(), stdout);
+  std::printf("routing %s | completed %s | makespan %.3f ms | sys p99 %.2f us | "
+              "throughput %.3f GB/ms\n",
+              report.routing.c_str(), report.completed ? "yes" : "no",
+              to_ms(report.makespan), report.sys_lat_p99_us, report.agg_throughput_gb_per_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions options = parse_cli(argc, argv);
+    if (options.sweep <= 1) {
+      const Report report = run_once(options, options.config.seed, /*side_outputs=*/true);
+      print_table(report);
+      if (!options.json_path.empty()) {
+        const std::string json = report_to_json(report);
+        if (options.json_path == "-") {
+          std::printf("%s\n", json.c_str());
+        } else {
+          save_json(options.json_path, json);
+          std::fprintf(stderr, "wrote %s\n", options.json_path.c_str());
+        }
+      }
+      return report.completed ? 0 : 1;
+    }
+    // Multi-seed sweep: aggregate, print, optionally dump JSON.
+    const SeedSweep sweep(options.config.seed, options.sweep);
+    const SweepSummary summary = sweep.run(
+        [&options](std::uint64_t seed) { return run_once(options, seed, false); });
+    viz::AsciiTable table({"app", "comm_ms mean", "ci95", "min", "max"});
+    for (const AppSweep& app : summary.apps) {
+      table.row(app.app, {app.comm_ms.mean, app.comm_ms.ci95_half, app.comm_ms.min,
+                          app.comm_ms.max});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("%d/%d runs completed | makespan %.3f +/- %.3f ms\n", summary.completed_runs,
+                summary.runs, summary.makespan_ms.mean, summary.makespan_ms.ci95_half);
+    if (!options.json_path.empty()) {
+      const std::string json = sweep_to_json(summary);
+      if (options.json_path == "-") {
+        std::printf("%s\n", json.c_str());
+      } else {
+        save_json(options.json_path, json);
+      }
+    }
+    return summary.completed_runs == summary.runs ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dflysim: %s\n", error.what());
+    return 2;
+  }
+}
