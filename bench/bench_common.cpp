@@ -5,9 +5,15 @@
 
 namespace dfly::bench {
 
-Options Options::parse(int argc, char** argv, int default_scale) {
+Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
   Options options;
   options.scale = default_scale;
+  const auto reject_unsupported = [&](const char* flag, bool supported) {
+    if (!supported) {
+      std::fprintf(stderr, "this bench does not implement %s\n", flag);
+      std::exit(2);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -17,12 +23,20 @@ Options Options::parse(int argc, char** argv, int default_scale) {
       options.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--routing=", 0) == 0) {
       options.routing = arg.substr(10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      reject_unsupported("--json", caps.json);
+      options.json_path = arg.substr(7);
     } else if (arg == "--full") {
       options.scale = 1;
     } else if (arg == "--quick") {
       options.scale = 32;
+    } else if (arg == "--smoke") {
+      reject_unsupported("--smoke", caps.smoke);
+      options.smoke = true;
+      options.scale = 64;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("options: --scale=N --seed=N --routing=NAME --full --quick\n");
+      std::printf("options: --scale=N --seed=N --routing=NAME --full --quick%s%s\n",
+                  caps.json ? " --json=FILE" : "", caps.smoke ? " --smoke" : "");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());

@@ -45,17 +45,32 @@ std::vector<T> parallel_map(const std::vector<std::function<T()>>& tasks, int th
 ///   --scale=N        iteration divisor (default 8; 1 = paper-scale volumes)
 ///   --seed=N         placement/routing RNG seed
 ///   --routing=NAME   restrict to one routing (default: the paper's four)
+///   --json=FILE      also write the bench's machine-readable report
 ///   --full           shorthand for --scale=1
 ///   --quick          shorthand for --scale=32
+///   --smoke          CI mode: --scale=64 plus a bench-defined minimal sweep
+///
+/// --json and --smoke are opt-in per bench (`Caps`): a driver that has not
+/// implemented them rejects the flag instead of silently ignoring it.
+///
+/// Which optional flags a bench actually honours (namespace scope so it can
+/// be a default argument of Options::parse).
+struct Caps {
+  bool json{false};
+  bool smoke{false};
+};
+
 struct Options {
   int scale{8};
   std::uint64_t seed{42};
-  std::string routing;  ///< empty = sweep the paper's four routings
+  std::string routing;    ///< empty = sweep the paper's four routings
+  std::string json_path;  ///< empty = console table only
+  bool smoke{false};      ///< benches shrink their sweep to a representative cell or two
 
   /// `default_scale` lets heavy benches (the 168-cell Fig 4 sweep) default
   /// to a coarser scale so the whole suite completes in minutes; --scale
   /// and --full always override.
-  static Options parse(int argc, char** argv, int default_scale = 8);
+  static Options parse(int argc, char** argv, int default_scale = 8, Caps caps = Caps{});
 
   /// Routings to sweep (honours --routing).
   std::vector<std::string> routings() const;

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-14s %-12s %-14s\n", "routing", "comm (ms)", "nonmin", "tput (GB/ms)");
 
   bool all_ok = true;
-  for (const std::string& routing : {"MIN", "VALn", "UGALn", "PAR", "Q-adp"}) {
+  for (const std::string routing : {"MIN", "VALn", "UGALn", "PAR", "Q-adp"}) {
     dfly::StudyConfig config;
     config.topo = topo;
     config.routing = routing;

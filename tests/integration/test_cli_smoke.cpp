@@ -1,0 +1,83 @@
+// End-to-end smoke test for the dflysim CLI: drives the real binary (path
+// injected by CMake as DFSIM_CLI_PATH) on a quickstart-equivalent run and
+// checks the exit status plus the JSON report's key surface.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef DFSIM_CLI_PATH
+#error "DFSIM_CLI_PATH must be defined to the dflysim binary path"
+#endif
+
+int run_cli(const std::string& args) {
+  const std::string command = std::string(DFSIM_CLI_PATH) + " " + args;
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_json_path() {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/dfsim_cli_smoke.json";
+}
+
+TEST(CliSmoke, HelpAndListingsExitZero) {
+  EXPECT_EQ(run_cli("--help > /dev/null 2>&1"), 0);
+  EXPECT_EQ(run_cli("--list-apps > /dev/null 2>&1"), 0);
+  EXPECT_EQ(run_cli("--list-routings > /dev/null 2>&1"), 0);
+}
+
+TEST(CliSmoke, BadUsageExitsNonZero) {
+  EXPECT_NE(run_cli("> /dev/null 2>&1"), 0);                   // no --app
+  EXPECT_NE(run_cli("--no-such-flag > /dev/null 2>&1"), 0);
+}
+
+TEST(CliSmoke, QuickstartRunWritesJsonReport) {
+  const std::string json_path = temp_json_path();
+  std::remove(json_path.c_str());
+
+  // Quickstart-equivalent: FFT3D on half the paper machine, Q-adaptive
+  // routing, iteration counts shrunk for a fast smoke run.
+  const int exit_code = run_cli("--app=FFT3D:528 --routing=Q-adp --scale=32 --seed=1 --json=" +
+                                json_path + " > /dev/null 2>&1");
+  EXPECT_EQ(exit_code, 0);
+
+  const std::string json = slurp(json_path);
+  ASSERT_FALSE(json.empty()) << "CLI did not write " << json_path;
+  for (const char* key :
+       {"\"routing\"", "\"completed\"", "\"makespan_ms\"", "\"sys_lat_p99_us\"",
+        "\"agg_throughput_gb_per_ms\"", "\"events_executed\"", "\"apps\"", "\"app\"",
+        "\"comm_mean_ms\"", "\"lat_p99_us\"", "\"nonminimal_fraction\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+  }
+  EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"routing\":\"Q-adp\""), std::string::npos);
+  std::remove(json_path.c_str());
+}
+
+TEST(CliSmoke, JsonToStdout) {
+  const std::string json_path = temp_json_path() + ".stdout";
+  const int exit_code = run_cli("--app=UR:64 --routing=MIN --scale=64 --json=- > " + json_path +
+                                " 2>/dev/null");
+  EXPECT_EQ(exit_code, 0);
+  const std::string out = slurp(json_path);
+  EXPECT_NE(out.find("\"routing\""), std::string::npos);
+  EXPECT_NE(out.find("\"apps\""), std::string::npos);
+  std::remove(json_path.c_str());
+}
+
+}  // namespace

@@ -263,7 +263,9 @@ TEST(SparseExchange, LanePatternIsDeterministicAndSparse) {
     for (int d = 0; d < n; ++d) {
       const std::int64_t a = motif.lane_bytes(s, d, 0);
       EXPECT_EQ(a, motif.lane_bytes(s, d, 0));  // deterministic
-      if (s == d) EXPECT_EQ(a, 0);
+      if (s == d) {
+        EXPECT_EQ(a, 0);
+      }
       if (a > 0) {
         ++populated;
         EXPECT_GE(a, params.msg_bytes);

@@ -50,7 +50,9 @@ TEST_P(PathTest, MinimalHopsMatchesEnumeratedPath) {
     const int hops = oracle_.minimal_hops(src, dst);
     const RouterPath best = oracle_.minimal(src, dst, nullptr);
     EXPECT_LE(hops, static_cast<int>(best.size()) - 1);
-    if (src == dst) EXPECT_EQ(hops, 0);
+    if (src == dst) {
+      EXPECT_EQ(hops, 0);
+    }
   }
 }
 

@@ -182,7 +182,7 @@ TEST(ExtendedWorkloads, IntensityMetricsOrderAsDesigned) {
 /// Co-run sanity: MILC + IOBurst on the tiny system complete under every
 /// paper routing; MILC (latency-bound CG chain) is the interfered party.
 TEST(ExtendedWorkloads, MilcIoBurstCoRunCompletes) {
-  for (const std::string& routing : {"PAR", "Q-adp"}) {
+  for (const std::string routing : {"PAR", "Q-adp"}) {
     StudyConfig config;
     config.topo = DragonflyParams::tiny();
     config.routing = routing;
