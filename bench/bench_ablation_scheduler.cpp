@@ -31,7 +31,9 @@
 
 int main(int argc, char** argv) {
   using namespace dfly;
-  const bench::Options options = bench::Options::parse(argc, argv, 1);
+  // Strictly sequential (one scheduler simulation per policy cell), so
+  // --jobs is rejected rather than silently ignored.
+  const bench::Options options = bench::Options::parse(argc, argv, 1, {.jobs = false});
   bench::print_header("ABLATION: scheduler placement policy (isolation vs fragmentation)");
 
   const Dragonfly topo(DragonflyParams::paper());

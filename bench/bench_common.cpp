@@ -5,6 +5,16 @@
 
 namespace dfly::bench {
 
+namespace {
+int g_default_jobs = 0;  ///< harness-wide --jobs value, 0 = unset
+}  // namespace
+
+void set_default_jobs(int jobs) { g_default_jobs = jobs > 0 ? jobs : 0; }
+
+int default_jobs() {
+  return ParallelRunner::resolve_jobs(g_default_jobs, ParallelRunner::hardware_jobs());
+}
+
 Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
   Options options;
   options.scale = default_scale;
@@ -23,6 +33,16 @@ Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
       options.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--routing=", 0) == 0) {
       options.routing = arg.substr(10);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      reject_unsupported("--jobs", caps.jobs);
+      const char* value = arg.c_str() + 7;
+      char* end = nullptr;
+      const long jobs = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || jobs < 0) {
+        std::fprintf(stderr, "--jobs needs a non-negative integer (0 = auto)\n");
+        std::exit(2);
+      }
+      options.jobs = static_cast<int>(jobs);  // 0 = DFSIM_JOBS, else all cores
     } else if (arg.rfind("--json=", 0) == 0) {
       reject_unsupported("--json", caps.json);
       options.json_path = arg.substr(7);
@@ -35,14 +55,16 @@ Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
       options.smoke = true;
       options.scale = 64;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("options: --scale=N --seed=N --routing=NAME --full --quick%s%s\n",
-                  caps.json ? " --json=FILE" : "", caps.smoke ? " --smoke" : "");
+      std::printf("options: --scale=N --seed=N --routing=NAME --full --quick%s%s%s\n",
+                  caps.jobs ? " --jobs=N" : "", caps.json ? " --json=FILE" : "",
+                  caps.smoke ? " --smoke" : "");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       std::exit(2);
     }
   }
+  set_default_jobs(options.jobs);
   return options;
 }
 

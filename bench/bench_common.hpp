@@ -1,43 +1,31 @@
 #pragma once
 
-#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/pairwise.hpp"
+#include "core/parallel.hpp"
 #include "core/study.hpp"
 
 namespace dfly::bench {
 
+/// Worker count every bench uses when a call site does not pass one:
+/// --jobs=N (recorded by Options::parse), else DFSIM_JOBS, else
+/// min(hardware_concurrency, 12).
+int default_jobs();
+/// Record the harness-wide --jobs value (0 = unset). Options::parse calls
+/// this; exposed for drivers with their own flag parsing.
+void set_default_jobs(int jobs);
+
 /// Run independent simulation tasks concurrently (each task is a complete
 /// Study; they share no state). Results are returned in submission order, so
 /// callers print deterministic tables. Worker count defaults to
-/// min(hardware_concurrency, 12) to bound peak memory.
+/// default_jobs(); the heavy lifting lives in dfly::ParallelRunner.
 template <typename T>
 std::vector<T> parallel_map(const std::vector<std::function<T()>>& tasks, int threads = 0) {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads > 12) threads = 12;
-    if (threads < 1) threads = 1;
-  }
-  std::vector<T> results(tasks.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= tasks.size()) return;
-      results[i] = tasks[i]();
-    }
-  };
-  std::vector<std::thread> pool;
-  const int n = std::min<int>(threads, static_cast<int>(tasks.size()));
-  pool.reserve(static_cast<std::size_t>(n));
-  for (int t = 0; t < n; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-  return results;
+  return ParallelRunner(threads > 0 ? threads : default_jobs()).map(tasks);
 }
 
 /// Common command-line options for the experiment harnesses.
@@ -45,6 +33,8 @@ std::vector<T> parallel_map(const std::vector<std::function<T()>>& tasks, int th
 ///   --scale=N        iteration divisor (default 8; 1 = paper-scale volumes)
 ///   --seed=N         placement/routing RNG seed
 ///   --routing=NAME   restrict to one routing (default: the paper's four)
+///   --jobs=N         worker threads for independent cells (default:
+///                    DFSIM_JOBS, else all cores capped at 12)
 ///   --json=FILE      also write the bench's machine-readable report
 ///   --full           shorthand for --scale=1
 ///   --quick          shorthand for --scale=32
@@ -54,16 +44,21 @@ std::vector<T> parallel_map(const std::vector<std::function<T()>>& tasks, int th
 /// implemented them rejects the flag instead of silently ignoring it.
 ///
 /// Which optional flags a bench actually honours (namespace scope so it can
-/// be a default argument of Options::parse).
+/// be a default argument of Options::parse). `jobs` defaults on because
+/// every cell-sweep bench routes through parallel_map / the core batch
+/// drivers; the few strictly-sequential benches opt out so --jobs is
+/// rejected, not silently ignored.
 struct Caps {
   bool json{false};
   bool smoke{false};
+  bool jobs{true};
 };
 
 struct Options {
   int scale{8};
   std::uint64_t seed{42};
   std::string routing;    ///< empty = sweep the paper's four routings
+  int jobs{0};            ///< 0 = DFSIM_JOBS, else all cores capped at 12
   std::string json_path;  ///< empty = console table only
   bool smoke{false};      ///< benches shrink their sweep to a representative cell or two
 

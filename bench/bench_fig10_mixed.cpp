@@ -11,17 +11,12 @@ int main(int argc, char** argv) {
   const bench::Options options = bench::Options::parse(argc, argv, 64);
   const auto routings = options.routings();
 
-  // Task layout per routing: [0] = full mix, [1..6] = solo baselines.
-  std::vector<std::function<Report()>> tasks;
-  for (const std::string& routing : routings) {
-    const StudyConfig config = options.config(routing);
-    tasks.push_back([config] { return run_mixed(config); });
-    for (const auto& spec : table2_mix()) {
-      const std::string app = spec.app;
-      tasks.push_back([config, app] { return run_mixed_solo(config, app); });
-    }
-  }
-  const std::vector<Report> reports = bench::parallel_map(tasks);
+  // The core driver flattens (routing, cell) into one worker pool (honours
+  // --jobs / DFSIM_JOBS) and returns suites in routing order.
+  std::vector<StudyConfig> configs;
+  configs.reserve(routings.size());
+  for (const std::string& routing : routings) configs.push_back(options.config(routing));
+  const std::vector<MixedSuite> suites = run_mixed_suites(configs, bench::default_jobs());
 
   bench::print_header("Figure 10 / Table II — mixed workload comm time (ms): alone vs mixed");
   std::printf("Table II job sizes:");
@@ -30,14 +25,13 @@ int main(int argc, char** argv) {
               "mixed", "sigma");
   bench::print_rule();
 
-  const std::size_t stride = 1 + table2_mix().size();
   for (std::size_t r = 0; r < routings.size(); ++r) {
-    const Report& mixed = reports[r * stride];
+    const Report& mixed = suites[r].mix;
     double interference_sum = 0;
     int interference_count = 0;
     for (std::size_t a = 0; a < table2_mix().size(); ++a) {
       const auto& spec = table2_mix()[a];
-      const Report& solo = reports[r * stride + 1 + a];
+      const Report& solo = suites[r].solos[a];
       const AppReport& alone = solo.app(spec.app);
       const AppReport& in_mix = mixed.app(spec.app);
       std::printf("%-10s %-10s %12.3f %12.3f %12.3f %12.3f  (%+.1f%%)\n",

@@ -30,26 +30,25 @@ int main(int argc, char** argv) {
     double sigma{0};
     bool ok{false};
   };
-  struct Key {
-    std::string target, routing, background;
-  };
-  std::vector<Key> keys;
-  std::vector<std::function<Cell()>> tasks;
+  std::vector<PairwiseCell> matrix;
   for (const std::string& target : targets) {
     for (const std::string& routing : routings) {
       for (const std::string& bg : backgrounds) {
-        keys.push_back(Key{target, routing, bg});
-        const StudyConfig config = options.config(routing);
-        tasks.push_back([config, target, bg] {
-          const PairwiseResult result = run_pairwise(config, target, bg);
-          return Cell{result.target_report.comm_mean_ms, result.target_report.comm_std_ms,
-                      result.full.completed};
-        });
+        matrix.push_back(PairwiseCell{target, bg, routing});
       }
     }
   }
 
-  const std::vector<Cell> cells = bench::parallel_map(tasks);
+  // The core driver shards the independent cells across bench::default_jobs()
+  // workers (honours --jobs / DFSIM_JOBS) and returns them in matrix order.
+  const std::vector<PairwiseResult> results =
+      run_pairwise_cells(options.config(routings.front()), matrix, bench::default_jobs());
+  std::vector<Cell> cells;
+  cells.reserve(results.size());
+  for (const PairwiseResult& result : results) {
+    cells.push_back(Cell{result.target_report.comm_mean_ms, result.target_report.comm_std_ms,
+                         result.full.completed});
+  }
 
   bench::print_header("Figure 4 — pairwise interference: target comm time mean (sigma), ms");
   std::size_t i = 0;
@@ -88,11 +87,11 @@ int main(int argc, char** argv) {
     w.key("scale").value(options.scale);
     w.key("seed").value(options.seed);
     w.key("cells").begin_array();
-    for (std::size_t c = 0; c < keys.size(); ++c) {
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
       w.begin_object();
-      w.key("target").value(keys[c].target);
-      w.key("background").value(keys[c].background);
-      w.key("routing").value(keys[c].routing);
+      w.key("target").value(matrix[c].target);
+      w.key("background").value(matrix[c].background);
+      w.key("routing").value(matrix[c].routing);
       w.key("comm_mean_ms").value(cells[c].mean);
       w.key("comm_std_ms").value(cells[c].sigma);
       w.key("completed").value(cells[c].ok);

@@ -1,8 +1,18 @@
 // Micro-benchmarks (google-benchmark): the discrete-event engine's event
 // throughput and the end-to-end simulator packet rate. These bound how
 // large a --scale the experiment benches can afford.
+//
+// The Legacy* benchmarks reproduce the seed implementation's event queue
+// (std::push_heap/std::pop_heap binary heap, one pop per event) so the
+// index-based 4-ary heap + same-timestamp batch pop in Engine is *measured*
+// against its predecessor, not asserted: compare BM_Legacy<X> with
+// BM_Engine<X> items_per_second on the same workload.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
 
 #include "core/study.hpp"
 #include "net/network.hpp"
@@ -20,6 +30,69 @@ class NullComponent final : public Component {
   }
 };
 
+/// Verbatim re-creation of the seed Engine's queue and dispatch loop: binary
+/// min-heap of full 48-byte entries via the std::*_heap algorithms, one pop
+/// + re-sift per event, and the seed's exact per-event bookkeeping (the
+/// schedule assert, the executed counter, one Event construction, one
+/// virtual dispatch).
+class LegacyEngine {
+ public:
+  struct Sink {
+    virtual ~Sink() = default;
+    virtual void on_event(LegacyEngine& engine, const Event& event) = 0;
+  };
+
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime when, Sink& target, std::uint32_t kind, std::uint64_t a = 0,
+                   std::uint64_t b = 0) {
+    assert(when >= now_ && "cannot schedule into the past");
+    heap_.push_back(Entry{when, next_seq_++, &target, kind, a, b});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  std::uint64_t run() {
+    std::uint64_t count = 0;
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      const Entry entry = heap_.back();
+      heap_.pop_back();
+      now_ = entry.when;
+      ++executed_;
+      ++count;
+      const Event event{entry.when, entry.seq, nullptr, entry.kind, entry.a, entry.b};
+      entry.target->on_event(*this, event);
+    }
+    return count;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Sink* target;
+    std::uint32_t kind;
+    std::uint64_t a, b;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  SimTime now_{0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+};
+
+class LegacyNullSink final : public LegacyEngine::Sink {
+ public:
+  void on_event(LegacyEngine& engine, const Event& event) override {
+    if (event.a > 0) engine.schedule_at(engine.now() + 10, *this, 0, event.a - 1);
+  }
+};
+
 /// Pure engine overhead: schedule + dispatch of chained events.
 void BM_EngineEventChain(benchmark::State& state) {
   for (auto _ : state) {
@@ -33,6 +106,19 @@ void BM_EngineEventChain(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100001);
 }
 BENCHMARK(BM_EngineEventChain)->Unit(benchmark::kMillisecond);
+
+/// Baseline for BM_EngineEventChain on the seed's binary heap.
+void BM_LegacyEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    LegacyEngine engine;
+    LegacyNullSink sink;
+    const std::uint64_t chain = 100000;
+    engine.schedule_at(0, sink, 0, chain);
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100001);
+}
+BENCHMARK(BM_LegacyEventChain)->Unit(benchmark::kMillisecond);
 
 /// Engine with a populated heap: random-time scheduling.
 void BM_EngineRandomHeap(benchmark::State& state) {
@@ -48,7 +134,150 @@ void BM_EngineRandomHeap(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * events);
 }
-BENCHMARK(BM_EngineRandomHeap)->Arg(1000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineRandomHeap)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(30000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Baseline for BM_EngineRandomHeap on the seed's binary heap.
+void BM_LegacyRandomHeap(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LegacyEngine engine;
+    LegacyNullSink sink;
+    Rng rng(1);
+    for (int i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<SimTime>(rng.next_below(1000000)), sink, 0);
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * events);
+}
+// 1k/5k/30k bracket the measured queue depth of a paper-topology FFT3D run
+// (mean ~4.7k in-flight events, peak ~35k).
+BENCHMARK(BM_LegacyRandomHeap)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(30000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Steady-state schedule/pop throughput at constant queue depth: every
+/// handled event schedules one replacement at a random future offset. This
+/// is the shape of a real simulation cell (measured FFT3D run: mean ~4.7k
+/// in-flight events, peak ~35k), unlike the bulk-load-then-drain of
+/// BM_*RandomHeap.
+class SteadyComponent final : public Component {
+ public:
+  explicit SteadyComponent(std::uint64_t seed) : rng_(seed) {}
+  void handle(Engine& engine, const Event& event) override {
+    if (event.a > 0) {
+      engine.schedule_in(static_cast<SimTime>(rng_.next_below(100000)) + 1, *this, 0,
+                         event.a - 1);
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+void BM_EngineSteadyState(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const std::uint64_t rounds = 20;  // events per chain; total = depth * rounds
+  for (auto _ : state) {
+    Engine engine;
+    SteadyComponent component(1);
+    Rng rng(2);
+    for (int i = 0; i < depth; ++i) {
+      engine.schedule_at(static_cast<SimTime>(rng.next_below(100000)), component, 0, rounds);
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * depth *
+                          static_cast<std::int64_t>(rounds + 1));
+}
+BENCHMARK(BM_EngineSteadyState)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(30000)
+    ->Unit(benchmark::kMillisecond);
+
+class LegacySteadySink final : public LegacyEngine::Sink {
+ public:
+  explicit LegacySteadySink(std::uint64_t seed) : rng_(seed) {}
+  void on_event(LegacyEngine& engine, const Event& event) override {
+    if (event.a > 0) {
+      engine.schedule_at(engine.now() + static_cast<SimTime>(rng_.next_below(100000)) + 1,
+                         *this, 0, event.a - 1);
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Baseline for BM_EngineSteadyState on the seed's binary heap.
+void BM_LegacySteadyState(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const std::uint64_t rounds = 20;
+  for (auto _ : state) {
+    LegacyEngine engine;
+    LegacySteadySink sink(1);
+    Rng rng(2);
+    for (int i = 0; i < depth; ++i) {
+      engine.schedule_at(static_cast<SimTime>(rng.next_below(100000)), sink, 0, rounds);
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * depth *
+                          static_cast<std::int64_t>(rounds + 1));
+}
+BENCHMARK(BM_LegacySteadyState)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(30000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same-timestamp floods: many events per distinct time, the shape produced
+/// by synchronised collectives. Exercises Engine::run's batch pop.
+void BM_EngineSameTimeFlood(benchmark::State& state) {
+  const int timestamps = 1000;
+  const int per_timestamp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    NullComponent component;
+    for (int t = 0; t < timestamps; ++t) {
+      for (int i = 0; i < per_timestamp; ++i) {
+        engine.schedule_at(static_cast<SimTime>(t) * 100, component, 0, 0);
+      }
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * timestamps *
+                          per_timestamp);
+}
+BENCHMARK(BM_EngineSameTimeFlood)->Arg(16)->Arg(128)->Unit(benchmark::kMillisecond);
+
+/// Baseline for BM_EngineSameTimeFlood on the seed's binary heap.
+void BM_LegacySameTimeFlood(benchmark::State& state) {
+  const int timestamps = 1000;
+  const int per_timestamp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LegacyEngine engine;
+    LegacyNullSink sink;
+    for (int t = 0; t < timestamps; ++t) {
+      for (int i = 0; i < per_timestamp; ++i) {
+        engine.schedule_at(static_cast<SimTime>(t) * 100, sink, 0);
+      }
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * timestamps *
+                          per_timestamp);
+}
+BENCHMARK(BM_LegacySameTimeFlood)->Arg(16)->Arg(128)->Unit(benchmark::kMillisecond);
 
 /// End-to-end packet rate: uniform-random traffic on the tiny system.
 void BM_NetworkPacketRate(benchmark::State& state) {

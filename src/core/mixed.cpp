@@ -1,5 +1,8 @@
 #include "core/mixed.hpp"
 
+#include <utility>
+
+#include "core/parallel.hpp"
 #include "workloads/factory.hpp"
 
 namespace dfly {
@@ -48,6 +51,29 @@ Report run_mixed_solo(const StudyConfig& config, const std::string& solo_app) {
     }
   }
   return study.run();
+}
+
+std::vector<MixedSuite> run_mixed_suites(const std::vector<StudyConfig>& configs, int jobs) {
+  // Flatten (config, cell) into one task list so worker threads stay busy
+  // across routings: cell 0 of each suite is the full mix, cells 1..N the
+  // solo baselines in table2_mix order.
+  const std::size_t stride = 1 + table2_mix().size();
+  std::vector<Report> reports(configs.size() * stride);
+  ParallelRunner(jobs).run_indexed(reports.size(), [&](std::size_t i) {
+    const StudyConfig& config = configs[i / stride];
+    const std::size_t cell = i % stride;
+    reports[i] = cell == 0 ? run_mixed(config)
+                           : run_mixed_solo(config, table2_mix()[cell - 1].app);
+  });
+  std::vector<MixedSuite> suites(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    suites[c].mix = std::move(reports[c * stride]);
+    suites[c].solos.reserve(stride - 1);
+    for (std::size_t a = 1; a < stride; ++a) {
+      suites[c].solos.push_back(std::move(reports[c * stride + a]));
+    }
+  }
+  return suites;
 }
 
 }  // namespace dfly

@@ -1,5 +1,7 @@
 #include "core/pairwise.hpp"
 
+#include "core/parallel.hpp"
+
 namespace dfly {
 
 PairwiseResult run_pairwise(const StudyConfig& config, const std::string& target,
@@ -21,6 +23,19 @@ PairwiseResult run_pairwise(const StudyConfig& config, const std::string& target
     result.background_report = result.full.apps[static_cast<std::size_t>(background_id)];
   }
   return result;
+}
+
+std::vector<PairwiseResult> run_pairwise_cells(const StudyConfig& base,
+                                               const std::vector<PairwiseCell>& cells,
+                                               int jobs) {
+  std::vector<PairwiseResult> results(cells.size());
+  ParallelRunner(jobs).run_indexed(cells.size(), [&](std::size_t i) {
+    const PairwiseCell& cell = cells[i];
+    StudyConfig config = base;
+    if (!cell.routing.empty()) config.routing = cell.routing;
+    results[i] = run_pairwise(config, cell.target, cell.background);
+  });
+  return results;
 }
 
 const std::vector<std::string>& fig4_targets() {

@@ -26,6 +26,22 @@ struct PairwiseResult {
 PairwiseResult run_pairwise(const StudyConfig& config, const std::string& target,
                             const std::string& background);
 
+/// One cell of a pairwise matrix sweep. An empty `routing` keeps the base
+/// config's routing.
+struct PairwiseCell {
+  std::string target;
+  std::string background;  ///< "None" (or empty) for the standalone baseline
+  std::string routing;
+};
+
+/// Run a batch of pairwise cells, sharded across worker threads
+/// (ParallelRunner semantics: jobs > 0 = exact count, 0 = DFSIM_JOBS or
+/// sequential). Every cell is an independent Study built from `base`;
+/// results are returned in cell order, independent of worker count.
+std::vector<PairwiseResult> run_pairwise_cells(const StudyConfig& base,
+                                               const std::vector<PairwiseCell>& cells,
+                                               int jobs = 0);
+
 /// The paper's Fig 4 matrix: targets x backgrounds x routings.
 const std::vector<std::string>& fig4_targets();
 const std::vector<std::string>& fig4_backgrounds();  ///< includes "None"

@@ -1,0 +1,64 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dfly {
+
+ParallelRunner::ParallelRunner(int jobs) : jobs_(resolve_jobs(jobs, 1)) {}
+
+int ParallelRunner::resolve_jobs(int requested, int fallback) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DFSIM_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) return jobs;
+  }
+  return fallback < 1 ? 1 : fallback;
+}
+
+int ParallelRunner::hardware_jobs() {
+  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs > 12) jobs = 12;
+  if (jobs < 1) jobs = 1;
+  return jobs;
+}
+
+void ParallelRunner::run_indexed(std::size_t n,
+                                 const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const int workers = jobs_ < static_cast<int>(n) ? jobs_ : static_cast<int>(n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Work stealing via a shared counter: cells are claimed in index order, so
+  // a cheap cell never waits behind an expensive one on the same worker.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dfly

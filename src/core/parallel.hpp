@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+/// Parallel experiment execution.
+///
+/// Every study in this suite is a sweep of independent (config, seed) cells:
+/// each cell builds its own Engine, Network, Rng and stats, runs to
+/// completion, and emits a Report. Cells share nothing, so they shard
+/// trivially across threads — the only discipline required is that results
+/// land in pre-sized slots indexed by cell, which makes the aggregate output
+/// bit-identical to a sequential run regardless of worker count or
+/// completion order.
+namespace dfly {
+
+/// Thread-pool runner for independent simulation cells.
+///
+/// Worker-count resolution, in priority order: an explicit `jobs` argument
+/// (> 0), the DFSIM_JOBS environment variable, then the caller's fallback
+/// (sequential by default). The same resolution backs the `--jobs=N` flag on
+/// `dflysim` and on every bench binary.
+class ParallelRunner {
+ public:
+  /// `jobs` <= 0 resolves through resolve_jobs(jobs, /*fallback=*/1).
+  explicit ParallelRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  /// `requested` > 0 wins; else DFSIM_JOBS (when set to an integer >= 1);
+  /// else `fallback` (clamped to >= 1).
+  static int resolve_jobs(int requested, int fallback = 1);
+
+  /// min(hardware_concurrency, 12), at least 1. The cap bounds peak memory:
+  /// every in-flight cell holds a full 1,056-node system.
+  static int hardware_jobs();
+
+  /// Invoke fn(0) .. fn(n-1), sharded across jobs() worker threads
+  /// (sequential when jobs() == 1 or n <= 1). `fn` must only touch state
+  /// owned by cell i — see the thread-safety notes on PacketPool, LinkStats
+  /// and Rng. The first exception thrown by any cell is rethrown on the
+  /// calling thread after all workers drain; cells not yet started are
+  /// skipped.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  /// Evaluate every task; results are returned in task order, so callers
+  /// print deterministic tables no matter how the cells interleave.
+  template <typename T>
+  std::vector<T> map(const std::vector<std::function<T()>>& tasks) const {
+    std::vector<T> results(tasks.size());
+    run_indexed(tasks.size(), [&](std::size_t i) { results[i] = tasks[i](); });
+    return results;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace dfly

@@ -89,6 +89,11 @@ struct Report {
 /// and summarises application- and network-level metrics. This is the
 /// paper's contribution surface: everything in §V/§VI is a Study with a
 /// particular job mix.
+///
+/// A Study is one simulation cell: it owns its Engine, Network, PacketPool,
+/// stats and every Rng stream, and touches no mutable globals. Whole
+/// Studies therefore run concurrently on ParallelRunner workers (one Study
+/// per worker at a time); a single Study is not itself thread-safe.
 class Study {
  public:
   explicit Study(StudyConfig config);

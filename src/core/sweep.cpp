@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace dfly {
 
 SweepStat SweepStat::of(const Accumulator& acc) {
@@ -35,10 +37,11 @@ SeedSweep::SeedSweep(std::uint64_t base_seed, int n) {
   for (int i = 0; i < n; ++i) seeds_.push_back(base_seed + static_cast<std::uint64_t>(i));
 }
 
-SweepSummary SeedSweep::run(const std::function<Report(std::uint64_t)>& experiment) const {
-  std::vector<Report> reports;
-  reports.reserve(seeds_.size());
-  for (const std::uint64_t seed : seeds_) reports.push_back(experiment(seed));
+SweepSummary SeedSweep::run(const std::function<Report(std::uint64_t)>& experiment,
+                            int jobs) const {
+  std::vector<Report> reports(seeds_.size());
+  ParallelRunner(jobs).run_indexed(
+      seeds_.size(), [&](std::size_t i) { reports[i] = experiment(seeds_[i]); });
   return aggregate(reports);
 }
 

@@ -65,7 +65,14 @@ class SeedSweep {
   /// Convenience: seeds base, base+1, ..., base+n-1.
   SeedSweep(std::uint64_t base_seed, int n);
 
-  SweepSummary run(const std::function<Report(std::uint64_t seed)>& experiment) const;
+  /// `jobs` shards the per-seed cells across worker threads with
+  /// ParallelRunner semantics: > 0 = exactly that many workers, 0 (default)
+  /// = honour DFSIM_JOBS, else sequential. Each cell builds its own Engine
+  /// and Rng from its seed, and reports are collected into slots indexed by
+  /// seed position and aggregated in seed order — the summary is
+  /// bit-identical to a sequential run for any worker count.
+  SweepSummary run(const std::function<Report(std::uint64_t seed)>& experiment,
+                   int jobs = 0) const;
 
   const std::vector<std::uint64_t>& seeds() const { return seeds_; }
 

@@ -47,6 +47,10 @@ struct Packet {
 };
 
 /// Free-list pool with stable addresses (deque-backed slabs).
+///
+/// Thread-safety: none, by design. A PacketPool belongs to one Network and
+/// therefore to one simulation cell; parallel sweeps (core/parallel.hpp)
+/// give every worker its own cell and never share a pool across threads.
 class PacketPool {
  public:
   Packet& alloc() {

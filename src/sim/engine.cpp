@@ -1,67 +1,189 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace dfly {
 
 /// Adapter that lets std::function callbacks ride the component event path.
+/// One-shot: handle() releases the owning slot before invoking the callback,
+/// so the callback itself may schedule new closures (possibly reusing this
+/// very slot) or clear() the engine without touching freed storage.
 class Engine::Closure final : public Component {
  public:
-  explicit Closure(std::function<void()> fn) : fn_(std::move(fn)) {}
-  void handle(Engine&, const Event&) override { fn_(); }
+  Closure(std::function<void()> fn, std::uint32_t slot) : fn_(std::move(fn)), slot_(slot) {}
+
+  void handle(Engine& engine, const Event&) override {
+    std::function<void()> fn = std::move(fn_);
+    engine.release_closure(slot_);  // destroys *this; only locals below
+    fn();
+  }
 
  private:
   std::function<void()> fn_;
+  std::uint32_t slot_;
 };
 
 void Engine::schedule_at(SimTime when, Component& target, std::uint32_t kind,
                          std::uint64_t a, std::uint64_t b) {
   assert(when >= now_ && "cannot schedule into the past");
-  push(Entry{when, next_seq_++, &target, kind, a, b});
+  push(make_key(when, next_seq_++), Payload{&target, kind, a, b});
 }
 
 void Engine::call_at(SimTime when, std::function<void()> fn) {
-  closures_.push_back(std::make_unique<Closure>(std::move(fn)));
-  schedule_at(when, *closures_.back(), 0);
+  std::uint32_t slot;
+  if (free_closure_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(closures_.size());
+    closures_.emplace_back();
+  } else {
+    slot = free_closure_slots_.back();
+    free_closure_slots_.pop_back();
+  }
+  closures_[slot] = std::make_unique<Closure>(std::move(fn), slot);
+  schedule_at(when, *closures_[slot], 0);
 }
 
-void Engine::push(Entry entry) {
-  heap_.push_back(entry);
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+void Engine::release_closure(std::uint32_t slot) {
+  // clear() may have emptied closures_ while the closure body ran; a stale
+  // slot must not be recycled into the rebuilt free list.
+  if (slot >= closures_.size() || !closures_[slot]) return;
+  closures_[slot].reset();
+  free_closure_slots_.push_back(slot);
 }
 
-Engine::Entry Engine::pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  Entry entry = heap_.back();
-  heap_.pop_back();
-  return entry;
+void Engine::push(HeapKey key, Payload load) {
+  // Grow both arrays together (and skip the tiny-doubling phase) so the two
+  // vectors reallocate in lockstep instead of twice as often as one.
+  if (keys_.size() == keys_.capacity()) {
+    const std::size_t cap = keys_.empty() ? 256 : keys_.size() * 2;
+    keys_.reserve(cap);
+    payloads_.reserve(cap);
+  }
+  keys_.push_back(key);
+  payloads_.push_back(load);
+  sift_up(keys_.size() - 1);
+}
+
+Engine::Entry Engine::pop_min() {
+  const Entry top{keys_.front(), payloads_.front()};
+  const std::size_t last = keys_.size() - 1;
+  if (last > 0) {
+    // Bottom-up pop (the std::pop_heap strategy, on 4 lanes): sink the root
+    // hole to a leaf by promoting the smallest child of each level — no
+    // comparisons against the displaced back element, which is leaf-sized
+    // and would lose almost every one — then drop the back element into the
+    // leaf hole and sift it up the few levels it actually belongs.
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first = 4 * hole + 1;
+      if (first >= last) break;
+      const std::size_t end = first + 4 < last ? first + 4 : last;
+      // Keep the running minimum in a register: the four child loads are
+      // independent and pipeline, instead of each compare re-loading
+      // keys_[best] behind the previous selection.
+      std::size_t best = first;
+      HeapKey best_key = keys_[first];
+      for (std::size_t child = first + 1; child < end; ++child) {
+        const HeapKey child_key = keys_[child];
+        if (child_key < best_key) {
+          best = child;
+          best_key = child_key;
+        }
+      }
+      keys_[hole] = best_key;
+      payloads_[hole] = payloads_[best];
+      hole = best;
+    }
+    keys_[hole] = keys_[last];
+    payloads_[hole] = payloads_[last];
+    sift_up(hole);
+  }
+  keys_.pop_back();
+  payloads_.pop_back();
+  return top;
+}
+
+void Engine::sift_up(std::size_t i) {
+  const HeapKey key = keys_[i];
+  const Payload load = payloads_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (key >= keys_[parent]) break;
+    keys_[i] = keys_[parent];
+    payloads_[i] = payloads_[parent];
+    i = parent;
+  }
+  keys_[i] = key;
+  payloads_[i] = load;
+}
+
+void Engine::dispatch(const Entry& entry) {
+  const SimTime when = key_when(entry.key);
+  now_ = when;
+  ++executed_;
+  const Event event{when,         key_seq(entry.key), entry.load.target,
+                    entry.load.kind, entry.load.a,    entry.load.b};
+  entry.load.target->handle(*this, event);
 }
 
 bool Engine::step() {
-  if (heap_.empty()) return false;
-  const Entry entry = pop();
-  now_ = entry.when;
-  ++executed_;
-  Event event{entry.when, entry.seq, entry.target, entry.kind, entry.a, entry.b};
-  entry.target->handle(*this, event);
+  if (batch_pos_ < batch_.size()) {  // inside a run() batch (handler re-entry)
+    dispatch(batch_[batch_pos_++]);
+    return true;
+  }
+  if (keys_.empty()) return false;
+  dispatch(pop_min());
   return true;
 }
 
 std::uint64_t Engine::run(SimTime until) {
   std::uint64_t count = 0;
-  while (!heap_.empty() && heap_.front().when <= until) {
-    step();
+  // Resume a batch interrupted by a throwing handler or a re-entrant run():
+  // its events were already popped and precede everything in the heap, so
+  // they dispatch first regardless of `until`.
+  while (batch_pos_ < batch_.size()) {
+    dispatch(batch_[batch_pos_++]);
     ++count;
   }
-  if (now_ < until && heap_.empty()) now_ = now_;  // time only advances with events
+  while (!keys_.empty() && key_when(keys_.front()) <= until) {
+    const Entry entry = pop_min();
+    const SimTime when = key_when(entry.key);
+    if (keys_.empty() || key_when(keys_.front()) != when) {
+      // Unique timestamp (the common case for packet traffic): dispatch
+      // directly, no batch bookkeeping.
+      dispatch(entry);
+      ++count;
+      continue;
+    }
+    // Same-timestamp batch: drain every event at this timestamp before any
+    // of them executes. pop_min yields them in seq order, and each pop
+    // shrinks the heap before the next sift, so ties cost one short sift
+    // each instead of sifts interleaved with the pushes their handlers
+    // perform. Events that handlers schedule at this same timestamp carry
+    // larger seqs and join the next batch, preserving FIFO order.
+    batch_.clear();
+    batch_pos_ = 0;
+    batch_.push_back(entry);
+    do {
+      batch_.push_back(pop_min());
+    } while (!keys_.empty() && key_when(keys_.front()) == when);
+    while (batch_pos_ < batch_.size()) {
+      dispatch(batch_[batch_pos_++]);
+      ++count;
+    }
+  }
+  // Time only advances with events: when the queue drains before `until`,
+  // now() stays at the last executed event (see header).
   return count;
 }
 
 void Engine::clear() {
-  heap_.clear();
+  keys_.clear();
+  payloads_.clear();
+  batch_.clear();
+  batch_pos_ = 0;
   closures_.clear();
+  free_closure_slots_.clear();
 }
 
 }  // namespace dfly

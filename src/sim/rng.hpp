@@ -10,6 +10,10 @@ namespace dfly {
 /// Deterministic, fast, and cheap to fork: every component derives its own
 /// independent stream from (master seed, component id) so that adding or
 /// reordering components does not perturb other components' draws.
+///
+/// Thread-safety: none — state advances on every draw. Each simulation cell
+/// seeds its own Rng instances; parallel sweeps must never share one across
+/// ParallelRunner workers (determinism, not just data races, would break).
 class Rng {
  public:
   using result_type = std::uint64_t;

@@ -14,6 +14,10 @@ enum class LinkClass : std::uint8_t { kTerminal = 0, kLocal = 1, kGlobal = 2 };
 /// Stall time follows the paper's Fig 11 metric: time an output port spent
 /// blocked — it had a packet ready to forward but could not transmit because
 /// the downstream buffer had no credits.
+///
+/// Thread-safety: none. The counters are plain (unsynchronised) fields: one
+/// LinkStats per Network, one Network per simulation cell, one cell per
+/// ParallelRunner worker — never shared across threads.
 class LinkStats {
  public:
   /// `num_links` output links, `num_apps` applications.

@@ -1,0 +1,140 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json_report.hpp"
+#include "core/pairwise.hpp"
+#include "core/study.hpp"
+#include "core/sweep.hpp"
+
+namespace dfly {
+namespace {
+
+StudyConfig tiny_config(const std::string& routing = "UGALg") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.scale = 64;
+  return config;
+}
+
+Report tiny_experiment(std::uint64_t seed) {
+  StudyConfig config = tiny_config();
+  config.seed = seed;
+  Study study(config);
+  study.add_app("UR", 32);
+  return study.run();
+}
+
+TEST(ParallelRunner, MapReturnsResultsInTaskOrder) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([i] { return i * i; });
+  }
+  const std::vector<int> results = ParallelRunner(4).map(tasks);
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ParallelRunner, RunIndexedCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& hit : hits) hit = 0;
+  ParallelRunner(8).run_indexed(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelRunner, SequentialWhenJobsIsOne) {
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelRunner(1).run_indexed(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelRunner, PropagatesTheFirstException) {
+  EXPECT_THROW(ParallelRunner(4).run_indexed(32,
+                                             [](std::size_t i) {
+                                               if (i == 7) {
+                                                 throw std::runtime_error("cell 7 failed");
+                                               }
+                                             }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunner, ResolveJobsPrefersExplicitThenEnvThenFallback) {
+  const char* saved = std::getenv("DFSIM_JOBS");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("DFSIM_JOBS", "7", 1);
+  EXPECT_EQ(ParallelRunner::resolve_jobs(3, 1), 3);  // explicit wins
+  EXPECT_EQ(ParallelRunner::resolve_jobs(0, 1), 7);  // env next
+  EXPECT_EQ(ParallelRunner(0).jobs(), 7);
+
+  ::setenv("DFSIM_JOBS", "not-a-number", 1);
+  EXPECT_EQ(ParallelRunner::resolve_jobs(0, 5), 5);  // bad env -> fallback
+
+  ::unsetenv("DFSIM_JOBS");
+  EXPECT_EQ(ParallelRunner::resolve_jobs(0, 2), 2);
+  EXPECT_EQ(ParallelRunner::resolve_jobs(0, 0), 1);  // fallback clamped to 1
+
+  if (saved) {
+    ::setenv("DFSIM_JOBS", saved_value.c_str(), 1);
+  }
+}
+
+TEST(ParallelRunner, HardwareJobsIsAtLeastOneAndCapped) {
+  const int jobs = ParallelRunner::hardware_jobs();
+  EXPECT_GE(jobs, 1);
+  EXPECT_LE(jobs, 12);
+}
+
+// The acceptance bar for the parallel sweep: four workers must produce a
+// SweepSummary whose JSON serialisation is byte-identical to a sequential
+// run — same seeds, same cells, same aggregation order.
+TEST(SweepParallelDeterminism, FourJobsByteIdenticalToSequential) {
+  const SeedSweep sweep(42, 6);
+  const SweepSummary sequential = sweep.run(tiny_experiment, 1);
+  const SweepSummary parallel = sweep.run(tiny_experiment, 4);
+
+  EXPECT_EQ(sweep_to_json(sequential), sweep_to_json(parallel));
+
+  // Spot-check raw doubles bitwise via exact equality as well, in case the
+  // JSON formatter ever rounds.
+  EXPECT_EQ(sequential.makespan_ms.mean, parallel.makespan_ms.mean);
+  EXPECT_EQ(sequential.makespan_ms.stddev, parallel.makespan_ms.stddev);
+  EXPECT_EQ(sequential.sys_lat_p99_us.ci95_half, parallel.sys_lat_p99_us.ci95_half);
+  EXPECT_EQ(sequential.completed_runs, parallel.completed_runs);
+  ASSERT_EQ(sequential.apps.size(), parallel.apps.size());
+  for (std::size_t a = 0; a < sequential.apps.size(); ++a) {
+    EXPECT_EQ(sequential.apps[a].app, parallel.apps[a].app);
+    EXPECT_EQ(sequential.apps[a].comm_ms.mean, parallel.apps[a].comm_ms.mean);
+    EXPECT_EQ(sequential.apps[a].lat_p99_us.max, parallel.apps[a].lat_p99_us.max);
+  }
+}
+
+TEST(PairwiseParallelDeterminism, CellBatchMatchesIndividualRuns) {
+  std::vector<PairwiseCell> cells;
+  for (const char* routing : {"MIN", "UGALg"}) {
+    cells.push_back(PairwiseCell{"UR", "None", routing});
+    cells.push_back(PairwiseCell{"UR", "CosmoFlow", routing});
+  }
+  const std::vector<PairwiseResult> batch = run_pairwise_cells(tiny_config(), cells, 2);
+  ASSERT_EQ(batch.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    StudyConfig config = tiny_config(cells[i].routing);
+    const PairwiseResult solo = run_pairwise(config, cells[i].target, cells[i].background);
+    EXPECT_EQ(report_to_json(batch[i].full), report_to_json(solo.full)) << "cell " << i;
+    EXPECT_EQ(batch[i].routing, cells[i].routing);
+    EXPECT_EQ(batch[i].target, cells[i].target);
+    EXPECT_EQ(batch[i].background, cells[i].background);
+  }
+}
+
+}  // namespace
+}  // namespace dfly

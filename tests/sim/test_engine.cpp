@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -122,6 +124,165 @@ TEST(Engine, PayloadWordsAreDeliveredVerbatim) {
   ASSERT_EQ(recorder.log.size(), 1u);
   EXPECT_EQ(recorder.log[0].kind, 42u);
   EXPECT_EQ(recorder.log[0].a, 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(Engine, NowStaysAtLastEventWhenQueueDrainsEarly) {
+  // Documented semantics: the clock only advances with events; run(until)
+  // does not bump now() to `until` when the queue empties first.
+  Engine engine;
+  Recorder recorder;
+  engine.schedule_at(30, recorder, 1);
+  engine.run(1000);
+  EXPECT_EQ(engine.now(), 30);
+  engine.run(2000);  // empty run: clock must not move
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, SameTimeFloodWithInterleavedSchedulingKeepsFifo) {
+  // Handlers schedule more events at the *same* timestamp mid-batch; they
+  // must fire after every already-scheduled same-time event (seq order).
+  class Chainer final : public Component {
+   public:
+    explicit Chainer(int spawns) : spawns_(spawns) {}
+    void handle(Engine& engine, const Event& event) override {
+      order.push_back(event.a);
+      if (spawns_ > 0) {
+        --spawns_;
+        engine.schedule_at(engine.now(), *this, 0, next_id++);
+      }
+    }
+    std::vector<std::uint64_t> order;
+    std::uint64_t next_id{100};
+
+   private:
+    int spawns_;
+  };
+  Engine engine;
+  Chainer chainer(50);
+  for (std::uint64_t i = 0; i < 100; ++i) engine.schedule_at(5, chainer, 0, i);
+  engine.run();
+  ASSERT_EQ(chainer.order.size(), 150u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(chainer.order[i], i);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(chainer.order[100 + i], 100 + i);
+  EXPECT_EQ(engine.now(), 5);
+}
+
+TEST(Engine, RandomizedStressMatchesReferencePriorityQueue) {
+  // Cross-check the 4-ary heap against std::priority_queue on (when, seq)
+  // under interleaved schedule bursts and partial drains.
+  struct Ref {
+    SimTime when;
+    std::uint64_t id;
+  };
+  const auto after = [](const Ref& x, const Ref& y) {
+    return x.when > y.when || (x.when == y.when && x.id > y.id);
+  };
+  std::priority_queue<Ref, std::vector<Ref>, decltype(after)> reference(after);
+  std::vector<Ref> expected;
+
+  Engine engine;
+  Recorder recorder;
+  Rng rng(99);
+  std::uint64_t next_id = 0;
+  SimTime horizon = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int burst = static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < burst; ++i) {
+      const SimTime when = horizon + static_cast<SimTime>(rng.next_below(300));
+      engine.schedule_at(when, recorder, 0, next_id);
+      reference.push(Ref{when, next_id});
+      ++next_id;
+    }
+    horizon += static_cast<SimTime>(rng.next_below(200));
+    engine.run(horizon);
+    while (!reference.empty() && reference.top().when <= horizon) {
+      expected.push_back(reference.top());
+      reference.pop();
+    }
+  }
+  engine.run();
+  while (!reference.empty()) {
+    expected.push_back(reference.top());
+    reference.pop();
+  }
+  ASSERT_EQ(recorder.log.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(recorder.log[i].when, expected[i].when) << "at event " << i;
+    ASSERT_EQ(recorder.log[i].a, expected[i].id) << "at event " << i;
+  }
+}
+
+TEST(Engine, ClosuresAreReclaimedAfterFiring) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    // The just-fired closure's slot is already free when its body runs.
+    EXPECT_EQ(engine.live_closures(), 0u);
+    if (++fired < 200) engine.call_in(10, tick);
+  };
+  engine.call_in(0, tick);
+  EXPECT_EQ(engine.live_closures(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 200);
+  EXPECT_EQ(engine.live_closures(), 0u);
+}
+
+TEST(Engine, ClearInsideHandlerDropsRestOfBatch) {
+  class Clearer final : public Component {
+   public:
+    void handle(Engine& engine, const Event&) override {
+      ++count;
+      engine.clear();
+    }
+    int count{0};
+  };
+  Engine engine;
+  Clearer clearer;
+  Recorder recorder;
+  engine.schedule_at(10, clearer, 0);
+  for (int i = 0; i < 4; ++i) engine.schedule_at(10, recorder, 0);
+  engine.schedule_at(20, recorder, 0);
+  engine.run();
+  EXPECT_EQ(clearer.count, 1);
+  EXPECT_TRUE(recorder.log.empty());
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Engine, RunResumesInterruptedSameTimeBatch) {
+  // A handler throwing mid-batch must not strand or drop the rest of the
+  // batch: the next run() dispatches the remaining same-time events before
+  // anything later-timestamped.
+  class Thrower final : public Component {
+   public:
+    void handle(Engine&, const Event&) override { throw std::runtime_error("boom"); }
+  };
+  Engine engine;
+  Recorder recorder;
+  Thrower thrower;
+  engine.schedule_at(5, recorder, 0, 1);
+  engine.schedule_at(5, thrower, 0);
+  engine.schedule_at(5, recorder, 0, 2);
+  engine.schedule_at(9, recorder, 0, 3);
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  ASSERT_EQ(recorder.log.size(), 1u);
+  EXPECT_EQ(engine.queued(), 2u);  // the stranded batch entry + the t=9 event
+  engine.run();
+  ASSERT_EQ(recorder.log.size(), 3u);
+  EXPECT_EQ(recorder.log[1].a, 2u);  // batch remainder first...
+  EXPECT_EQ(recorder.log[2].a, 3u);  // ...then the later event
+}
+
+TEST(Engine, ClearInsideClosureIsSafe) {
+  Engine engine;
+  int fired = 0;
+  engine.call_at(5, [&] {
+    ++fired;
+    engine.clear();
+  });
+  engine.call_at(5, [&] { ++fired; });  // dropped by the clear above
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.live_closures(), 0u);
 }
 
 TEST(Engine, ManyEventsStressOrdering) {

@@ -46,6 +46,7 @@ struct CliOptions {
   int trace_app{-1};
   std::string trace_path;
   int sweep{1};
+  int jobs{0};  ///< sweep worker threads; 0 = DFSIM_JOBS, else sequential
 };
 
 [[noreturn]] void usage(int code) {
@@ -59,6 +60,9 @@ struct CliOptions {
       "  --seed=N             RNG seed (default 42)\n"
       "  --scale=N            iteration divisor (default 1 = paper volumes)\n"
       "  --sweep=N            repeat with seeds seed..seed+N-1, print aggregate\n"
+      "  --jobs=N             worker threads for --sweep cells (default: the\n"
+      "                       DFSIM_JOBS env var, else 1; output is identical\n"
+      "                       for any N)\n"
       "  --json=FILE          write the report as JSON ('-' = stdout)\n"
       "  --csv=PREFIX         write <PREFIX>_{apps,congestion,stall}.csv\n"
       "  --trace=APP:FILE     record application APP's message trace to FILE\n"
@@ -114,6 +118,9 @@ CliOptions parse_cli(int argc, char** argv) {
       options.config.scale = std::stoi(value_of(arg));
     } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
       options.sweep = std::stoi(value_of(arg));
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      options.jobs = std::stoi(value_of(arg));
+      if (options.jobs < 0) options.jobs = 0;  // 0 = auto (DFSIM_JOBS, else 1)
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       options.json_path = value_of(arg);
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
@@ -195,10 +202,12 @@ int main(int argc, char** argv) {
       }
       return report.completed ? 0 : 1;
     }
-    // Multi-seed sweep: aggregate, print, optionally dump JSON.
+    // Multi-seed sweep: the cells shard across --jobs workers (results are
+    // identical for any worker count); aggregate, print, optionally dump JSON.
     const SeedSweep sweep(options.config.seed, options.sweep);
     const SweepSummary summary = sweep.run(
-        [&options](std::uint64_t seed) { return run_once(options, seed, false); });
+        [&options](std::uint64_t seed) { return run_once(options, seed, false); },
+        options.jobs);
     viz::AsciiTable table({"app", "comm_ms mean", "ci95", "min", "max"});
     for (const AppSweep& app : summary.apps) {
       table.row(app.app, {app.comm_ms.mean, app.comm_ms.ci95_half, app.comm_ms.min,
