@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/arena.hpp"
+
 namespace dfly::bench {
 
 namespace {
@@ -46,6 +48,9 @@ Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
     } else if (arg.rfind("--json=", 0) == 0) {
       reject_unsupported("--json", caps.json);
       options.json_path = arg.substr(7);
+    } else if (arg == "--no-arena") {
+      options.no_arena = true;
+      set_arena_enabled(false);
     } else if (arg == "--full") {
       options.scale = 1;
     } else if (arg == "--quick") {
@@ -55,7 +60,7 @@ Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
       options.smoke = true;
       options.scale = 64;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("options: --scale=N --seed=N --routing=NAME --full --quick%s%s%s\n",
+      std::printf("options: --scale=N --seed=N --routing=NAME --no-arena --full --quick%s%s%s\n",
                   caps.jobs ? " --jobs=N" : "", caps.json ? " --json=FILE" : "",
                   caps.smoke ? " --smoke" : "");
       std::exit(0);

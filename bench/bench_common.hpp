@@ -35,6 +35,8 @@ std::vector<T> parallel_map(const std::vector<std::function<T()>>& tasks, int th
 ///   --routing=NAME   restrict to one routing (default: the paper's four)
 ///   --jobs=N         worker threads for independent cells (default:
 ///                    DFSIM_JOBS, else all cores capped at 12)
+///   --no-arena       disable per-worker arena storage reuse (cells rebuild
+///                    from scratch; output is identical either way)
 ///   --json=FILE      also write the bench's machine-readable report
 ///   --full           shorthand for --scale=1
 ///   --quick          shorthand for --scale=32
@@ -61,6 +63,7 @@ struct Options {
   int jobs{0};            ///< 0 = DFSIM_JOBS, else all cores capped at 12
   std::string json_path;  ///< empty = console table only
   bool smoke{false};      ///< benches shrink their sweep to a representative cell or two
+  bool no_arena{false};   ///< --no-arena seen (set_arena_enabled(false) already applied)
 
   /// `default_scale` lets heavy benches (the 168-cell Fig 4 sweep) default
   /// to a coarser scale so the whole suite completes in minutes; --scale

@@ -1,0 +1,276 @@
+// Memory / allocation bench: per-cell startup cost of a multi-cell FFT3D
+// sweep with per-worker arena reuse ON vs OFF.
+//
+// Reports, per mode: wall time per cell, heap allocations per cell (counted
+// by a global operator-new override in this binary), and the process peak
+// RSS after the phase; plus the arena's carried capacities and reuse
+// counters. The two modes must produce byte-identical report JSON — the
+// bench exits non-zero if they do not.
+//
+//   bench_memory --smoke --json=BENCH_memory.json   # the CI invocation
+//   bench_memory --scale=8 --cells=6 --routing=PAR
+//
+// CI uploads BENCH_memory.json next to BENCH_engine.json so the perf
+// trajectory tracks footprint, not just time.
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/arena.hpp"
+#include "core/json_report.hpp"
+#include "core/study.hpp"
+
+// --- counting allocator ------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocation_count() { return g_allocations.load(std::memory_order_relaxed); }
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace dfly::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+struct CellMetrics {
+  double wall_ms{0};
+  std::uint64_t allocs{0};
+  std::string report_json;
+};
+
+struct PhaseMetrics {
+  std::vector<CellMetrics> cells;
+  /// ru_maxrss snapshot when the phase finished. The counter is
+  /// process-lifetime-monotonic, so this is CUMULATIVE: the arena phase runs
+  /// second and its reading includes the fresh phase's peak — the meaningful
+  /// arena number is the delta over the fresh snapshot (any extra peak the
+  /// carried storage added).
+  long rss_kb_after{0};
+
+  double mean_wall_tail() const {  // cells after the first (steady state)
+    double sum = 0;
+    for (std::size_t i = 1; i < cells.size(); ++i) sum += cells[i].wall_ms;
+    return cells.size() > 1 ? sum / static_cast<double>(cells.size() - 1) : 0;
+  }
+  double mean_allocs_tail() const {
+    double sum = 0;
+    for (std::size_t i = 1; i < cells.size(); ++i) sum += static_cast<double>(cells[i].allocs);
+    return cells.size() > 1 ? sum / static_cast<double>(cells.size() - 1) : 0;
+  }
+};
+
+CellMetrics run_cell(const StudyConfig& base, std::uint64_t seed, const std::string& app,
+                     int nodes, SimArena* arena) {
+  StudyConfig config = base;
+  config.seed = seed;
+  CellMetrics metrics;
+  const auto t0 = Clock::now();
+  const std::uint64_t a0 = allocation_count();
+  {
+    // The whole cell lifecycle is the measured unit: build, run, report,
+    // teardown (teardown hands storage back to the arena).
+    Study study(config, arena);
+    study.add_app(app, nodes);
+    metrics.report_json = report_to_json(study.run());
+  }
+  metrics.allocs = allocation_count() - a0;
+  metrics.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+          .count();
+  return metrics;
+}
+
+PhaseMetrics run_phase(const StudyConfig& base, const std::string& app, int nodes, int cells,
+                       std::uint64_t base_seed, SimArena* arena) {
+  PhaseMetrics phase;
+  for (int c = 0; c < cells; ++c) {
+    phase.cells.push_back(run_cell(base, base_seed + static_cast<std::uint64_t>(c), app,
+                                   nodes, arena));
+  }
+  phase.rss_kb_after = peak_rss_kb();
+  return phase;
+}
+
+std::string json_array(const std::vector<CellMetrics>& cells, bool wall) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[32];
+    if (wall) {
+      std::snprintf(buf, sizeof buf, "%.3f", cells[i].wall_ms);
+    } else {
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(cells[i].allocs));
+    }
+    out += buf;
+  }
+  return out + "]";
+}
+
+int run(int argc, char** argv) {
+  Caps caps;
+  caps.json = true;
+  caps.smoke = true;
+  caps.jobs = false;  // cells run sequentially so per-cell numbers are clean
+  const Options options = Options::parse(argc, argv, /*default_scale=*/16, caps);
+
+  // This bench measures arena-on vs arena-off itself, so the global toggle
+  // must not silently turn the "arena" phase into a second fresh phase
+  // (--no-arena or DFSIM_NO_ARENA would otherwise produce a no-op
+  // comparison that still exits 0).
+  if (options.no_arena || !arena_enabled()) {
+    std::fprintf(stderr,
+                 "bench_memory: ignoring --no-arena/DFSIM_NO_ARENA — this bench "
+                 "compares both modes itself\n");
+  }
+  set_arena_enabled(true);
+
+  const std::string routing = options.routing.empty() ? "PAR" : options.routing;
+  StudyConfig base = options.config(routing);
+  std::string app = "FFT3D";
+  int nodes;
+  int cells = 4;
+  if (options.smoke) {
+    base.topo = DragonflyParams::tiny();  // 72 nodes: seconds, not minutes
+    nodes = 32;
+  } else {
+    nodes = base.topo.num_nodes() / 2;
+  }
+
+  print_header("Per-cell memory footprint: " + app + " x" + std::to_string(cells) +
+               " cells, routing " + routing + " (arena reuse vs fresh builds)");
+
+  // Fresh phase first so its RSS reading is not inflated by arena carry.
+  const PhaseMetrics fresh =
+      run_phase(base, app, nodes, cells, options.seed, /*arena=*/nullptr);
+  SimArena arena;
+  const PhaseMetrics reused = run_phase(base, app, nodes, cells, options.seed, &arena);
+
+  bool identical = true;
+  for (int c = 0; c < cells; ++c) {
+    if (fresh.cells[static_cast<std::size_t>(c)].report_json !=
+        reused.cells[static_cast<std::size_t>(c)].report_json) {
+      identical = false;
+      std::fprintf(stderr, "cell %d: arena report differs from fresh report!\n", c);
+    }
+  }
+
+  std::printf("%-10s %14s %14s %16s %16s\n", "cell", "fresh ms", "arena ms", "fresh allocs",
+              "arena allocs");
+  print_rule();
+  for (int c = 0; c < cells; ++c) {
+    const auto& f = fresh.cells[static_cast<std::size_t>(c)];
+    const auto& a = reused.cells[static_cast<std::size_t>(c)];
+    std::printf("%-10d %14.3f %14.3f %16llu %16llu\n", c, f.wall_ms, a.wall_ms,
+                static_cast<unsigned long long>(f.allocs),
+                static_cast<unsigned long long>(a.allocs));
+  }
+  print_rule();
+  const double alloc_ratio =
+      fresh.mean_allocs_tail() > 0 ? reused.mean_allocs_tail() / fresh.mean_allocs_tail() : 0;
+  std::printf("steady-state (cells 2..%d) mean: fresh %.3f ms / %.0f allocs, "
+              "arena %.3f ms / %.0f allocs (%.1f%% of fresh allocs)\n",
+              cells, fresh.mean_wall_tail(), fresh.mean_allocs_tail(),
+              reused.mean_wall_tail(), reused.mean_allocs_tail(), 100.0 * alloc_ratio);
+  const long arena_rss_delta = reused.rss_kb_after - fresh.rss_kb_after;
+  std::printf("peak RSS (cumulative ru_maxrss): %ld KB after fresh phase, +%ld KB added by "
+              "the arena phase\n",
+              fresh.rss_kb_after, arena_rss_delta);
+  std::printf("arena carry: %zu event slots, %zu packet slots, %llu/%llu routers and "
+              "%llu/%llu NICs recycled\n",
+              arena.stats().engine_event_capacity, arena.stats().pool_capacity,
+              static_cast<unsigned long long>(arena.stats().router_reuses),
+              static_cast<unsigned long long>(arena.stats().router_reuses +
+                                              arena.stats().router_builds),
+              static_cast<unsigned long long>(arena.stats().nic_reuses),
+              static_cast<unsigned long long>(arena.stats().nic_reuses +
+                                              arena.stats().nic_builds));
+  std::printf("outputs byte-identical: %s\n", identical ? "yes" : "NO (regression!)");
+
+  if (!options.json_path.empty()) {
+    char buf[512];
+    std::string json = "{\n";
+    json += "  \"bench\": \"memory\",\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"app\": \"%s\", \"nodes\": %d, \"cells\": %d, \"scale\": %d, "
+                  "\"routing\": \"%s\", \"seed\": %llu,\n",
+                  app.c_str(), nodes, cells, options.scale, routing.c_str(),
+                  static_cast<unsigned long long>(options.seed));
+    json += buf;
+    json += "  \"fresh\": {\"cell_wall_ms\": " + json_array(fresh.cells, true) +
+            ", \"cell_allocs\": " + json_array(fresh.cells, false) +
+            ", \"peak_rss_kb\": " + std::to_string(fresh.rss_kb_after) + "},\n";
+    // rss readings are cumulative ru_maxrss snapshots (the arena phase runs
+    // second); arena_rss_delta_kb is the peak the carried storage added.
+    json += "  \"arena\": {\"cell_wall_ms\": " + json_array(reused.cells, true) +
+            ", \"cell_allocs\": " + json_array(reused.cells, false) +
+            ", \"peak_rss_kb_cumulative\": " + std::to_string(reused.rss_kb_after) +
+            ", \"arena_rss_delta_kb\": " + std::to_string(arena_rss_delta);
+    const ArenaStats& stats = arena.stats();
+    std::snprintf(buf, sizeof buf,
+                  ", \"engine_event_capacity\": %zu, \"engine_peak_events\": %zu, "
+                  "\"closure_peak\": %zu, \"pool_capacity\": %zu, \"pool_peak_packets\": %zu, "
+                  "\"router_reuses\": %llu, \"nic_reuses\": %llu},\n",
+                  stats.engine_event_capacity, stats.engine_peak_events, stats.closure_peak,
+                  stats.pool_capacity, stats.pool_peak_packets,
+                  static_cast<unsigned long long>(stats.router_reuses),
+                  static_cast<unsigned long long>(stats.nic_reuses));
+    json += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"derived\": {\"identical_output\": %s, "
+                  "\"steady_alloc_ratio\": %.4f, \"steady_wall_ms_fresh\": %.3f, "
+                  "\"steady_wall_ms_arena\": %.3f}\n}\n",
+                  identical ? "true" : "false", alloc_ratio, fresh.mean_wall_tail(),
+                  reused.mean_wall_tail());
+    json += buf;
+    save_json(options.json_path, json);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dfly::bench
+
+int main(int argc, char** argv) { return dfly::bench::run(argc, argv); }

@@ -1,6 +1,8 @@
-# CTest script: run the same multi-seed sweep with --jobs=1 and --jobs=4 and
-# require byte-identical JSON reports. Invoked by the sweep_parallel_smoke
-# test with -DDFLYSIM=<binary> -DWORK_DIR=<build dir>.
+# CTest script: run the same multi-seed sweep with --jobs=1, --jobs=4 and
+# --jobs=4 --no-arena and require byte-identical JSON reports — worker count
+# AND per-worker arena storage reuse must both be invisible in the output.
+# Invoked by the sweep_parallel_smoke test with -DDFLYSIM=<binary>
+# -DWORK_DIR=<build dir>.
 set(ARGS --app=UR:64 --scale=64 --seed=42 --sweep=4)
 
 execute_process(
@@ -18,10 +20,26 @@ if(NOT PAR_RESULT EQUAL 0)
 endif()
 
 execute_process(
+  COMMAND ${DFLYSIM} ${ARGS} --jobs=4 --no-arena --json=${WORK_DIR}/sweep_noarena.json
+  RESULT_VARIABLE NOARENA_RESULT OUTPUT_QUIET)
+if(NOT NOARENA_RESULT EQUAL 0)
+  message(FATAL_ERROR "--no-arena sweep failed with exit code ${NOARENA_RESULT}")
+endif()
+
+execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files
           ${WORK_DIR}/sweep_seq.json ${WORK_DIR}/sweep_par.json
   RESULT_VARIABLE DIFF_RESULT)
 if(NOT DIFF_RESULT EQUAL 0)
   message(FATAL_ERROR "--jobs=4 sweep JSON differs from --jobs=1 (determinism regression)")
 endif()
-message(STATUS "jobs=1 and jobs=4 sweep reports are byte-identical")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/sweep_seq.json ${WORK_DIR}/sweep_noarena.json
+  RESULT_VARIABLE ARENA_DIFF_RESULT)
+if(NOT ARENA_DIFF_RESULT EQUAL 0)
+  message(FATAL_ERROR "--no-arena sweep JSON differs from the arena-reuse run "
+                      "(arena reuse leaked state across cells)")
+endif()
+message(STATUS "jobs=1, jobs=4 and jobs=4 --no-arena sweep reports are byte-identical")

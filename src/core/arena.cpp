@@ -1,0 +1,91 @@
+#include "core/arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+namespace dfly {
+
+namespace {
+
+thread_local SimArena* t_current_arena = nullptr;
+
+/// -1 = not resolved yet, 0 = disabled, 1 = enabled. Resolved lazily from
+/// DFSIM_NO_ARENA so tests and the CLI can override either way first.
+std::atomic<int> g_arena_enabled{-1};
+
+int resolve_arena_enabled() {
+  const char* env = std::getenv("DFSIM_NO_ARENA");
+  const bool disabled = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  return disabled ? 0 : 1;
+}
+
+template <typename T>
+void track_peak(std::size_t& peak, T value) {
+  if (static_cast<std::size_t>(value) > peak) peak = static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+bool arena_enabled() {
+  int state = g_arena_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = resolve_arena_enabled();
+    g_arena_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_arena_enabled(bool enabled) {
+  g_arena_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+SimArena* SimArena::current() { return t_current_arena; }
+
+bool SimArena::try_acquire(const void* owner) {
+  if (owner_ != nullptr || owner == nullptr) return false;
+  owner_ = owner;
+  ++stats_.cells;
+  return true;
+}
+
+void SimArena::release(const void* owner) {
+  if (owner_ == owner) owner_ = nullptr;
+}
+
+Engine SimArena::take_engine() {
+  Engine engine = std::move(engine_);
+  engine_ = Engine{};
+  engine.reset();  // storage kept; clock/seq zeroed (no-op on a fresh engine)
+  return engine;
+}
+
+void SimArena::return_engine(Engine&& engine) {
+  track_peak(stats_.engine_peak_events, engine.peak_queued());
+  track_peak(stats_.engine_event_capacity, engine.event_capacity());
+  track_peak(stats_.closure_peak, engine.closure_capacity());
+  engine.reset();
+  engine_ = std::move(engine);
+}
+
+SimArena::NetStorage SimArena::take_net() {
+  NetStorage storage = std::move(net_);
+  net_ = NetStorage{};
+  storage.pool.reset();  // hand out slot ids 0, 1, 2, ... like a fresh pool
+  return storage;
+}
+
+void SimArena::return_net(NetStorage&& storage) {
+  track_peak(stats_.pool_peak_packets, storage.pool.peak_in_use());
+  track_peak(stats_.pool_capacity, storage.pool.capacity());
+  storage.pool.reset();
+  net_ = std::move(storage);
+}
+
+ScopedArenaBinding::ScopedArenaBinding(SimArena* arena) : previous_(t_current_arena) {
+  if (arena != nullptr) t_current_arena = arena;
+}
+
+ScopedArenaBinding::~ScopedArenaBinding() { t_current_arena = previous_; }
+
+}  // namespace dfly

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "net/packet.hpp"
+#include "net/router.hpp"
+#include "sim/engine.hpp"
+#include "stats/link_stats.hpp"
+#include "stats/packet_log.hpp"
+
+/// Per-worker reusable simulation storage.
+///
+/// Every paper figure is a sweep of independent (config, seed) cells, and
+/// each cell historically rebuilt its Study — engine heap, packet pool,
+/// router/NIC buffers, stats vectors — from scratch. A SimArena owns that
+/// backing storage across cells: a ParallelRunner worker binds one arena for
+/// its lifetime, the first cell grows the storage to its peak, and every
+/// later cell of a similar shape re-initialises in place instead of
+/// re-growing from empty. Reuse is carried by the containers themselves
+/// (vector capacity, deque slabs, hash-map buckets survive the in-place
+/// resets), so the carry-forward automatically tracks the high-water mark of
+/// everything the worker has run so far.
+///
+/// Reuse is behaviour-preserving by construction: every reset path restores
+/// the exact observable state of a fresh object (pool slot ids are handed
+/// out 0, 1, 2, ... again; engine clocks and sequence numbers restart at 0),
+/// so sweep output is bit-identical with the arena on or off — the
+/// regression tests byte-compare both. The `--no-arena` CLI flag and the
+/// DFSIM_NO_ARENA environment variable disable reuse globally as an escape
+/// hatch.
+///
+/// Thread-safety: none — an arena belongs to exactly one worker thread, like
+/// the cells it backs.
+namespace dfly {
+
+/// Reuse counters and high-water marks, reported by the memory bench into
+/// BENCH_memory.json. Peaks are maxima across every cell the arena served.
+struct ArenaStats {
+  std::uint64_t cells{0};           ///< cells that borrowed this arena
+  std::uint64_t router_reuses{0};   ///< router objects recycled in place
+  std::uint64_t router_builds{0};   ///< router objects newly constructed
+  std::uint64_t nic_reuses{0};
+  std::uint64_t nic_builds{0};
+  std::size_t engine_peak_events{0};    ///< max concurrently-queued events
+  std::size_t engine_event_capacity{0};  ///< carried key/payload capacity
+  std::size_t closure_peak{0};           ///< max pooled closure slots
+  std::size_t pool_peak_packets{0};      ///< max concurrently-live packets
+  std::size_t pool_capacity{0};          ///< carried packet-slab slots
+};
+
+/// Reusable backing storage for one worker's simulation cells.
+///
+/// A Study borrows the arena for its lifetime (try_acquire/release): the
+/// engine moves into the Study, and the network storage moves into its
+/// Network. Only one Study can hold an arena at a time — a second concurrent
+/// Study on the same thread simply runs without reuse.
+class SimArena {
+ public:
+  SimArena() = default;
+  SimArena(const SimArena&) = delete;
+  SimArena& operator=(const SimArena&) = delete;
+
+  /// Everything a Network allocates per cell, recycled as one unit. The
+  /// routers/NICs keep their buffer storage between cells and are re-pointed
+  /// with reinit(); pool and stats blocks reset in place.
+  struct NetStorage {
+    PacketPool pool;
+    LinkStats stats;
+    PacketLog log;
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<std::unique_ptr<Nic>> nics;
+  };
+
+  /// Claim the arena for one cell. Returns false (and changes nothing) when
+  /// another owner currently holds it.
+  bool try_acquire(const void* owner);
+  /// Release a claim taken with try_acquire (no-op for a non-owner).
+  void release(const void* owner);
+  bool in_use() const { return owner_ != nullptr; }
+
+  /// Move the carried engine storage out (already reset; capacity and pooled
+  /// closure slots intact). Pair with return_engine().
+  Engine take_engine();
+  /// Return the engine after a cell: peaks are recorded into stats(), then
+  /// the engine is reset and stored for the next cell.
+  void return_engine(Engine&& engine);
+
+  /// Move the carried network storage out. The pool comes back reset; the
+  /// router/NIC objects still hold the previous cell's wiring and must be
+  /// reinit()-ed before use (Network does this). Pair with return_net().
+  NetStorage take_net();
+  void return_net(NetStorage&& storage);
+
+  /// Reuse bookkeeping hooks for Network's create-or-recycle loops.
+  void count_router(bool reused) { ++(reused ? stats_.router_reuses : stats_.router_builds); }
+  void count_nic(bool reused) { ++(reused ? stats_.nic_reuses : stats_.nic_builds); }
+
+  const ArenaStats& stats() const { return stats_; }
+
+  /// The arena bound to the calling thread (nullptr when none is bound or
+  /// arena reuse is globally disabled). ParallelRunner binds one per worker;
+  /// Study picks it up automatically.
+  static SimArena* current();
+
+ private:
+  const void* owner_{nullptr};
+  Engine engine_;
+  NetStorage net_;
+  ArenaStats stats_;
+};
+
+/// RAII binding of an arena to the calling thread (see SimArena::current()).
+/// Restores the previous binding on destruction, so bindings nest.
+class ScopedArenaBinding {
+ public:
+  explicit ScopedArenaBinding(SimArena* arena);
+  ~ScopedArenaBinding();
+  ScopedArenaBinding(const ScopedArenaBinding&) = delete;
+  ScopedArenaBinding& operator=(const ScopedArenaBinding&) = delete;
+
+ private:
+  SimArena* previous_;
+};
+
+/// Global escape hatch: false disables every arena reuse path (Studies build
+/// from scratch as before PR 3). Defaults to true unless the DFSIM_NO_ARENA
+/// environment variable is set to anything but "0". The `--no-arena` flag on
+/// dflysim and the benches calls set_arena_enabled(false).
+bool arena_enabled();
+void set_arena_enabled(bool enabled);
+
+}  // namespace dfly

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "core/arena.hpp"
+
 namespace dfly {
 
 ParallelRunner::ParallelRunner(int jobs) : jobs_(resolve_jobs(jobs, 1)) {}
@@ -30,7 +32,15 @@ void ParallelRunner::run_indexed(std::size_t n,
                                  const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;
   const int workers = jobs_ < static_cast<int>(n) ? jobs_ : static_cast<int>(n);
+  // Each worker (including the sequential fast path) binds a persistent
+  // SimArena for its run: the first cell grows the storage, every later cell
+  // on the same worker reuses it in place. Reuse is output-neutral, so cell
+  // -> worker assignment never affects results (see core/arena.hpp);
+  // --no-arena / DFSIM_NO_ARENA turns the binding off.
+  const bool use_arena = arena_enabled();
   if (workers <= 1) {
+    SimArena arena;
+    ScopedArenaBinding binding(use_arena ? &arena : nullptr);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -41,6 +51,8 @@ void ParallelRunner::run_indexed(std::size_t n,
   std::exception_ptr error;
   std::mutex error_mutex;
   auto worker = [&] {
+    SimArena arena;
+    ScopedArenaBinding binding(use_arena ? &arena : nullptr);
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);

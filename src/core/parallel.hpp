@@ -42,6 +42,11 @@ class ParallelRunner {
   /// and Rng. The first exception thrown by any cell is rethrown on the
   /// calling thread after all workers drain; cells not yet started are
   /// skipped.
+  ///
+  /// Each worker carries a persistent SimArena (core/arena.hpp) for the
+  /// duration of the call, so Studies built inside `fn` reuse the worker's
+  /// grown storage cell after cell. Disabled by --no-arena / DFSIM_NO_ARENA;
+  /// output is bit-identical either way.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) const;
 
   /// Evaluate every task; results are returned in task order, so callers

@@ -3,16 +3,37 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/arena.hpp"
 #include "workloads/factory.hpp"
 
 namespace dfly {
 
-Study::Study(StudyConfig config)
+Study::Study(StudyConfig config, SimArena* arena)
     : config_(std::move(config)),
       topo_(config_.topo),
-      placer_(topo_, config_.placement, Rng(config_.seed, 0x9 /*placement stream*/)) {}
+      placer_(topo_, config_.placement, Rng(config_.seed, 0x9 /*placement stream*/)) {
+  SimArena* candidate = arena != nullptr ? arena : SimArena::current();
+  if (candidate != nullptr && arena_enabled() && candidate->try_acquire(this)) {
+    arena_ = candidate;
+    engine_ = arena_->take_engine();
+  }
+}
 
-Study::~Study() = default;
+Study::~Study() {
+  // Tear the cell down in dependency order before returning storage: jobs
+  // and the MPI system reference the network; the network's destructor hands
+  // the router/NIC/pool/stats storage back to the arena.
+  jobs_.clear();
+  traces_.clear();
+  mpi_system_.reset();
+  network_.reset();
+  routing_.reset();
+  motifs_.clear();
+  if (arena_ != nullptr) {
+    arena_->return_engine(std::move(engine_));
+    arena_->release(this);
+  }
+}
 
 int Study::add_app(const std::string& name, int max_nodes) {
   if (ran_) throw std::logic_error("Study: cannot add jobs after run()");
@@ -61,7 +82,7 @@ void Study::build() {
                                   config_.qadp};
   routing_ = routing::make_routing(config_.routing, context);
   network_ = std::make_unique<Network>(engine_, topo_, config_.net, *routing_, num_apps,
-                                       config_.seed, config_.observability);
+                                       config_.seed, config_.observability, arena_);
   if (!config_.faults.empty()) network_->apply_faults(config_.faults);
   mpi_system_ = std::make_unique<mpi::MpiSystem>(*network_);
   int app_id = 0;

@@ -14,6 +14,8 @@
 
 namespace dfly {
 
+class SimArena;
+
 /// Everything that defines one simulation run (paper §III configuration).
 struct StudyConfig {
   DragonflyParams topo{DragonflyParams::paper()};
@@ -94,9 +96,19 @@ struct Report {
 /// stats and every Rng stream, and touches no mutable globals. Whole
 /// Studies therefore run concurrently on ParallelRunner workers (one Study
 /// per worker at a time); a single Study is not itself thread-safe.
+///
+/// Storage reuse: when a SimArena is bound to the calling thread (or passed
+/// explicitly) and not already held by another Study, this Study borrows the
+/// arena's carried storage — engine heap, packet pool, stats blocks,
+/// router/NIC buffers — and returns it on destruction, so a worker's
+/// second-and-later cells re-initialise in place instead of re-growing from
+/// empty. Reuse never changes simulation output (see core/arena.hpp).
 class Study {
  public:
-  explicit Study(StudyConfig config);
+  /// `arena` overrides the thread-bound SimArena::current(); pass nullptr to
+  /// use the thread binding (the normal sweep path). Reuse is skipped when
+  /// arena_enabled() is off or the arena is already held.
+  explicit Study(StudyConfig config, SimArena* arena = nullptr);
   ~Study();
 
   Study(const Study&) = delete;
@@ -131,6 +143,8 @@ class Study {
   const StudyConfig& config() const { return config_; }
   int free_nodes() const { return placer_.free_nodes(); }
   RoutingAlgorithm& routing() { return *routing_; }
+  /// The arena this Study borrowed storage from (null = building fresh).
+  SimArena* arena() const { return arena_; }
 
   /// Build the report for the current state (run() calls this at the end).
   Report report() const;
@@ -153,6 +167,7 @@ class Study {
   void build();  ///< instantiate routing, network and jobs (first run() step)
 
   StudyConfig config_;
+  SimArena* arena_{nullptr};
   Engine engine_;
   Dragonfly topo_;
   Placer placer_;

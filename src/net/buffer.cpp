@@ -8,6 +8,14 @@ InputBuffers::InputBuffers(int num_ports, int num_vcs, int capacity)
       capacity_(capacity),
       queues_(static_cast<std::size_t>(num_ports) * static_cast<std::size_t>(num_vcs)) {}
 
+void InputBuffers::reset(int num_ports, int num_vcs, int capacity) {
+  num_ports_ = num_ports;
+  num_vcs_ = num_vcs;
+  capacity_ = capacity;
+  queues_.resize(static_cast<std::size_t>(num_ports) * static_cast<std::size_t>(num_vcs));
+  for (auto& queue : queues_) queue.clear();
+}
+
 int InputBuffers::port_occupancy(int port) const {
   int total = 0;
   for (int vc = 0; vc < num_vcs_; ++vc) total += size(port, vc);

@@ -13,6 +13,10 @@ class InputBuffers {
  public:
   InputBuffers(int num_ports, int num_vcs, int capacity);
 
+  /// Re-shape and empty every FIFO in place — the reuse path for routers
+  /// recycled across simulation cells (core/arena.hpp).
+  void reset(int num_ports, int num_vcs, int capacity);
+
   bool full(int port, int vc) const { return static_cast<int>(q(port, vc).size()) >= capacity_; }
   bool empty(int port, int vc) const { return q(port, vc).empty(); }
   int size(int port, int vc) const { return static_cast<int>(q(port, vc).size()); }

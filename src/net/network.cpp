@@ -2,32 +2,66 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "core/arena.hpp"
 
 namespace dfly {
 
 Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
                  RoutingAlgorithm& routing, int num_apps, std::uint64_t seed,
-                 NetworkObservability observability)
+                 NetworkObservability observability, SimArena* arena)
     : engine_(&engine),
       topo_(&topo),
       cfg_(cfg),
       links_(topo),
-      link_stats_(links_.total_links(), num_apps),
-      packet_log_(num_apps, observability.keep_packet_records, observability.throughput_bucket),
+      arena_(arena),
       traffic_classes_(num_apps) {
-  routers_.reserve(static_cast<std::size_t>(topo.num_routers()));
-  for (int r = 0; r < topo.num_routers(); ++r) {
-    routers_.push_back(std::make_unique<Router>(engine, topo, cfg_, r, pool_, link_stats_,
-                                                links_, seed));
-    routers_.back()->set_routing(routing);
+  if (arena_ != nullptr) {
+    // Adopt the worker's carried storage before any component references it;
+    // member addresses are stable, so routers/NICs built below can safely
+    // point at pool_/link_stats_/packet_log_.
+    SimArena::NetStorage storage = arena_->take_net();
+    pool_ = std::move(storage.pool);
+    link_stats_ = std::move(storage.stats);
+    packet_log_ = std::move(storage.log);
+    routers_ = std::move(storage.routers);
+    nics_ = std::move(storage.nics);
   }
-  nics_.reserve(static_cast<std::size_t>(topo.num_nodes()));
+  link_stats_.reset(links_.total_links(), num_apps);
+  packet_log_.reset(num_apps, observability.keep_packet_records, observability.throughput_bucket);
+
+  const auto num_routers = static_cast<std::size_t>(topo.num_routers());
+  if (routers_.size() > num_routers) routers_.resize(num_routers);
+  routers_.reserve(num_routers);
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    const auto slot = static_cast<std::size_t>(r);
+    const bool reused = slot < routers_.size();
+    if (reused) {
+      routers_[slot]->reinit(engine, topo, cfg_, r, pool_, link_stats_, links_, seed);
+    } else {
+      routers_.push_back(std::make_unique<Router>(engine, topo, cfg_, r, pool_, link_stats_,
+                                                  links_, seed));
+    }
+    if (arena_ != nullptr) arena_->count_router(reused);
+    routers_[slot]->set_routing(routing);
+  }
+  const auto num_nodes = static_cast<std::size_t>(topo.num_nodes());
+  if (nics_.size() > num_nodes) nics_.resize(num_nodes);
+  nics_.reserve(num_nodes);
   for (int n = 0; n < topo.num_nodes(); ++n) {
-    nics_.push_back(std::make_unique<Nic>(engine, topo, cfg_, n, pool_, link_stats_,
-                                          packet_log_, links_));
-    nics_.back()->attach(*routers_[static_cast<std::size_t>(topo.router_of_node(n))]);
-    nics_.back()->set_traffic_classes(&traffic_classes_);
-    nics_.back()->set_directory(this);
+    const auto slot = static_cast<std::size_t>(n);
+    const bool reused = slot < nics_.size();
+    if (reused) {
+      nics_[slot]->reinit(engine, topo, cfg_, n, pool_, link_stats_, packet_log_, links_);
+    } else {
+      nics_.push_back(std::make_unique<Nic>(engine, topo, cfg_, n, pool_, link_stats_,
+                                            packet_log_, links_));
+    }
+    if (arena_ != nullptr) arena_->count_nic(reused);
+    nics_[slot]->attach(*routers_[static_cast<std::size_t>(topo.router_of_node(n))]);
+    nics_[slot]->set_traffic_classes(&traffic_classes_);
+    nics_[slot]->set_directory(this);
   }
 
   // Wire router-to-router links (both the forward data path and the reverse
@@ -55,6 +89,20 @@ Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
       link_stats_.set_link_info(link, LinkMap::port_class(topo, port), r, wire.peer_router);
     }
   }
+}
+
+Network::~Network() {
+  if (arena_ == nullptr) return;
+  // Hand the storage back for the worker's next cell. The recycled routers
+  // and NICs still point at this (dying) Network's members; reinit()
+  // re-points every one of those pointers before the next cell uses them.
+  SimArena::NetStorage storage;
+  storage.pool = std::move(pool_);
+  storage.stats = std::move(link_stats_);
+  storage.log = std::move(packet_log_);
+  storage.routers = std::move(routers_);
+  storage.nics = std::move(nics_);
+  arena_->return_net(std::move(storage));
 }
 
 void Network::apply_faults(const FaultPlan& plan) {

@@ -18,6 +18,8 @@
 
 namespace dfly {
 
+class SimArena;
+
 /// Options for the observability plane.
 struct NetworkObservability {
   bool keep_packet_records{false};   ///< store full per-packet records (Figs 6/7)
@@ -29,11 +31,20 @@ struct NetworkObservability {
 /// The Network owns every component and the packet pool; the routing
 /// algorithm is supplied by the caller (it may carry learning state and be
 /// a Component of its own, so its lifetime is managed above this class).
+///
+/// When an `arena` is supplied, the packet pool, stats blocks and the
+/// router/NIC objects are borrowed from it instead of built from scratch:
+/// recycled components are reinit()-ed in place (keeping their buffer
+/// storage) and everything moves back to the arena on destruction, so the
+/// worker's next cell starts pre-grown to the high-water mark of everything
+/// this worker has run. Reuse is observable-state-neutral — simulation
+/// output is bit-identical with or without an arena.
 class Network final : public NicDirectory {
  public:
   Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
           RoutingAlgorithm& routing, int num_apps, std::uint64_t seed,
-          NetworkObservability observability = {});
+          NetworkObservability observability = {}, SimArena* arena = nullptr);
+  ~Network() override;
 
   /// Queue a message; returns the assigned message id. Self-sends (src ==
   /// dst) bypass the network and complete after a memcpy-like local delay.
@@ -74,6 +85,9 @@ class Network final : public NicDirectory {
   const Dragonfly* topo_;
   NetConfig cfg_;
   LinkMap links_;
+  SimArena* arena_;  ///< storage donor/recipient; null = self-owned only
+  // pool_/link_stats_/packet_log_/routers_/nics_ hold arena-borrowed storage
+  // when arena_ is set; the destructor moves it back.
   PacketPool pool_;
   LinkStats link_stats_;
   PacketLog packet_log_;

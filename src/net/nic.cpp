@@ -7,16 +7,36 @@
 namespace dfly {
 
 Nic::Nic(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
-         PacketPool& pool, LinkStats& stats, PacketLog& packet_log, const LinkMap& links)
-    : engine_(&engine),
-      topo_(&topo),
-      cfg_(&cfg),
-      node_(node),
-      pool_(&pool),
-      stats_(&stats),
-      packet_log_(&packet_log),
-      links_(&links),
-      credits_(cfg.buffer_packets) {}
+         PacketPool& pool, LinkStats& stats, PacketLog& packet_log, const LinkMap& links) {
+  reinit(engine, topo, cfg, node, pool, stats, packet_log, links);
+}
+
+void Nic::reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
+                 PacketPool& pool, LinkStats& stats, PacketLog& packet_log,
+                 const LinkMap& links) {
+  engine_ = &engine;
+  topo_ = &topo;
+  cfg_ = &cfg;
+  node_ = node;
+  pool_ = &pool;
+  stats_ = &stats;
+  packet_log_ = &packet_log;
+  links_ = &links;
+  router_ = nullptr;
+  sink_ = nullptr;
+  classes_ = nullptr;
+  directory_ = nullptr;
+  sendq_.clear();
+  queued_bytes_ = 0;
+  inbound_.clear();
+  credits_ = cfg.buffer_packets;
+  busy_until_ = 0;
+  try_pending_ = false;
+  rate_ = 1.0;
+  ecn_notices_ = 0;
+  last_decrease_ = -1;
+  recover_pending_ = false;
+}
 
 void Nic::attach(Router& router) { router_ = &router; }
 

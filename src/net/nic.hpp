@@ -59,6 +59,14 @@ class Nic final : public Component {
   Nic(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
       PacketPool& pool, LinkStats& stats, PacketLog& packet_log, const LinkMap& links);
 
+  /// Re-point and re-zero every piece of per-cell state so a NIC recycled
+  /// from a per-worker arena (core/arena.hpp) behaves exactly like a fresh
+  /// one while keeping its queue storage (send queue blocks, inbound-map
+  /// buckets). The constructor funnels through this. Callers must attach()
+  /// and re-run the set_* wiring afterwards, as Network does.
+  void reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
+              PacketPool& pool, LinkStats& stats, PacketLog& packet_log, const LinkMap& links);
+
   /// Attach to the node's router (called by Network during wiring).
   void attach(Router& router);
   void set_sink(MessageEvents* sink) { sink_ = sink; }

@@ -48,6 +48,12 @@ struct Packet {
 
 /// Free-list pool with stable addresses (deque-backed slabs).
 ///
+/// Reuse: reset() returns every slot to the free list while keeping the slab,
+/// so a pool that has grown to one cell's peak in-flight depth serves the
+/// next same-shape cell without touching the allocator (the arena reuse path,
+/// core/arena.hpp). A reset pool hands out slot ids 0, 1, 2, ... exactly like
+/// a fresh one, so reuse is invisible to the simulation.
+///
 /// Thread-safety: none, by design. A PacketPool belongs to one Network and
 /// therefore to one simulation cell; parallel sweeps (core/parallel.hpp)
 /// give every worker its own cell and never share a pool across threads.
@@ -57,6 +63,7 @@ class PacketPool {
     if (free_.empty()) {
       slab_.emplace_back();
       slab_.back().id = static_cast<std::uint32_t>(slab_.size() - 1);
+      if (slab_.size() > peak_in_use_) peak_in_use_ = slab_.size();
       return slab_.back();
     }
     const std::uint32_t id = free_.back();
@@ -65,20 +72,49 @@ class PacketPool {
     const std::uint32_t keep = p.id;
     p = Packet{};
     p.id = keep;
+    const std::size_t used = slab_.size() - free_.size();
+    if (used > peak_in_use_) peak_in_use_ = used;
     return p;
   }
 
   void release(const Packet& p) { free_.push_back(p.id); }
+
+  /// Return every slot to the free list, keeping the slab storage. The free
+  /// list is rebuilt descending so the next allocations draw ids 0, 1, 2, ...
+  /// — byte-identical behaviour to a freshly-constructed pool. Zeroes the
+  /// per-cell peak counter.
+  void reset() {
+    free_.clear();
+    free_.reserve(slab_.size());
+    for (std::size_t id = slab_.size(); id-- > 0;) {
+      free_.push_back(static_cast<std::uint32_t>(id));
+    }
+    peak_in_use_ = 0;
+  }
+
+  /// Grow the slab to at least `slots` packets. Only meaningful on an idle
+  /// pool (nothing in flight); call right after reset().
+  void reserve(std::size_t slots) {
+    while (slab_.size() < slots) {
+      slab_.emplace_back();
+      slab_.back().id = static_cast<std::uint32_t>(slab_.size() - 1);
+    }
+    reset();
+  }
 
   Packet& get(std::uint32_t id) { return slab_[id]; }
   const Packet& get(std::uint32_t id) const { return slab_[id]; }
 
   std::size_t capacity() const { return slab_.size(); }
   std::size_t in_use() const { return slab_.size() - free_.size(); }
+  /// High-water mark of simultaneously-allocated packets since construction
+  /// or the last reset().
+  std::size_t peak_in_use() const { return peak_in_use_; }
 
  private:
   std::deque<Packet> slab_;
   std::vector<std::uint32_t> free_;
+  std::size_t peak_in_use_{0};
 };
 
 }  // namespace dfly

@@ -11,29 +11,52 @@ namespace dfly {
 Router::Router(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
                PacketPool& pool, LinkStats& stats, const LinkMap& links,
                std::uint64_t seed)
-    : engine_(&engine),
-      topo_(&topo),
-      cfg_(&cfg),
-      id_(id),
-      pool_(&pool),
-      stats_(&stats),
-      links_(&links),
-      rng_(seed, static_cast<std::uint64_t>(id) + 0x10000),
-      buffers_(topo.radix(), cfg.num_vcs, cfg.buffer_packets),
-      out_(static_cast<std::size_t>(topo.radix())),
-      credits_(static_cast<std::size_t>(topo.radix()) * cfg.num_vcs, cfg.buffer_packets),
-      credits_used_(static_cast<std::size_t>(topo.radix()), 0),
-      pending_(static_cast<std::size_t>(topo.radix()), 0),
-      in_(static_cast<std::size_t>(topo.radix())) {
+    : buffers_(topo.radix(), cfg.num_vcs, cfg.buffer_packets) {
+  reinit(engine, topo, cfg, id, pool, stats, links, seed);
+}
+
+void Router::reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
+                    PacketPool& pool, LinkStats& stats, const LinkMap& links,
+                    std::uint64_t seed) {
+  engine_ = &engine;
+  topo_ = &topo;
+  cfg_ = &cfg;
+  id_ = id;
+  pool_ = &pool;
+  stats_ = &stats;
+  links_ = &links;
+  routing_ = nullptr;
+  rng_ = Rng(seed, static_cast<std::uint64_t>(id) + 0x10000);
+  const auto radix = static_cast<std::size_t>(topo.radix());
+  buffers_.reset(topo.radix(), cfg.num_vcs, cfg.buffer_packets);
+  out_.resize(radix);
   for (int port = 0; port < topo.radix(); ++port) {
     auto& o = out_[static_cast<std::size_t>(port)];
+    o.peer = nullptr;
+    o.peer_port = -1;
+    o.peer_is_router = false;
     o.latency = LinkMap::port_latency(topo, cfg, port);
+    o.slowdown = 1;
+    o.extra_latency = 0;
+    o.busy_until = 0;
+    o.try_pending = false;
+    o.stall_start = -1;
+    o.requests.clear();
     o.stalled.resize(static_cast<std::size_t>(cfg.num_vcs));
+    for (auto& parked : o.stalled) parked.clear();
     if (cfg.qos.enabled()) {
       o.class_requests.resize(static_cast<std::size_t>(cfg.qos.num_classes));
+      for (auto& queue : o.class_requests) queue.clear();
       o.deficit.assign(static_cast<std::size_t>(cfg.qos.num_classes), 0);
+    } else {
+      o.class_requests.clear();
+      o.deficit.clear();
     }
   }
+  credits_.assign(radix * static_cast<std::size_t>(cfg.num_vcs), cfg.buffer_packets);
+  credits_used_.assign(radix, 0);
+  pending_.assign(radix, 0);
+  in_.assign(radix, InWire{});
 }
 
 void Router::degrade_port(int port, int slowdown, SimTime extra_latency) {

@@ -42,6 +42,15 @@ class Router final : public Component {
          PacketPool& pool, LinkStats& stats, const LinkMap& links,
          std::uint64_t seed);
 
+  /// Re-point and re-zero every piece of per-cell state so a router object
+  /// recycled from a per-worker arena (core/arena.hpp) behaves exactly like a
+  /// freshly-constructed one while keeping its buffer storage. The
+  /// constructor funnels through this, so the fresh and reuse paths cannot
+  /// drift apart. Callers must re-connect() wiring and set_routing() after.
+  void reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
+              PacketPool& pool, LinkStats& stats, const LinkMap& links,
+              std::uint64_t seed);
+
   /// Wire output `port` to a peer component (router or NIC). `peer_port` is
   /// the input port index on the receiving side (ignored for NICs).
   void connect(int port, Component& peer, int peer_port, bool peer_is_router);

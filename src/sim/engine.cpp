@@ -6,23 +6,44 @@
 namespace dfly {
 
 /// Adapter that lets std::function callbacks ride the component event path.
-/// One-shot: handle() releases the owning slot before invoking the callback,
-/// so the callback itself may schedule new closures (possibly reusing this
-/// very slot) or clear() the engine without touching freed storage.
+/// One-shot but pooled: handle() disarms the owning slot (destroying the
+/// capture) before invoking the callback, so the callback itself may arm new
+/// closures (possibly reusing this very slot) or clear() the engine; the
+/// adapter object survives for the next call_at to re-arm without a heap
+/// allocation.
 class Engine::Closure final : public Component {
  public:
-  Closure(std::function<void()> fn, std::uint32_t slot) : fn_(std::move(fn)), slot_(slot) {}
+  Closure() = default;
+
+  void arm(std::function<void()> fn, std::uint32_t slot) {
+    fn_ = std::move(fn);
+    slot_ = slot;
+    armed_ = true;
+  }
+  void disarm() {
+    fn_ = nullptr;  // destroy the capture now, not at the next re-arm
+    armed_ = false;
+  }
+  // armed_ is a separate flag because handle() moves fn_ out before the slot
+  // is released — the function's own emptiness can't double as liveness.
+  bool armed() const { return armed_; }
 
   void handle(Engine& engine, const Event&) override {
     std::function<void()> fn = std::move(fn_);
-    engine.release_closure(slot_);  // destroys *this; only locals below
+    engine.release_closure(slot_);  // disarms *this; only locals below
     fn();
   }
 
  private:
   std::function<void()> fn_;
-  std::uint32_t slot_;
+  std::uint32_t slot_{0};
+  bool armed_{false};
 };
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+Engine::Engine(Engine&& other) noexcept = default;
+Engine& Engine::operator=(Engine&& other) noexcept = default;
 
 void Engine::schedule_at(SimTime when, Component& target, std::uint32_t kind,
                          std::uint64_t a, std::uint64_t b) {
@@ -34,21 +55,23 @@ void Engine::call_at(SimTime when, std::function<void()> fn) {
   std::uint32_t slot;
   if (free_closure_slots_.empty()) {
     slot = static_cast<std::uint32_t>(closures_.size());
-    closures_.emplace_back();
+    closures_.push_back(std::make_unique<Closure>());
   } else {
     slot = free_closure_slots_.back();
     free_closure_slots_.pop_back();
   }
-  closures_[slot] = std::make_unique<Closure>(std::move(fn), slot);
+  closures_[slot]->arm(std::move(fn), slot);
+  ++live_closures_;
   schedule_at(when, *closures_[slot], 0);
 }
 
 void Engine::release_closure(std::uint32_t slot) {
-  // clear() may have emptied closures_ while the closure body ran; a stale
-  // slot must not be recycled into the rebuilt free list.
-  if (slot >= closures_.size() || !closures_[slot]) return;
-  closures_[slot].reset();
+  // clear() may have disarmed everything while the closure body ran; a slot
+  // that is no longer armed must not be pushed onto the free list twice.
+  if (slot >= closures_.size() || !closures_[slot] || !closures_[slot]->armed()) return;
+  closures_[slot]->disarm();
   free_closure_slots_.push_back(slot);
+  --live_closures_;
 }
 
 void Engine::push(HeapKey key, Payload load) {
@@ -61,6 +84,7 @@ void Engine::push(HeapKey key, Payload load) {
   }
   keys_.push_back(key);
   payloads_.push_back(load);
+  if (keys_.size() > peak_queued_) peak_queued_ = keys_.size();
   sift_up(keys_.size() - 1);
 }
 
@@ -182,8 +206,38 @@ void Engine::clear() {
   payloads_.clear();
   batch_.clear();
   batch_pos_ = 0;
-  closures_.clear();
+  // Disarm every pending closure (destroying captures) but keep the pooled
+  // adapters; rebuild the free list from scratch so no slot appears twice.
+  // Descending order makes a cleared engine hand out slots 0, 1, 2, ... again
+  // exactly like a fresh one.
   free_closure_slots_.clear();
+  for (std::size_t slot = closures_.size(); slot-- > 0;) {
+    closures_[slot]->disarm();
+    free_closure_slots_.push_back(static_cast<std::uint32_t>(slot));
+  }
+  live_closures_ = 0;
+}
+
+void Engine::reset() {
+  clear();
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
+  peak_queued_ = 0;
+}
+
+void Engine::reserve(std::size_t events, std::size_t closures) {
+  if (keys_.capacity() < events) {
+    keys_.reserve(events);
+    payloads_.reserve(events);
+  }
+  const std::size_t old_size = closures_.size();
+  while (closures_.size() < closures) closures_.push_back(std::make_unique<Closure>());
+  // Append the new slots descending so they pop lowest-first — the same
+  // fresh-engine hand-out order clear()/reset() maintain.
+  for (std::size_t slot = closures_.size(); slot-- > old_size;) {
+    free_closure_slots_.push_back(static_cast<std::uint32_t>(slot));
+  }
 }
 
 }  // namespace dfly

@@ -32,7 +32,19 @@ namespace dfly {
 /// run one Engine per worker-owned cell and never share one across threads.
 class Engine {
  public:
-  Engine() = default;
+  // Special members are out-of-line: closures_ holds unique_ptrs to the
+  // nested Closure type, which is only complete inside engine.cpp.
+  Engine();
+  ~Engine();
+
+  // Movable (so a per-worker arena can lend its storage to the current cell
+  // and take it back afterwards) but not copyable. Pending events hold raw
+  // Component pointers, so only idle engines should be moved in practice;
+  // the arena moves them empty.
+  Engine(Engine&& other) noexcept;
+  Engine& operator=(Engine&& other) noexcept;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   SimTime now() const { return now_; }
 
@@ -46,10 +58,13 @@ class Engine {
     schedule_at(now_ + delay, target, kind, a, b);
   }
 
-  /// Convenience: schedule an owned closure (allocates; for tests/setup, not
-  /// the per-packet hot path). The closure is one-shot: its storage is
-  /// reclaimed as soon as it fires, so periodic call_in chains do not
-  /// accumulate memory over a long run.
+  /// Convenience: schedule an owned closure (for tests/setup, not the
+  /// per-packet hot path). The closure is one-shot: its slot is recycled as
+  /// soon as it fires, so periodic call_in chains do not accumulate memory
+  /// over a long run. Slot adapters themselves are pooled — once the engine
+  /// has grown to a cell's peak concurrent-closure count, re-arming a slot
+  /// performs no heap allocation (beyond any the std::function itself needs
+  /// for an over-sized capture).
   void call_at(SimTime when, std::function<void()> fn);
   void call_in(SimTime delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
 
@@ -78,12 +93,34 @@ class Engine {
 
   /// Drop every pending event (used by tests and by teardown). Safe to call
   /// from inside a handler: the rest of the current same-time batch is
-  /// dropped too.
+  /// dropped too. Armed closures are disarmed (their captures destroyed) but
+  /// their pooled slot adapters are kept for reuse.
   void clear();
+
+  /// Return the engine to its just-constructed state — clock at 0, sequence
+  /// and executed counters zeroed, queue empty — while KEEPING every piece of
+  /// backing storage: the heap key/payload arrays, the same-time batch
+  /// scratch, and the pooled closure slots with their free list. A reused
+  /// engine therefore replays a same-shape cell without re-growing from
+  /// empty (see core/arena.hpp). Per-cell peak counters are zeroed too.
+  void reset();
+
+  /// Pre-size the queue for `events` concurrently-pending events and pool
+  /// `closures` slot adapters, so a run that stays within these bounds never
+  /// allocates from schedule_at/call_at.
+  void reserve(std::size_t events, std::size_t closures = 0);
 
   /// Closures allocated by call_at/call_in that have not fired yet
   /// (test hook for the reclamation guarantee).
-  std::size_t live_closures() const { return closures_.size() - free_closure_slots_.size(); }
+  std::size_t live_closures() const { return live_closures_; }
+
+  /// High-water mark of concurrently-queued events since construction or the
+  /// last reset() (sizes the next cell's reserve carry-forward).
+  std::size_t peak_queued() const { return peak_queued_; }
+  /// Current key/payload array capacity (events the queue holds alloc-free).
+  std::size_t event_capacity() const { return keys_.capacity(); }
+  /// Pooled closure slot adapters (live + free).
+  std::size_t closure_capacity() const { return closures_.size(); }
 
  private:
   /// Heap ordering key: (when, seq) packed into one 128-bit integer, `when`
@@ -127,11 +164,16 @@ class Engine {
   std::vector<Payload> payloads_;
   std::vector<Entry> batch_;  ///< same-timestamp scratch drained by run()
   std::size_t batch_pos_{0};  ///< next batch entry to dispatch
-  std::vector<std::unique_ptr<Component>> closures_;
+  // Pooled one-shot closure adapters: slots are created on demand, disarmed
+  // (capture destroyed) when they fire, and re-armed from the free list —
+  // the adapter objects themselves persist across firings and reset().
+  std::vector<std::unique_ptr<Closure>> closures_;
   std::vector<std::uint32_t> free_closure_slots_;
+  std::size_t live_closures_{0};
   SimTime now_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
+  std::size_t peak_queued_{0};
 };
 
 }  // namespace dfly

@@ -2,15 +2,19 @@
 
 namespace dfly {
 
-LinkStats::LinkStats(int num_links, int num_apps)
-    : num_apps_(static_cast<std::size_t>(num_apps)),
-      bytes_(static_cast<std::size_t>(num_links), 0),
-      by_app_(static_cast<std::size_t>(num_links) * static_cast<std::size_t>(num_apps), 0),
-      packets_(static_cast<std::size_t>(num_links), 0),
-      stall_(static_cast<std::size_t>(num_links), 0),
-      class_(static_cast<std::size_t>(num_links), LinkClass::kTerminal),
-      src_(static_cast<std::size_t>(num_links), -1),
-      dst_(static_cast<std::size_t>(num_links), -1) {}
+LinkStats::LinkStats(int num_links, int num_apps) { reset(num_links, num_apps); }
+
+void LinkStats::reset(int num_links, int num_apps) {
+  const auto links = static_cast<std::size_t>(num_links);
+  num_apps_ = static_cast<std::size_t>(num_apps);
+  bytes_.assign(links, 0);
+  by_app_.assign(links * num_apps_, 0);
+  packets_.assign(links, 0);
+  stall_.assign(links, 0);
+  class_.assign(links, LinkClass::kTerminal);
+  src_.assign(links, -1);
+  dst_.assign(links, -1);
+}
 
 void LinkStats::set_link_info(int link, LinkClass cls, int src_router, int dst_router) {
   class_[static_cast<std::size_t>(link)] = cls;

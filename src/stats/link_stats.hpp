@@ -20,8 +20,15 @@ enum class LinkClass : std::uint8_t { kTerminal = 0, kLocal = 1, kGlobal = 2 };
 /// ParallelRunner worker — never shared across threads.
 class LinkStats {
  public:
+  /// An empty stats block; give it a shape with reset() before use.
+  LinkStats() = default;
   /// `num_links` output links, `num_apps` applications.
   LinkStats(int num_links, int num_apps);
+
+  /// Re-shape and zero every counter in place. Vector capacity is kept, so a
+  /// block recycled across same-shape cells (core/arena.hpp) re-initialises
+  /// without heap traffic.
+  void reset(int num_links, int num_apps);
 
   void set_link_info(int link, LinkClass cls, int src_router, int dst_router);
 
@@ -55,7 +62,7 @@ class LinkStats {
   std::int64_t total_bytes(LinkClass cls) const;
 
  private:
-  std::size_t num_apps_;
+  std::size_t num_apps_{0};
   std::vector<std::int64_t> bytes_;
   std::vector<std::int64_t> by_app_;
   std::vector<std::uint64_t> packets_;

@@ -2,15 +2,23 @@
 
 namespace dfly {
 
-PacketLog::PacketLog(int num_apps, bool keep_records, SimTime bucket_width)
-    : keep_records_(keep_records),
-      per_app_lat_(static_cast<std::size_t>(num_apps)),
-      system_bytes_(bucket_width),
-      per_app_count_(static_cast<std::size_t>(num_apps), 0),
-      per_app_nonmin_(static_cast<std::size_t>(num_apps), 0),
-      per_app_hops_(static_cast<std::size_t>(num_apps), 0) {
-  per_app_bytes_.reserve(static_cast<std::size_t>(num_apps));
-  for (int i = 0; i < num_apps; ++i) per_app_bytes_.emplace_back(bucket_width);
+PacketLog::PacketLog(int num_apps, bool keep_records, SimTime bucket_width) {
+  reset(num_apps, keep_records, bucket_width);
+}
+
+void PacketLog::reset(int num_apps, bool keep_records, SimTime bucket_width) {
+  const auto apps = static_cast<std::size_t>(num_apps);
+  keep_records_ = keep_records;
+  per_app_lat_.resize(apps);
+  for (Histogram& h : per_app_lat_) h.clear();
+  system_lat_.clear();
+  per_app_bytes_.resize(apps);
+  for (TimeSeries& t : per_app_bytes_) t.reset(bucket_width);
+  system_bytes_.reset(bucket_width);
+  per_app_count_.assign(apps, 0);
+  per_app_nonmin_.assign(apps, 0);
+  per_app_hops_.assign(apps, 0);
+  records_.clear();
 }
 
 void PacketLog::record(const PacketRecord& record) {

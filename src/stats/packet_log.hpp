@@ -29,8 +29,14 @@ struct PacketRecord {
 /// keep it off to save memory); latency histograms are always maintained.
 class PacketLog {
  public:
+  /// An empty log; give it a shape with reset() before use.
+  PacketLog() = default;
   explicit PacketLog(int num_apps, bool keep_records = false,
                      SimTime bucket_width = kMs / 10);
+
+  /// Re-shape and empty every histogram/series/counter in place, keeping the
+  /// sample-vector capacity (the arena reuse path, core/arena.hpp).
+  void reset(int num_apps, bool keep_records = false, SimTime bucket_width = kMs / 10);
 
   void record(const PacketRecord& record);
 
@@ -55,7 +61,7 @@ class PacketLog {
   int num_apps() const { return static_cast<int>(per_app_lat_.size()); }
 
  private:
-  bool keep_records_;
+  bool keep_records_{false};
   std::vector<Histogram> per_app_lat_;
   Histogram system_lat_;
   std::vector<TimeSeries> per_app_bytes_;

@@ -14,6 +14,13 @@ class TimeSeries {
  public:
   explicit TimeSeries(SimTime bucket_width = kMs / 10) : bucket_width_(bucket_width) {}
 
+  /// Drop every bucket (keeping capacity) and adopt a new bucket width —
+  /// the in-place re-init used when stats blocks are recycled across cells.
+  void reset(SimTime bucket_width) {
+    bucket_width_ = bucket_width;
+    buckets_.clear();
+  }
+
   void add(SimTime when, double value) {
     const auto idx = static_cast<std::size_t>(when / bucket_width_);
     if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/json_report.hpp"
 #include "core/pairwise.hpp"
 #include "core/study.hpp"
@@ -116,6 +117,28 @@ TEST(SweepParallelDeterminism, FourJobsByteIdenticalToSequential) {
     EXPECT_EQ(sequential.apps[a].comm_ms.mean, parallel.apps[a].comm_ms.mean);
     EXPECT_EQ(sequential.apps[a].lat_p99_us.max, parallel.apps[a].lat_p99_us.max);
   }
+}
+
+// Arena reuse must be invisible in the output: the same sweep with per-worker
+// storage reuse ON and OFF, and with one or four workers, serialises to the
+// same bytes. A state leak across a worker's cells would break this.
+TEST(SweepParallelDeterminism, ArenaOnAndOffByteIdenticalForAnyWorkerCount) {
+  struct ToggleGuard {
+    ~ToggleGuard() { set_arena_enabled(true); }
+  } guard;
+  const SeedSweep sweep(42, 6);
+
+  set_arena_enabled(true);
+  const std::string arena_seq = sweep_to_json(sweep.run(tiny_experiment, 1));
+  const std::string arena_par = sweep_to_json(sweep.run(tiny_experiment, 4));
+
+  set_arena_enabled(false);
+  const std::string fresh_seq = sweep_to_json(sweep.run(tiny_experiment, 1));
+  const std::string fresh_par = sweep_to_json(sweep.run(tiny_experiment, 4));
+
+  EXPECT_EQ(arena_seq, fresh_seq);
+  EXPECT_EQ(arena_seq, arena_par);
+  EXPECT_EQ(arena_seq, fresh_par);
 }
 
 TEST(PairwiseParallelDeterminism, CellBatchMatchesIndividualRuns) {

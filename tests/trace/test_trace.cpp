@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "core/arena.hpp"
+#include "core/json_report.hpp"
 #include "core/study.hpp"
 #include "trace/trace.hpp"
 #include "workloads/motifs.hpp"
@@ -196,6 +199,98 @@ TEST(Replay, AsFastAsPossibleDropsGaps) {
 TEST(Replay, InvalidSpeedThrows) {
   EXPECT_THROW(ReplayMotif(MessageTrace{}, ReplayParams{true, 0.0, 64}),
                std::invalid_argument);
+}
+
+TEST(MessageTrace, RankRecordsOfAbsentRankIsEmpty) {
+  MessageTrace trace;
+  trace.add({100, 0, 1, 512, 7});
+  EXPECT_TRUE(trace.rank_records(5).empty());
+  EXPECT_TRUE(trace.rank_records(-1).empty());
+}
+
+TEST(MessageTrace, SummaryWithZeroBurstGapCountsSingleMessages) {
+  MessageTrace trace;
+  trace.add({0, 0, 1, 1000, 0});
+  trace.add({1, 0, 2, 2000, 0});  // 1 ps later: outside a zero gap
+  const trace::TraceSummary s = trace.summary(/*burst_gap=*/0);
+  EXPECT_EQ(s.peak_ingress_bytes, 2000);
+}
+
+TEST(MessageTrace, LoadCsvSkipsShortAndBlankLines) {
+  const std::string path = temp_path("trace_partial.csv");
+  {
+    std::ofstream out(path);
+    out << "when_ps,src_rank,dst_rank,bytes,tag\n";
+    out << "100,0,1,512,7\n";
+    out << "\n";               // blank: skipped
+    out << "200,1\n";          // truncated: skipped
+    out << "300,1,0,1024,9\n";
+  }
+  const MessageTrace loaded = MessageTrace::load_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.records()[0].bytes, 512);
+  EXPECT_EQ(loaded.records()[1].when, 300);
+  std::remove(path.c_str());
+}
+
+TEST(MessageTrace, SaveCsvUnwritablePathThrows) {
+  MessageTrace trace;
+  trace.add({1, 0, 1, 8, 0});
+  EXPECT_THROW(trace.save_csv("/nonexistent-dir/zzz/trace.csv"), std::runtime_error);
+}
+
+TEST(Replay, WindowOfOneStillCompletes) {
+  const MessageTrace original = record_shift(8, 10);
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  ReplayParams rp;
+  rp.window = 1;  // fully serialised posts per rank
+  study.add_motif(std::make_unique<ReplayMotif>(original, rp), 8, "Replay");
+  const Report report = study.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).total_messages_sent(), 8 * 10);
+}
+
+TEST(Replay, EmptyTraceCompletesImmediately) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = "MIN";
+  Study study(std::move(config));
+  auto motif = std::make_unique<ReplayMotif>(MessageTrace{});
+  EXPECT_EQ(motif->required_ranks(), 0);
+  study.add_motif(std::move(motif), 4, "Replay");
+  const Report report = study.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(study.job(0).total_messages_sent(), 0);
+}
+
+// Trace replay is itself a per-run allocator (per-rank record buckets,
+// windows); replaying the same trace through one worker arena twice must be
+// indistinguishable from fresh runs — both the reports and the re-recorded
+// traces.
+TEST(Replay, ArenaReuseIsByteIdenticalToFreshReplay) {
+  const MessageTrace original = record_shift(10, 20);
+  auto run_replay = [&original](SimArena* arena) {
+    StudyConfig config;
+    config.topo = DragonflyParams::tiny();
+    config.routing = "PAR";
+    config.seed = 17;
+    Study study(std::move(config), arena);
+    const int id = study.add_motif(std::make_unique<ReplayMotif>(original), 10, "Replay");
+    study.record_trace(id);
+    const Report report = study.run();
+    return std::make_pair(report_to_json(report), study.trace(id).records());
+  };
+  SimArena arena;
+  const auto first = run_replay(&arena);
+  const auto second = run_replay(&arena);   // reused storage
+  const auto fresh = run_replay(nullptr);   // no arena at all
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.first, fresh.first);
+  EXPECT_EQ(first.second, second.second);
+  EXPECT_EQ(first.second, fresh.second);
 }
 
 TEST(Replay, OutOfRangeDestinationsAreSkipped) {

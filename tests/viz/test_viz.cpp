@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "viz/ascii.hpp"
@@ -189,6 +190,81 @@ TEST(AsciiTableTest, AlignmentAndValidation) {
   EXPECT_NE(out.find("----"), std::string::npos);
   EXPECT_THROW(table.row({"too", "few"}), std::invalid_argument);
   EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(LineChartTest, XsYsOverloadMatchesPairOverload) {
+  LineChart pairs("t", "x", "y");
+  pairs.add_series("s", {{0.0, 1.0}, {1.0, 4.0}, {2.0, 9.0}});
+  LineChart split("t", "x", "y");
+  split.add_series("s", {0.0, 1.0, 2.0}, {1.0, 4.0, 9.0});
+  EXPECT_EQ(pairs.render(), split.render());
+}
+
+TEST(LineChartTest, FlatSeriesRendersWithoutDividingByZero) {
+  // All points share one x and one y: both axis ranges are degenerate.
+  LineChart chart("flat", "x", "y");
+  chart.add_series("s", {{1.0, 2.0}, {1.0, 2.0}});
+  const std::string doc = chart.render();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+}
+
+TEST(GroupedBarChartTest, RendersWithoutErrorBars) {
+  GroupedBarChart chart("bars", "y");
+  chart.set_categories({"A", "B"});
+  chart.add_group("g", {1.0, 2.0});  // no whiskers
+  const std::string doc = chart.render();
+  EXPECT_NE(doc.find("<rect"), std::string::npos);
+  EXPECT_NE(doc.find("g"), std::string::npos);
+}
+
+TEST(HeatmapTest, ExplicitRangeClampsCells) {
+  Heatmap map("clamped", "", "");
+  map.set_matrix({{-5.0, 0.5}, {0.7, 99.0}});
+  map.set_range(0.0, 1.0);  // -5 and 99 must clamp, not explode the scale
+  const std::string doc = map.render();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  // Cells at or past the range ends take the colormap endpoint colours.
+  EXPECT_NE(doc.find(viridis(0.0).css()), std::string::npos);
+  EXPECT_NE(doc.find(viridis(1.0).css()), std::string::npos);
+}
+
+TEST(HeatmapTest, FlatMatrixRendersWithDefaultRange) {
+  Heatmap map("flat", "", "");
+  map.set_matrix({{3.0, 3.0}, {3.0, 3.0}});  // data min == max
+  const std::string doc = map.render();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+}
+
+TEST(SaveTest, UnwritablePathThrows) {
+  LineChart chart("t", "x", "y");
+  chart.add_series("s", {{0, 0}, {1, 1}});
+  EXPECT_THROW(chart.save("/nonexistent-dir/zzz/chart.svg"), std::runtime_error);
+  Svg svg(10, 10);
+  EXPECT_THROW(svg.save("/nonexistent-dir/zzz/doc.svg"), std::runtime_error);
+}
+
+TEST(BoxPlotTest, SaveWritesDocument) {
+  const std::string path = std::string(::testing::TempDir()) + "/viz_boxplot.svg";
+  BoxPlot plot("box", "y");
+  plot.add_box("one", {1.0, 1.5, 2.0, 0.5, 3.0, 3.5, 4.0, 1.6});
+  plot.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  EXPECT_NE(content.find("one"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RadialGroupPlotTest, EmptyPlotStillRenders) {
+  RadialGroupPlot plot("empty");
+  const std::string doc = plot.render();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_EQ(count_occurrences(doc, "<circle"), 0);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/config_file.hpp"
 #include "core/json_report.hpp"
 #include "core/study.hpp"
@@ -63,6 +64,9 @@ struct CliOptions {
       "  --jobs=N             worker threads for --sweep cells (default: the\n"
       "                       DFSIM_JOBS env var, else 1; output is identical\n"
       "                       for any N)\n"
+      "  --no-arena           rebuild every sweep cell from scratch instead of\n"
+      "                       reusing per-worker arena storage (DFSIM_NO_ARENA\n"
+      "                       does the same; output is identical either way)\n"
       "  --json=FILE          write the report as JSON ('-' = stdout)\n"
       "  --csv=PREFIX         write <PREFIX>_{apps,congestion,stall}.csv\n"
       "  --trace=APP:FILE     record application APP's message trace to FILE\n"
@@ -121,6 +125,8 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       options.jobs = std::stoi(value_of(arg));
       if (options.jobs < 0) options.jobs = 0;  // 0 = auto (DFSIM_JOBS, else 1)
+    } else if (std::strcmp(arg, "--no-arena") == 0) {
+      set_arena_enabled(false);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       options.json_path = value_of(arg);
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
