@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/arena.hpp"
+#include "core/blueprint.hpp"
 
 namespace dfly::bench {
 
@@ -51,6 +52,9 @@ Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
     } else if (arg == "--no-arena") {
       options.no_arena = true;
       set_arena_enabled(false);
+    } else if (arg == "--no-blueprint") {
+      options.no_blueprint = true;
+      set_blueprint_enabled(false);
     } else if (arg == "--full") {
       options.scale = 1;
     } else if (arg == "--quick") {
@@ -60,7 +64,8 @@ Options Options::parse(int argc, char** argv, int default_scale, Caps caps) {
       options.smoke = true;
       options.scale = 64;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("options: --scale=N --seed=N --routing=NAME --no-arena --full --quick%s%s%s\n",
+      std::printf("options: --scale=N --seed=N --routing=NAME --no-arena --no-blueprint "
+                  "--full --quick%s%s%s\n",
                   caps.jobs ? " --jobs=N" : "", caps.json ? " --json=FILE" : "",
                   caps.smoke ? " --smoke" : "");
       std::exit(0);

@@ -1,11 +1,14 @@
 // Memory / allocation bench: per-cell startup cost of a multi-cell FFT3D
-// sweep with per-worker arena reuse ON vs OFF.
+// sweep across three modes — fresh builds, per-worker arena reuse, and
+// arena reuse + cross-cell SystemBlueprint sharing (the production
+// ParallelRunner path).
 //
 // Reports, per mode: wall time per cell, heap allocations per cell (counted
 // by a global operator-new override in this binary), and the process peak
 // RSS after the phase; plus the arena's carried capacities and reuse
-// counters. The two modes must produce byte-identical report JSON — the
-// bench exits non-zero if they do not.
+// counters, and the blueprint cache's hit/miss/build-time/footprint stats.
+// All modes must produce byte-identical report JSON — the bench exits
+// non-zero if they do not.
 //
 //   bench_memory --smoke --json=BENCH_memory.json   # the CI invocation
 //   bench_memory --scale=8 --cells=6 --routing=PAR
@@ -25,6 +28,7 @@
 
 #include "bench_common.hpp"
 #include "core/arena.hpp"
+#include "core/blueprint.hpp"
 #include "core/json_report.hpp"
 #include "core/study.hpp"
 
@@ -122,7 +126,12 @@ CellMetrics run_cell(const StudyConfig& base, std::uint64_t seed, const std::str
 }
 
 PhaseMetrics run_phase(const StudyConfig& base, const std::string& app, int nodes, int cells,
-                       std::uint64_t base_seed, SimArena* arena) {
+                       std::uint64_t base_seed, SimArena* arena,
+                       BlueprintCache* cache = nullptr) {
+  // With a cache bound, every cell of the phase shares one immutable plan
+  // (what ParallelRunner workers see); without one, each Study builds a
+  // private blueprint — the pre-sharing per-cell constant.
+  ScopedBlueprintCacheBinding binding(cache);
   PhaseMetrics phase;
   for (int c = 0; c < cells; ++c) {
     phase.cells.push_back(run_cell(base, base_seed + static_cast<std::uint64_t>(c), app,
@@ -165,6 +174,12 @@ int run(int argc, char** argv) {
                  "compares both modes itself\n");
   }
   set_arena_enabled(true);
+  if (options.no_blueprint || !blueprint_enabled()) {
+    std::fprintf(stderr,
+                 "bench_memory: ignoring --no-blueprint/DFSIM_NO_BLUEPRINT — this bench "
+                 "compares shared vs unshared itself\n");
+  }
+  set_blueprint_enabled(true);
 
   const std::string routing = options.routing.empty() ? "PAR" : options.routing;
   StudyConfig base = options.config(routing);
@@ -179,13 +194,29 @@ int run(int argc, char** argv) {
   }
 
   print_header("Per-cell memory footprint: " + app + " x" + std::to_string(cells) +
-               " cells, routing " + routing + " (arena reuse vs fresh builds)");
+               " cells, routing " + routing +
+               " (fresh builds vs arena reuse vs arena + shared blueprint)");
 
-  // Fresh phase first so its RSS reading is not inflated by arena carry.
+  // Fresh phase first so its RSS reading is not inflated by arena carry;
+  // each later phase's ru_maxrss is cumulative over the earlier ones. The
+  // arena-phase arena is destroyed before the shared phase starts so the two
+  // reuse phases never hold carried storage simultaneously (that would
+  // double-count ~one cell of state in the shared phase's RSS reading).
   const PhaseMetrics fresh =
       run_phase(base, app, nodes, cells, options.seed, /*arena=*/nullptr);
-  SimArena arena;
-  const PhaseMetrics reused = run_phase(base, app, nodes, cells, options.seed, &arena);
+  PhaseMetrics reused;
+  ArenaStats arena_stats;
+  {
+    SimArena arena;
+    reused = run_phase(base, app, nodes, cells, options.seed, &arena);
+    arena_stats = arena.stats();
+  }
+  BlueprintCache cache;
+  SimArena shared_arena;
+  const PhaseMetrics shared =
+      run_phase(base, app, nodes, cells, options.seed, &shared_arena, &cache);
+  const BlueprintCache::Stats cache_stats = cache.stats();
+  const std::shared_ptr<const SystemBlueprint> blueprint = cache.get_or_build(base);
 
   bool identical = true;
   for (int c = 0; c < cells; ++c) {
@@ -194,38 +225,55 @@ int run(int argc, char** argv) {
       identical = false;
       std::fprintf(stderr, "cell %d: arena report differs from fresh report!\n", c);
     }
+    if (fresh.cells[static_cast<std::size_t>(c)].report_json !=
+        shared.cells[static_cast<std::size_t>(c)].report_json) {
+      identical = false;
+      std::fprintf(stderr, "cell %d: shared-blueprint report differs from fresh report!\n", c);
+    }
   }
 
-  std::printf("%-10s %14s %14s %16s %16s\n", "cell", "fresh ms", "arena ms", "fresh allocs",
-              "arena allocs");
+  std::printf("%-6s %11s %11s %12s %14s %14s %14s\n", "cell", "fresh ms", "arena ms",
+              "shared ms", "fresh allocs", "arena allocs", "shared allocs");
   print_rule();
   for (int c = 0; c < cells; ++c) {
     const auto& f = fresh.cells[static_cast<std::size_t>(c)];
     const auto& a = reused.cells[static_cast<std::size_t>(c)];
-    std::printf("%-10d %14.3f %14.3f %16llu %16llu\n", c, f.wall_ms, a.wall_ms,
-                static_cast<unsigned long long>(f.allocs),
-                static_cast<unsigned long long>(a.allocs));
+    const auto& sh = shared.cells[static_cast<std::size_t>(c)];
+    std::printf("%-6d %11.3f %11.3f %12.3f %14llu %14llu %14llu\n", c, f.wall_ms, a.wall_ms,
+                sh.wall_ms, static_cast<unsigned long long>(f.allocs),
+                static_cast<unsigned long long>(a.allocs),
+                static_cast<unsigned long long>(sh.allocs));
   }
   print_rule();
   const double alloc_ratio =
       fresh.mean_allocs_tail() > 0 ? reused.mean_allocs_tail() / fresh.mean_allocs_tail() : 0;
+  const double shared_alloc_ratio =
+      fresh.mean_allocs_tail() > 0 ? shared.mean_allocs_tail() / fresh.mean_allocs_tail() : 0;
   std::printf("steady-state (cells 2..%d) mean: fresh %.3f ms / %.0f allocs, "
-              "arena %.3f ms / %.0f allocs (%.1f%% of fresh allocs)\n",
+              "arena %.3f ms / %.0f allocs (%.1f%% of fresh), arena+blueprint %.3f ms / "
+              "%.0f allocs (%.1f%% of fresh)\n",
               cells, fresh.mean_wall_tail(), fresh.mean_allocs_tail(),
-              reused.mean_wall_tail(), reused.mean_allocs_tail(), 100.0 * alloc_ratio);
+              reused.mean_wall_tail(), reused.mean_allocs_tail(), 100.0 * alloc_ratio,
+              shared.mean_wall_tail(), shared.mean_allocs_tail(), 100.0 * shared_alloc_ratio);
+  std::printf("blueprint cache: %llu hits / %llu misses, %.3f ms total build time, "
+              "%.1f KB shared plan footprint\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses), cache_stats.build_ms_total,
+              static_cast<double>(blueprint->footprint_bytes()) / 1024.0);
   const long arena_rss_delta = reused.rss_kb_after - fresh.rss_kb_after;
+  const long shared_rss_delta = shared.rss_kb_after - reused.rss_kb_after;
   std::printf("peak RSS (cumulative ru_maxrss): %ld KB after fresh phase, +%ld KB added by "
-              "the arena phase\n",
-              fresh.rss_kb_after, arena_rss_delta);
+              "the arena phase, +%ld KB by the shared-blueprint phase\n",
+              fresh.rss_kb_after, arena_rss_delta, shared_rss_delta);
   std::printf("arena carry: %zu event slots, %zu packet slots, %llu/%llu routers and "
               "%llu/%llu NICs recycled\n",
-              arena.stats().engine_event_capacity, arena.stats().pool_capacity,
-              static_cast<unsigned long long>(arena.stats().router_reuses),
-              static_cast<unsigned long long>(arena.stats().router_reuses +
-                                              arena.stats().router_builds),
-              static_cast<unsigned long long>(arena.stats().nic_reuses),
-              static_cast<unsigned long long>(arena.stats().nic_reuses +
-                                              arena.stats().nic_builds));
+              arena_stats.engine_event_capacity, arena_stats.pool_capacity,
+              static_cast<unsigned long long>(arena_stats.router_reuses),
+              static_cast<unsigned long long>(arena_stats.router_reuses +
+                                              arena_stats.router_builds),
+              static_cast<unsigned long long>(arena_stats.nic_reuses),
+              static_cast<unsigned long long>(arena_stats.nic_reuses +
+                                              arena_stats.nic_builds));
   std::printf("outputs byte-identical: %s\n", identical ? "yes" : "NO (regression!)");
 
   if (!options.json_path.empty()) {
@@ -247,7 +295,7 @@ int run(int argc, char** argv) {
             ", \"cell_allocs\": " + json_array(reused.cells, false) +
             ", \"peak_rss_kb_cumulative\": " + std::to_string(reused.rss_kb_after) +
             ", \"arena_rss_delta_kb\": " + std::to_string(arena_rss_delta);
-    const ArenaStats& stats = arena.stats();
+    const ArenaStats& stats = arena_stats;
     std::snprintf(buf, sizeof buf,
                   ", \"engine_event_capacity\": %zu, \"engine_peak_events\": %zu, "
                   "\"closure_peak\": %zu, \"pool_capacity\": %zu, \"pool_peak_packets\": %zu, "
@@ -257,12 +305,25 @@ int run(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.router_reuses),
                   static_cast<unsigned long long>(stats.nic_reuses));
     json += buf;
+    // The shared phase runs third: its RSS delta is over the arena phase.
+    json += "  \"shared_blueprint\": {\"cell_wall_ms\": " + json_array(shared.cells, true) +
+            ", \"cell_allocs\": " + json_array(shared.cells, false) +
+            ", \"peak_rss_kb_cumulative\": " + std::to_string(shared.rss_kb_after) +
+            ", \"shared_rss_delta_kb\": " + std::to_string(shared_rss_delta);
+    std::snprintf(buf, sizeof buf,
+                  ", \"cache_hits\": %llu, \"cache_misses\": %llu, "
+                  "\"blueprint_build_ms\": %.3f, \"blueprint_footprint_bytes\": %zu},\n",
+                  static_cast<unsigned long long>(cache_stats.hits),
+                  static_cast<unsigned long long>(cache_stats.misses),
+                  cache_stats.build_ms_total, blueprint->footprint_bytes());
+    json += buf;
     std::snprintf(buf, sizeof buf,
                   "  \"derived\": {\"identical_output\": %s, "
-                  "\"steady_alloc_ratio\": %.4f, \"steady_wall_ms_fresh\": %.3f, "
-                  "\"steady_wall_ms_arena\": %.3f}\n}\n",
-                  identical ? "true" : "false", alloc_ratio, fresh.mean_wall_tail(),
-                  reused.mean_wall_tail());
+                  "\"steady_alloc_ratio\": %.4f, \"steady_alloc_ratio_shared\": %.4f, "
+                  "\"steady_wall_ms_fresh\": %.3f, \"steady_wall_ms_arena\": %.3f, "
+                  "\"steady_wall_ms_shared\": %.3f}\n}\n",
+                  identical ? "true" : "false", alloc_ratio, shared_alloc_ratio,
+                  fresh.mean_wall_tail(), reused.mean_wall_tail(), shared.mean_wall_tail());
     json += buf;
     save_json(options.json_path, json);
     std::printf("wrote %s\n", options.json_path.c_str());

@@ -82,7 +82,9 @@ void SimArena::return_net(NetStorage&& storage) {
   net_ = std::move(storage);
 }
 
-ScopedArenaBinding::ScopedArenaBinding(SimArena* arena) : previous_(t_current_arena) {
+ScopedArenaBinding::ScopedArenaBinding(SimArena* arena)
+    : previous_(t_current_arena),
+      frame_binding_(arena != nullptr ? &arena->frame_pool() : nullptr) {
   if (arena != nullptr) t_current_arena = arena;
 }
 

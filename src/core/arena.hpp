@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "mpi/frame_pool.hpp"
 #include "net/nic.hpp"
 #include "net/packet.hpp"
 #include "net/router.hpp"
@@ -98,6 +99,12 @@ class SimArena {
   void count_router(bool reused) { ++(reused ? stats_.router_reuses : stats_.router_builds); }
   void count_nic(bool reused) { ++(reused ? stats_.nic_reuses : stats_.nic_builds); }
 
+  /// Coroutine-frame freelist fed from this arena: ScopedArenaBinding binds
+  /// it to the worker thread alongside the arena, so mpi::Task frames share
+  /// the carried-storage lifecycle (see mpi/frame_pool.hpp).
+  mpi::FramePool& frame_pool() { return frame_pool_; }
+  const mpi::FramePool& frame_pool() const { return frame_pool_; }
+
   const ArenaStats& stats() const { return stats_; }
 
   /// The arena bound to the calling thread (nullptr when none is bound or
@@ -109,11 +116,13 @@ class SimArena {
   const void* owner_{nullptr};
   Engine engine_;
   NetStorage net_;
+  mpi::FramePool frame_pool_;
   ArenaStats stats_;
 };
 
 /// RAII binding of an arena to the calling thread (see SimArena::current()).
-/// Restores the previous binding on destruction, so bindings nest.
+/// Also binds the arena's coroutine FramePool. Restores the previous
+/// bindings on destruction, so bindings nest.
 class ScopedArenaBinding {
  public:
   explicit ScopedArenaBinding(SimArena* arena);
@@ -123,6 +132,7 @@ class ScopedArenaBinding {
 
  private:
   SimArena* previous_;
+  mpi::ScopedFramePoolBinding frame_binding_;
 };
 
 /// Global escape hatch: false disables every arena reuse path (Studies build

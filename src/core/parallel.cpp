@@ -1,12 +1,16 @@
 #include "core/parallel.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "core/arena.hpp"
+#include "core/blueprint.hpp"
 
 namespace dfly {
 
@@ -21,11 +25,57 @@ int ParallelRunner::resolve_jobs(int requested, int fallback) {
   return fallback < 1 ? 1 : fallback;
 }
 
+namespace {
+
+/// The memory actually available to THIS process: the host's physical RAM,
+/// further limited by a cgroup memory ceiling when one is set (containers
+/// and CI runners routinely cap a process far below the host's RAM, and
+/// sysconf reports the host). Returns 0 when nothing can be determined.
+std::uint64_t available_memory_bytes() {
+  std::uint64_t physical = 0;
+#if defined(_SC_PHYS_PAGES) && defined(_SC_PAGE_SIZE)
+  const long pages = ::sysconf(_SC_PHYS_PAGES);
+  const long page = ::sysconf(_SC_PAGE_SIZE);
+  if (pages > 0 && page > 0) {
+    physical = static_cast<std::uint64_t>(pages) * static_cast<std::uint64_t>(page);
+  }
+#endif
+  // cgroup v2, then v1. The files hold a byte count, "max" (no limit), or a
+  // value so large it means "no limit" — anything unparsable is ignored.
+  for (const char* path : {"/sys/fs/cgroup/memory.max",
+                           "/sys/fs/cgroup/memory/memory.limit_in_bytes"}) {
+    std::FILE* f = std::fopen(path, "re");
+    if (f == nullptr) continue;
+    unsigned long long limit = 0;
+    const int matched = std::fscanf(f, "%llu", &limit);
+    std::fclose(f);
+    if (matched == 1 && limit > 0 &&
+        (physical == 0 || static_cast<std::uint64_t>(limit) < physical)) {
+      physical = static_cast<std::uint64_t>(limit);
+    }
+    break;  // only consult the hierarchy that exists
+  }
+  return physical;
+}
+
+}  // namespace
+
+int ParallelRunner::memory_jobs_cap() {
+  const std::uint64_t memory = available_memory_bytes();
+  if (memory > 0) {
+    const std::uint64_t cells = memory / 2 / kCellBudgetBytes;
+    if (cells < 1) return 1;
+    if (cells > 256) return 256;
+    return static_cast<int>(cells);
+  }
+  return 12;  // the pre-blueprint fixed cap, kept as the conservative fallback
+}
+
 int ParallelRunner::hardware_jobs() {
   int jobs = static_cast<int>(std::thread::hardware_concurrency());
-  if (jobs > 12) jobs = 12;
   if (jobs < 1) jobs = 1;
-  return jobs;
+  const int cap = memory_jobs_cap();
+  return jobs < cap ? jobs : cap;
 }
 
 void ParallelRunner::run_indexed(std::size_t n,
@@ -37,10 +87,18 @@ void ParallelRunner::run_indexed(std::size_t n,
   // on the same worker reuses it in place. Reuse is output-neutral, so cell
   // -> worker assignment never affects results (see core/arena.hpp);
   // --no-arena / DFSIM_NO_ARENA turns the binding off.
+  //
+  // All workers additionally share ONE BlueprintCache: the immutable
+  // topology/wiring/routing plan of each distinct cell shape is built once
+  // and read concurrently by every worker (--no-blueprint / DFSIM_NO_BLUEPRINT
+  // turns the sharing off; cells then build private plans).
   const bool use_arena = arena_enabled();
+  BlueprintCache blueprint_cache;
+  BlueprintCache* shared_cache = blueprint_enabled() ? &blueprint_cache : nullptr;
   if (workers <= 1) {
     SimArena arena;
     ScopedArenaBinding binding(use_arena ? &arena : nullptr);
+    ScopedBlueprintCacheBinding cache_binding(shared_cache);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -53,6 +111,7 @@ void ParallelRunner::run_indexed(std::size_t n,
   auto worker = [&] {
     SimArena arena;
     ScopedArenaBinding binding(use_arena ? &arena : nullptr);
+    ScopedBlueprintCacheBinding cache_binding(shared_cache);
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -32,8 +33,24 @@ class ParallelRunner {
   /// else `fallback` (clamped to >= 1).
   static int resolve_jobs(int requested, int fallback = 1);
 
-  /// min(hardware_concurrency, 12), at least 1. The cap bounds peak memory:
-  /// every in-flight cell holds a full 1,056-node system.
+  /// Per-cell peak-RSS budget used by memory_jobs_cap(): the measured
+  /// high-water mutable footprint of one full 1,056-node cell *with*
+  /// blueprint sharing and arena reuse on, rounded up generously. Re-derive
+  /// from the BENCH_memory.json CI artifact when the footprint moves. This
+  /// is a paper-shape heuristic: sweeps over substantially larger custom
+  /// topologies should bound workers explicitly (--jobs / DFSIM_JOBS), which
+  /// always overrides the derived cap.
+  static constexpr std::uint64_t kCellBudgetBytes = 192ull << 20;  // 192 MiB
+
+  /// Workers admitted by available memory: in-flight cells may budget at
+  /// most half of the memory this process can actually use — physical RAM,
+  /// further limited by a cgroup ceiling when one is set (containers/CI) —
+  /// at kCellBudgetBytes each (the blueprint keeps the read-only plan out of
+  /// that constant; pre-blueprint this was a fixed cap of 12 workers). Falls
+  /// back to 12 when no limit can be determined; clamped to [1, 256].
+  static int memory_jobs_cap();
+
+  /// min(hardware_concurrency, memory_jobs_cap()), at least 1.
   static int hardware_jobs();
 
   /// Invoke fn(0) .. fn(n-1), sharded across jobs() worker threads
@@ -45,8 +62,11 @@ class ParallelRunner {
   ///
   /// Each worker carries a persistent SimArena (core/arena.hpp) for the
   /// duration of the call, so Studies built inside `fn` reuse the worker's
-  /// grown storage cell after cell. Disabled by --no-arena / DFSIM_NO_ARENA;
-  /// output is bit-identical either way.
+  /// grown storage cell after cell; and all workers share one BlueprintCache
+  /// (core/blueprint.hpp), so same-shape cells read one immutable
+  /// topology/wiring/routing plan instead of rebuilding it. Disabled by
+  /// --no-arena / DFSIM_NO_ARENA and --no-blueprint / DFSIM_NO_BLUEPRINT
+  /// respectively; output is bit-identical in every combination.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) const;
 
   /// Evaluate every task; results are returned in task order, so callers

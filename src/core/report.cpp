@@ -69,12 +69,12 @@ Report Study::report() const {
         log.system_delivered().total() / 1.0e9 / to_ms(makespan);
   }
 
-  const GroupStall stall = group_stall(topo_, network_->link_stats());
+  const GroupStall stall = group_stall(blueprint_->topo(), network_->link_stats());
   out.local_stall_ms = stall.mean_local_ms;
   out.global_stall_ms = stall.mean_global_ms;
 
   const CongestionMatrix congestion =
-      congestion_matrix(topo_, network_->link_stats(), makespan, config_.net.link_gbps);
+      congestion_matrix(blueprint_->topo(), network_->link_stats(), makespan, config_.net.link_gbps);
   out.congestion_mean = congestion.mean();
   out.congestion_max = congestion.max();
   out.congestion_imbalance = congestion.imbalance_global();
@@ -119,7 +119,7 @@ void Study::write_csv(const std::string& prefix) const {
     }
   }
   {
-    const CongestionMatrix matrix = congestion_matrix(topo_, network_->link_stats(),
+    const CongestionMatrix matrix = congestion_matrix(blueprint_->topo(), network_->link_stats(),
                                                       summary.makespan, config_.net.link_gbps);
     CsvWriter congestion(prefix + "_congestion.csv", {"src_group", "dst_group", "index"});
     for (int s = 0; s < matrix.num_groups(); ++s) {
@@ -130,7 +130,7 @@ void Study::write_csv(const std::string& prefix) const {
     }
   }
   {
-    const GroupStall stall = group_stall(topo_, network_->link_stats());
+    const GroupStall stall = group_stall(blueprint_->topo(), network_->link_stats());
     CsvWriter stalls(prefix + "_stall.csv", {"group", "local_stall_ms", "global_out_stall_ms"});
     for (std::size_t g = 0; g < stall.local_ms.size(); ++g) {
       double global_out = 0;

@@ -8,10 +8,36 @@
 
 namespace dfly {
 
-Study::Study(StudyConfig config, SimArena* arena)
+namespace {
+
+/// Resolve the cell's immutable plan: explicit blueprint (shape-checked),
+/// thread-bound shared cache, else a private build. The resulting blueprint
+/// content is identical in every case, so the choice never affects output.
+std::shared_ptr<const SystemBlueprint> resolve_blueprint(
+    const StudyConfig& config, std::shared_ptr<const SystemBlueprint> explicit_bp) {
+  if (explicit_bp != nullptr) {
+    if (!(explicit_bp->key() == BlueprintKey::of(config))) {
+      throw std::invalid_argument(
+          "Study: the supplied SystemBlueprint was built for a different system shape");
+    }
+    return explicit_bp;
+  }
+  if (blueprint_enabled()) {
+    if (BlueprintCache* cache = BlueprintCache::current()) {
+      return cache->get_or_build(config);
+    }
+  }
+  return SystemBlueprint::build(config);
+}
+
+}  // namespace
+
+Study::Study(StudyConfig config, SimArena* arena,
+             std::shared_ptr<const SystemBlueprint> blueprint)
     : config_(std::move(config)),
-      topo_(config_.topo),
-      placer_(topo_, config_.placement, Rng(config_.seed, 0x9 /*placement stream*/)) {
+      blueprint_(resolve_blueprint(config_, std::move(blueprint))),
+      placer_(blueprint_->topo(), config_.placement, Rng(config_.seed, 0x9 /*placement stream*/),
+              &blueprint_->placement_pool()) {
   SimArena* candidate = arena != nullptr ? arena : SimArena::current();
   if (candidate != nullptr && arena_enabled() && candidate->try_acquire(this)) {
     arena_ = candidate;
@@ -20,15 +46,23 @@ Study::Study(StudyConfig config, SimArena* arena)
 }
 
 Study::~Study() {
-  // Tear the cell down in dependency order before returning storage: jobs
-  // and the MPI system reference the network; the network's destructor hands
-  // the router/NIC/pool/stats storage back to the arena.
-  jobs_.clear();
-  traces_.clear();
-  mpi_system_.reset();
-  network_.reset();
-  routing_.reset();
-  motifs_.clear();
+  {
+    // Park coroutine frames freed during teardown in the arena's pool. The
+    // binding is a strictly nested scope (not a member), so destroying
+    // several arena-holding Studies on one thread in any order can never
+    // leave the thread-local pool pointer dangling.
+    mpi::ScopedFramePoolBinding frame_binding(arena_ != nullptr ? &arena_->frame_pool()
+                                                                : nullptr);
+    // Tear the cell down in dependency order before returning storage: jobs
+    // and the MPI system reference the network; the network's destructor
+    // hands the router/NIC/pool/stats storage back to the arena.
+    jobs_.clear();
+    traces_.clear();
+    mpi_system_.reset();
+    network_.reset();
+    routing_.reset();
+    motifs_.clear();
+  }
   if (arena_ != nullptr) {
     arena_->return_engine(std::move(engine_));
     arena_->release(this);
@@ -78,12 +112,16 @@ const trace::MessageTrace& Study::trace(int app_id) const {
 
 void Study::build() {
   const int num_apps = static_cast<int>(pending_.size());
-  routing::RoutingContext context{&engine_, &topo_, &config_.net, config_.seed, config_.ugal,
-                                  config_.qadp};
+  // Routing and network both read their immutable inputs (topology, net
+  // config, initial Q-tables) out of the shared blueprint — the addresses
+  // are stable for the Study's lifetime because blueprint_ is held above.
+  routing::RoutingContext context{&engine_,     &blueprint_->topo(), &blueprint_->net(),
+                                  config_.seed, config_.ugal,        config_.qadp,
+                                  blueprint_->initial_qtables()};
   routing_ = routing::make_routing(config_.routing, context);
-  network_ = std::make_unique<Network>(engine_, topo_, config_.net, *routing_, num_apps,
+  network_ = std::make_unique<Network>(engine_, *blueprint_, *routing_, num_apps,
                                        config_.seed, config_.observability, arena_);
-  if (!config_.faults.empty()) network_->apply_faults(config_.faults);
+  if (!config_.faults.empty()) network_->apply_faults(blueprint_->faults());
   mpi_system_ = std::make_unique<mpi::MpiSystem>(*network_);
   int app_id = 0;
   for (auto& pending : pending_) {
@@ -104,6 +142,10 @@ Report Study::run() {
   if (ran_) throw std::logic_error("Study: run() called twice");
   if (pending_.empty()) throw std::logic_error("Study: no jobs added");
   ran_ = true;
+  // Serve coroutine frames from the arena's pool for the whole run (start()
+  // creates one frame per rank; waves recycle frames as the clock advances).
+  // Nested scope, same reasoning as in the destructor.
+  mpi::ScopedFramePoolBinding frame_binding(arena_ != nullptr ? &arena_->frame_pool() : nullptr);
   build();
   for (auto& job : jobs_) job->start();
   engine_.run(config_.time_limit);

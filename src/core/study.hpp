@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/blueprint.hpp"
 #include "mpi/job.hpp"
 #include "net/network.hpp"
 #include "routing/factory.hpp"
@@ -103,12 +104,24 @@ struct Report {
 /// router/NIC buffers — and returns it on destruction, so a worker's
 /// second-and-later cells re-initialise in place instead of re-growing from
 /// empty. Reuse never changes simulation output (see core/arena.hpp).
+///
+/// Plan sharing: the immutable half of the cell — topology, wiring, path and
+/// placement plans, routing parameterisation — lives in a SystemBlueprint
+/// (core/blueprint.hpp). The Study resolves it in this order: an explicit
+/// `blueprint` argument (must match the config's shape), the thread-bound
+/// BlueprintCache (ParallelRunner binds one across all workers, so
+/// same-shape cells share one snapshot), else a private build. Sharing never
+/// changes simulation output; --no-blueprint / DFSIM_NO_BLUEPRINT disables
+/// it.
 class Study {
  public:
   /// `arena` overrides the thread-bound SimArena::current(); pass nullptr to
   /// use the thread binding (the normal sweep path). Reuse is skipped when
-  /// arena_enabled() is off or the arena is already held.
-  explicit Study(StudyConfig config, SimArena* arena = nullptr);
+  /// arena_enabled() is off or the arena is already held. `blueprint`
+  /// overrides cache resolution; it must have been built from a config with
+  /// the same shape (throws std::invalid_argument otherwise).
+  explicit Study(StudyConfig config, SimArena* arena = nullptr,
+                 std::shared_ptr<const SystemBlueprint> blueprint = nullptr);
   ~Study();
 
   Study(const Study&) = delete;
@@ -137,7 +150,9 @@ class Study {
   // --- raw access for benches/tests -----------------------------------------
   Engine& engine() { return engine_; }
   Network& network() { return *network_; }
-  const Dragonfly& topo() const { return topo_; }
+  const Dragonfly& topo() const { return blueprint_->topo(); }
+  /// The immutable plan this cell runs against (possibly shared).
+  const std::shared_ptr<const SystemBlueprint>& blueprint() const { return blueprint_; }
   mpi::Job& job(int app_id) { return *jobs_[static_cast<std::size_t>(app_id)]; }
   int num_jobs() const { return static_cast<int>(jobs_.size()); }
   const StudyConfig& config() const { return config_; }
@@ -167,9 +182,9 @@ class Study {
   void build();  ///< instantiate routing, network and jobs (first run() step)
 
   StudyConfig config_;
+  std::shared_ptr<const SystemBlueprint> blueprint_;  ///< immutable shared plan
   SimArena* arena_{nullptr};
   Engine engine_;
-  Dragonfly topo_;
   Placer placer_;
   std::vector<PendingJob> pending_;
   std::unique_ptr<RoutingAlgorithm> routing_;

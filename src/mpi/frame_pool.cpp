@@ -1,0 +1,96 @@
+#include "mpi/frame_pool.hpp"
+
+#include <new>
+
+namespace dfly::mpi {
+
+namespace {
+
+thread_local FramePool* t_current_pool = nullptr;
+
+/// Per-block header, written in front of every frame. 16 bytes keeps the
+/// frame at max_align (::operator new returns max_align storage and
+/// coroutine frames assume no more than that from a promise operator new).
+struct BlockHeader {
+  std::uint64_t bucket_bytes;  ///< 0 = not poolable: always plain-freed
+  std::uint64_t reserved;      ///< pad to alignof(std::max_align_t)
+};
+static_assert(sizeof(BlockHeader) == 16);
+static_assert(alignof(std::max_align_t) <= 16);
+
+}  // namespace
+
+FramePool* FramePool::current() { return t_current_pool; }
+
+FramePool::~FramePool() {
+  for (auto& bucket : buckets_) {
+    for (void* block : bucket) ::operator delete(block);
+    bucket.clear();
+  }
+}
+
+void* FramePool::take(std::size_t bucket_bytes) {
+  auto& bucket = buckets_[bucket_bytes / kGranularity - 1];
+  if (bucket.empty()) return nullptr;
+  void* block = bucket.back();
+  bucket.pop_back();
+  return block;
+}
+
+void FramePool::park(void* block, std::size_t bucket_bytes) {
+  buckets_[bucket_bytes / kGranularity - 1].push_back(block);
+}
+
+void* FramePool::allocate(std::size_t bytes) {
+  const std::size_t total = bytes + sizeof(BlockHeader);
+  FramePool* pool = current();
+  if (pool != nullptr && total <= kMaxPooledBytes) {
+    const std::size_t bucket_bytes = (total + kGranularity - 1) / kGranularity * kGranularity;
+    void* block = pool->take(bucket_bytes);
+    if (block != nullptr) {
+      ++pool->recycled_;
+    } else {
+      block = ::operator new(bucket_bytes);
+      ++pool->built_;
+    }
+    *static_cast<BlockHeader*>(block) = BlockHeader{bucket_bytes, 0};
+    return static_cast<char*>(block) + sizeof(BlockHeader);
+  }
+  void* block = ::operator new(total);
+  *static_cast<BlockHeader*>(block) = BlockHeader{0, 0};
+  return static_cast<char*>(block) + sizeof(BlockHeader);
+}
+
+void FramePool::deallocate(void* frame) noexcept {
+  if (frame == nullptr) return;
+  void* block = static_cast<char*>(frame) - sizeof(BlockHeader);
+  const std::uint64_t bucket_bytes = static_cast<BlockHeader*>(block)->bucket_bytes;
+  FramePool* pool = current();
+  if (bucket_bytes != 0 && pool != nullptr) {
+    pool->park(block, static_cast<std::size_t>(bucket_bytes));
+    return;
+  }
+  ::operator delete(block);
+}
+
+std::size_t FramePool::parked_blocks() const {
+  std::size_t n = 0;
+  for (const auto& bucket : buckets_) n += bucket.size();
+  return n;
+}
+
+std::size_t FramePool::parked_bytes() const {
+  std::size_t bytes = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    bytes += buckets_[b].size() * (b + 1) * kGranularity;
+  }
+  return bytes;
+}
+
+ScopedFramePoolBinding::ScopedFramePoolBinding(FramePool* pool) : previous_(t_current_pool) {
+  if (pool != nullptr) t_current_pool = pool;
+}
+
+ScopedFramePoolBinding::~ScopedFramePoolBinding() { t_current_pool = previous_; }
+
+}  // namespace dfly::mpi

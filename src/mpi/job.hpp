@@ -31,6 +31,9 @@ struct ProtocolConfig {
   std::int64_t eager_threshold{32 * 1024};
   /// Size of RTS/CTS control messages on the wire.
   std::int64_t control_bytes{8};
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const ProtocolConfig&) const = default;
 };
 
 class MpiSystem;

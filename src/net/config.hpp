@@ -32,6 +32,9 @@ struct NetConfig {
   SimTime packet_serialization() const { return serialization_ps(packet_bytes, link_gbps); }
   SimTime serialization(int bytes) const { return serialization_ps(bytes, link_gbps); }
   int flits_per_packet() const { return (packet_bytes + flit_bytes - 1) / flit_bytes; }
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const NetConfig&) const = default;
 };
 
 }  // namespace dfly

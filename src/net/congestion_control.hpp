@@ -39,6 +39,9 @@ struct CongestionControlConfig {
   /// congestion episode does not trigger a cascade of cuts (per-source
   /// reaction time, like RoCE CNP coalescing).
   SimTime decrease_guard{2 * kUs};
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const CongestionControlConfig&) const = default;
 };
 
 }  // namespace dfly

@@ -20,6 +20,9 @@ struct LinkFault {
   int port{-1};
   int slowdown{1};
   SimTime extra_latency{0};
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const LinkFault&) const = default;
 };
 
 /// A set of link faults applied to a Network after construction.

@@ -5,18 +5,21 @@
 #include <utility>
 
 #include "core/arena.hpp"
+#include "core/blueprint.hpp"
 
 namespace dfly {
 
-Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
-                 RoutingAlgorithm& routing, int num_apps, std::uint64_t seed,
-                 NetworkObservability observability, SimArena* arena)
+Network::Network(Engine& engine, const SystemBlueprint& blueprint, RoutingAlgorithm& routing,
+                 int num_apps, std::uint64_t seed, NetworkObservability observability,
+                 SimArena* arena)
     : engine_(&engine),
-      topo_(&topo),
-      cfg_(cfg),
-      links_(topo),
+      blueprint_(&blueprint),
+      topo_(&blueprint.topo()),
+      cfg_(&blueprint.net()),
+      links_(&blueprint.links()),
       arena_(arena),
       traffic_classes_(num_apps) {
+  const Dragonfly& topo = *topo_;
   if (arena_ != nullptr) {
     // Adopt the worker's carried storage before any component references it;
     // member addresses are stable, so routers/NICs built below can safely
@@ -28,7 +31,7 @@ Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
     routers_ = std::move(storage.routers);
     nics_ = std::move(storage.nics);
   }
-  link_stats_.reset(links_.total_links(), num_apps);
+  link_stats_.reset(links_->total_links(), num_apps);
   packet_log_.reset(num_apps, observability.keep_packet_records, observability.throughput_bucket);
 
   const auto num_routers = static_cast<std::size_t>(topo.num_routers());
@@ -38,10 +41,10 @@ Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
     const auto slot = static_cast<std::size_t>(r);
     const bool reused = slot < routers_.size();
     if (reused) {
-      routers_[slot]->reinit(engine, topo, cfg_, r, pool_, link_stats_, links_, seed);
+      routers_[slot]->reinit(engine, blueprint, r, pool_, link_stats_, seed);
     } else {
-      routers_.push_back(std::make_unique<Router>(engine, topo, cfg_, r, pool_, link_stats_,
-                                                  links_, seed));
+      routers_.push_back(std::make_unique<Router>(engine, blueprint, r, pool_, link_stats_,
+                                                  seed));
     }
     if (arena_ != nullptr) arena_->count_router(reused);
     routers_[slot]->set_routing(routing);
@@ -53,10 +56,10 @@ Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
     const auto slot = static_cast<std::size_t>(n);
     const bool reused = slot < nics_.size();
     if (reused) {
-      nics_[slot]->reinit(engine, topo, cfg_, n, pool_, link_stats_, packet_log_, links_);
+      nics_[slot]->reinit(engine, blueprint, n, pool_, link_stats_, packet_log_);
     } else {
-      nics_.push_back(std::make_unique<Nic>(engine, topo, cfg_, n, pool_, link_stats_,
-                                            packet_log_, links_));
+      nics_.push_back(std::make_unique<Nic>(engine, blueprint, n, pool_, link_stats_,
+                                            packet_log_));
     }
     if (arena_ != nullptr) arena_->count_nic(reused);
     nics_[slot]->attach(*routers_[static_cast<std::size_t>(topo.router_of_node(n))]);
@@ -65,28 +68,28 @@ Network::Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
   }
 
   // Wire router-to-router links (both the forward data path and the reverse
-  // credit path) and router-to-NIC terminal links.
+  // credit path) and router-to-NIC terminal links, straight off the
+  // blueprint's precomputed wiring plan.
   for (int r = 0; r < topo.num_routers(); ++r) {
     Router& router = *routers_[static_cast<std::size_t>(r)];
     for (int port = 0; port < topo.radix(); ++port) {
-      const int link = links_.router_out(r, port);
-      if (topo.is_terminal_port(port)) {
+      const SystemBlueprint::PortPlan& plan = blueprint.port(r, port);
+      const int link = links_->router_out(r, port);
+      if (plan.peer_router < 0) {  // terminal port: the peer is a NIC
         const int node = topo.node_id(r, port);
         Nic& nic = *nics_[static_cast<std::size_t>(node)];
         router.connect(port, nic, 0, /*peer_is_router=*/false);
         router.in_[static_cast<std::size_t>(port)] =
-            Router::InWire{&nic, 0, cfg_.terminal_latency, false};
+            Router::InWire{&nic, 0, plan.latency, false};
         link_stats_.set_link_info(link, LinkClass::kTerminal, r, r);
-        link_stats_.set_link_info(links_.nic_out(node), LinkClass::kTerminal, r, r);
+        link_stats_.set_link_info(links_->nic_out(node), LinkClass::kTerminal, r, r);
         continue;
       }
-      const Dragonfly::Wire wire = topo.wire(r, port);
-      Router& peer = *routers_[static_cast<std::size_t>(wire.peer_router)];
-      router.connect(port, peer, wire.peer_port, /*peer_is_router=*/true);
-      const SimTime latency = LinkMap::port_latency(topo, cfg_, port);
-      peer.in_[static_cast<std::size_t>(wire.peer_port)] =
-          Router::InWire{&router, static_cast<std::int16_t>(port), latency, true};
-      link_stats_.set_link_info(link, LinkMap::port_class(topo, port), r, wire.peer_router);
+      Router& peer = *routers_[static_cast<std::size_t>(plan.peer_router)];
+      router.connect(port, peer, plan.peer_port, /*peer_is_router=*/true);
+      peer.in_[static_cast<std::size_t>(plan.peer_port)] =
+          Router::InWire{&router, static_cast<std::int16_t>(port), plan.latency, true};
+      link_stats_.set_link_info(link, plan.cls, r, plan.peer_router);
     }
   }
 }
@@ -126,9 +129,9 @@ std::uint64_t Network::send_message(int src_node, int dst_node, std::int64_t byt
   if (src_node == dst_node) {
     // Local (intra-node) message: no network involvement. Completes after a
     // memcpy-like delay at link rate so timing stays monotone.
-    const SimTime delay = cfg_.serialization(static_cast<int>(bytes > cfg_.packet_bytes
-                                                                  ? cfg_.packet_bytes
-                                                                  : bytes));
+    const SimTime delay = cfg_->serialization(static_cast<int>(bytes > cfg_->packet_bytes
+                                                                   ? cfg_->packet_bytes
+                                                                   : bytes));
     MessageEvents* sink = sink_;
     engine_->call_at(engine_->now() + delay, [sink, msg_id] {
       if (sink != nullptr) {

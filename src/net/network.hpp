@@ -19,6 +19,7 @@
 namespace dfly {
 
 class SimArena;
+class SystemBlueprint;
 
 /// Options for the observability plane.
 struct NetworkObservability {
@@ -28,7 +29,12 @@ struct NetworkObservability {
 
 /// The assembled Dragonfly network: routers, NICs, wires, statistics.
 ///
-/// The Network owns every component and the packet pool; the routing
+/// The Network is the *mutable* half of a cell's network state: it owns the
+/// components and the packet pool, while every read-only input — topology,
+/// NetConfig, link-id scheme and the resolved per-port wiring plan — comes
+/// from an immutable SystemBlueprint that the caller keeps alive for the
+/// Network's lifetime (Study holds it by shared_ptr) and that may be shared
+/// with any number of concurrent cells of the same shape. The routing
 /// algorithm is supplied by the caller (it may carry learning state and be
 /// a Component of its own, so its lifetime is managed above this class).
 ///
@@ -41,9 +47,9 @@ struct NetworkObservability {
 /// output is bit-identical with or without an arena.
 class Network final : public NicDirectory {
  public:
-  Network(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
-          RoutingAlgorithm& routing, int num_apps, std::uint64_t seed,
-          NetworkObservability observability = {}, SimArena* arena = nullptr);
+  Network(Engine& engine, const SystemBlueprint& blueprint, RoutingAlgorithm& routing,
+          int num_apps, std::uint64_t seed, NetworkObservability observability = {},
+          SimArena* arena = nullptr);
   ~Network() override;
 
   /// Queue a message; returns the assigned message id. Self-sends (src ==
@@ -55,8 +61,9 @@ class Network final : public NicDirectory {
   Router& router(int id) { return *routers_[static_cast<std::size_t>(id)]; }
   Nic& nic(int node) { return *nics_[static_cast<std::size_t>(node)]; }
   Nic& nic_at(int node) override { return nic(node); }
+  const SystemBlueprint& blueprint() const { return *blueprint_; }
   const Dragonfly& topo() const { return *topo_; }
-  const NetConfig& cfg() const { return cfg_; }
+  const NetConfig& cfg() const { return *cfg_; }
   Engine& engine() { return *engine_; }
 
   /// Apply a set of link faults (degraded serialisation / extra latency on
@@ -74,7 +81,7 @@ class Network final : public NicDirectory {
   const LinkStats& link_stats() const { return link_stats_; }
   PacketLog& packet_log() { return packet_log_; }
   const PacketLog& packet_log() const { return packet_log_; }
-  const LinkMap& link_map() const { return links_; }
+  const LinkMap& link_map() const { return *links_; }
   PacketPool& pool() { return pool_; }
 
   /// Total packets currently buffered in routers plus queued in NICs.
@@ -82,9 +89,10 @@ class Network final : public NicDirectory {
 
  private:
   Engine* engine_;
-  const Dragonfly* topo_;
-  NetConfig cfg_;
-  LinkMap links_;
+  const SystemBlueprint* blueprint_;  ///< immutable shared plan (caller-owned)
+  const Dragonfly* topo_;             ///< = &blueprint_->topo()
+  const NetConfig* cfg_;              ///< = &blueprint_->net()
+  const LinkMap* links_;              ///< = &blueprint_->links()
   SimArena* arena_;  ///< storage donor/recipient; null = self-owned only
   // pool_/link_stats_/packet_log_/routers_/nics_ hold arena-borrowed storage
   // when arena_ is set; the destructor moves it back.

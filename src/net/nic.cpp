@@ -2,18 +2,20 @@
 
 #include <cassert>
 
+#include "core/blueprint.hpp"
 #include "net/router.hpp"
 
 namespace dfly {
 
-Nic::Nic(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
-         PacketPool& pool, LinkStats& stats, PacketLog& packet_log, const LinkMap& links) {
-  reinit(engine, topo, cfg, node, pool, stats, packet_log, links);
+Nic::Nic(Engine& engine, const SystemBlueprint& blueprint, int node,
+         PacketPool& pool, LinkStats& stats, PacketLog& packet_log) {
+  reinit(engine, blueprint, node, pool, stats, packet_log);
 }
 
-void Nic::reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
-                 PacketPool& pool, LinkStats& stats, PacketLog& packet_log,
-                 const LinkMap& links) {
+void Nic::reinit(Engine& engine, const SystemBlueprint& blueprint, int node,
+                 PacketPool& pool, LinkStats& stats, PacketLog& packet_log) {
+  const Dragonfly& topo = blueprint.topo();
+  const NetConfig& cfg = blueprint.net();
   engine_ = &engine;
   topo_ = &topo;
   cfg_ = &cfg;
@@ -21,7 +23,7 @@ void Nic::reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, in
   pool_ = &pool;
   stats_ = &stats;
   packet_log_ = &packet_log;
-  links_ = &links;
+  links_ = &blueprint.links();
   router_ = nullptr;
   sink_ = nullptr;
   classes_ = nullptr;

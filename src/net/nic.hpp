@@ -15,6 +15,7 @@
 namespace dfly {
 
 class Router;
+class SystemBlueprint;
 
 namespace nic_ev {
 inline constexpr std::uint32_t kArrive = 1;      ///< a = packet id (ejection)
@@ -56,16 +57,19 @@ class NicDirectory {
 /// reassembles messages and reports deliveries.
 class Nic final : public Component {
  public:
-  Nic(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
-      PacketPool& pool, LinkStats& stats, PacketLog& packet_log, const LinkMap& links);
+  /// Topology, NetConfig and the link-id scheme all come from the immutable
+  /// `blueprint`, which the owning Network keeps alive; the remaining
+  /// arguments are the NIC's mutable per-cell dependencies.
+  Nic(Engine& engine, const SystemBlueprint& blueprint, int node,
+      PacketPool& pool, LinkStats& stats, PacketLog& packet_log);
 
   /// Re-point and re-zero every piece of per-cell state so a NIC recycled
   /// from a per-worker arena (core/arena.hpp) behaves exactly like a fresh
   /// one while keeping its queue storage (send queue blocks, inbound-map
   /// buckets). The constructor funnels through this. Callers must attach()
   /// and re-run the set_* wiring afterwards, as Network does.
-  void reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int node,
-              PacketPool& pool, LinkStats& stats, PacketLog& packet_log, const LinkMap& links);
+  void reinit(Engine& engine, const SystemBlueprint& blueprint, int node,
+              PacketPool& pool, LinkStats& stats, PacketLog& packet_log);
 
   /// Attach to the node's router (called by Network during wiring).
   void attach(Router& router);

@@ -41,6 +41,9 @@ struct QosConfig {
     const int w = weights[static_cast<std::size_t>(cls)];
     return w < 1 ? 1 : w;
   }
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const QosConfig&) const = default;
 };
 
 /// Application -> traffic class assignment, shared by all NICs of one

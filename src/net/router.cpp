@@ -3,28 +3,30 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/blueprint.hpp"
 #include "net/nic.hpp"
 #include "sim/log.hpp"
 
 namespace dfly {
 
-Router::Router(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
-               PacketPool& pool, LinkStats& stats, const LinkMap& links,
-               std::uint64_t seed)
-    : buffers_(topo.radix(), cfg.num_vcs, cfg.buffer_packets) {
-  reinit(engine, topo, cfg, id, pool, stats, links, seed);
+Router::Router(Engine& engine, const SystemBlueprint& blueprint, int id,
+               PacketPool& pool, LinkStats& stats, std::uint64_t seed)
+    : buffers_(blueprint.topo().radix(), blueprint.net().num_vcs,
+               blueprint.net().buffer_packets) {
+  reinit(engine, blueprint, id, pool, stats, seed);
 }
 
-void Router::reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
-                    PacketPool& pool, LinkStats& stats, const LinkMap& links,
-                    std::uint64_t seed) {
+void Router::reinit(Engine& engine, const SystemBlueprint& blueprint, int id,
+                    PacketPool& pool, LinkStats& stats, std::uint64_t seed) {
+  const Dragonfly& topo = blueprint.topo();
+  const NetConfig& cfg = blueprint.net();
   engine_ = &engine;
   topo_ = &topo;
   cfg_ = &cfg;
   id_ = id;
   pool_ = &pool;
   stats_ = &stats;
-  links_ = &links;
+  links_ = &blueprint.links();
   routing_ = nullptr;
   rng_ = Rng(seed, static_cast<std::uint64_t>(id) + 0x10000);
   const auto radix = static_cast<std::size_t>(topo.radix());
@@ -35,7 +37,7 @@ void Router::reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
     o.peer = nullptr;
     o.peer_port = -1;
     o.peer_is_router = false;
-    o.latency = LinkMap::port_latency(topo, cfg, port);
+    o.latency = blueprint.port(id, port).latency;
     o.slowdown = 1;
     o.extra_latency = 0;
     o.busy_until = 0;

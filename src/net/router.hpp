@@ -16,6 +16,8 @@
 
 namespace dfly {
 
+class SystemBlueprint;
+
 namespace router_ev {
 inline constexpr std::uint32_t kArrive = 1;   ///< a = packet id, b = in_port | in_vc<<8
 inline constexpr std::uint32_t kTryPort = 2;  ///< a = output port
@@ -38,18 +40,19 @@ inline constexpr std::uint32_t kCredit = 3;   ///< a = output port, b = vc
 /// accumulated as that link's *stall time* (the paper's Fig 11 metric).
 class Router final : public Component {
  public:
-  Router(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
-         PacketPool& pool, LinkStats& stats, const LinkMap& links,
-         std::uint64_t seed);
+  /// Topology, NetConfig and the link-id scheme all come from the immutable
+  /// `blueprint`, which the owning Network keeps alive; the remaining
+  /// arguments are the router's mutable per-cell dependencies.
+  Router(Engine& engine, const SystemBlueprint& blueprint, int id,
+         PacketPool& pool, LinkStats& stats, std::uint64_t seed);
 
   /// Re-point and re-zero every piece of per-cell state so a router object
   /// recycled from a per-worker arena (core/arena.hpp) behaves exactly like a
   /// freshly-constructed one while keeping its buffer storage. The
   /// constructor funnels through this, so the fresh and reuse paths cannot
   /// drift apart. Callers must re-connect() wiring and set_routing() after.
-  void reinit(Engine& engine, const Dragonfly& topo, const NetConfig& cfg, int id,
-              PacketPool& pool, LinkStats& stats, const LinkMap& links,
-              std::uint64_t seed);
+  void reinit(Engine& engine, const SystemBlueprint& blueprint, int id,
+              PacketPool& pool, LinkStats& stats, std::uint64_t seed);
 
   /// Wire output `port` to a peer component (router or NIC). `peer_port` is
   /// the input port index on the receiving side (ignored for NICs).

@@ -64,7 +64,9 @@ class AppAwareUgalRouting final : public RoutingAlgorithm {
   void note_injection(int app_id, int bytes, SimTime now);
   void fold_window();
 
-  AppAwareParams p_;
+  // Immutable parameterisation; everything below it is per-cell classifier
+  // state that adapts during the run.
+  const AppAwareParams p_;
   SimTime window_end_{0};
   double window_capacity_bytes_{0};  ///< aggregate injection bytes per window
   std::vector<std::int64_t> window_bytes_;  ///< per app, current window

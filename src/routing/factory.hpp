@@ -14,6 +14,11 @@
 namespace dfly::routing {
 
 /// Everything needed to instantiate any routing policy.
+///
+/// The split mirrors the SystemBlueprint design: `ugal`/`qadp`/`qinit` are
+/// the immutable parameterisation a blueprint shares across cells; the engine
+/// and seed feed the policy's own per-cell mutable state (Rng streams,
+/// Q-tables, flow tables).
 struct RoutingContext {
   Engine* engine;
   const Dragonfly* topo;
@@ -21,6 +26,9 @@ struct RoutingContext {
   std::uint64_t seed{1};
   UgalParams ugal{};
   QAdaptiveParams qadp{};
+  /// Blueprint-shared initial Q-tables for "Q-adp" (null = compute locally;
+  /// the instantiated tables are identical either way).
+  const std::vector<QTable>* qinit{nullptr};
 };
 
 /// Names: "MIN", "VALg", "VALn", "UGALg", "UGALn", "PAR", "Q-adp".

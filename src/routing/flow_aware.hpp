@@ -57,7 +57,8 @@ class FlowAwareRouting final : public RoutingAlgorithm {
 
   FlowEntry decide(Router& router, Packet& pkt) const;
 
-  FlowAwareParams params_;
+  // Immutable parameterisation; the flow table below is per-cell state.
+  const FlowAwareParams params_;
   std::unordered_map<std::uint64_t, FlowEntry> flows_;
   std::uint64_t refreshes_{0};
 };

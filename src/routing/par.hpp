@@ -22,7 +22,9 @@ class ParRouting final : public RoutingAlgorithm {
   RouteDecision route(Router& router, Packet& pkt) override;
 
  private:
-  UgalParams params_;
+  // Immutable parameterisation: PAR keeps no per-cell learning state — every
+  // decision reads live router queue occupancy.
+  const UgalParams params_;
 };
 
 }  // namespace dfly::routing

@@ -15,45 +15,42 @@ constexpr double kUnreachable = 1e18;
 constexpr std::uint32_t kFeedback = 1;
 }  // namespace
 
-QAdaptiveRouting::QAdaptiveRouting(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
-                                   QAdaptiveParams params, std::uint64_t seed)
-    : topo_(&topo), cfg_(&cfg), params_(params), engine_(&engine), rng_(seed, 0x0ADA97151ull) {
-  tables_.reserve(static_cast<std::size_t>(topo.num_routers()));
+namespace {
+double unloaded_hop_cost(const NetConfig& cfg, bool global) {
+  const double ser = static_cast<double>(cfg.packet_serialization());
+  const double wire = static_cast<double>(global ? cfg.global_latency : cfg.local_latency);
+  return ser + wire + static_cast<double>(cfg.router_latency);
+}
+}  // namespace
+
+std::vector<QTable> build_initial_qtables(const Dragonfly& topo, const NetConfig& cfg) {
+  std::vector<QTable> tables;
+  tables.reserve(static_cast<std::size_t>(topo.num_routers()));
   for (int r = 0; r < topo.num_routers(); ++r) {
-    tables_.emplace_back(topo.num_groups(), topo.params().a, topo.radix());
+    tables.emplace_back(topo.num_groups(), topo.params().a, topo.radix());
   }
-  init_tables();
-}
-
-double QAdaptiveRouting::unloaded_hop_cost(bool global) const {
-  const double ser = static_cast<double>(cfg_->packet_serialization());
-  const double wire = static_cast<double>(global ? cfg_->global_latency : cfg_->local_latency);
-  return ser + wire + static_cast<double>(cfg_->router_latency);
-}
-
-void QAdaptiveRouting::init_tables() {
-  const double lc = unloaded_hop_cost(false);
-  const double gc = unloaded_hop_cost(true);
-  for (int r = 0; r < topo_->num_routers(); ++r) {
-    QTable& table = tables_[static_cast<std::size_t>(r)];
-    const int my_group = topo_->group_of_router(r);
-    for (int port = 0; port < topo_->radix(); ++port) {
-      const bool terminal = topo_->is_terminal_port(port);
-      const Dragonfly::Wire wire = terminal ? Dragonfly::Wire{} : topo_->wire(r, port);
-      for (int gd = 0; gd < topo_->num_groups(); ++gd) {
+  const double lc = unloaded_hop_cost(cfg, false);
+  const double gc = unloaded_hop_cost(cfg, true);
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    QTable& table = tables[static_cast<std::size_t>(r)];
+    const int my_group = topo.group_of_router(r);
+    for (int port = 0; port < topo.radix(); ++port) {
+      const bool terminal = topo.is_terminal_port(port);
+      const Dragonfly::Wire wire = terminal ? Dragonfly::Wire{} : topo.wire(r, port);
+      for (int gd = 0; gd < topo.num_groups(); ++gd) {
         if (terminal) {
           table.set_global(gd, port, kUnreachable);
           continue;
         }
         const int peer = wire.peer_router;
-        const int peer_group = topo_->group_of_router(peer);
+        const int peer_group = topo.group_of_router(peer);
         const double first = wire.global ? gc : lc;
         double rem;
         if (peer_group == gd) {
           rem = lc;  // expected final local hop
-        } else if (!topo_->gateways(peer_group, gd).empty()) {
+        } else if (!topo.gateways(peer_group, gd).empty()) {
           bool own = false;
-          for (const auto& e : topo_->gateways(peer_group, gd)) {
+          for (const auto& e : topo.gateways(peer_group, gd)) {
             if (e.router == peer) {
               own = true;
               break;
@@ -65,21 +62,35 @@ void QAdaptiveRouting::init_tables() {
         }
         table.set_global(gd, port, rem >= kUnreachable ? kUnreachable : first + rem);
       }
-      for (int dl = 0; dl < topo_->params().a; ++dl) {
+      for (int dl = 0; dl < topo.params().a; ++dl) {
         if (terminal) {
           table.set_local(dl, port, kUnreachable);
           continue;
         }
-        if (dl == topo_->local_index(r)) {
+        if (dl == topo.local_index(r)) {
           table.set_local(dl, port, 0.0);
           continue;
         }
-        const bool direct = !wire.global && topo_->local_index(wire.peer_router) == dl &&
-                            topo_->group_of_router(wire.peer_router) == my_group;
+        const bool direct = !wire.global && topo.local_index(wire.peer_router) == dl &&
+                            topo.group_of_router(wire.peer_router) == my_group;
         table.set_local(dl, port, direct ? lc : 3.0 * lc);
       }
     }
   }
+  return tables;
+}
+
+QAdaptiveRouting::QAdaptiveRouting(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
+                                   QAdaptiveParams params, std::uint64_t seed,
+                                   const std::vector<QTable>* initial)
+    : topo_(&topo),
+      cfg_(&cfg),
+      params_(params),
+      engine_(&engine),
+      rng_(seed, 0x0ADA97151ull),
+      tables_(initial != nullptr ? *initial : build_initial_qtables(topo, cfg)) {
+  assert(static_cast<int>(tables_.size()) == topo.num_routers() &&
+         "initial Q-tables built for a different system shape");
 }
 
 void QAdaptiveRouting::candidates(Router& router, const Packet& pkt, std::vector<int>& out) const {

@@ -18,7 +18,16 @@ struct QAdaptiveParams {
   double alpha{0.2};        ///< learning rate
   double epsilon{0.01};     ///< exploration probability per decision
   double queue_weight{1.0}; ///< weight of the instantaneous local queue penalty
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const QAdaptiveParams&) const = default;
 };
+
+/// The unloaded initial Q-table estimates depend only on topology and
+/// NetConfig, so they are precomputed once per system shape (SystemBlueprint
+/// shares one copy across every cell) and copied into each QAdaptiveRouting
+/// instance's mutable tables.
+std::vector<QTable> build_initial_qtables(const Dragonfly& topo, const NetConfig& cfg);
 
 /// Q-adaptive routing: multi-agent reinforcement-learning routing where each
 /// router keeps a two-level Q-table of estimated delivery times and forwards
@@ -37,10 +46,18 @@ struct QAdaptiveParams {
 /// loop-free by construction and differs from UGAL/PAR only in *what
 /// information* drives the choice: learned system-wide congestion instead of
 /// local queue depth.
+///
+/// Const/mutable split: `params_` and the blueprint-shared initial estimates
+/// are immutable configuration; `tables_` (and the Rng / feedback counters)
+/// are the per-cell learning state that trains during the run.
 class QAdaptiveRouting final : public RoutingAlgorithm, public Component {
  public:
+  /// `initial` (optional) is a blueprint-shared precomputed initial-table
+  /// set; pass nullptr to compute the unloaded estimates locally. The
+  /// resulting tables are identical either way.
   QAdaptiveRouting(Engine& engine, const Dragonfly& topo, const NetConfig& cfg,
-                   QAdaptiveParams params, std::uint64_t seed);
+                   QAdaptiveParams params, std::uint64_t seed,
+                   const std::vector<QTable>* initial = nullptr);
 
   std::string name() const override { return "Q-adp"; }
   RouteDecision route(Router& router, Packet& pkt) override;
@@ -60,12 +77,11 @@ class QAdaptiveRouting final : public RoutingAlgorithm, public Component {
   /// Admissible candidate ports for `pkt` at `router`.
   void candidates(Router& router, const Packet& pkt, std::vector<int>& out) const;
 
-  void init_tables();
-  double unloaded_hop_cost(bool global) const;
-
+  // Immutable parameterisation (shared-plan side of the const/mutable split).
   const Dragonfly* topo_;
   const NetConfig* cfg_;
-  QAdaptiveParams params_;
+  const QAdaptiveParams params_;
+  // Mutable per-cell learning state.
   Engine* engine_;
   Rng rng_;
   std::vector<QTable> tables_;

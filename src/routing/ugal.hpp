@@ -11,6 +11,9 @@ struct UgalParams {
   /// Minimal is chosen when q_min <= nonmin_weight * q_nonmin + bias.
   int nonmin_weight{2};
   int bias{0};
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const UgalParams&) const = default;
 };
 
 /// Universal Globally-Adaptive Load-balanced routing (Cray-style).
@@ -32,8 +35,10 @@ class UgalRouting final : public RoutingAlgorithm {
   const UgalParams& params() const { return params_; }
 
  private:
-  bool node_variant_;
-  UgalParams params_;
+  // Immutable parameterisation: UGAL keeps no per-cell learning state — every
+  // decision reads live router queue occupancy.
+  const bool node_variant_;
+  const UgalParams params_;
 };
 
 }  // namespace dfly::routing

@@ -16,7 +16,7 @@ class ValiantRouting final : public RoutingAlgorithm {
   RouteDecision route(Router& router, Packet& pkt) override;
 
  private:
-  bool node_variant_;
+  const bool node_variant_;  ///< immutable parameterisation
 };
 
 }  // namespace dfly::routing

@@ -46,6 +46,9 @@ struct DragonflyParams {
   static DragonflyParams paper() { return DragonflyParams{4, 8, 4, 33}; }
   /// A small 72-node system (g=9,a=4,h=2,p=2) for tests.
   static DragonflyParams tiny() { return DragonflyParams{2, 4, 2, 9}; }
+
+  /// Shape identity (used by the SystemBlueprint cache key).
+  bool operator==(const DragonflyParams&) const = default;
 };
 
 /// One endpoint of a global link: a router and its global-port index.

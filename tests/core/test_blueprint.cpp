@@ -1,0 +1,350 @@
+// Tests for the immutable SystemBlueprint (core/blueprint.hpp): key/hash
+// semantics, build purity, the concurrent cache's hit/miss behaviour, Study
+// integration (explicit / thread-bound / private resolution and the shape
+// check), byte-identical output with sharing on vs off, the dirty-state fuzz
+// (deliberately different cell shapes through ONE cache), and the coroutine
+// FramePool's recycle counters.
+
+#include "core/blueprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/json_report.hpp"
+#include "core/study.hpp"
+#include "sim/rng.hpp"
+
+namespace dfly {
+namespace {
+
+/// set_blueprint_enabled is process-global; every test that flips it must
+/// restore the default so later tests see sharing on.
+struct BlueprintToggleGuard {
+  ~BlueprintToggleGuard() { set_blueprint_enabled(true); }
+};
+
+StudyConfig tiny_config(const std::string& routing = "MIN", std::uint64_t seed = 42) {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.seed = seed;
+  config.scale = 64;
+  return config;
+}
+
+Report run_cell(const StudyConfig& config, const std::string& app, int nodes,
+                std::shared_ptr<const SystemBlueprint> blueprint = nullptr) {
+  Study study(config, nullptr, std::move(blueprint));
+  study.add_app(app, nodes);
+  return study.run();
+}
+
+// --- key / hash --------------------------------------------------------------
+
+TEST(BlueprintKey, SeedScaleAndObservabilityAreNotShape) {
+  StudyConfig a = tiny_config("UGALg", 1);
+  StudyConfig b = tiny_config("UGALg", 999);
+  b.scale = 1;
+  b.observability.keep_packet_records = true;
+  b.time_limit = kSec;
+  EXPECT_EQ(BlueprintKey::of(a), BlueprintKey::of(b));
+  EXPECT_EQ(BlueprintKey::of(a).hash(), BlueprintKey::of(b).hash());
+}
+
+TEST(BlueprintKey, EveryShapeFieldChangesTheKey) {
+  const BlueprintKey base = BlueprintKey::of(tiny_config());
+  {
+    StudyConfig c = tiny_config();
+    c.routing = "UGALg";
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+  {
+    StudyConfig c = tiny_config();
+    c.topo = DragonflyParams{2, 4, 2, 5};
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+  {
+    StudyConfig c = tiny_config();
+    c.net.buffer_packets = 7;
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+  {
+    StudyConfig c = tiny_config();
+    c.placement = PlacementPolicy::kContiguous;
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+  {
+    StudyConfig c = tiny_config();
+    c.protocol.eager_threshold = 1024;
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+  {
+    StudyConfig c = tiny_config();
+    c.ugal.bias = 99;
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+  {
+    StudyConfig c = tiny_config();
+    c.qadp.alpha = 0.9;
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+  {
+    StudyConfig c = tiny_config();
+    c.faults = parse_fault_plan("0:2:4");
+    EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+}
+
+// --- build purity ------------------------------------------------------------
+
+TEST(SystemBlueprint, BuildIsPureForEqualShapes) {
+  const StudyConfig config = tiny_config("Q-adp");
+  const auto a = SystemBlueprint::build(config);
+  const auto b = SystemBlueprint::build(config);
+  ASSERT_NE(a, b);  // distinct snapshots...
+  EXPECT_EQ(a->key(), b->key());
+  EXPECT_EQ(a->footprint_bytes(), b->footprint_bytes());
+  const Dragonfly& topo = a->topo();
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    for (int p = 0; p < topo.radix(); ++p) {
+      // ...with identical content (the wiring plan is a pure function of
+      // the shape).
+      EXPECT_EQ(a->port(r, p).peer_router, b->port(r, p).peer_router);
+      EXPECT_EQ(a->port(r, p).peer_port, b->port(r, p).peer_port);
+      EXPECT_EQ(a->port(r, p).latency, b->port(r, p).latency);
+    }
+  }
+  EXPECT_EQ(a->paths().min_hops, b->paths().min_hops);
+  EXPECT_EQ(a->paths().group_paths, b->paths().group_paths);
+  ASSERT_NE(a->initial_qtables(), nullptr);
+  ASSERT_NE(b->initial_qtables(), nullptr);
+  ASSERT_EQ(a->initial_qtables()->size(), b->initial_qtables()->size());
+}
+
+TEST(SystemBlueprint, PortPlanMatchesTopologyWiring) {
+  const auto bp = SystemBlueprint::build(tiny_config());
+  const Dragonfly& topo = bp->topo();
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    for (int p = 0; p < topo.radix(); ++p) {
+      const SystemBlueprint::PortPlan& plan = bp->port(r, p);
+      if (topo.is_terminal_port(p)) {
+        EXPECT_EQ(plan.peer_router, -1);
+        EXPECT_EQ(plan.cls, LinkClass::kTerminal);
+        continue;
+      }
+      const Dragonfly::Wire wire = topo.wire(r, p);
+      EXPECT_EQ(plan.peer_router, wire.peer_router);
+      EXPECT_EQ(plan.peer_port, wire.peer_port);
+      EXPECT_EQ(plan.global, wire.global);
+    }
+  }
+}
+
+TEST(SystemBlueprint, InitialQTablesOnlyForQAdaptive) {
+  EXPECT_EQ(SystemBlueprint::build(tiny_config("MIN"))->initial_qtables(), nullptr);
+  EXPECT_NE(SystemBlueprint::build(tiny_config("Q-adp"))->initial_qtables(), nullptr);
+}
+
+// --- cache -------------------------------------------------------------------
+
+TEST(BlueprintCache, SameShapeSharesOneSnapshot) {
+  BlueprintCache cache;
+  const auto a = cache.get_or_build(tiny_config("UGALg", 1));
+  const auto b = cache.get_or_build(tiny_config("UGALg", 2));  // seed is not shape
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cache.size(), 1u);
+  const BlueprintCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_GE(stats.build_ms_total, 0.0);
+}
+
+TEST(BlueprintCache, DifferentShapesGetDifferentSnapshots) {
+  BlueprintCache cache;
+  const auto a = cache.get_or_build(tiny_config("MIN"));
+  const auto b = cache.get_or_build(tiny_config("PAR"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(BlueprintCache, ThreadBindingNestsAndRestores) {
+  EXPECT_EQ(BlueprintCache::current(), nullptr);
+  BlueprintCache outer, inner;
+  {
+    ScopedBlueprintCacheBinding bind_outer(&outer);
+    EXPECT_EQ(BlueprintCache::current(), &outer);
+    {
+      ScopedBlueprintCacheBinding bind_inner(&inner);
+      EXPECT_EQ(BlueprintCache::current(), &inner);
+      ScopedBlueprintCacheBinding noop(nullptr);  // null binding: keep current
+      EXPECT_EQ(BlueprintCache::current(), &inner);
+    }
+    EXPECT_EQ(BlueprintCache::current(), &outer);
+  }
+  EXPECT_EQ(BlueprintCache::current(), nullptr);
+}
+
+// --- Study integration -------------------------------------------------------
+
+TEST(StudyBlueprint, BoundCacheIsPickedUpAndShared) {
+  BlueprintCache cache;
+  ScopedBlueprintCacheBinding binding(&cache);
+  const StudyConfig config = tiny_config("UGALg");
+  Study first(config);
+  Study second(config);
+  EXPECT_EQ(first.blueprint(), second.blueprint());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(StudyBlueprint, ExplicitBlueprintIsUsedVerbatim) {
+  const StudyConfig config = tiny_config("UGALg");
+  const auto bp = SystemBlueprint::build(config);
+  StudyConfig other_seed = config;
+  other_seed.seed = 777;  // seed is not shape: the same plan serves it
+  Study study(other_seed, nullptr, bp);
+  EXPECT_EQ(study.blueprint(), bp);
+}
+
+TEST(StudyBlueprint, ShapeMismatchThrows) {
+  const auto bp = SystemBlueprint::build(tiny_config("MIN"));
+  EXPECT_THROW(Study(tiny_config("UGALg"), nullptr, bp), std::invalid_argument);
+}
+
+TEST(StudyBlueprint, DisabledTogglesIgnoreTheBoundCache) {
+  BlueprintToggleGuard guard;
+  BlueprintCache cache;
+  ScopedBlueprintCacheBinding binding(&cache);
+  set_blueprint_enabled(false);
+  Study study(tiny_config());
+  EXPECT_NE(study.blueprint(), nullptr);  // private plan, built anyway
+  EXPECT_EQ(cache.size(), 0u);            // ...without touching the cache
+  set_blueprint_enabled(true);
+  Study cached(tiny_config());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- output equivalence ------------------------------------------------------
+
+TEST(StudyBlueprint, SharedPlanOutputIsByteIdenticalToPrivate) {
+  const StudyConfig config = tiny_config("PAR", 7);
+  BlueprintCache cache;
+  std::string shared_json, repeat_json;
+  {
+    ScopedBlueprintCacheBinding binding(&cache);
+    shared_json = report_to_json(run_cell(config, "FFT3D", 32));
+    repeat_json = report_to_json(run_cell(config, "FFT3D", 32));  // cache hit
+  }
+  const std::string private_json = report_to_json(run_cell(config, "FFT3D", 32));
+  EXPECT_EQ(shared_json, private_json);
+  EXPECT_EQ(repeat_json, private_json);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(StudyBlueprint, DirtyStateFuzzAcrossShapesThroughOneCache) {
+  // Deliberately different cell shapes scheduled through ONE blueprint cache
+  // (and one arena, as a ParallelRunner worker would): every report must
+  // match a fresh cache-less, arena-less run of the same cell. Seeded so the
+  // "random" schedule is reproducible.
+  const std::vector<std::string> apps{"UR", "FFT3D", "Halo3D", "CosmoFlow"};
+  const std::vector<std::string> routings{"MIN", "UGALg", "PAR", "Q-adp"};
+  const std::vector<int> node_counts{16, 24, 32, 48};
+
+  Rng rng(20260729);
+  struct Cell {
+    StudyConfig config;
+    std::string app;
+    int nodes;
+  };
+  std::vector<Cell> cells;
+  for (int i = 0; i < 8; ++i) {
+    Cell cell;
+    cell.config = tiny_config(routings[rng.next_below(routings.size())],
+                              /*seed=*/100 + rng.next_below(1000));
+    cell.app = apps[rng.next_below(apps.size())];
+    cell.nodes = node_counts[rng.next_below(node_counts.size())];
+    if (rng.next_bernoulli(0.25)) {
+      cell.config.net.qos.num_classes = 2;  // flip the DWRR arbitration shape
+    }
+    if (rng.next_bernoulli(0.25)) {
+      cell.config.topo = DragonflyParams{2, 4, 2, 5};  // different machine
+      cell.nodes = 16;
+    }
+    if (rng.next_bernoulli(0.5)) {
+      cell.config.observability.keep_packet_records = true;
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  BlueprintCache cache;
+  std::vector<std::string> shared;
+  {
+    SimArena arena;
+    ScopedArenaBinding arena_binding(&arena);
+    ScopedBlueprintCacheBinding cache_binding(&cache);
+    for (const Cell& cell : cells) {
+      shared.push_back(report_to_json(run_cell(cell.config, cell.app, cell.nodes)));
+    }
+  }
+  EXPECT_GT(cache.stats().misses, 0u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Report fresh = run_cell(cells[i].config, cells[i].app, cells[i].nodes);
+    EXPECT_EQ(shared[i], report_to_json(fresh))
+        << "cell " << i << " (" << cells[i].app << " on " << cells[i].config.routing
+        << ", seed " << cells[i].config.seed << ") diverged under blueprint sharing";
+  }
+}
+
+// --- coroutine frame pool ----------------------------------------------------
+
+TEST(FramePool, UnboundByDefault) { EXPECT_EQ(mpi::FramePool::current(), nullptr); }
+
+TEST(FramePool, ArenaBindingRecyclesFramesAcrossCells) {
+  SimArena arena;
+  const StudyConfig config = tiny_config("MIN", 3);
+  {
+    ScopedArenaBinding binding(&arena);
+    EXPECT_EQ(mpi::FramePool::current(), &arena.frame_pool());
+    run_cell(config, "UR", 32);
+  }
+  const std::uint64_t built_first = arena.frame_pool().frames_built();
+  EXPECT_GT(built_first, 0u);          // first cell had to build its frames
+  EXPECT_GT(arena.frame_pool().parked_blocks(), 0u);  // ...and parked them
+  EXPECT_GT(arena.frame_pool().parked_bytes(), 0u);
+  {
+    ScopedArenaBinding binding(&arena);
+    run_cell(config, "UR", 32);
+  }
+  EXPECT_GT(arena.frame_pool().frames_recycled(), 0u);
+  // The same-shape second cell re-uses the first cell's frames instead of
+  // growing the pool.
+  EXPECT_EQ(arena.frame_pool().frames_built(), built_first);
+}
+
+TEST(FramePool, PoolLessAllocationRoundTrips) {
+  // With no pool bound, promise frames fall back to the plain heap; the
+  // deallocation path must accept such frames (bucket 0 tag).
+  ASSERT_EQ(mpi::FramePool::current(), nullptr);
+  void* frame = mpi::FramePool::allocate(256);
+  ASSERT_NE(frame, nullptr);
+  mpi::FramePool::deallocate(frame);
+
+  // And a pool-built frame may be freed after its pool unbinds.
+  mpi::FramePool pool;
+  void* pooled = nullptr;
+  {
+    mpi::ScopedFramePoolBinding binding(&pool);
+    pooled = mpi::FramePool::allocate(256);
+    ASSERT_NE(pooled, nullptr);
+  }
+  mpi::FramePool::deallocate(pooled);  // no pool bound: plain-freed
+}
+
+}  // namespace
+}  // namespace dfly

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "core/arena.hpp"
+#include "core/blueprint.hpp"
 #include "core/json_report.hpp"
+#include "core/mixed.hpp"
 #include "core/pairwise.hpp"
 #include "core/study.hpp"
 #include "core/sweep.hpp"
@@ -89,10 +91,17 @@ TEST(ParallelRunner, ResolveJobsPrefersExplicitThenEnvThenFallback) {
   }
 }
 
-TEST(ParallelRunner, HardwareJobsIsAtLeastOneAndCapped) {
+TEST(ParallelRunner, HardwareJobsIsAtLeastOneAndMemoryCapped) {
+  // The worker cap is no longer a fixed 12: with the read-only plan factored
+  // into the shared SystemBlueprint, it derives from physical memory at
+  // kCellBudgetBytes per in-flight cell (clamped to [1, 256]; 12 remains the
+  // fallback when the platform cannot report memory).
+  const int cap = ParallelRunner::memory_jobs_cap();
+  EXPECT_GE(cap, 1);
+  EXPECT_LE(cap, 256);
   const int jobs = ParallelRunner::hardware_jobs();
   EXPECT_GE(jobs, 1);
-  EXPECT_LE(jobs, 12);
+  EXPECT_LE(jobs, cap);
 }
 
 // The acceptance bar for the parallel sweep: four workers must produce a
@@ -139,6 +148,101 @@ TEST(SweepParallelDeterminism, ArenaOnAndOffByteIdenticalForAnyWorkerCount) {
   EXPECT_EQ(arena_seq, fresh_seq);
   EXPECT_EQ(arena_seq, arena_par);
   EXPECT_EQ(arena_seq, fresh_par);
+}
+
+// Blueprint sharing must be invisible in the output: the same sweep with
+// cross-cell plan sharing ON and OFF, with one or four workers, and in every
+// combination with arena reuse, serialises to the same bytes.
+TEST(SweepParallelDeterminism, BlueprintOnAndOffByteIdenticalForAnyWorkerCount) {
+  struct ToggleGuard {
+    ~ToggleGuard() {
+      set_blueprint_enabled(true);
+      set_arena_enabled(true);
+    }
+  } guard;
+  const SeedSweep sweep(42, 6);
+
+  set_blueprint_enabled(true);
+  const std::string shared_seq = sweep_to_json(sweep.run(tiny_experiment, 1));
+  const std::string shared_par = sweep_to_json(sweep.run(tiny_experiment, 4));
+
+  set_blueprint_enabled(false);
+  const std::string private_seq = sweep_to_json(sweep.run(tiny_experiment, 1));
+  const std::string private_par = sweep_to_json(sweep.run(tiny_experiment, 4));
+
+  EXPECT_EQ(shared_seq, private_seq);
+  EXPECT_EQ(shared_seq, shared_par);
+  EXPECT_EQ(shared_seq, private_par);
+
+  // The orthogonal knobs compose: arena off + blueprint off at four workers
+  // still reproduces the fully-shared bytes.
+  set_arena_enabled(false);
+  EXPECT_EQ(shared_seq, sweep_to_json(sweep.run(tiny_experiment, 4)));
+}
+
+TEST(PairwiseParallelDeterminism, BlueprintOnAndOffByteIdenticalForAnyWorkerCount) {
+  struct ToggleGuard {
+    ~ToggleGuard() { set_blueprint_enabled(true); }
+  } guard;
+  std::vector<PairwiseCell> cells;
+  for (const char* routing : {"MIN", "UGALg"}) {
+    cells.push_back(PairwiseCell{"UR", "None", routing});
+    cells.push_back(PairwiseCell{"UR", "CosmoFlow", routing});
+  }
+  auto run_to_json = [&](int jobs) {
+    std::string out;
+    for (const PairwiseResult& result : run_pairwise_cells(tiny_config(), cells, jobs)) {
+      out += report_to_json(result.full);
+    }
+    return out;
+  };
+
+  set_blueprint_enabled(true);
+  const std::string shared_seq = run_to_json(1);
+  const std::string shared_par = run_to_json(4);
+  set_blueprint_enabled(false);
+  const std::string private_seq = run_to_json(1);
+  const std::string private_par = run_to_json(4);
+
+  EXPECT_EQ(shared_seq, private_seq);
+  EXPECT_EQ(shared_seq, shared_par);
+  EXPECT_EQ(shared_seq, private_par);
+}
+
+TEST(MixedParallelDeterminism, BlueprintOnAndOffByteIdenticalForAnyWorkerCount) {
+  // The Fig 10 driver needs the full 1,056-node machine (Table II node
+  // counts), so cap the simulated clock hard: the comparison needs identical
+  // bytes, not converged runs, and every truncated cell still exercises the
+  // shared plan through build, placement and early traffic.
+  struct ToggleGuard {
+    ~ToggleGuard() { set_blueprint_enabled(true); }
+  } guard;
+  StudyConfig config;
+  config.topo = DragonflyParams::paper();
+  config.routing = "UGALg";
+  config.scale = 256;
+  config.time_limit = 20 * kUs;
+  const std::vector<StudyConfig> configs{config};
+
+  auto run_to_json = [&](int jobs) {
+    std::string out;
+    for (const MixedSuite& suite : run_mixed_suites(configs, jobs)) {
+      out += report_to_json(suite.mix);
+      for (const Report& solo : suite.solos) out += report_to_json(solo);
+    }
+    return out;
+  };
+
+  set_blueprint_enabled(true);
+  const std::string shared_seq = run_to_json(1);
+  const std::string shared_par = run_to_json(4);
+  set_blueprint_enabled(false);
+  const std::string private_seq = run_to_json(1);
+  const std::string private_par = run_to_json(4);
+
+  EXPECT_EQ(shared_seq, private_seq);
+  EXPECT_EQ(shared_seq, shared_par);
+  EXPECT_EQ(shared_seq, private_par);
 }
 
 TEST(PairwiseParallelDeterminism, CellBatchMatchesIndividualRuns) {

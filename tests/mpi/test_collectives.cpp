@@ -3,15 +3,16 @@
 #include "mpi/job.hpp"
 #include "net/network.hpp"
 #include "routing/factory.hpp"
+#include "../support/make_blueprint.hpp"
 
 namespace dfly {
 namespace {
 
 struct CollFixture {
-  CollFixture() : topo(DragonflyParams::tiny()) {
-    routing::RoutingContext context{&engine, &topo, &cfg, 31};
+  CollFixture() : bp(testsupport::make_blueprint()), topo(bp->topo()) {
+    routing::RoutingContext context{&engine, &topo, &bp->net(), 31};
     routing = routing::make_routing("MIN", context);
-    net = std::make_unique<Network>(engine, topo, cfg, *routing, 1, 31);
+    net = std::make_unique<Network>(engine, *bp, *routing, 1, 31);
     system = std::make_unique<mpi::MpiSystem>(*net);
   }
 
@@ -25,8 +26,8 @@ struct CollFixture {
   }
 
   Engine engine;
-  Dragonfly topo;
-  NetConfig cfg;
+  std::shared_ptr<const SystemBlueprint> bp;
+  const Dragonfly& topo;
   std::unique_ptr<RoutingAlgorithm> routing;
   std::unique_ptr<Network> net;
   std::unique_ptr<mpi::MpiSystem> system;

@@ -3,16 +3,18 @@
 #include "mpi/job.hpp"
 #include "net/network.hpp"
 #include "routing/factory.hpp"
+#include "../support/make_blueprint.hpp"
 
 namespace dfly {
 namespace {
 
 /// Harness: tiny Dragonfly + one job running a custom motif.
 struct MpiFixture {
-  explicit MpiFixture(mpi::ProtocolConfig protocol = {}) : topo(DragonflyParams::tiny()) {
-    routing::RoutingContext context{&engine, &topo, &cfg, 21};
+  explicit MpiFixture(mpi::ProtocolConfig protocol = {})
+      : bp(testsupport::make_blueprint()), topo(bp->topo()) {
+    routing::RoutingContext context{&engine, &topo, &bp->net(), 21};
     routing = routing::make_routing("MIN", context);
-    net = std::make_unique<Network>(engine, topo, cfg, *routing, 1, 21);
+    net = std::make_unique<Network>(engine, *bp, *routing, 1, 21);
     system = std::make_unique<mpi::MpiSystem>(*net);
     protocol_config = protocol;
   }
@@ -27,8 +29,8 @@ struct MpiFixture {
   }
 
   Engine engine;
-  Dragonfly topo;
-  NetConfig cfg;
+  std::shared_ptr<const SystemBlueprint> bp;
+  const Dragonfly& topo;
   mpi::ProtocolConfig protocol_config;
   std::unique_ptr<RoutingAlgorithm> routing;
   std::unique_ptr<Network> net;

@@ -2,6 +2,7 @@
 
 #include "net/network.hpp"
 #include "routing/factory.hpp"
+#include "../support/make_blueprint.hpp"
 
 namespace dfly {
 namespace {
@@ -14,15 +15,16 @@ class NullSink final : public MessageEvents {
 };
 
 struct Fixture {
-  explicit Fixture(NetConfig net_cfg = {}) : cfg(net_cfg), topo(DragonflyParams::tiny()) {
-    routing::RoutingContext context{&engine, &topo, &cfg, 5};
+  explicit Fixture(NetConfig net_cfg = {})
+      : bp(testsupport::make_blueprint(DragonflyParams::tiny(), net_cfg)), topo(bp->topo()) {
+    routing::RoutingContext context{&engine, &topo, &bp->net(), 5};
     routing = routing::make_routing("MIN", context);
-    net = std::make_unique<Network>(engine, topo, cfg, *routing, 1, 5);
+    net = std::make_unique<Network>(engine, *bp, *routing, 1, 5);
     net->set_sink(sink);
   }
   Engine engine;
-  NetConfig cfg;
-  Dragonfly topo;
+  std::shared_ptr<const SystemBlueprint> bp;
+  const Dragonfly& topo;
   std::unique_ptr<RoutingAlgorithm> routing;
   std::unique_ptr<Network> net;
   NullSink sink;

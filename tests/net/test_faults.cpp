@@ -7,6 +7,7 @@
 #include "core/study.hpp"
 #include "net/network.hpp"
 #include "routing/factory.hpp"
+#include "../support/make_blueprint.hpp"
 #include "workloads/motifs.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -121,19 +122,19 @@ class SinkRecorder final : public MessageEvents {
 };
 
 struct FaultNetFixture {
-  explicit FaultNetFixture(const std::string& routing_name = "MIN") {
-    topo = std::make_unique<Dragonfly>(DragonflyParams::tiny());
-    routing::RoutingContext context{&engine, topo.get(), &cfg, 1};
+  explicit FaultNetFixture(const std::string& routing_name = "MIN")
+      : bp(testsupport::make_blueprint()), topo(&bp->topo()) {
+    routing::RoutingContext context{&engine, topo, &bp->net(), 1};
     routing = routing::make_routing(routing_name, context);
     NetworkObservability obs;
     obs.keep_packet_records = true;
-    net = std::make_unique<Network>(engine, *topo, cfg, *routing, /*num_apps=*/1, 1, obs);
+    net = std::make_unique<Network>(engine, *bp, *routing, /*num_apps=*/1, 1, obs);
     net->set_sink(sink);
   }
 
   Engine engine;
-  NetConfig cfg;
-  std::unique_ptr<Dragonfly> topo;
+  std::shared_ptr<const SystemBlueprint> bp;
+  const Dragonfly* topo;
   std::unique_ptr<RoutingAlgorithm> routing;
   std::unique_ptr<Network> net;
   SinkRecorder sink;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "routing/factory.hpp"
+#include "../support/make_blueprint.hpp"
 
 namespace dfly {
 namespace {
@@ -19,19 +20,20 @@ class SinkRecorder final : public MessageEvents {
 
 struct NetFixture {
   explicit NetFixture(const std::string& routing_name = "MIN",
-                      DragonflyParams params = DragonflyParams::tiny()) {
-    topo = std::make_unique<Dragonfly>(params);
-    routing::RoutingContext context{&engine, topo.get(), &cfg, 1};
+                      DragonflyParams params = DragonflyParams::tiny())
+      : bp(testsupport::make_blueprint(params)), cfg(bp->net()), topo(&bp->topo()) {
+    routing::RoutingContext context{&engine, topo, &cfg, 1};
     routing = routing::make_routing(routing_name, context);
     NetworkObservability obs;
     obs.keep_packet_records = true;
-    net = std::make_unique<Network>(engine, *topo, cfg, *routing, /*num_apps=*/2, 1, obs);
+    net = std::make_unique<Network>(engine, *bp, *routing, /*num_apps=*/2, 1, obs);
     net->set_sink(sink);
   }
 
   Engine engine;
-  NetConfig cfg;
-  std::unique_ptr<Dragonfly> topo;
+  std::shared_ptr<const SystemBlueprint> bp;
+  const NetConfig& cfg;
+  const Dragonfly* topo;
   std::unique_ptr<RoutingAlgorithm> routing;
   std::unique_ptr<Network> net;
   SinkRecorder sink;

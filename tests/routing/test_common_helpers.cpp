@@ -3,6 +3,7 @@
 #include "net/network.hpp"
 #include "routing/common.hpp"
 #include "routing/factory.hpp"
+#include "../support/make_blueprint.hpp"
 
 namespace dfly {
 namespace {
@@ -10,14 +11,14 @@ namespace {
 /// Property tests for the shared routing helpers, exercised through a real
 /// router (they need occupancy/rng state).
 struct HelperFixture {
-  HelperFixture() : topo(DragonflyParams::tiny()) {
-    routing::RoutingContext context{&engine, &topo, &cfg, 3};
+  HelperFixture() : bp(testsupport::make_blueprint()), topo(bp->topo()) {
+    routing::RoutingContext context{&engine, &topo, &bp->net(), 3};
     routing = routing::make_routing("MIN", context);
-    net = std::make_unique<Network>(engine, topo, cfg, *routing, 1, 3);
+    net = std::make_unique<Network>(engine, *bp, *routing, 1, 3);
   }
   Engine engine;
-  Dragonfly topo;
-  NetConfig cfg;
+  std::shared_ptr<const SystemBlueprint> bp;
+  const Dragonfly& topo;
   std::unique_ptr<RoutingAlgorithm> routing;
   std::unique_ptr<Network> net;
 };

@@ -5,6 +5,7 @@
 #include "net/network.hpp"
 #include "routing/factory.hpp"
 #include "routing/q_table.hpp"
+#include "../support/make_blueprint.hpp"
 
 namespace dfly {
 namespace {
@@ -35,13 +36,14 @@ TEST(QTable, FootprintIsLightweight) {
 }
 
 struct QFixture {
-  QFixture() : topo(DragonflyParams::tiny()) {
-    routing::RoutingContext context{&engine, &topo, &cfg, 7};
-    algo = std::make_unique<routing::QAdaptiveRouting>(engine, topo, cfg,
-                                                       context.qadp, context.seed);
+  explicit QFixture(const std::vector<QTable>* qinit = nullptr)
+      : bp(testsupport::make_blueprint(DragonflyParams::tiny(), {}, "Q-adp")), topo(bp->topo()) {
+    routing::RoutingContext context{&engine, &topo, &bp->net(), 7};
+    algo = std::make_unique<routing::QAdaptiveRouting>(engine, topo, bp->net(), context.qadp,
+                                                       context.seed, qinit);
     NetworkObservability obs;
     obs.keep_packet_records = true;
-    net = std::make_unique<Network>(engine, topo, cfg, *algo, 1, 7, obs);
+    net = std::make_unique<Network>(engine, *bp, *algo, 1, 7, obs);
     net->set_sink(sink);
   }
   class CountSink final : public MessageEvents {
@@ -51,8 +53,8 @@ struct QFixture {
     int delivered{0};
   };
   Engine engine;
-  Dragonfly topo;
-  NetConfig cfg;
+  std::shared_ptr<const SystemBlueprint> bp;
+  const Dragonfly& topo;
   std::unique_ptr<routing::QAdaptiveRouting> algo;
   std::unique_ptr<Network> net;
   CountSink sink;
@@ -145,13 +147,13 @@ TEST(QAdaptive, HopBudgetHoldsOnPaperTopologyUnderLoad) {
   // VC budget blew up. Admissible Q-adaptive paths are at most
   // local-global-local-global-local = 5 hops.
   Engine engine;
-  Dragonfly topo(DragonflyParams::paper());
-  NetConfig cfg;
+  const auto bp = testsupport::make_blueprint(DragonflyParams::paper());
+  const Dragonfly& topo = bp->topo();
   routing::QAdaptiveParams params;
-  routing::QAdaptiveRouting algo(engine, topo, cfg, params, 13);
+  routing::QAdaptiveRouting algo(engine, topo, bp->net(), params, 13);
   NetworkObservability obs;
   obs.keep_packet_records = true;
-  Network net(engine, topo, cfg, algo, 1, 13, obs);
+  Network net(engine, *bp, algo, 1, 13, obs);
   QFixture::CountSink sink;
   net.set_sink(sink);
   Rng rng(17);
@@ -174,12 +176,12 @@ class QAdaptiveParamsSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(QAdaptiveParamsSweep, DeliversUnderAnyLearningRate) {
   Engine engine;
-  Dragonfly topo(DragonflyParams::tiny());
-  NetConfig cfg;
+  const auto bp = testsupport::make_blueprint();
+  const Dragonfly& topo = bp->topo();
   routing::QAdaptiveParams params;
   params.alpha = GetParam();
-  routing::QAdaptiveRouting algo(engine, topo, cfg, params, 3);
-  Network net(engine, topo, cfg, algo, 1, 3);
+  routing::QAdaptiveRouting algo(engine, topo, bp->net(), params, 3);
+  Network net(engine, *bp, algo, 1, 3);
   QFixture::CountSink sink;
   net.set_sink(sink);
   Rng rng(1);

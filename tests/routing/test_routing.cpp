@@ -2,6 +2,7 @@
 
 #include "net/network.hpp"
 #include "routing/factory.hpp"
+#include "../support/make_blueprint.hpp"
 
 namespace dfly {
 namespace {
@@ -22,13 +23,14 @@ class RoutingDelivery
 TEST_P(RoutingDelivery, RandomTrafficAllDelivered) {
   const auto& [name, params] = GetParam();
   Engine engine;
-  Dragonfly topo(params);
-  NetConfig cfg;
+  const auto bp = testsupport::make_blueprint(params, {}, name);
+  const Dragonfly& topo = bp->topo();
+  const NetConfig& cfg = bp->net();
   routing::RoutingContext context{&engine, &topo, &cfg, 11};
   auto routing = routing::make_routing(name, context);
   NetworkObservability obs;
   obs.keep_packet_records = true;
-  Network net(engine, topo, cfg, *routing, 1, 11, obs);
+  Network net(engine, *bp, *routing, 1, 11, obs);
   CountingSink sink;
   net.set_sink(sink);
 
@@ -69,13 +71,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Routing, MinimalNeverMisroutes) {
   Engine engine;
-  Dragonfly topo(DragonflyParams::tiny());
-  NetConfig cfg;
-  routing::RoutingContext context{&engine, &topo, &cfg, 1};
+  const auto bp = testsupport::make_blueprint();
+  const Dragonfly& topo = bp->topo();
+  routing::RoutingContext context{&engine, &topo, &bp->net(), 1};
   auto routing = routing::make_routing("MIN", context);
   NetworkObservability obs;
   obs.keep_packet_records = true;
-  Network net(engine, topo, cfg, *routing, 1, 1, obs);
+  Network net(engine, *bp, *routing, 1, 1, obs);
   CountingSink sink;
   net.set_sink(sink);
   for (int n = 1; n < topo.num_nodes(); ++n) net.send_message(0, n, 512, 0);
@@ -88,13 +90,13 @@ TEST(Routing, MinimalNeverMisroutes) {
 
 TEST(Routing, ValiantAlwaysMisroutesInterGroup) {
   Engine engine;
-  Dragonfly topo(DragonflyParams::tiny());
-  NetConfig cfg;
-  routing::RoutingContext context{&engine, &topo, &cfg, 1};
+  const auto bp = testsupport::make_blueprint();
+  const Dragonfly& topo = bp->topo();
+  routing::RoutingContext context{&engine, &topo, &bp->net(), 1};
   auto routing = routing::make_routing("VALg", context);
   NetworkObservability obs;
   obs.keep_packet_records = true;
-  Network net(engine, topo, cfg, *routing, 1, 1, obs);
+  Network net(engine, *bp, *routing, 1, 1, obs);
   CountingSink sink;
   net.set_sink(sink);
   // All destinations in a different group than the source.
@@ -113,13 +115,13 @@ TEST(Routing, UgalPrefersMinimalWhenIdle) {
   // On an idle network every queue is empty, so q_min <= 2*q_nonmin always
   // holds and UGAL must behave like minimal routing.
   Engine engine;
-  Dragonfly topo(DragonflyParams::tiny());
-  NetConfig cfg;
-  routing::RoutingContext context{&engine, &topo, &cfg, 1};
+  const auto bp = testsupport::make_blueprint();
+  const Dragonfly& topo = bp->topo();
+  routing::RoutingContext context{&engine, &topo, &bp->net(), 1};
   auto routing = routing::make_routing("UGALg", context);
   NetworkObservability obs;
   obs.keep_packet_records = true;
-  Network net(engine, topo, cfg, *routing, 1, 1, obs);
+  Network net(engine, *bp, *routing, 1, 1, obs);
   CountingSink sink;
   net.set_sink(sink);
   // One message at a time: run to quiescence between sends.
@@ -144,13 +146,13 @@ TEST(Routing, UgalDivertsUnderAdversarialLoad) {
   // global link between the groups saturates and UGAL must start taking
   // non-minimal paths.
   Engine engine;
-  Dragonfly topo(DragonflyParams::tiny());
-  NetConfig cfg;
-  routing::RoutingContext context{&engine, &topo, &cfg, 1};
+  const auto bp = testsupport::make_blueprint();
+  const Dragonfly& topo = bp->topo();
+  routing::RoutingContext context{&engine, &topo, &bp->net(), 1};
   auto routing = routing::make_routing("UGALn", context);
   NetworkObservability obs;
   obs.keep_packet_records = true;
-  Network net(engine, topo, cfg, *routing, 1, 1, obs);
+  Network net(engine, *bp, *routing, 1, 1, obs);
   CountingSink sink;
   net.set_sink(sink);
   const int nodes_per_group = topo.params().p * topo.params().a;
@@ -167,13 +169,13 @@ TEST(Routing, UgalDivertsUnderAdversarialLoad) {
 
 TEST(Routing, ParDivertsUnderAdversarialLoad) {
   Engine engine;
-  Dragonfly topo(DragonflyParams::tiny());
-  NetConfig cfg;
-  routing::RoutingContext context{&engine, &topo, &cfg, 1};
+  const auto bp = testsupport::make_blueprint();
+  const Dragonfly& topo = bp->topo();
+  routing::RoutingContext context{&engine, &topo, &bp->net(), 1};
   auto routing = routing::make_routing("PAR", context);
   NetworkObservability obs;
   obs.keep_packet_records = true;
-  Network net(engine, topo, cfg, *routing, 1, 1, obs);
+  Network net(engine, *bp, *routing, 1, 1, obs);
   CountingSink sink;
   net.set_sink(sink);
   const int nodes_per_group = topo.params().p * topo.params().a;

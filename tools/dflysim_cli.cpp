@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/arena.hpp"
+#include "core/blueprint.hpp"
 #include "core/config_file.hpp"
 #include "core/json_report.hpp"
 #include "core/study.hpp"
@@ -66,6 +67,10 @@ struct CliOptions {
       "                       for any N)\n"
       "  --no-arena           rebuild every sweep cell from scratch instead of\n"
       "                       reusing per-worker arena storage (DFSIM_NO_ARENA\n"
+      "                       does the same; output is identical either way)\n"
+      "  --no-blueprint       build a private topology/wiring/routing plan per\n"
+      "                       cell instead of sharing one immutable\n"
+      "                       SystemBlueprint across workers (DFSIM_NO_BLUEPRINT\n"
       "                       does the same; output is identical either way)\n"
       "  --json=FILE          write the report as JSON ('-' = stdout)\n"
       "  --csv=PREFIX         write <PREFIX>_{apps,congestion,stall}.csv\n"
@@ -127,6 +132,8 @@ CliOptions parse_cli(int argc, char** argv) {
       if (options.jobs < 0) options.jobs = 0;  // 0 = auto (DFSIM_JOBS, else 1)
     } else if (std::strcmp(arg, "--no-arena") == 0) {
       set_arena_enabled(false);
+    } else if (std::strcmp(arg, "--no-blueprint") == 0) {
+      set_blueprint_enabled(false);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       options.json_path = value_of(arg);
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
