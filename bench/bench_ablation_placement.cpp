@@ -1,46 +1,41 @@
 // Ablation: job placement policy. The paper uses random placement (§V) and
 // cites contiguous placement as the classic interference mitigation with a
 // fragmentation cost. This bench quantifies the trade-off on the
-// FFT3D+Halo3D pair for PAR and Q-adaptive. Runs execute concurrently.
+// FFT3D+Halo3D pair for PAR and Q-adaptive.
+//
+// Declarative form: one ExperimentPlan with a routings axis and a
+// placements axis over a fixed two-job mix (core/plan.hpp); the campaign
+// core runs the cells concurrently.
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
+#include "core/plan.hpp"
 
 int main(int argc, char** argv) {
   using namespace dfly;
   const bench::Options options = bench::Options::parse(argc, argv, 32);
 
-  struct Row {
-    double fft_ms, halo_ms, p99_us;
-  };
-  std::vector<std::function<Row()>> tasks;
-  std::vector<std::pair<std::string, PlacementPolicy>> cases;
-  for (const std::string routing : {"PAR", "Q-adp"}) {
-    for (const auto policy : {PlacementPolicy::kRandom, PlacementPolicy::kContiguous,
-                              PlacementPolicy::kLinear}) {
-      cases.emplace_back(routing, policy);
-      StudyConfig config = options.config(routing);
-      config.placement = policy;
-      tasks.push_back([config] {
-        Study study(config);
-        const int half = config.topo.num_nodes() / 2;
-        study.add_app("FFT3D", half);
-        study.add_app("Halo3D", half);
-        const Report report = study.run();
-        return Row{report.app("FFT3D").comm_mean_ms, report.app("Halo3D").comm_mean_ms,
-                   report.sys_lat_p99_us};
-      });
-    }
-  }
-  const auto rows = bench::parallel_map(tasks);
+  ExperimentPlan plan;
+  plan.name = "ablation_placement";
+  plan.base = options.config("PAR");
+  plan.mode = PlanMode::kSingle;
+  plan.routings = {"PAR", "Q-adp"};
+  plan.placements = {PlacementPolicy::kRandom, PlacementPolicy::kContiguous,
+                     PlacementPolicy::kLinear};
+  const int half = plan.base.topo.num_nodes() / 2;
+  plan.jobs = {{"FFT3D", half}, {"Halo3D", half}};
+
+  CollectSink sink;
+  run_plan(plan, sink, bench::default_jobs());
 
   bench::print_header("Ablation — placement policy (FFT3D + Halo3D pairwise)");
   std::printf("%-8s %-12s %14s %14s %14s\n", "routing", "placement", "FFT3D ms", "Halo3D ms",
               "sys p99 us");
   bench::print_rule();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::printf("%-8s %-12s %14.3f %14.3f %14.2f\n", cases[i].first.c_str(),
-                to_string(cases[i].second), rows[i].fft_ms, rows[i].halo_ms, rows[i].p99_us);
+  for (const PlanCell& cell : sink.cells()) {
+    const Report& report = sink.reports()[cell.index];
+    std::printf("%-8s %-12s %14.3f %14.3f %14.2f\n", cell.config.routing.c_str(),
+                to_string(cell.config.placement), report.app("FFT3D").comm_mean_ms,
+                report.app("Halo3D").comm_mean_ms, report.sys_lat_p99_us);
   }
   std::printf("\nExpected: contiguous isolates the jobs (less interference) at the price of\n"
               "intra-group hot spots; random spreads load but shares every link.\n");

@@ -3,81 +3,73 @@
 //      instantaneous-queue penalty weight — on the FFT3D+Halo3D pair.
 //  (b) UGAL candidate count / non-minimal weight / minimal bias.
 // These probe DESIGN.md's modelling decisions (Q init, epsilon-greedy,
-// occupancy tie-break) and quantify their contribution. All variants run
-// concurrently.
+// occupancy tie-break) and quantify their contribution.
+//
+// Declarative form: every hyperparameter variant is a PlanVariant — a named
+// overlay of config keys on the base config — on one ExperimentPlan
+// (core/plan.hpp); the campaign core runs all variants concurrently. The
+// same sweep is expressible in a --plan file as
+//   plan.variant.a05 = routing=Q-adp; qadp.alpha=0.05
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
-
-namespace {
-
-using namespace dfly;
-
-double run_pair(const StudyConfig& config) {
-  Study study(config);
-  const int half = config.topo.num_nodes() / 2;
-  study.add_app("FFT3D", half);
-  study.add_app("Halo3D", half);
-  const Report report = study.run();
-  return report.app("FFT3D").comm_mean_ms;
-}
-
-}  // namespace
+#include "core/plan.hpp"
 
 int main(int argc, char** argv) {
+  using namespace dfly;
   const bench::Options options = bench::Options::parse(argc, argv, 64);
 
-  std::vector<std::string> labels;
-  std::vector<std::function<double()>> tasks;
-  const auto add = [&](const std::string& label, const StudyConfig& config) {
-    labels.push_back(label);
-    tasks.push_back([config] { return run_pair(config); });
+  ExperimentPlan plan;
+  plan.name = "ablation_routing";
+  plan.base = options.config("Q-adp");
+  plan.mode = PlanMode::kSingle;
+  const int half = plan.base.topo.num_nodes() / 2;
+  plan.jobs = {{"FFT3D", half}, {"Halo3D", half}};
+
+  const auto add = [&plan](const std::string& label,
+                           std::vector<std::pair<std::string, std::string>> overrides) {
+    PlanVariant variant;
+    variant.label = label;
+    for (const auto& [key, value] : overrides) variant.overrides.set(key, value);
+    plan.variants.push_back(std::move(variant));
   };
 
   // --- Q-adaptive variants ---
-  add("Q default (a=.2 e=.01 w=1)", options.config("Q-adp"));
-  for (const double alpha : {0.05, 0.5}) {
-    StudyConfig config = options.config("Q-adp");
-    config.qadp.alpha = alpha;
-    add("Q alpha=" + bench::fmt(alpha), config);
+  add("Q default (a=.2 e=.01 w=1)", {});
+  for (const char* alpha : {"0.05", "0.5"}) {
+    add(std::string("Q alpha=") + alpha, {{"qadp.alpha", alpha}});
   }
-  for (const double epsilon : {0.0, 0.05}) {
-    StudyConfig config = options.config("Q-adp");
-    config.qadp.epsilon = epsilon;
-    add("Q epsilon=" + bench::fmt(epsilon), config);
+  for (const char* epsilon : {"0", "0.05"}) {
+    add(std::string("Q epsilon=") + epsilon, {{"qadp.epsilon", epsilon}});
   }
-  for (const double weight : {0.0, 2.0}) {
-    StudyConfig config = options.config("Q-adp");
-    config.qadp.queue_weight = weight;
-    add("Q queue_weight=" + bench::fmt(weight), config);
+  for (const char* weight : {"0", "2"}) {
+    add(std::string("Q queue_weight=") + weight, {{"qadp.queue_weight", weight}});
   }
   // --- UGAL variants ---
-  add("UGALn default (2+2, w2, b0)", options.config("UGALn"));
-  for (const int candidates : {1, 4}) {
-    StudyConfig config = options.config("UGALn");
-    config.ugal.min_candidates = candidates;
-    config.ugal.nonmin_candidates = candidates;
-    add("UGALn candidates=" + std::to_string(candidates), config);
+  add("UGALn default (2+2, w2, b0)", {{"routing", "UGALn"}});
+  for (const char* candidates : {"1", "4"}) {
+    add(std::string("UGALn candidates=") + candidates,
+        {{"routing", "UGALn"},
+         {"ugal.min_candidates", candidates},
+         {"ugal.nonmin_candidates", candidates}});
   }
-  for (const int weight : {1, 3}) {
-    StudyConfig config = options.config("UGALn");
-    config.ugal.nonmin_weight = weight;
-    add("UGALn nonmin_weight=" + std::to_string(weight), config);
+  for (const char* weight : {"1", "3"}) {
+    add(std::string("UGALn nonmin_weight=") + weight,
+        {{"routing", "UGALn"}, {"ugal.nonmin_weight", weight}});
   }
-  for (const int bias : {2, 8}) {
-    StudyConfig config = options.config("UGALn");
-    config.ugal.bias = bias;
-    add("UGALn min_bias=" + std::to_string(bias), config);
+  for (const char* bias : {"2", "8"}) {
+    add(std::string("UGALn min_bias=") + bias, {{"routing", "UGALn"}, {"ugal.bias", bias}});
   }
 
-  const auto results = bench::parallel_map(tasks);
+  CollectSink sink;
+  run_plan(plan, sink, bench::default_jobs());
 
   bench::print_header("Ablation — routing design choices (FFT3D comm time, ms, "
                       "interfered by Halo3D)");
   std::printf("%-30s %12s\n", "variant", "comm (ms)");
   bench::print_rule();
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    std::printf("%-30s %12.3f\n", labels[i].c_str(), results[i]);
+  for (const PlanCell& cell : sink.cells()) {
+    std::printf("%-30s %12.3f\n", cell.variant.c_str(),
+                sink.reports()[cell.index].app("FFT3D").comm_mean_ms);
   }
   return 0;
 }

@@ -1,22 +1,42 @@
 // Figure 10 (a)-(f) + Table II: mixed-workload interference. Six
 // applications share the full 1,056-node system; each panel compares an
 // application's communication time when running alone (same placement) vs
-// inside the mix, across the four routings. Runs execute concurrently.
+// inside the mix, across the four routings.
+//
+// The whole figure is one declarative ExperimentPlan — a routings axis in
+// mixed mode (the Table II mix plus per-app solo baselines) — expanded and
+// executed by the unified campaign core (core/plan.hpp), which flattens
+// (routing, cell) into one worker pool (honours --jobs / DFSIM_JOBS).
 
 #include "bench_common.hpp"
 #include "core/mixed.hpp"
+#include "core/plan.hpp"
 
 int main(int argc, char** argv) {
   using namespace dfly;
   const bench::Options options = bench::Options::parse(argc, argv, 64);
   const auto routings = options.routings();
 
-  // The core driver flattens (routing, cell) into one worker pool (honours
-  // --jobs / DFSIM_JOBS) and returns suites in routing order.
-  std::vector<StudyConfig> configs;
-  configs.reserve(routings.size());
-  for (const std::string& routing : routings) configs.push_back(options.config(routing));
-  const std::vector<MixedSuite> suites = run_mixed_suites(configs, bench::default_jobs());
+  ExperimentPlan plan;
+  plan.name = "fig10_mixed";
+  plan.base = options.config(routings.front());
+  plan.mode = PlanMode::kMixed;
+  plan.routings = routings;
+  plan.mixed_solos = true;
+
+  CollectSink sink;
+  run_plan(plan, sink, bench::default_jobs());
+
+  // Expansion per routing: the full mix first, then each solo baseline in
+  // table2_mix order — regroup the flat cell list into per-routing suites.
+  const std::size_t stride = 1 + table2_mix().size();
+  std::vector<MixedSuite> suites(routings.size());
+  for (std::size_t r = 0; r < routings.size(); ++r) {
+    suites[r].mix = sink.reports()[r * stride];
+    for (std::size_t a = 1; a < stride; ++a) {
+      suites[r].solos.push_back(sink.reports()[r * stride + a]);
+    }
+  }
 
   bench::print_header("Figure 10 / Table II — mixed workload comm time (ms): alone vs mixed");
   std::printf("Table II job sizes:");

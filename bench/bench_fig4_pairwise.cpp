@@ -3,12 +3,16 @@
 // routing and report the target's mean per-rank communication time and the
 // standard deviation across ranks (the figure's bars and whiskers).
 //
-// The (target x background x routing) cells are independent simulations and
-// run concurrently across hardware threads.
+// The whole figure is one declarative ExperimentPlan — a routings axis over
+// a target x background matrix — expanded and executed by the unified
+// campaign core (core/plan.hpp), which shards the independent cells across
+// worker threads. The same campaign is available without recompiling as
+// examples/fig4_campaign.cfg via `dflysim --plan`.
 
 #include "bench_common.hpp"
 #include "core/json_report.hpp"
 #include "core/pairwise.hpp"
+#include "core/plan.hpp"
 
 int main(int argc, char** argv) {
   using namespace dfly;
@@ -25,51 +29,47 @@ int main(int argc, char** argv) {
     backgrounds = {"None", "UR"};
   }
 
-  struct Cell {
-    double mean{0};
-    double sigma{0};
-    bool ok{false};
-  };
-  std::vector<PairwiseCell> matrix;
-  for (const std::string& target : targets) {
-    for (const std::string& routing : routings) {
-      for (const std::string& bg : backgrounds) {
-        matrix.push_back(PairwiseCell{target, bg, routing});
-      }
-    }
-  }
+  ExperimentPlan plan;
+  plan.name = "fig4_pairwise";
+  plan.base = options.config(routings.front());
+  plan.mode = PlanMode::kPairwise;
+  plan.routings = routings;
+  plan.targets = targets;
+  plan.backgrounds = backgrounds;
 
-  // The core driver shards the independent cells across bench::default_jobs()
-  // workers (honours --jobs / DFSIM_JOBS) and returns them in matrix order.
-  const std::vector<PairwiseResult> results =
-      run_pairwise_cells(options.config(routings.front()), matrix, bench::default_jobs());
-  std::vector<Cell> cells;
-  cells.reserve(results.size());
-  for (const PairwiseResult& result : results) {
-    cells.push_back(Cell{result.target_report.comm_mean_ms, result.target_report.comm_std_ms,
-                         result.full.completed});
-  }
+  CollectSink sink;
+  run_plan(plan, sink, bench::default_jobs());
+  const std::vector<PlanCell>& cells = sink.cells();
+  const std::vector<Report>& results = sink.reports();
+
+  // Expansion order is routing-major (routing > target > background); the
+  // paper's panels are target-major, so index cells by axis position.
+  const auto cell_at = [&](std::size_t r, std::size_t t, std::size_t b) -> const Report& {
+    return results[(r * targets.size() + t) * backgrounds.size() + b];
+  };
 
   bench::print_header("Figure 4 — pairwise interference: target comm time mean (sigma), ms");
-  std::size_t i = 0;
-  for (const std::string& target : targets) {
-    std::printf("\n--- target: %s ---\n", target.c_str());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    std::printf("\n--- target: %s ---\n", targets[t].c_str());
     std::printf("%-10s", "routing");
     for (const std::string& bg : backgrounds) std::printf(" %18s", bg.c_str());
     std::printf("\n");
-    for (const std::string& routing : routings) {
-      std::printf("%-10s", routing.c_str());
+    for (std::size_t r = 0; r < routings.size(); ++r) {
+      std::printf("%-10s", routings[r].c_str());
       double standalone = 0;
-      for (const std::string& bg : backgrounds) {
-        const Cell& cell = cells[i++];
-        if (bg == "None") standalone = cell.mean;
+      for (std::size_t b = 0; b < backgrounds.size(); ++b) {
+        const Report& report = cell_at(r, t, b);
+        const AppReport& target = report.apps.front();
+        if (backgrounds[b] == "None") standalone = target.comm_mean_ms;
         char text[64];
-        if (bg == "None" || standalone <= 0) {
-          std::snprintf(text, sizeof text, "%.2f(%.2f)%s", cell.mean, cell.sigma,
-                        cell.ok ? "" : "!");
+        if (backgrounds[b] == "None" || standalone <= 0) {
+          std::snprintf(text, sizeof text, "%.2f(%.2f)%s", target.comm_mean_ms,
+                        target.comm_std_ms, report.completed ? "" : "!");
         } else {
-          std::snprintf(text, sizeof text, "%.2f(%.2f)%+.0f%%%s", cell.mean, cell.sigma,
-                        (cell.mean / standalone - 1.0) * 100.0, cell.ok ? "" : "!");
+          std::snprintf(text, sizeof text, "%.2f(%.2f)%+.0f%%%s", target.comm_mean_ms,
+                        target.comm_std_ms,
+                        (target.comm_mean_ms / standalone - 1.0) * 100.0,
+                        report.completed ? "" : "!");
         }
         std::printf(" %18s", text);
       }
@@ -87,14 +87,15 @@ int main(int argc, char** argv) {
     w.key("scale").value(options.scale);
     w.key("seed").value(options.seed);
     w.key("cells").begin_array();
-    for (std::size_t c = 0; c < matrix.size(); ++c) {
+    for (const PlanCell& cell : cells) {
+      const AppReport& target = results[cell.index].apps.front();
       w.begin_object();
-      w.key("target").value(matrix[c].target);
-      w.key("background").value(matrix[c].background);
-      w.key("routing").value(matrix[c].routing);
-      w.key("comm_mean_ms").value(cells[c].mean);
-      w.key("comm_std_ms").value(cells[c].sigma);
-      w.key("completed").value(cells[c].ok);
+      w.key("target").value(cell.target);
+      w.key("background").value(cell.background);
+      w.key("routing").value(cell.config.routing);
+      w.key("comm_mean_ms").value(target.comm_mean_ms);
+      w.key("comm_std_ms").value(target.comm_std_ms);
+      w.key("completed").value(results[cell.index].completed);
       w.end_object();
     }
     w.end_array();

@@ -197,6 +197,11 @@ void write_stat(JsonWriter& w, const char* name, const SweepStat& stat) {
 
 std::string report_to_json(const Report& report) {
   JsonWriter w;
+  write_report(w, report);
+  return w.str();
+}
+
+void write_report(JsonWriter& w, const Report& report) {
   w.begin_object();
   w.key("routing").value(report.routing);
   w.key("completed").value(report.completed);
@@ -216,7 +221,6 @@ std::string report_to_json(const Report& report) {
   for (const AppReport& app : report.apps) write_app(w, app);
   w.end_array();
   w.end_object();
-  return w.str();
 }
 
 std::string sweep_to_json(const SweepSummary& summary) {

@@ -55,6 +55,11 @@ class JsonWriter {
 /// Serialise a single run's Report.
 std::string report_to_json(const Report& report);
 
+/// Write a Report as one JSON object into an open writer (the compositional
+/// form report_to_json and the plan sinks share, so a report embedded in a
+/// JSONL record is byte-identical to the standalone document).
+void write_report(JsonWriter& w, const Report& report);
+
 /// Serialise a SweepSummary (multi-seed aggregate).
 std::string sweep_to_json(const SweepSummary& summary);
 

@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "core/parallel.hpp"
+#include "core/plan.hpp"
 #include "workloads/factory.hpp"
 
 namespace dfly {
@@ -54,17 +54,22 @@ Report run_mixed_solo(const StudyConfig& config, const std::string& solo_app) {
 }
 
 std::vector<MixedSuite> run_mixed_suites(const std::vector<StudyConfig>& configs, int jobs) {
-  // Flatten (config, cell) into one task list so worker threads stay busy
-  // across routings: cell 0 of each suite is the full mix, cells 1..N the
-  // solo baselines in table2_mix order.
+  // Shim over the unified campaign core: one mixed-mode plan whose
+  // config_list is the caller's configs. Expansion flattens (config, cell)
+  // into one task list so worker threads stay busy across routings — cell 0
+  // of each suite is the full mix, cells 1..N the solo baselines in
+  // table2_mix order, matching the pre-plan stride layout exactly.
+  if (configs.empty()) return {};
+  ExperimentPlan plan;
+  plan.name = "mixed_suites";
+  plan.mode = PlanMode::kMixed;
+  plan.config_list = configs;
+  plan.mixed_solos = true;
+  CollectSink sink;
+  run_plan(plan, sink, jobs);
+  std::vector<Report> reports = sink.take_reports();
+
   const std::size_t stride = 1 + table2_mix().size();
-  std::vector<Report> reports(configs.size() * stride);
-  ParallelRunner(jobs).run_indexed(reports.size(), [&](std::size_t i) {
-    const StudyConfig& config = configs[i / stride];
-    const std::size_t cell = i % stride;
-    reports[i] = cell == 0 ? run_mixed(config)
-                           : run_mixed_solo(config, table2_mix()[cell - 1].app);
-  });
   std::vector<MixedSuite> suites(configs.size());
   for (std::size_t c = 0; c < configs.size(); ++c) {
     suites[c].mix = std::move(reports[c * stride]);

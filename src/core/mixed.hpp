@@ -40,6 +40,11 @@ struct MixedSuite {
 /// independent cells across worker threads (ParallelRunner semantics:
 /// jobs > 0 = exact count, 0 = DFSIM_JOBS or sequential). Suites are
 /// returned in config order; results are independent of worker count.
+///
+/// Deprecated-but-working shim: now a thin builder over the unified
+/// campaign core (core/plan.hpp — a mixed ExperimentPlan whose config_list
+/// is `configs`). New code should build an ExperimentPlan directly and use
+/// run_plan.
 std::vector<MixedSuite> run_mixed_suites(const std::vector<StudyConfig>& configs, int jobs = 0);
 
 }  // namespace dfly

@@ -1,6 +1,8 @@
 #include "core/pairwise.hpp"
 
-#include "core/parallel.hpp"
+#include <utility>
+
+#include "core/plan.hpp"
 
 namespace dfly {
 
@@ -28,13 +30,30 @@ PairwiseResult run_pairwise(const StudyConfig& config, const std::string& target
 std::vector<PairwiseResult> run_pairwise_cells(const StudyConfig& base,
                                                const std::vector<PairwiseCell>& cells,
                                                int jobs) {
+  // Shim over the unified campaign core: the explicit cell list becomes a
+  // pairwise plan (pairwise_list preserves the caller's ordering verbatim),
+  // and the PairwiseResult views are reconstructed from the full Reports —
+  // the target is always app 0 and the background, when present, app 1,
+  // exactly as run_pairwise builds them.
+  ExperimentPlan plan;
+  plan.name = "pairwise_cells";
+  plan.base = base;
+  plan.mode = PlanMode::kPairwise;
+  plan.pairwise_list = cells;
+  CollectSink sink;
+  run_plan(plan, sink, jobs);
+  std::vector<Report> reports = sink.take_reports();
+
   std::vector<PairwiseResult> results(cells.size());
-  ParallelRunner(jobs).run_indexed(cells.size(), [&](std::size_t i) {
-    const PairwiseCell& cell = cells[i];
-    StudyConfig config = base;
-    if (!cell.routing.empty()) config.routing = cell.routing;
-    results[i] = run_pairwise(config, cell.target, cell.background);
-  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    PairwiseResult& result = results[i];
+    result.full = std::move(reports[i]);
+    result.routing = cells[i].routing.empty() ? base.routing : cells[i].routing;
+    result.target = cells[i].target;
+    result.background = cells[i].background.empty() ? "None" : cells[i].background;
+    result.target_report = result.full.apps.at(0);
+    if (result.full.apps.size() > 1) result.background_report = result.full.apps[1];
+  }
   return results;
 }
 

@@ -38,6 +38,11 @@ struct PairwiseCell {
 /// (ParallelRunner semantics: jobs > 0 = exact count, 0 = DFSIM_JOBS or
 /// sequential). Every cell is an independent Study built from `base`;
 /// results are returned in cell order, independent of worker count.
+///
+/// Deprecated-but-working shim: now a thin builder over the unified
+/// campaign core (core/plan.hpp — a pairwise ExperimentPlan whose
+/// pairwise_list is `cells` verbatim). New code should build an
+/// ExperimentPlan directly and use run_plan.
 std::vector<PairwiseResult> run_pairwise_cells(const StudyConfig& base,
                                                const std::vector<PairwiseCell>& cells,
                                                int jobs = 0);

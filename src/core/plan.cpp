@@ -1,0 +1,482 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/json_report.hpp"
+#include "core/mixed.hpp"
+#include "core/parallel.hpp"
+#include "routing/factory.hpp"
+#include "workloads/factory.hpp"
+
+namespace dfly {
+
+namespace {
+
+bool contains(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+void check_app(const std::string& context, const std::string& name) {
+  if (!contains(workloads::app_names(), name)) {
+    throw std::invalid_argument("ExperimentPlan: " + context + " names unknown application '" +
+                                name + "'");
+  }
+}
+
+void check_routing(const std::string& context, const std::string& name) {
+  if (!contains(routing::all_routings(), name)) {
+    throw std::invalid_argument("ExperimentPlan: " + context + " names unknown routing '" +
+                                name + "'");
+  }
+}
+
+/// CSV fields are plain identifiers/numbers today; quote defensively anyway
+/// so a future label with a comma cannot corrupt the table.
+std::string csv_field(const std::string& raw) {
+  if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+  std::string out = "\"";
+  for (const char c : raw) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_double(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+}  // namespace
+
+const char* to_string(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::kSingle: return "single";
+    case PlanMode::kPairwise: return "pairwise";
+    case PlanMode::kMixed: return "mixed";
+    case PlanMode::kCustom: return "custom";
+  }
+  return "?";
+}
+
+PlanMode plan_mode_from_string(const std::string& name) {
+  if (name == "single") return PlanMode::kSingle;
+  if (name == "pairwise") return PlanMode::kPairwise;
+  if (name == "mixed") return PlanMode::kMixed;
+  throw std::invalid_argument("unknown plan mode: '" + name +
+                              "' (expected single, pairwise or mixed)");
+}
+
+const char* to_string(PlanCellKind kind) {
+  switch (kind) {
+    case PlanCellKind::kSingle: return "single";
+    case PlanCellKind::kPairwise: return "pairwise";
+    case PlanCellKind::kMixed: return "mixed";
+    case PlanCellKind::kMixedSolo: return "mixed_solo";
+    case PlanCellKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+void PlanSink::begin(const ExperimentPlan&, const std::vector<PlanCell>&) {}
+void PlanSink::end() {}
+
+// --- expansion ---------------------------------------------------------------
+
+void ExperimentPlan::validate() const {
+  for (const int scale : scales) {
+    if (scale < 1) {
+      throw std::invalid_argument("ExperimentPlan: scales must be >= 1, got " +
+                                  std::to_string(scale));
+    }
+  }
+  for (const std::string& name : routings) check_routing("routings axis", name);
+  switch (mode) {
+    case PlanMode::kSingle:
+      if (jobs.empty()) {
+        throw std::invalid_argument("ExperimentPlan: mode 'single' needs a non-empty job list "
+                                    "(plan.jobs = APP:NODES,...)");
+      }
+      for (const PlanJob& job : jobs) {
+        check_app("job list", job.app);
+        if (job.nodes < 0) {
+          throw std::invalid_argument("ExperimentPlan: job '" + job.app +
+                                      "' has negative node count");
+        }
+      }
+      break;
+    case PlanMode::kPairwise:
+      if (pairwise_list.empty() && (targets.empty() || backgrounds.empty())) {
+        throw std::invalid_argument("ExperimentPlan: mode 'pairwise' needs plan.targets and "
+                                    "plan.backgrounds (or an explicit pairwise_list)");
+      }
+      for (const std::string& name : targets) check_app("targets axis", name);
+      for (const std::string& name : backgrounds) {
+        if (name != "None") check_app("backgrounds axis", name);
+      }
+      for (const PairwiseCell& cell : pairwise_list) {
+        check_app("pairwise_list", cell.target);
+        if (!cell.background.empty() && cell.background != "None") {
+          check_app("pairwise_list", cell.background);
+        }
+        if (!cell.routing.empty()) check_routing("pairwise_list", cell.routing);
+      }
+      break;
+    case PlanMode::kMixed:
+      break;
+    case PlanMode::kCustom:
+      if (!custom) {
+        throw std::invalid_argument("ExperimentPlan: mode 'custom' needs a custom runner");
+      }
+      break;
+  }
+}
+
+std::vector<PlanCell> ExperimentPlan::expand() const {
+  validate();
+  std::vector<PlanCell> cells;
+
+  const auto add_mix_cells = [&](const StudyConfig& config, const std::string& variant_label) {
+    const auto push = [&](PlanCellKind kind, StudyConfig cell_config) {
+      PlanCell cell;
+      cell.kind = kind;
+      cell.config = std::move(cell_config);
+      cell.variant = variant_label;
+      return cells.insert(cells.end(), std::move(cell));
+    };
+    switch (mode) {
+      case PlanMode::kSingle: {
+        const auto it = push(PlanCellKind::kSingle, config);
+        it->jobs = jobs;
+        break;
+      }
+      case PlanMode::kCustom:
+        push(PlanCellKind::kCustom, config);
+        break;
+      case PlanMode::kPairwise:
+        if (!pairwise_list.empty()) {
+          for (const PairwiseCell& pair : pairwise_list) {
+            StudyConfig cell_config = config;
+            if (!pair.routing.empty()) cell_config.routing = pair.routing;
+            const auto it = push(PlanCellKind::kPairwise, std::move(cell_config));
+            it->target = pair.target;
+            it->background = pair.background.empty() ? "None" : pair.background;
+          }
+        } else {
+          for (const std::string& target : targets) {
+            for (const std::string& background : backgrounds) {
+              const auto it = push(PlanCellKind::kPairwise, config);
+              it->target = target;
+              it->background = background;
+            }
+          }
+        }
+        break;
+      case PlanMode::kMixed:
+        push(PlanCellKind::kMixed, config);
+        if (mixed_solos) {
+          for (const MixedJobSpec& spec : table2_mix()) {
+            const auto it = push(PlanCellKind::kMixedSolo, config);
+            it->target = spec.app;
+          }
+        }
+        break;
+    }
+  };
+
+  if (!config_list.empty()) {
+    for (const StudyConfig& config : config_list) add_mix_cells(config, "");
+  } else {
+    // Fixed nesting: variant > routing > placement > scale > seed. Axes are
+    // applied after the variant overlay so an explicit axis always wins.
+    const std::vector<PlanVariant> no_variant{PlanVariant{}};
+    for (const PlanVariant& variant : variants.empty() ? no_variant : variants) {
+      const StudyConfig varied = variant.overrides.values().empty()
+                                     ? base
+                                     : apply_config(base, variant.overrides);
+      for (std::size_t r = 0; r < std::max<std::size_t>(routings.size(), 1); ++r) {
+        for (std::size_t p = 0; p < std::max<std::size_t>(placements.size(), 1); ++p) {
+          for (std::size_t sc = 0; sc < std::max<std::size_t>(scales.size(), 1); ++sc) {
+            for (std::size_t sd = 0; sd < std::max<std::size_t>(seeds.size(), 1); ++sd) {
+              StudyConfig config = varied;
+              if (!routings.empty()) config.routing = routings[r];
+              if (!placements.empty()) config.placement = placements[p];
+              if (!scales.empty()) config.scale = scales[sc];
+              if (!seeds.empty()) config.seed = seeds[sd];
+              add_mix_cells(config, variant.label);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) cells[i].index = i;
+  return cells;
+}
+
+// --- execution ---------------------------------------------------------------
+
+Report run_plan_cell(const ExperimentPlan& plan, const PlanCell& cell) {
+  switch (cell.kind) {
+    case PlanCellKind::kSingle: {
+      Study study(cell.config);
+      for (const PlanJob& job : cell.jobs) study.add_app(job.app, job.nodes);
+      return study.run();
+    }
+    case PlanCellKind::kPairwise:
+      return run_pairwise(cell.config, cell.target, cell.background).full;
+    case PlanCellKind::kMixed:
+      return run_mixed(cell.config);
+    case PlanCellKind::kMixedSolo:
+      return run_mixed_solo(cell.config, cell.target);
+    case PlanCellKind::kCustom:
+      return plan.custom(cell);
+  }
+  throw std::logic_error("run_plan_cell: unhandled cell kind");
+}
+
+PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink, int jobs) {
+  const std::vector<PlanCell> cells = plan.expand();
+  sink.begin(plan, cells);
+
+  PlanOutcome outcome;
+  outcome.cells = cells.size();
+
+  // Workers finish out of order; results wait in their slot until every
+  // earlier cell has been emitted, then flush to the sink in index order (a
+  // flushed slot is released immediately, so memory holds only the
+  // out-of-order window, not the whole campaign).
+  std::vector<Report> slots(cells.size());
+  std::vector<char> ready(cells.size(), 0);
+  std::size_t next_emit = 0;
+  std::mutex emit_mutex;
+
+  ParallelRunner(jobs).run_indexed(cells.size(), [&](std::size_t i) {
+    Report report = run_plan_cell(plan, cells[i]);
+    const std::lock_guard<std::mutex> lock(emit_mutex);
+    slots[i] = std::move(report);
+    ready[i] = 1;
+    while (next_emit < cells.size() && ready[next_emit]) {
+      if (slots[next_emit].completed) ++outcome.completed;
+      sink.cell_done(cells[next_emit], slots[next_emit]);
+      slots[next_emit] = Report{};
+      ++next_emit;
+    }
+  });
+
+  sink.end();
+  return outcome;
+}
+
+// --- sinks -------------------------------------------------------------------
+
+void CollectSink::begin(const ExperimentPlan&, const std::vector<PlanCell>& cells) {
+  cells_ = cells;
+  reports_.assign(cells.size(), Report{});
+}
+
+void CollectSink::cell_done(const PlanCell& cell, const Report& report) {
+  reports_[cell.index] = report;
+}
+
+void TeeSink::begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) {
+  for (PlanSink* sink : sinks_) sink->begin(plan, cells);
+}
+
+void TeeSink::cell_done(const PlanCell& cell, const Report& report) {
+  for (PlanSink* sink : sinks_) sink->cell_done(cell, report);
+}
+
+void TeeSink::end() {
+  for (PlanSink* sink : sinks_) sink->end();
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path) : owned_(path), out_(&owned_) {
+  if (!owned_) throw std::runtime_error("JsonlSink: cannot open " + path);
+}
+
+void JsonlSink::cell_done(const PlanCell& cell, const Report& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("cell").value(static_cast<std::uint64_t>(cell.index));
+  w.key("kind").value(to_string(cell.kind));
+  w.key("variant").value(cell.variant);
+  w.key("routing").value(cell.config.routing);
+  w.key("placement").value(to_string(cell.config.placement));
+  w.key("seed").value(cell.config.seed);
+  w.key("scale").value(cell.config.scale);
+  w.key("target").value(cell.target);
+  w.key("background").value(cell.background);
+  w.key("jobs").begin_array();
+  for (const PlanJob& job : cell.jobs) {
+    w.begin_object();
+    w.key("app").value(job.app);
+    w.key("nodes").value(job.nodes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("report");
+  write_report(w, report);
+  w.end_object();
+  *out_ << w.str() << '\n' << std::flush;
+}
+
+CsvSink::CsvSink(std::ostream& out) : out_(&out) {}
+
+CsvSink::CsvSink(const std::string& path) : owned_(path), out_(&owned_) {
+  if (!owned_) throw std::runtime_error("CsvSink: cannot open " + path);
+}
+
+void CsvSink::begin(const ExperimentPlan&, const std::vector<PlanCell>&) {
+  *out_ << "cell,kind,variant,routing,placement,seed,scale,target,background,app,nodes,"
+           "comm_mean_ms,comm_std_ms,exec_ms,injection_rate_gbs,lat_mean_us,lat_p99_us,"
+           "nonminimal_fraction,completed,makespan_ms,sys_lat_p99_us\n"
+        << std::flush;
+}
+
+void CsvSink::cell_done(const PlanCell& cell, const Report& report) {
+  const std::string prefix = std::to_string(cell.index) + ',' + to_string(cell.kind) + ',' +
+                             csv_field(cell.variant) + ',' + csv_field(cell.config.routing) +
+                             ',' + to_string(cell.config.placement) + ',' +
+                             std::to_string(cell.config.seed) + ',' +
+                             std::to_string(cell.config.scale) + ',' + csv_field(cell.target) +
+                             ',' + csv_field(cell.background) + ',';
+  const std::string suffix = std::string(report.completed ? "true" : "false") + ',' +
+                             csv_double(to_ms(report.makespan)) + ',' +
+                             csv_double(report.sys_lat_p99_us);
+  for (const AppReport& app : report.apps) {
+    *out_ << prefix << csv_field(app.app) << ',' << app.nodes << ','
+          << csv_double(app.comm_mean_ms) << ',' << csv_double(app.comm_std_ms) << ','
+          << csv_double(app.exec_ms) << ',' << csv_double(app.injection_rate_gbs) << ','
+          << csv_double(app.lat_mean_us) << ',' << csv_double(app.lat_p99_us) << ','
+          << csv_double(app.nonminimal_fraction) << ',' << suffix << '\n';
+  }
+  *out_ << std::flush;
+}
+
+// --- config-file surface -----------------------------------------------------
+
+namespace {
+
+std::vector<PlanJob> parse_plan_jobs(const ConfigFile& file, const std::string& key) {
+  std::vector<PlanJob> jobs;
+  for (const std::string& item : file.get_string_list(key)) {
+    PlanJob job;
+    const auto colon = item.find(':');
+    job.app = item.substr(0, colon);
+    if (colon != std::string::npos) {
+      try {
+        std::size_t used = 0;
+        job.nodes = std::stoi(item.substr(colon + 1), &used);
+        if (used != item.size() - colon - 1) throw std::invalid_argument("trailing");
+      } catch (const std::exception&) {
+        throw std::invalid_argument("ConfigFile: " + file.where(key) + ": job '" + item +
+                                    "' wants APP or APP:NODES");
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Variant overrides are semicolon-separated `key=value` pairs, e.g.
+///   plan.variant.qos2 = qos.num_classes=2; qos.weights=4,1
+PlanVariant parse_variant(const ConfigFile& file, const std::string& key,
+                          const std::string& label, const std::string& text) {
+  PlanVariant variant;
+  variant.label = label;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t semi = text.find(';', start);
+    const std::size_t end = semi == std::string::npos ? text.size() : semi;
+    std::string item = text.substr(start, end - start);
+    const auto strip = [](std::string s) {
+      const auto a = s.find_first_not_of(" \t");
+      if (a == std::string::npos) return std::string();
+      const auto b = s.find_last_not_of(" \t");
+      return s.substr(a, b - a + 1);
+    };
+    item = strip(item);
+    if (!item.empty()) {
+      const auto eq = item.find('=');
+      if (eq == std::string::npos || strip(item.substr(0, eq)).empty()) {
+        throw std::invalid_argument("ConfigFile: " + file.where(key) + ": variant override '" +
+                                    item + "' wants key=value");
+      }
+      variant.overrides.set(strip(item.substr(0, eq)), strip(item.substr(eq + 1)),
+                            file.line_of(key));
+    }
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return variant;
+}
+
+}  // namespace
+
+ExperimentPlan plan_from_config(const ConfigFile& file) {
+  static const char* kVariantPrefix = "plan.variant.";
+  static const std::vector<std::string> kPlanKeys{
+      "plan.name",    "plan.mode",  "plan.routings",    "plan.placements",
+      "plan.scales",  "plan.seeds", "plan.jobs",        "plan.targets",
+      "plan.backgrounds", "plan.solos",
+  };
+
+  ExperimentPlan plan;
+  ConfigFile base_keys;
+  for (const auto& [key, value] : file.values()) {
+    if (key.rfind("plan.", 0) != 0) {
+      base_keys.set(key, value, file.line_of(key));
+      continue;
+    }
+    if (key.rfind(kVariantPrefix, 0) == 0) {
+      const std::string label = key.substr(std::string(kVariantPrefix).size());
+      if (label.empty()) {
+        throw std::invalid_argument("plan_from_config: " + file.where(key) +
+                                    ": variant needs a label (plan.variant.<label>)");
+      }
+      plan.variants.push_back(parse_variant(file, key, label, value));
+      continue;
+    }
+    if (!contains(kPlanKeys, key)) {
+      throw std::invalid_argument("plan_from_config: " + file.where(key) +
+                                  ": unknown plan key '" + key + "'");
+    }
+  }
+  plan.base = apply_config(StudyConfig{}, base_keys);
+
+  plan.name = file.get_string("plan.name", "campaign");
+  if (file.has("plan.mode")) plan.mode = plan_mode_from_string(file.get_string("plan.mode"));
+  plan.routings = file.get_string_list("plan.routings");
+  for (const std::string& name : file.get_string_list("plan.placements")) {
+    try {
+      plan.placements.push_back(placement_from_string(name));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("ConfigFile: " + file.where("plan.placements") +
+                                  ": unknown placement '" + name + "'");
+    }
+  }
+  plan.scales = file.get_int_list("plan.scales");
+  plan.seeds = file.get_seed_list("plan.seeds");
+  plan.jobs = parse_plan_jobs(file, "plan.jobs");
+  plan.targets = file.get_string_list("plan.targets");
+  plan.backgrounds = file.get_string_list("plan.backgrounds");
+  plan.mixed_solos = file.get_bool("plan.solos", true);
+
+  plan.validate();
+  return plan;
+}
+
+ExperimentPlan load_plan(const std::string& path) {
+  return plan_from_config(ConfigFile::load(path));
+}
+
+}  // namespace dfly

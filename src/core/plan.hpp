@@ -1,0 +1,245 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config_file.hpp"
+#include "core/pairwise.hpp"
+#include "core/study.hpp"
+
+/// Declarative experiment campaigns.
+///
+/// Every result in the paper — and in the companion Dragonfly+ interference
+/// and application-aware-routing studies — is "a set of Studies over axes":
+/// applications x routings x placements x seeds (x topology/QoS/fault
+/// variants). ExperimentPlan is the one description of such a campaign: a
+/// base StudyConfig, the axes to sweep, and a job-mix kind. It expands
+/// deterministically into an ordered cell list and runs through ONE entry
+/// point, run_plan(), on the ParallelRunner (per-worker SimArena reuse and
+/// cross-cell SystemBlueprint sharing intact), streaming each finished cell
+/// to a PlanSink in cell order — so output bytes are identical for any
+/// worker count.
+///
+/// The legacy driver surfaces — SeedSweep::run, run_pairwise_cells,
+/// run_mixed_suites — are retained as thin shims over this core; new
+/// scenarios should build an ExperimentPlan (programmatically, or from a
+/// `plan.*` config file via plan_from_config / `dflysim --plan=FILE`).
+namespace dfly {
+
+/// How a plan populates each cell's job mix.
+enum class PlanMode {
+  kSingle,    ///< every cell runs the explicit `jobs` list (paper Figs 5-9)
+  kPairwise,  ///< target x background half-machine matrix (paper Fig 4, §V)
+  kMixed,     ///< Table II mix, plus per-app solo baselines (paper Fig 10)
+  kCustom,    ///< programmatic: `custom` produces each cell's Report
+};
+
+const char* to_string(PlanMode mode);
+/// Accepts "single", "pairwise", "mixed" (kCustom is programmatic-only).
+PlanMode plan_mode_from_string(const std::string& name);
+
+/// One application of an explicit job list. nodes == 0 fills the machine.
+struct PlanJob {
+  std::string app;
+  int nodes{0};
+
+  bool operator==(const PlanJob&) const = default;
+};
+
+/// A named overlay of config keys applied onto the base config — the
+/// declarative form of "the same campaign, but with QoS classes on / a
+/// degraded global link / a bigger machine". Any apply_config key works.
+struct PlanVariant {
+  std::string label;
+  ConfigFile overrides;
+};
+
+/// What one expanded cell runs. kMixedSolo is the Fig 10 "alone" baseline:
+/// the full Table II allocation sequence with every job except `target`
+/// replaced by an idle placeholder.
+enum class PlanCellKind { kSingle, kPairwise, kMixed, kMixedSolo, kCustom };
+
+const char* to_string(PlanCellKind kind);
+
+/// One fully-resolved simulation cell of a campaign.
+struct PlanCell {
+  std::size_t index{0};  ///< position in expansion (and emission) order
+  PlanCellKind kind{PlanCellKind::kSingle};
+  StudyConfig config{};  ///< base + variant overlay + axis values
+  std::string variant;   ///< variant label, "" when no variant axis
+  std::string target;      ///< pairwise target / mixed-solo app, else ""
+  std::string background;  ///< pairwise background; "None" = standalone
+  std::vector<PlanJob> jobs;  ///< kSingle job list, else empty
+};
+
+struct ExperimentPlan;
+
+/// Streaming consumer of finished cells. run_plan() calls begin() once with
+/// the full expansion, then cell_done() exactly once per cell in cell-index
+/// order — cell i is delivered as soon as it *and every cell before it* has
+/// finished, so a file sink flushes incrementally while workers are still
+/// running later cells — then end() once. Calls are serialised by run_plan
+/// (sinks need no locking of their own).
+class PlanSink {
+ public:
+  virtual ~PlanSink() = default;
+  virtual void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells);
+  virtual void cell_done(const PlanCell& cell, const Report& report) = 0;
+  virtual void end();
+};
+
+/// Declarative description of a campaign. Expansion order is the fixed
+/// nesting
+///     variant > routing > placement > scale > seed > job-mix cell
+/// (job-mix cells: pairwise = target-major over backgrounds, mixed = the mix
+/// then each solo in table2_mix order, single/custom = one cell). An empty
+/// axis means "the base config's value is the single point". When
+/// `config_list` is set it replaces the whole axis product, cell order
+/// following the list.
+struct ExperimentPlan {
+  std::string name{"campaign"};
+  StudyConfig base{};
+  PlanMode mode{PlanMode::kSingle};
+
+  // --- axes ---------------------------------------------------------------
+  std::vector<PlanVariant> variants;
+  std::vector<std::string> routings;
+  std::vector<PlacementPolicy> placements;
+  std::vector<int> scales;
+  std::vector<std::uint64_t> seeds;
+  /// Explicit per-cell configs replacing the axis product (legacy
+  /// run_mixed_suites shim; campaigns over hand-built config sets).
+  std::vector<StudyConfig> config_list;
+
+  // --- job mix ------------------------------------------------------------
+  std::vector<PlanJob> jobs;             ///< kSingle
+  std::vector<std::string> targets;      ///< kPairwise
+  std::vector<std::string> backgrounds;  ///< kPairwise; "None" = standalone
+  /// kPairwise: explicit (target, background, routing-override) list
+  /// replacing the targets x backgrounds product (legacy shim surface).
+  std::vector<PairwiseCell> pairwise_list;
+  bool mixed_solos{true};  ///< kMixed: append per-app solo baselines
+  /// kCustom: produces each cell's Report (runs on a worker thread; must
+  /// only touch state owned by its cell).
+  std::function<Report(const PlanCell&)> custom;
+
+  /// Deterministic ordered expansion; calls validate() first. Cell order and
+  /// content depend only on the plan — never on jobs or timing.
+  std::vector<PlanCell> expand() const;
+
+  /// Structural checks (unknown app/routing names, empty job mix, missing
+  /// custom runner, non-positive scales); throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Collects reports in cell order (and keeps the expansion for callers that
+/// index results by axis position).
+class CollectSink final : public PlanSink {
+ public:
+  void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) override;
+  void cell_done(const PlanCell& cell, const Report& report) override;
+
+  const std::vector<PlanCell>& cells() const { return cells_; }
+  const std::vector<Report>& reports() const { return reports_; }
+  std::vector<Report>&& take_reports() { return std::move(reports_); }
+
+ private:
+  std::vector<PlanCell> cells_;
+  std::vector<Report> reports_;
+};
+
+/// JSON Lines: one self-contained object per cell —
+///   {"cell":N,"kind":...,"variant":...,"routing":...,"placement":...,
+///    "seed":N,"scale":N,"target":...,"background":...,"jobs":[...],
+///    "report":{<report_to_json document>}}
+/// — written and flushed as each cell completes, so a long campaign's
+/// output is tail-able and survives interruption up to the last whole line.
+class JsonlSink final : public PlanSink {
+ public:
+  explicit JsonlSink(std::ostream& out);
+  /// Opens `path` for writing (throws std::runtime_error on failure).
+  explicit JsonlSink(const std::string& path);
+
+  void cell_done(const PlanCell& cell, const Report& report) override;
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+};
+
+/// CSV: a header plus one row per (cell, application) — the flat table a
+/// plotting notebook ingests directly. Flushed per cell like JsonlSink.
+class CsvSink final : public PlanSink {
+ public:
+  explicit CsvSink(std::ostream& out);
+  explicit CsvSink(const std::string& path);
+
+  void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) override;
+  void cell_done(const PlanCell& cell, const Report& report) override;
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+};
+
+/// Fans one campaign stream out to several sinks (console + JSONL + CSV is
+/// the common CLI combination). Does not own the sinks.
+class TeeSink final : public PlanSink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<PlanSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(PlanSink* sink) { sinks_.push_back(sink); }
+
+  void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) override;
+  void cell_done(const PlanCell& cell, const Report& report) override;
+  void end() override;
+
+ private:
+  std::vector<PlanSink*> sinks_;
+};
+
+/// Outcome of a campaign run (drives the CLI exit status).
+struct PlanOutcome {
+  std::size_t cells{0};
+  std::size_t completed{0};  ///< cells whose Report.completed is true
+};
+
+/// THE campaign entry point: expand the plan, shard the cells across `jobs`
+/// ParallelRunner workers (> 0 = exact count, 0 = DFSIM_JOBS, else
+/// sequential; per-worker arenas and the shared BlueprintCache apply as for
+/// every other driver), and stream results to `sink` in cell order. The
+/// first cell exception is rethrown after workers drain (end() is not
+/// called then). Output is bit-identical for any worker count.
+PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink, int jobs = 0);
+
+/// Run one already-expanded cell on the calling thread (the per-cell work
+/// run_plan schedules; exposed for tests and custom drivers).
+Report run_plan_cell(const ExperimentPlan& plan, const PlanCell& cell);
+
+/// Build a plan from a config file: every non-`plan.` key configures the
+/// base StudyConfig via apply_config; `plan.*` keys describe the campaign —
+///   plan.name        = fig4                     (default "campaign")
+///   plan.mode        = single | pairwise | mixed  (default single)
+///   plan.routings    = PAR,UGALg,Q-adp
+///   plan.placements  = random,contiguous
+///   plan.scales      = 1,8
+///   plan.seeds       = 42..46,100              (ranges are inclusive)
+///   plan.jobs        = FFT3D:528,Halo3D:0      (mode single; 0 = fill)
+///   plan.targets     = FFT3D,LU                (mode pairwise)
+///   plan.backgrounds = None,UR,Halo3D          (mode pairwise)
+///   plan.solos       = true                    (mode mixed)
+///   plan.variant.<label> = key=value; key=value  (repeatable; sorted by
+///                          label; an empty value is the unmodified base)
+/// Unknown plan keys throw std::invalid_argument naming the source line.
+ExperimentPlan plan_from_config(const ConfigFile& file);
+
+/// ConfigFile::load + plan_from_config.
+ExperimentPlan load_plan(const std::string& path);
+
+}  // namespace dfly

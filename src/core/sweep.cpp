@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/parallel.hpp"
+#include "core/plan.hpp"
 
 namespace dfly {
 
@@ -39,10 +39,18 @@ SeedSweep::SeedSweep(std::uint64_t base_seed, int n) {
 
 SweepSummary SeedSweep::run(const std::function<Report(std::uint64_t)>& experiment,
                             int jobs) const {
-  std::vector<Report> reports(seeds_.size());
-  ParallelRunner(jobs).run_indexed(
-      seeds_.size(), [&](std::size_t i) { reports[i] = experiment(seeds_[i]); });
-  return aggregate(reports);
+  // Shim over the unified campaign core: a seed sweep is a plan with one
+  // seeds axis and a custom cell runner. Scheduling, arena reuse and
+  // blueprint sharing are exactly what every other driver gets, so the
+  // summary is bit-identical to the pre-plan implementation.
+  ExperimentPlan plan;
+  plan.name = "seed_sweep";
+  plan.mode = PlanMode::kCustom;
+  plan.seeds = seeds_;
+  plan.custom = [&experiment](const PlanCell& cell) { return experiment(cell.config.seed); };
+  CollectSink sink;
+  run_plan(plan, sink, jobs);
+  return aggregate(sink.reports());
 }
 
 SweepSummary SeedSweep::aggregate(const std::vector<Report>& reports) {

@@ -71,6 +71,11 @@ class SeedSweep {
   /// and Rng from its seed, and reports are collected into slots indexed by
   /// seed position and aggregated in seed order — the summary is
   /// bit-identical to a sequential run for any worker count.
+  ///
+  /// Deprecated-but-working shim: this is now a thin builder over the
+  /// unified campaign core (core/plan.hpp — a seeds-axis ExperimentPlan
+  /// with a custom cell runner). New code should build an ExperimentPlan
+  /// directly and use run_plan.
   SweepSummary run(const std::function<Report(std::uint64_t seed)>& experiment,
                    int jobs = 0) const;
 

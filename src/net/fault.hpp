@@ -37,6 +37,9 @@ class FaultPlan {
   std::size_t size() const { return faults_.size(); }
   const std::vector<LinkFault>& faults() const { return faults_; }
 
+  /// Shape identity (blueprint cache key, config round-trip tests).
+  bool operator==(const FaultPlan&) const = default;
+
   /// Degrade every global link between `group_a` and `group_b`, in both
   /// directions (the common field failure: one cable, two directions).
   static FaultPlan degrade_global(const Dragonfly& topo, int group_a, int group_b,

@@ -22,6 +22,11 @@ PlacementPolicy placement_from_string(const std::string& name) {
   throw std::invalid_argument("unknown placement policy: " + name);
 }
 
+const std::vector<std::string>& all_placements() {
+  static const std::vector<std::string> names{"random", "contiguous", "linear"};
+  return names;
+}
+
 Placer::Placer(const Dragonfly& topo, PlacementPolicy policy, Rng rng,
                const std::vector<int>* candidate_pool)
     : topo_(&topo),

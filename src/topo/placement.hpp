@@ -19,6 +19,9 @@ enum class PlacementPolicy {
 
 const char* to_string(PlacementPolicy policy);
 PlacementPolicy placement_from_string(const std::string& name);
+/// Every policy name placement_from_string accepts, in enum order (the
+/// single source for --list-placements and plan-axis validation).
+const std::vector<std::string>& all_placements();
 
 /// Allocates nodes to jobs one request at a time over a fixed machine.
 /// Deterministic given the Rng state.

@@ -1,0 +1,511 @@
+// Tests for the unified campaign core (core/plan.hpp): deterministic
+// expansion, streaming sinks, jobs-independence, config-file plans, and
+// byte-identical equivalence of the legacy driver shims (SeedSweep,
+// run_pairwise_cells, run_mixed_suites) with hand-rolled references.
+
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/blueprint.hpp"
+#include "core/json_report.hpp"
+#include "core/mixed.hpp"
+#include "core/pairwise.hpp"
+#include "core/parallel.hpp"
+#include "core/sweep.hpp"
+
+namespace dfly {
+namespace {
+
+StudyConfig tiny_config(const std::string& routing = "UGALg") {
+  StudyConfig config;
+  config.topo = DragonflyParams::tiny();
+  config.routing = routing;
+  config.scale = 64;
+  return config;
+}
+
+ExperimentPlan tiny_single_plan() {
+  ExperimentPlan plan;
+  plan.base = tiny_config();
+  plan.mode = PlanMode::kSingle;
+  plan.jobs = {{"UR", 32}};
+  return plan;
+}
+
+std::string jsonl_of(const ExperimentPlan& plan, int jobs) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  run_plan(plan, sink, jobs);
+  return out.str();
+}
+
+// --- expansion ---------------------------------------------------------------
+
+TEST(PlanExpansion, NestingOrderIsVariantRoutingPlacementScaleSeed) {
+  ExperimentPlan plan = tiny_single_plan();
+  PlanVariant qos;
+  qos.label = "qos2";
+  qos.overrides.set("qos.num_classes", "2");
+  plan.variants = {PlanVariant{"base", {}}, qos};
+  plan.routings = {"MIN", "PAR"};
+  plan.placements = {PlacementPolicy::kRandom, PlacementPolicy::kLinear};
+  plan.scales = {64, 128};
+  plan.seeds = {1, 2};
+
+  const std::vector<PlanCell> cells = plan.expand();
+  ASSERT_EQ(cells.size(), 32u);
+  // Innermost axis: seed varies fastest...
+  EXPECT_EQ(cells[0].config.seed, 1u);
+  EXPECT_EQ(cells[1].config.seed, 2u);
+  // ...then scale...
+  EXPECT_EQ(cells[0].config.scale, 64);
+  EXPECT_EQ(cells[2].config.scale, 128);
+  // ...then placement...
+  EXPECT_EQ(cells[0].config.placement, PlacementPolicy::kRandom);
+  EXPECT_EQ(cells[4].config.placement, PlacementPolicy::kLinear);
+  // ...then routing...
+  EXPECT_EQ(cells[0].config.routing, "MIN");
+  EXPECT_EQ(cells[8].config.routing, "PAR");
+  // ...then variant (outermost).
+  EXPECT_EQ(cells[0].variant, "base");
+  EXPECT_EQ(cells[16].variant, "qos2");
+  EXPECT_EQ(cells[16].config.net.qos.num_classes, 2);
+  EXPECT_EQ(cells[0].config.net.qos.num_classes, 1);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].kind, PlanCellKind::kSingle);
+    EXPECT_EQ(cells[i].jobs, plan.jobs);
+  }
+}
+
+TEST(PlanExpansion, EmptyAxesUseTheBasePoint) {
+  const ExperimentPlan plan = tiny_single_plan();
+  const std::vector<PlanCell> cells = plan.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].config.routing, "UGALg");
+  EXPECT_EQ(cells[0].config.seed, 42u);
+  EXPECT_EQ(cells[0].variant, "");
+}
+
+TEST(PlanExpansion, PairwiseProductIsTargetMajorWithinAxisPoint) {
+  ExperimentPlan plan;
+  plan.base = tiny_config();
+  plan.mode = PlanMode::kPairwise;
+  plan.routings = {"MIN", "UGALg"};
+  plan.targets = {"UR", "FFT3D"};
+  plan.backgrounds = {"None", "CosmoFlow"};
+  const std::vector<PlanCell> cells = plan.expand();
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_EQ(cells[0].target, "UR");
+  EXPECT_EQ(cells[0].background, "None");
+  EXPECT_EQ(cells[1].background, "CosmoFlow");
+  EXPECT_EQ(cells[2].target, "FFT3D");
+  EXPECT_EQ(cells[4].config.routing, "UGALg");
+  for (const PlanCell& cell : cells) EXPECT_EQ(cell.kind, PlanCellKind::kPairwise);
+}
+
+TEST(PlanExpansion, PairwiseListIsUsedVerbatim) {
+  ExperimentPlan plan;
+  plan.base = tiny_config("PAR");
+  plan.mode = PlanMode::kPairwise;
+  plan.pairwise_list = {{"UR", "", ""}, {"FFT3D", "None", "MIN"}, {"UR", "CosmoFlow", ""}};
+  const std::vector<PlanCell> cells = plan.expand();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].background, "None");  // empty background normalised
+  EXPECT_EQ(cells[0].config.routing, "PAR");
+  EXPECT_EQ(cells[1].config.routing, "MIN");  // per-cell override
+  EXPECT_EQ(cells[2].background, "CosmoFlow");
+}
+
+TEST(PlanExpansion, MixedEmitsTheMixThenSolosInTable2Order) {
+  ExperimentPlan plan;
+  plan.base = tiny_config();
+  plan.mode = PlanMode::kMixed;
+  plan.routings = {"MIN", "PAR"};
+  const std::vector<PlanCell> cells = plan.expand();
+  const std::size_t stride = 1 + table2_mix().size();
+  ASSERT_EQ(cells.size(), 2 * stride);
+  EXPECT_EQ(cells[0].kind, PlanCellKind::kMixed);
+  for (std::size_t a = 0; a < table2_mix().size(); ++a) {
+    EXPECT_EQ(cells[1 + a].kind, PlanCellKind::kMixedSolo);
+    EXPECT_EQ(cells[1 + a].target, table2_mix()[a].app);
+  }
+  EXPECT_EQ(cells[stride].kind, PlanCellKind::kMixed);
+  EXPECT_EQ(cells[stride].config.routing, "PAR");
+
+  plan.mixed_solos = false;
+  EXPECT_EQ(plan.expand().size(), 2u);
+}
+
+TEST(PlanExpansion, ConfigListReplacesTheAxisProduct) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.routings = {"MIN", "PAR"};  // ignored once config_list is set
+  plan.config_list = {tiny_config("Q-adp")};
+  const std::vector<PlanCell> cells = plan.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].config.routing, "Q-adp");
+}
+
+TEST(PlanValidation, RejectsBadPlans) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.jobs.clear();
+  EXPECT_THROW(plan.expand(), std::invalid_argument);  // single without jobs
+
+  plan = tiny_single_plan();
+  plan.jobs = {{"NoSuchApp", 8}};
+  EXPECT_THROW(plan.expand(), std::invalid_argument);  // unknown app
+
+  plan = tiny_single_plan();
+  plan.routings = {"NoSuchRouting"};
+  EXPECT_THROW(plan.expand(), std::invalid_argument);  // unknown routing
+
+  plan = tiny_single_plan();
+  plan.scales = {0};
+  EXPECT_THROW(plan.expand(), std::invalid_argument);  // non-positive scale
+
+  plan = ExperimentPlan{};
+  plan.mode = PlanMode::kPairwise;
+  EXPECT_THROW(plan.expand(), std::invalid_argument);  // pairwise without matrix
+
+  plan = ExperimentPlan{};
+  plan.mode = PlanMode::kCustom;
+  EXPECT_THROW(plan.expand(), std::invalid_argument);  // custom without runner
+}
+
+// --- execution and sinks -----------------------------------------------------
+
+TEST(PlanParallelDeterminism, JsonlByteIdenticalAtJobsOneAndFour) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.routings = {"MIN", "UGALg"};
+  plan.seeds = {42, 43, 44};
+  const std::string sequential = jsonl_of(plan, 1);
+  const std::string parallel = jsonl_of(plan, 4);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);
+  // One self-contained line per cell.
+  EXPECT_EQ(std::count(sequential.begin(), sequential.end(), '\n'), 6);
+}
+
+TEST(PlanParallelDeterminism, CollectSinkMatchesDirectCellRuns) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.seeds = {7, 8};
+  CollectSink sink;
+  const PlanOutcome outcome = run_plan(plan, sink, 4);
+  EXPECT_EQ(outcome.cells, 2u);
+  EXPECT_EQ(outcome.completed, 2u);
+  ASSERT_EQ(sink.reports().size(), 2u);
+  for (const PlanCell& cell : sink.cells()) {
+    EXPECT_EQ(report_to_json(sink.reports()[cell.index]),
+              report_to_json(run_plan_cell(plan, cell)));
+  }
+}
+
+TEST(PlanSinks, StreamInCellOrderWithBeginAndEnd) {
+  struct OrderSink final : PlanSink {
+    std::vector<std::size_t> order;
+    int begins{0}, ends{0};
+    std::size_t expected{0};
+    void begin(const ExperimentPlan&, const std::vector<PlanCell>& cells) override {
+      ++begins;
+      expected = cells.size();
+    }
+    void cell_done(const PlanCell& cell, const Report&) override { order.push_back(cell.index); }
+    void end() override { ++ends; }
+  } sink;
+  ExperimentPlan plan = tiny_single_plan();
+  plan.seeds = {1, 2, 3, 4, 5};
+  run_plan(plan, sink, 4);
+  EXPECT_EQ(sink.begins, 1);
+  EXPECT_EQ(sink.ends, 1);
+  ASSERT_EQ(sink.order.size(), 5u);
+  EXPECT_EQ(sink.expected, 5u);
+  for (std::size_t i = 0; i < sink.order.size(); ++i) EXPECT_EQ(sink.order[i], i);
+}
+
+TEST(PlanSinks, CsvEmitsHeaderAndOneRowPerApp) {
+  ExperimentPlan plan;
+  plan.base = tiny_config();
+  plan.mode = PlanMode::kSingle;
+  plan.jobs = {{"UR", 20}, {"CosmoFlow", 20}};
+  std::ostringstream out;
+  CsvSink sink(out);
+  run_plan(plan, sink, 1);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("cell,kind,variant,routing,placement,seed,scale", 0), 0u);
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    EXPECT_EQ(line.rfind("0,single,", 0), 0u);
+  }
+  EXPECT_EQ(rows, 2);  // one per app
+}
+
+TEST(PlanSinks, FileSinksRejectUnwritablePaths) {
+  EXPECT_THROW(JsonlSink("/nonexistent-dir/x.jsonl"), std::runtime_error);
+  EXPECT_THROW(CsvSink("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(PlanExecution, CellExceptionsPropagate) {
+  ExperimentPlan plan;
+  plan.mode = PlanMode::kCustom;
+  plan.seeds = {1, 2, 3, 4};
+  plan.custom = [](const PlanCell& cell) -> Report {
+    if (cell.config.seed == 3) throw std::runtime_error("cell 3 failed");
+    return Report{};
+  };
+  CollectSink sink;
+  EXPECT_THROW(run_plan(plan, sink, 2), std::runtime_error);
+}
+
+TEST(PlanExecution, CustomCellsSeeTheResolvedConfig) {
+  ExperimentPlan plan;
+  plan.mode = PlanMode::kCustom;
+  plan.routings = {"MIN", "PAR"};
+  plan.seeds = {5, 6};
+  plan.custom = [](const PlanCell& cell) {
+    Report report;
+    report.routing = cell.config.routing + "/" + std::to_string(cell.config.seed);
+    report.completed = true;
+    return report;
+  };
+  CollectSink sink;
+  run_plan(plan, sink, 1);
+  ASSERT_EQ(sink.reports().size(), 4u);
+  EXPECT_EQ(sink.reports()[0].routing, "MIN/5");
+  EXPECT_EQ(sink.reports()[3].routing, "PAR/6");
+}
+
+// --- legacy shims are byte-identical to hand-rolled references ---------------
+
+Report tiny_experiment(std::uint64_t seed) {
+  StudyConfig config = tiny_config();
+  config.seed = seed;
+  Study study(config);
+  study.add_app("UR", 32);
+  return study.run();
+}
+
+TEST(PlanShimParallelEquivalence, SeedSweepMatchesDirectParallelRunner) {
+  const SeedSweep sweep(42, 5);
+  // Pre-plan reference: ParallelRunner straight over the seed list.
+  for (const int jobs : {1, 4}) {
+    std::vector<Report> reports(sweep.seeds().size());
+    ParallelRunner(jobs).run_indexed(reports.size(), [&](std::size_t i) {
+      reports[i] = tiny_experiment(sweep.seeds()[i]);
+    });
+    const SweepSummary reference = SeedSweep::aggregate(reports);
+    const SweepSummary shimmed = sweep.run(tiny_experiment, jobs);
+    EXPECT_EQ(sweep_to_json(reference), sweep_to_json(shimmed)) << "jobs=" << jobs;
+  }
+}
+
+TEST(PlanShimParallelEquivalence, PairwiseCellsMatchDirectRuns) {
+  const StudyConfig base = tiny_config();
+  std::vector<PairwiseCell> cells;
+  for (const char* routing : {"MIN", "UGALg"}) {
+    cells.push_back(PairwiseCell{"UR", "None", routing});
+    cells.push_back(PairwiseCell{"UR", "CosmoFlow", routing});
+  }
+  cells.push_back(PairwiseCell{"FFT3D", "", ""});  // base routing, no background
+  for (const int jobs : {1, 4}) {
+    const std::vector<PairwiseResult> shimmed = run_pairwise_cells(base, cells, jobs);
+    ASSERT_EQ(shimmed.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      StudyConfig config = base;
+      if (!cells[i].routing.empty()) config.routing = cells[i].routing;
+      const PairwiseResult reference = run_pairwise(config, cells[i].target, cells[i].background);
+      EXPECT_EQ(report_to_json(shimmed[i].full), report_to_json(reference.full))
+          << "jobs=" << jobs << " cell=" << i;
+      EXPECT_EQ(shimmed[i].routing, reference.routing);
+      EXPECT_EQ(shimmed[i].target, reference.target);
+      EXPECT_EQ(shimmed[i].background, reference.background);
+      EXPECT_EQ(report_to_json(Report{.routing = shimmed[i].routing,
+                                      .apps = {shimmed[i].target_report}}),
+                report_to_json(Report{.routing = reference.routing,
+                                      .apps = {reference.target_report}}));
+      EXPECT_EQ(shimmed[i].background_report.app, reference.background_report.app);
+    }
+  }
+}
+
+TEST(PlanShimParallelEquivalence, MixedSuitesMatchDirectRuns) {
+  // Full paper machine (Table II node counts) with a hard clock cap: the
+  // comparison needs identical bytes, not converged runs.
+  StudyConfig config;
+  config.topo = DragonflyParams::paper();
+  config.routing = "UGALg";
+  config.scale = 256;
+  config.time_limit = 20 * kUs;
+  const std::vector<StudyConfig> configs{config};
+
+  std::string reference;
+  reference += report_to_json(run_mixed(config));
+  for (const MixedJobSpec& spec : table2_mix()) {
+    reference += report_to_json(run_mixed_solo(config, spec.app));
+  }
+  for (const int jobs : {1, 4}) {
+    const std::vector<MixedSuite> suites = run_mixed_suites(configs, jobs);
+    ASSERT_EQ(suites.size(), 1u);
+    std::string shimmed = report_to_json(suites[0].mix);
+    for (const Report& solo : suites[0].solos) shimmed += report_to_json(solo);
+    EXPECT_EQ(shimmed, reference) << "jobs=" << jobs;
+  }
+  EXPECT_TRUE(run_mixed_suites({}, 1).empty());
+}
+
+// --- differently-shaped cells through one shared cache/arena -----------------
+
+TEST(PlanParallelDeterminism, DifferentlyShapedVariantsThroughOneCacheMatchFreshRuns) {
+  // Four shapes (two topologies x QoS on/off) and two routings fuzzed
+  // through ONE run_plan call: every worker reuses its arena storage and the
+  // shared BlueprintCache across shape changes. Each cell must still be
+  // byte-identical to a fresh, fully-private run.
+  ExperimentPlan plan;
+  plan.base = tiny_config();
+  plan.mode = PlanMode::kSingle;
+  plan.jobs = {{"UR", 16}};
+  PlanVariant smaller;
+  smaller.label = "smaller";
+  smaller.overrides.set("topo.g", "5");  // 40-node machine (a*h=8 = 2*(g-1))
+  PlanVariant qos;
+  qos.label = "qos";
+  qos.overrides.set("qos.num_classes", "2");
+  qos.overrides.set("qos.weights", "4,1");
+  plan.variants = {PlanVariant{"base", {}}, smaller, qos};
+  plan.routings = {"MIN", "Q-adp"};
+  plan.seeds = {42, 43};
+
+  CollectSink sink;
+  run_plan(plan, sink, 4);
+
+  struct ToggleGuard {
+    ~ToggleGuard() {
+      set_arena_enabled(true);
+      set_blueprint_enabled(true);
+    }
+  } guard;
+  set_arena_enabled(false);
+  set_blueprint_enabled(false);
+  for (const PlanCell& cell : sink.cells()) {
+    EXPECT_EQ(report_to_json(sink.reports()[cell.index]),
+              report_to_json(run_plan_cell(plan, cell)))
+        << "cell " << cell.index << " variant=" << cell.variant;
+  }
+}
+
+// --- config-file plans -------------------------------------------------------
+
+TEST(PlanFromConfig, ParsesAxesModesAndVariants) {
+  const ConfigFile file = ConfigFile::parse(R"(
+topo.p = 2
+topo.a = 4
+topo.h = 2
+topo.g = 9
+scale = 64
+plan.name = demo
+plan.mode = pairwise
+plan.routings = MIN, UGALg
+plan.placements = random,linear
+plan.scales = 64,128
+plan.seeds = 42..44,100
+plan.targets = UR
+plan.backgrounds = None,CosmoFlow
+plan.variant.base =
+plan.variant.qos2 = qos.num_classes=2; qos.weights=4,1
+)");
+  const ExperimentPlan plan = plan_from_config(file);
+  EXPECT_EQ(plan.name, "demo");
+  EXPECT_EQ(plan.mode, PlanMode::kPairwise);
+  EXPECT_EQ(plan.base.topo.g, 9);
+  EXPECT_EQ(plan.base.scale, 64);
+  EXPECT_EQ(plan.routings, (std::vector<std::string>{"MIN", "UGALg"}));
+  EXPECT_EQ(plan.placements,
+            (std::vector<PlacementPolicy>{PlacementPolicy::kRandom, PlacementPolicy::kLinear}));
+  EXPECT_EQ(plan.scales, (std::vector<int>{64, 128}));
+  EXPECT_EQ(plan.seeds, (std::vector<std::uint64_t>{42, 43, 44, 100}));
+  EXPECT_EQ(plan.targets, (std::vector<std::string>{"UR"}));
+  EXPECT_EQ(plan.backgrounds, (std::vector<std::string>{"None", "CosmoFlow"}));
+  // Variants arrive in sorted label order (std::map key order).
+  ASSERT_EQ(plan.variants.size(), 2u);
+  EXPECT_EQ(plan.variants[0].label, "base");
+  EXPECT_TRUE(plan.variants[0].overrides.values().empty());
+  EXPECT_EQ(plan.variants[1].label, "qos2");
+  EXPECT_EQ(plan.variants[1].overrides.get_int("qos.num_classes"), 2);
+  EXPECT_EQ(plan.variants[1].overrides.get_int_list("qos.weights"),
+            (std::vector<int>{4, 1}));
+  // 2 variants x 2 routings x 2 placements x 2 scales x 4 seeds x 2 cells.
+  EXPECT_EQ(plan.expand().size(), 128u);
+}
+
+TEST(PlanFromConfig, ParsesSingleModeJobLists) {
+  const ConfigFile file = ConfigFile::parse(
+      "plan.mode = single\nplan.jobs = FFT3D:528, Halo3D\n");
+  const ExperimentPlan plan = plan_from_config(file);
+  ASSERT_EQ(plan.jobs.size(), 2u);
+  EXPECT_EQ(plan.jobs[0], (PlanJob{"FFT3D", 528}));
+  EXPECT_EQ(plan.jobs[1], (PlanJob{"Halo3D", 0}));
+}
+
+TEST(PlanFromConfig, ErrorsNameTheOffendingLine) {
+  // Unknown plan key, with its line number.
+  try {
+    plan_from_config(ConfigFile::parse("plan.mode = single\nplan.bogus = 1\n"));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos) << error.what();
+    EXPECT_NE(std::string(error.what()).find("plan.bogus"), std::string::npos);
+  }
+  // Bad seed range, with its line number.
+  try {
+    plan_from_config(ConfigFile::parse("# comment\nplan.seeds = 9..3\n"));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos) << error.what();
+  }
+  // Bad mode.
+  EXPECT_THROW(plan_from_config(ConfigFile::parse("plan.mode = everything\n")),
+               std::invalid_argument);
+  // Bad placement name.
+  EXPECT_THROW(plan_from_config(ConfigFile::parse(
+                   "plan.mode = single\nplan.jobs = UR\nplan.placements = diagonal\n")),
+               std::invalid_argument);
+  // Malformed job entry.
+  EXPECT_THROW(plan_from_config(ConfigFile::parse(
+                   "plan.mode = single\nplan.jobs = UR:many\n")),
+               std::invalid_argument);
+  // Variant override without '='.
+  EXPECT_THROW(plan_from_config(ConfigFile::parse(
+                   "plan.mode = single\nplan.jobs = UR\nplan.variant.x = nonsense\n")),
+               std::invalid_argument);
+  // Base keys still go through apply_config's typo safety.
+  EXPECT_THROW(plan_from_config(ConfigFile::parse("routng = PAR\nplan.jobs = UR\n")),
+               std::invalid_argument);
+}
+
+TEST(PlanFromConfig, FileRunMatchesProgrammaticPlan) {
+  const std::string path = std::string(::testing::TempDir()) + "/dfly_plan.cfg";
+  {
+    std::ofstream out(path);
+    out << "topo.p = 2\ntopo.a = 4\ntopo.h = 2\ntopo.g = 9\nscale = 64\n"
+           "routing = UGALg\nplan.mode = single\nplan.jobs = UR:32\nplan.seeds = 42,43\n";
+  }
+  const ExperimentPlan from_file = load_plan(path);
+  std::remove(path.c_str());
+
+  ExperimentPlan programmatic = tiny_single_plan();
+  programmatic.seeds = {42, 43};
+  EXPECT_EQ(jsonl_of(from_file, 2), jsonl_of(programmatic, 2));
+}
+
+}  // namespace
+}  // namespace dfly

@@ -104,6 +104,74 @@ TEST(ConfigFile, SyntaxAndTypeErrors) {
   EXPECT_THROW(cfg.get_bool("b"), std::invalid_argument);
 }
 
+TEST(ConfigFile, DuplicateKeyErrorNamesBothLines) {
+  try {
+    ConfigFile::parse("routing = PAR\n# comment\nrouting = MIN\n");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("duplicate key 'routing'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigFile, TracksSourceLinesAndNamesThemInValueErrors) {
+  const ConfigFile cfg = ConfigFile::parse("\n# header\nseed = 42\n\ntopo.g = nine\n");
+  EXPECT_EQ(cfg.line_of("seed"), 3);
+  EXPECT_EQ(cfg.line_of("topo.g"), 5);
+  EXPECT_EQ(cfg.line_of("missing"), 0);
+  try {
+    cfg.get_int("topo.g");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 5"), std::string::npos) << error.what();
+  }
+  // Programmatically-set keys have no line; errors fall back to the key name.
+  ConfigFile direct;
+  direct.set("x", "abc");
+  try {
+    direct.get_int("x");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("key 'x'"), std::string::npos) << error.what();
+  }
+}
+
+TEST(ConfigFile, StringLists) {
+  const ConfigFile cfg = ConfigFile::parse("names = PAR, Q-adp ,MIN\nempty_item = a,,b\n");
+  EXPECT_EQ(cfg.get_string_list("names"), (std::vector<std::string>{"PAR", "Q-adp", "MIN"}));
+  EXPECT_TRUE(cfg.get_string_list("missing").empty());
+  EXPECT_THROW(cfg.get_string_list("empty_item"), std::invalid_argument);
+}
+
+TEST(ConfigFile, SeedListsAndRangeSyntax) {
+  const ConfigFile cfg = ConfigFile::parse("seeds = 42..46,100, 7\nsingle = 3..3\n");
+  EXPECT_EQ(cfg.get_seed_list("seeds"),
+            (std::vector<std::uint64_t>{42, 43, 44, 45, 46, 100, 7}));
+  EXPECT_EQ(cfg.get_seed_list("single"), (std::vector<std::uint64_t>{3}));
+  EXPECT_TRUE(cfg.get_seed_list("missing").empty());
+
+  // Negative items must be rejected, not wrapped to huge values by stoull.
+  for (const char* bad : {"9..3", "1..", "..4", "x..4", "1..y", "forty", "-1", "-1..3"}) {
+    const ConfigFile broken = ConfigFile::parse("# pad\nseeds = " + std::string(bad) + "\n");
+    try {
+      broken.get_seed_list("seeds");
+      FAIL() << "expected invalid_argument for '" << bad << "'";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+          << bad << ": " << error.what();
+    }
+  }
+}
+
+TEST(ConfigFile, EmitRoundTripsExactly) {
+  const ConfigFile cfg = ConfigFile::parse("b = 2\na = 1\nqos.weights = 4,1\n");
+  const ConfigFile again = ConfigFile::parse(cfg.emit());
+  EXPECT_EQ(cfg.values(), again.values());
+  EXPECT_EQ(cfg.emit(), "a = 1\nb = 2\nqos.weights = 4,1\n");  // sorted keys
+}
+
 TEST(ConfigFile, LoadFromDisk) {
   const std::string path = std::string(::testing::TempDir()) + "/dfly_test.cfg";
   {
@@ -151,7 +219,96 @@ ugal.bias = 10
 
 TEST(ApplyConfig, UnknownKeyThrows) {
   const ConfigFile cfg = ConfigFile::parse("routng = PAR\n");  // typo
-  EXPECT_THROW(apply_config(StudyConfig{}, cfg), std::invalid_argument);
+  try {
+    apply_config(StudyConfig{}, cfg);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 1"), std::string::npos) << error.what();
+    EXPECT_NE(std::string(error.what()).find("routng"), std::string::npos);
+  }
+}
+
+// The full parse -> apply -> re-emit -> parse loop, for EVERY accepted key:
+// a StudyConfig with no field left at its default must survive the trip with
+// every key byte-equal. apply_config and config_to_file walk one shared key
+// table, so this test pins both directions at once.
+TEST(ApplyConfig, RoundTripsEveryAcceptedKey) {
+  StudyConfig config;
+  config.topo = DragonflyParams{3, 6, 3, 10};
+  config.topo.arrangement = GlobalArrangement::kAbsolute;
+  config.routing = "Q-adp";
+  config.placement = PlacementPolicy::kContiguous;
+  config.seed = 123456789012345ull;
+  config.scale = 7;
+  config.time_limit = 1234 * kMs;
+  config.net.flit_bytes = 32;
+  config.net.packet_bytes = 512;
+  config.net.buffer_packets = 17;
+  config.net.num_vcs = 5;
+  config.net.link_gbps = 87.5;
+  config.net.local_latency = 33 * kNs;
+  config.net.global_latency = 451 * kNs;
+  config.net.router_latency = 9 * kNs;
+  config.protocol.eager_threshold = 12345;
+  config.protocol.control_bytes = 16;
+  config.net.qos.num_classes = 3;
+  config.net.qos.weights = {5, 2, 1};
+  config.net.qos.quantum_packets = 6;
+  config.net.cc.enabled = true;
+  config.net.cc.ecn_threshold_packets = 11;
+  config.net.cc.md_factor = 0.625;
+  config.net.cc.ai_step = 0.0325;
+  config.net.cc.min_rate = 0.07;
+  config.qadp.alpha = 0.35;
+  config.qadp.epsilon = 0.002;
+  config.qadp.queue_weight = 1.75;
+  config.ugal.bias = 4;
+  config.ugal.nonmin_weight = 3;
+  config.ugal.min_candidates = 3;
+  config.ugal.nonmin_candidates = 4;
+  config.faults.add(LinkFault{12, 11, 8, 500 * kNs});
+  config.faults.add(LinkFault{0, 14, 4, 0});
+
+  const ConfigFile emitted = config_to_file(config);
+  const ConfigFile reparsed = ConfigFile::parse(emitted.emit());
+  const StudyConfig rebuilt = apply_config(StudyConfig{}, reparsed);
+
+  // Key-for-key equality of the re-emitted map proves every accepted key
+  // made the round trip without loss...
+  EXPECT_EQ(config_to_file(rebuilt).values(), emitted.values());
+  // ...and the structural spot-checks pin the semantic fields too.
+  EXPECT_EQ(rebuilt.topo, config.topo);
+  EXPECT_EQ(rebuilt.net, config.net);
+  EXPECT_EQ(rebuilt.routing, config.routing);
+  EXPECT_EQ(rebuilt.placement, config.placement);
+  EXPECT_EQ(rebuilt.seed, config.seed);
+  EXPECT_EQ(rebuilt.scale, config.scale);
+  EXPECT_EQ(rebuilt.time_limit, config.time_limit);
+  EXPECT_EQ(rebuilt.protocol, config.protocol);
+  EXPECT_EQ(rebuilt.qadp, config.qadp);
+  EXPECT_EQ(rebuilt.ugal, config.ugal);
+  EXPECT_EQ(rebuilt.faults, config.faults);
+}
+
+TEST(ApplyConfig, DefaultConfigRoundTripsAndOmitsEmptyFaults) {
+  const ConfigFile emitted = config_to_file(StudyConfig{});
+  EXPECT_FALSE(emitted.has("faults"));  // empty plan -> no key
+  const StudyConfig rebuilt = apply_config(StudyConfig{}, ConfigFile::parse(emitted.emit()));
+  EXPECT_EQ(config_to_file(rebuilt).values(), emitted.values());
+}
+
+TEST(ApplyConfig, NewHardeningKeysApply) {
+  const ConfigFile cfg = ConfigFile::parse(
+      "qadp.queue_weight = 2.5\nugal.min_candidates = 3\nugal.nonmin_candidates = 1\n"
+      "protocol.control_bytes = 64\nfaults = 1:2:8:500,3:4:2\n");
+  const StudyConfig out = apply_config(StudyConfig{}, cfg);
+  EXPECT_DOUBLE_EQ(out.qadp.queue_weight, 2.5);
+  EXPECT_EQ(out.ugal.min_candidates, 3);
+  EXPECT_EQ(out.ugal.nonmin_candidates, 1);
+  EXPECT_EQ(out.protocol.control_bytes, 64);
+  ASSERT_EQ(out.faults.size(), 2u);
+  EXPECT_EQ(out.faults.faults()[0], (LinkFault{1, 2, 8, 500 * kNs}));
+  EXPECT_EQ(out.faults.faults()[1], (LinkFault{3, 4, 2, 0}));
 }
 
 TEST(ApplyConfig, ConfiguredStudyRuns) {

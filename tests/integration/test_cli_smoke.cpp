@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -39,11 +40,39 @@ TEST(CliSmoke, HelpAndListingsExitZero) {
   EXPECT_EQ(run_cli("--help > /dev/null 2>&1"), 0);
   EXPECT_EQ(run_cli("--list-apps > /dev/null 2>&1"), 0);
   EXPECT_EQ(run_cli("--list-routings > /dev/null 2>&1"), 0);
+  EXPECT_EQ(run_cli("--list-placements > /dev/null 2>&1"), 0);
+}
+
+TEST(CliSmoke, ListPlacementsPrintsEveryPolicy) {
+  const std::string out_path = temp_json_path() + ".placements";
+  EXPECT_EQ(run_cli("--list-placements > " + out_path + " 2>/dev/null"), 0);
+  const std::string out = slurp(out_path);
+  EXPECT_EQ(out, "random\ncontiguous\nlinear\n");
+  std::remove(out_path.c_str());
 }
 
 TEST(CliSmoke, BadUsageExitsNonZero) {
   EXPECT_NE(run_cli("> /dev/null 2>&1"), 0);                   // no --app
   EXPECT_NE(run_cli("--no-such-flag > /dev/null 2>&1"), 0);
+  // Campaign-only flags are rejected without --plan...
+  EXPECT_NE(run_cli("--app=UR:16 --set=seed=1 > /dev/null 2>&1"), 0);
+  EXPECT_NE(run_cli("--app=UR:16 --jsonl=x.jsonl > /dev/null 2>&1"), 0);
+  // ...and single-run flags are rejected (not silently dropped) with --plan.
+  EXPECT_NE(run_cli("--plan=nonexistent.cfg --routing=MIN > /dev/null 2>&1"), 0);
+  EXPECT_NE(run_cli("--plan=nonexistent.cfg --seed=7 > /dev/null 2>&1"), 0);
+  EXPECT_NE(run_cli("--plan=nonexistent.cfg --app=UR:16 > /dev/null 2>&1"), 0);
+}
+
+TEST(CliSmoke, UnknownAppFailsFastWithOneCleanLine) {
+  const std::string err_path = temp_json_path() + ".stderr";
+  // Must be rejected at argument-parse time (exit 1), before any network is
+  // built — a huge machine would make a late failure obvious by its runtime.
+  EXPECT_EQ(run_cli("--app=NoSuchApp:16 --scale=64 > /dev/null 2> " + err_path), 1);
+  const std::string err = slurp(err_path);
+  EXPECT_NE(err.find("unknown application 'NoSuchApp'"), std::string::npos) << err;
+  EXPECT_NE(err.find("--list-apps"), std::string::npos) << err;
+  EXPECT_EQ(std::count(err.begin(), err.end(), '\n'), 1) << err;  // one line
+  std::remove(err_path.c_str());
 }
 
 TEST(CliSmoke, QuickstartRunWritesJsonReport) {
@@ -67,6 +96,48 @@ TEST(CliSmoke, QuickstartRunWritesJsonReport) {
   EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
   EXPECT_NE(json.find("\"routing\":\"Q-adp\""), std::string::npos);
   std::remove(json_path.c_str());
+}
+
+TEST(CliSmoke, PlanRunStreamsJsonlAndHonoursSetOverrides) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string base = std::string(dir != nullptr ? dir : "/tmp");
+  const std::string plan_path = base + "/dfsim_cli_smoke_plan.cfg";
+  const std::string jsonl_path = base + "/dfsim_cli_smoke_plan.jsonl";
+  const std::string csv_path = base + "/dfsim_cli_smoke_plan.csv";
+  {
+    std::ofstream out(plan_path);
+    out << "topo.p = 2\ntopo.a = 4\ntopo.h = 2\ntopo.g = 9\nscale = 64\n"
+           "plan.mode = single\nplan.jobs = UR:32\nplan.routings = MIN,UGALg\n"
+           "plan.seeds = 42..43\n";
+  }
+  std::remove(jsonl_path.c_str());
+
+  // 2 routings x 2 seeds = 4 cells; --set trims the seeds axis to one.
+  const int exit_code = run_cli("--plan=" + plan_path + " --set=plan.seeds=42 --jobs=2" +
+                                " --jsonl=" + jsonl_path + " --plan-csv=" + csv_path +
+                                " > /dev/null 2>&1");
+  EXPECT_EQ(exit_code, 0);
+  const std::string jsonl = slurp(jsonl_path);
+  ASSERT_FALSE(jsonl.empty()) << "CLI did not write " << jsonl_path;
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);  // one line per cell
+  for (const char* key : {"\"cell\":0", "\"cell\":1", "\"kind\":\"single\"",
+                          "\"routing\":\"MIN\"", "\"routing\":\"UGALg\"", "\"seed\":42",
+                          "\"report\":{", "\"completed\":true"}) {
+    EXPECT_NE(jsonl.find(key), std::string::npos) << "missing " << key;
+  }
+  const std::string csv = slurp(csv_path);
+  EXPECT_EQ(csv.rfind("cell,kind,variant,routing,placement", 0), 0u);
+
+  // An unknown application inside the plan must also fail before simulating.
+  {
+    std::ofstream out(plan_path);
+    out << "plan.mode = single\nplan.jobs = Bogus:16\n";
+  }
+  EXPECT_NE(run_cli("--plan=" + plan_path + " > /dev/null 2>&1"), 0);
+
+  std::remove(plan_path.c_str());
+  std::remove(jsonl_path.c_str());
+  std::remove(csv_path.c_str());
 }
 
 TEST(CliSmoke, JsonToStdout) {

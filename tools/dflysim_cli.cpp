@@ -10,24 +10,33 @@
 //   # declarative system + 5-seed sweep with aggregated statistics
 //   dflysim --config=paper.cfg --app=LQCD:256 --app=Stencil5D:243 --sweep=5
 //
+//   # a whole campaign from one file (see core/plan.hpp), JSONL streamed out
+//   dflysim --plan=examples/fig4_campaign.cfg --jsonl=fig4.jsonl --jobs=8
+//
 //   # record a trace, write the IO-module CSV set
 //   dflysim --app=LU:140 --trace=0:lu.csv --csv=run1
 //
 // Exit status: 0 when every rank of every job completed, 1 otherwise.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/arena.hpp"
 #include "core/blueprint.hpp"
 #include "core/config_file.hpp"
 #include "core/json_report.hpp"
+#include "core/plan.hpp"
 #include "core/study.hpp"
 #include "core/sweep.hpp"
 #include "routing/factory.hpp"
+#include "topo/placement.hpp"
 #include "viz/ascii.hpp"
 #include "workloads/factory.hpp"
 
@@ -48,13 +57,29 @@ struct CliOptions {
   int trace_app{-1};
   std::string trace_path;
   int sweep{1};
-  int jobs{0};  ///< sweep worker threads; 0 = DFSIM_JOBS, else sequential
+  int jobs{0};  ///< sweep/plan worker threads; 0 = DFSIM_JOBS, else sequential
+  // Campaign mode (core/plan.hpp):
+  std::string plan_path;                                    ///< --plan=FILE
+  std::vector<std::pair<std::string, std::string>> sets;    ///< --set=KEY=VALUE
+  std::string jsonl_path;                                   ///< "-" = stdout
+  std::string plan_csv_path;                                ///< --plan-csv=FILE
+  /// Single-run/sweep flags seen on the command line; a --plan run rejects
+  /// them instead of silently ignoring them (the plan file owns the config).
+  std::vector<std::string> single_run_flags;
 };
 
 [[noreturn]] void usage(int code) {
   std::fputs(
       "usage: dflysim [options]\n"
       "  --config=FILE        key=value config file (see core/config_file.hpp)\n"
+      "  --plan=FILE          run a whole declarative campaign (plan.* keys, see\n"
+      "                       core/plan.hpp); combines with --set/--jsonl/--plan-csv\n"
+      "                       and --jobs, not with --app\n"
+      "  --set=KEY=VALUE      override one config/plan key before the campaign is\n"
+      "                       built (repeatable; e.g. --set=plan.seeds=1..4)\n"
+      "  --jsonl=FILE         stream one JSON object per finished campaign cell\n"
+      "                       ('-' = stdout; identical bytes for any --jobs)\n"
+      "  --plan-csv=FILE      also write the campaign's per-app CSV table\n"
       "  --app=NAME:NODES     add an application (repeatable; NODES=0 fills the machine)\n"
       "  --routing=NAME       MIN|VALg|VALn|UGALg|UGALn|PAR|FlowUGAL|AppAware|Q-adp\n"
       "  --placement=NAME     random|contiguous|linear\n"
@@ -78,6 +103,7 @@ struct CliOptions {
       "  --fault=SPEC         degrade links: router:port:slowdown[:extra_ns],...\n"
       "  --list-apps          print the nine application names and exit\n"
       "  --list-routings      print every routing algorithm and exit\n"
+      "  --list-placements    print every placement policy and exit\n"
       "  --help               this text\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
@@ -89,6 +115,14 @@ AppSpec parse_app(const std::string& value) {
   spec.name = value.substr(0, colon);
   if (colon != std::string::npos) spec.nodes = std::stoi(value.substr(colon + 1));
   if (spec.name.empty()) throw std::invalid_argument("--app needs NAME[:NODES]");
+  // Fail fast on a typo'd name — one clean line and exit 1, instead of
+  // throwing out of make_app after the network has been built.
+  const auto& names = workloads::app_names();
+  if (std::find(names.begin(), names.end(), spec.name) == names.end()) {
+    std::fprintf(stderr, "dflysim: unknown application '%s' (see --list-apps)\n",
+                 spec.name.c_str());
+    std::exit(1);
+  }
   return spec;
 }
 
@@ -100,6 +134,10 @@ CliOptions parse_cli(int argc, char** argv) {
     if (eq == nullptr) throw std::invalid_argument(std::string("missing '=' in ") + arg);
     return std::string(eq + 1);
   };
+  // Flags that configure a single run / sweep directly. In --plan mode the
+  // plan file (plus --set) owns the whole configuration, so these are
+  // rejected rather than silently dropped.
+  const auto single_run = [&options](const char* flag) { options.single_run_flags.push_back(flag); };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0) usage(0);
@@ -111,21 +149,33 @@ CliOptions parse_cli(int argc, char** argv) {
       for (const std::string& name : routing::all_routings()) std::printf("%s\n", name.c_str());
       std::exit(0);
     }
+    if (std::strcmp(arg, "--list-placements") == 0) {
+      for (const std::string& name : all_placements()) std::printf("%s\n", name.c_str());
+      std::exit(0);
+    }
     if (std::strncmp(arg, "--config=", 9) == 0) {
+      single_run("--config");
       options.config = apply_config(std::move(options.config), ConfigFile::load(value_of(arg)));
     } else if (std::strncmp(arg, "--app=", 6) == 0) {
+      single_run("--app");
       options.apps.push_back(parse_app(value_of(arg)));
     } else if (std::strncmp(arg, "--routing=", 10) == 0) {
+      single_run("--routing");
       options.config.routing = value_of(arg);
     } else if (std::strncmp(arg, "--placement=", 12) == 0) {
+      single_run("--placement");
       options.config.placement = placement_from_string(value_of(arg));
     } else if (std::strncmp(arg, "--arrangement=", 14) == 0) {
+      single_run("--arrangement");
       options.config.topo.arrangement = arrangement_from_string(value_of(arg));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      single_run("--seed");
       options.config.seed = std::stoull(value_of(arg));
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      single_run("--scale");
       options.config.scale = std::stoi(value_of(arg));
     } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
+      single_run("--sweep");
       options.sweep = std::stoi(value_of(arg));
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       options.jobs = std::stoi(value_of(arg));
@@ -134,13 +184,30 @@ CliOptions parse_cli(int argc, char** argv) {
       set_arena_enabled(false);
     } else if (std::strcmp(arg, "--no-blueprint") == 0) {
       set_blueprint_enabled(false);
+    } else if (std::strncmp(arg, "--plan=", 7) == 0) {
+      options.plan_path = value_of(arg);
+    } else if (std::strncmp(arg, "--set=", 6) == 0) {
+      const std::string pair = value_of(arg);
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("--set needs KEY=VALUE");
+      }
+      options.sets.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    } else if (std::strncmp(arg, "--jsonl=", 8) == 0) {
+      options.jsonl_path = value_of(arg);
+    } else if (std::strncmp(arg, "--plan-csv=", 11) == 0) {
+      options.plan_csv_path = value_of(arg);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      single_run("--json");
       options.json_path = value_of(arg);
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      single_run("--csv");
       options.csv_prefix = value_of(arg);
     } else if (std::strncmp(arg, "--fault=", 8) == 0) {
+      single_run("--fault");
       options.config.faults.merge(parse_fault_plan(value_of(arg)));
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      single_run("--trace");
       const std::string value = value_of(arg);
       const auto colon = value.find(':');
       if (colon == std::string::npos) throw std::invalid_argument("--trace needs APP:FILE");
@@ -150,6 +217,25 @@ CliOptions parse_cli(int argc, char** argv) {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       usage(2);
     }
+  }
+  if (!options.plan_path.empty()) {
+    if (!options.single_run_flags.empty()) {
+      std::string flags;
+      for (const std::string& flag : options.single_run_flags) {
+        if (!flags.empty()) flags += ", ";
+        flags += flag;
+      }
+      std::fprintf(stderr,
+                   "--plan describes the whole campaign; it does not combine with %s "
+                   "(use --set=KEY=VALUE to override plan-file keys)\n\n",
+                   flags.c_str());
+      usage(2);
+    }
+    return options;
+  }
+  if (!options.sets.empty() || !options.jsonl_path.empty() || !options.plan_csv_path.empty()) {
+    std::fputs("--set/--jsonl/--plan-csv only apply to a --plan campaign\n\n", stderr);
+    usage(2);
   }
   if (options.apps.empty()) {
     std::fputs("no --app given\n\n", stderr);
@@ -174,6 +260,76 @@ Report run_once(const CliOptions& options, std::uint64_t seed, bool side_outputs
     std::fprintf(stderr, "wrote %s_{apps,congestion,stall}.csv\n", options.csv_prefix.c_str());
   }
   return report;
+}
+
+/// Console companion of the file sinks: one line per finished cell, streamed
+/// in cell order while later cells are still running.
+class ProgressSink final : public dfly::PlanSink {
+ public:
+  explicit ProgressSink(std::FILE* out) : out_(out) {}
+
+  void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) override {
+    total_ = cells.size();
+    std::fprintf(out_, "campaign '%s': %zu cells (%s)\n", plan.name.c_str(), total_,
+                 to_string(plan.mode));
+  }
+
+  void cell_done(const PlanCell& cell, const Report& report) override {
+    std::string what;
+    switch (cell.kind) {
+      case PlanCellKind::kPairwise: what = cell.target + " vs " + cell.background; break;
+      case PlanCellKind::kMixedSolo: what = cell.target + " alone"; break;
+      case PlanCellKind::kMixed: what = "table2 mix"; break;
+      default:
+        for (const PlanJob& job : cell.jobs) {
+          if (!what.empty()) what += '+';
+          what += job.app;
+        }
+    }
+    std::fprintf(out_, "[%zu/%zu] %-28s %-7s %-10s seed=%llu%s%s makespan=%.3fms%s\n",
+                 cell.index + 1, total_, what.c_str(), cell.config.routing.c_str(),
+                 to_string(cell.config.placement),
+                 static_cast<unsigned long long>(cell.config.seed),
+                 cell.variant.empty() ? "" : " variant=", cell.variant.c_str(),
+                 to_ms(report.makespan), report.completed ? "" : " INCOMPLETE");
+    std::fflush(out_);
+  }
+
+ private:
+  std::FILE* out_;
+  std::size_t total_{0};
+};
+
+int run_campaign(const CliOptions& options) {
+  ConfigFile file = ConfigFile::load(options.plan_path);
+  for (const auto& [key, value] : options.sets) file.set(key, value);
+  const ExperimentPlan plan = plan_from_config(file);
+
+  TeeSink sinks;
+  ProgressSink progress(options.jsonl_path == "-" ? stderr : stdout);
+  sinks.add(&progress);
+  std::unique_ptr<JsonlSink> jsonl;
+  if (!options.jsonl_path.empty()) {
+    jsonl = options.jsonl_path == "-" ? std::make_unique<JsonlSink>(std::cout)
+                                      : std::make_unique<JsonlSink>(options.jsonl_path);
+    sinks.add(jsonl.get());
+  }
+  std::unique_ptr<CsvSink> csv;
+  if (!options.plan_csv_path.empty()) {
+    csv = std::make_unique<CsvSink>(options.plan_csv_path);
+    sinks.add(csv.get());
+  }
+
+  const PlanOutcome outcome = run_plan(plan, sinks, options.jobs);
+  std::fprintf(options.jsonl_path == "-" ? stderr : stdout, "%zu/%zu cells completed\n",
+               outcome.completed, outcome.cells);
+  if (!options.jsonl_path.empty() && options.jsonl_path != "-") {
+    std::fprintf(stderr, "wrote %s\n", options.jsonl_path.c_str());
+  }
+  if (!options.plan_csv_path.empty()) {
+    std::fprintf(stderr, "wrote %s\n", options.plan_csv_path.c_str());
+  }
+  return outcome.completed == outcome.cells ? 0 : 1;
 }
 
 void print_table(const Report& report) {
@@ -201,6 +357,7 @@ void print_table(const Report& report) {
 int main(int argc, char** argv) {
   try {
     const CliOptions options = parse_cli(argc, argv);
+    if (!options.plan_path.empty()) return run_campaign(options);
     if (options.sweep <= 1) {
       const Report report = run_once(options, options.config.seed, /*side_outputs=*/true);
       print_table(report);
