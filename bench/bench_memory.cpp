@@ -265,15 +265,21 @@ int run(int argc, char** argv) {
   std::printf("peak RSS (cumulative ru_maxrss): %ld KB after fresh phase, +%ld KB added by "
               "the arena phase, +%ld KB by the shared-blueprint phase\n",
               fresh.rss_kb_after, arena_rss_delta, shared_rss_delta);
-  std::printf("arena carry: %zu event slots, %zu packet slots, %llu/%llu routers and "
-              "%llu/%llu NICs recycled\n",
+  std::printf("arena carry: %zu event slots, %zu packet slots, %llu/%llu routers, "
+              "%llu/%llu NICs and %llu/%llu ranks recycled\n",
               arena_stats.engine_event_capacity, arena_stats.pool_capacity,
               static_cast<unsigned long long>(arena_stats.router_reuses),
               static_cast<unsigned long long>(arena_stats.router_reuses +
                                               arena_stats.router_builds),
               static_cast<unsigned long long>(arena_stats.nic_reuses),
               static_cast<unsigned long long>(arena_stats.nic_reuses +
-                                              arena_stats.nic_builds));
+                                              arena_stats.nic_builds),
+              static_cast<unsigned long long>(arena_stats.rank_reuses),
+              static_cast<unsigned long long>(arena_stats.rank_reuses +
+                                              arena_stats.rank_builds));
+  std::printf("mpi carry: %zu inflight-map slots, %zu owners-map slots, %zu match-list slots\n",
+              arena_stats.inflight_capacity, arena_stats.owners_capacity,
+              arena_stats.match_capacity);
   std::printf("outputs byte-identical: %s\n", identical ? "yes" : "NO (regression!)");
 
   if (!options.json_path.empty()) {
@@ -299,11 +305,15 @@ int run(int argc, char** argv) {
     std::snprintf(buf, sizeof buf,
                   ", \"engine_event_capacity\": %zu, \"engine_peak_events\": %zu, "
                   "\"closure_peak\": %zu, \"pool_capacity\": %zu, \"pool_peak_packets\": %zu, "
-                  "\"router_reuses\": %llu, \"nic_reuses\": %llu},\n",
+                  "\"router_reuses\": %llu, \"nic_reuses\": %llu, \"rank_reuses\": %llu, "
+                  "\"inflight_capacity\": %zu, \"owners_capacity\": %zu, "
+                  "\"match_capacity\": %zu},\n",
                   stats.engine_event_capacity, stats.engine_peak_events, stats.closure_peak,
                   stats.pool_capacity, stats.pool_peak_packets,
                   static_cast<unsigned long long>(stats.router_reuses),
-                  static_cast<unsigned long long>(stats.nic_reuses));
+                  static_cast<unsigned long long>(stats.nic_reuses),
+                  static_cast<unsigned long long>(stats.rank_reuses), stats.inflight_capacity,
+                  stats.owners_capacity, stats.match_capacity);
     json += buf;
     // The shared phase runs third: its RSS delta is over the arena phase.
     json += "  \"shared_blueprint\": {\"cell_wall_ms\": " + json_array(shared.cells, true) +
@@ -317,12 +327,16 @@ int run(int argc, char** argv) {
                   static_cast<unsigned long long>(cache_stats.misses),
                   cache_stats.build_ms_total, blueprint->footprint_bytes());
     json += buf;
+    // steady_allocs_* are absolute per-cell means over the steady tail —
+    // CI diffs steady_allocs_arena against bench/memory_alloc_ceiling.txt.
     std::snprintf(buf, sizeof buf,
                   "  \"derived\": {\"identical_output\": %s, "
                   "\"steady_alloc_ratio\": %.4f, \"steady_alloc_ratio_shared\": %.4f, "
+                  "\"steady_allocs_fresh\": %.0f, \"steady_allocs_arena\": %.0f, "
                   "\"steady_wall_ms_fresh\": %.3f, \"steady_wall_ms_arena\": %.3f, "
                   "\"steady_wall_ms_shared\": %.3f}\n}\n",
                   identical ? "true" : "false", alloc_ratio, shared_alloc_ratio,
+                  fresh.mean_allocs_tail(), reused.mean_allocs_tail(),
                   fresh.mean_wall_tail(), reused.mean_wall_tail(), shared.mean_wall_tail());
     json += buf;
     save_json(options.json_path, json);

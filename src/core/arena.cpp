@@ -82,6 +82,32 @@ void SimArena::return_net(NetStorage&& storage) {
   net_ = std::move(storage);
 }
 
+mpi::JobStorage SimArena::take_job_storage() {
+  if (job_storage_.empty()) return {};
+  mpi::JobStorage storage = std::move(job_storage_.front());
+  job_storage_.pop_front();
+  return storage;
+}
+
+void SimArena::return_job_storage(mpi::JobStorage&& storage) {
+  track_peak(stats_.inflight_capacity, storage.inflight.capacity());
+  for (const auto& rank : storage.ranks) {
+    if (rank != nullptr) track_peak(stats_.match_capacity, rank->match_capacity());
+  }
+  job_storage_.push_back(std::move(storage));
+}
+
+mpi::SystemStorage SimArena::take_system_storage() {
+  mpi::SystemStorage storage = std::move(system_storage_);
+  system_storage_ = mpi::SystemStorage{};
+  return storage;
+}
+
+void SimArena::return_system_storage(mpi::SystemStorage&& storage) {
+  track_peak(stats_.owners_capacity, storage.owners.capacity());
+  system_storage_ = std::move(storage);
+}
+
 ScopedArenaBinding::ScopedArenaBinding(SimArena* arena)
     : previous_(t_current_arena),
       frame_binding_(arena != nullptr ? &arena->frame_pool() : nullptr) {

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "mpi/frame_pool.hpp"
+#include "mpi/storage.hpp"
 #include "net/nic.hpp"
 #include "net/packet.hpp"
 #include "net/router.hpp"
@@ -45,11 +47,16 @@ struct ArenaStats {
   std::uint64_t router_builds{0};   ///< router objects newly constructed
   std::uint64_t nic_reuses{0};
   std::uint64_t nic_builds{0};
+  std::uint64_t rank_reuses{0};     ///< RankCtx objects recycled in place
+  std::uint64_t rank_builds{0};     ///< RankCtx objects newly constructed
   std::size_t engine_peak_events{0};    ///< max concurrently-queued events
   std::size_t engine_event_capacity{0};  ///< carried key/payload capacity
   std::size_t closure_peak{0};           ///< max pooled closure slots
   std::size_t pool_peak_packets{0};      ///< max concurrently-live packets
   std::size_t pool_capacity{0};          ///< carried packet-slab slots
+  std::size_t inflight_capacity{0};      ///< carried protocol-map slots (per job, max)
+  std::size_t owners_capacity{0};        ///< carried message-routing map slots
+  std::size_t match_capacity{0};         ///< carried match-list slots (per rank, max)
 };
 
 /// Reusable backing storage for one worker's simulation cells.
@@ -95,9 +102,23 @@ class SimArena {
   NetStorage take_net();
   void return_net(NetStorage&& storage);
 
-  /// Reuse bookkeeping hooks for Network's create-or-recycle loops.
+  /// Move a parked MPI job bundle out (FIFO: jobs are constructed and
+  /// destroyed in the same order each cell, so job k of the next cell gets
+  /// job k's carried storage). Returns an empty bundle when none is parked.
+  /// The maps come back cleared; the RankCtx objects still hold the previous
+  /// cell's wiring and must be reinit()-ed before use (Job does this). Pair
+  /// with return_job_storage().
+  mpi::JobStorage take_job_storage();
+  void return_job_storage(mpi::JobStorage&& storage);
+
+  /// Same lifecycle for MpiSystem's message-routing map.
+  mpi::SystemStorage take_system_storage();
+  void return_system_storage(mpi::SystemStorage&& storage);
+
+  /// Reuse bookkeeping hooks for Network's and Job's create-or-recycle loops.
   void count_router(bool reused) { ++(reused ? stats_.router_reuses : stats_.router_builds); }
   void count_nic(bool reused) { ++(reused ? stats_.nic_reuses : stats_.nic_builds); }
+  void count_rank(bool reused) { ++(reused ? stats_.rank_reuses : stats_.rank_builds); }
 
   /// Coroutine-frame freelist fed from this arena: ScopedArenaBinding binds
   /// it to the worker thread alongside the arena, so mpi::Task frames share
@@ -116,6 +137,8 @@ class SimArena {
   const void* owner_{nullptr};
   Engine engine_;
   NetStorage net_;
+  std::deque<mpi::JobStorage> job_storage_;  ///< parked bundles, FIFO order
+  mpi::SystemStorage system_storage_;
   mpi::FramePool frame_pool_;
   ArenaStats stats_;
 };

@@ -1,0 +1,211 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// Open-addressing hash map for the protocol-engine hot path.
+///
+/// The MPI layer keys everything by dense 64-bit ids (message ids, rendezvous
+/// handles), and every simulated message performs one insert and one erase in
+/// each tracking map. libstdc++'s std::unordered_map allocates a fresh node
+/// per insert even when a same-sized erase just freed one, so per-message map
+/// churn used to dominate the steady-state allocation count (see
+/// docs/MEMORY.md). FlatMap stores slots inline in one flat array: once the
+/// table has grown to a cell's peak occupancy it never allocates again, and
+/// clear() keeps the capacity so an arena-recycled map replays the next cell
+/// allocation-free.
+///
+/// Requirements and deliberate non-features:
+///  - Keys are non-zero (0 is the empty-slot sentinel). Message ids and
+///    rendezvous handles both start at 1.
+///  - No iteration: the protocol engine only ever does find/emplace/erase by
+///    key, and keeping iteration out makes reuse trivially determinism-safe
+///    (occupancy layout can differ between a fresh and a recycled table
+///    without any observable difference).
+///  - Erase uses backward-shift deletion, so lookups never probe over
+///    tombstones and long-lived maps do not degrade.
+namespace dfly {
+
+template <typename V>
+class FlatMap {
+ public:
+  FlatMap() = default;
+  ~FlatMap() { clear(); }
+  FlatMap(FlatMap&& other) noexcept
+      : keys_(std::move(other.keys_)),
+        values_(std::move(other.values_)),
+        size_(std::exchange(other.size_, 0)) {
+    other.keys_.clear();
+  }
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      clear();
+      keys_ = std::move(other.keys_);
+      values_ = std::move(other.values_);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Slots the table holds before the next rehash (test / stats hook).
+  std::size_t capacity() const { return keys_.size(); }
+
+  /// Drop every entry, keeping the table storage for reuse.
+  void clear() {
+    if (size_ == 0) return;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) {
+        keys_[i] = 0;
+        values_[i].~V();
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Grow the table so `n` entries fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    while (want * kMaxLoadNum < n * kMaxLoadDen) want *= 2;
+    if (want > keys_.size()) rehash(want);
+  }
+
+  /// Pointer to the mapped value, or nullptr when absent.
+  V* find(std::uint64_t key) {
+    assert(key != 0);
+    if (keys_.empty()) return nullptr;
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = index_of(key);
+    while (keys_[i] != 0) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const V* find(std::uint64_t key) const { return const_cast<FlatMap*>(this)->find(key); }
+
+  /// The mapped value; the key must be present.
+  V& at(std::uint64_t key) {
+    V* v = find(key);
+    assert(v != nullptr && "FlatMap::at: key not present");
+    return *v;
+  }
+  const V& at(std::uint64_t key) const { return const_cast<FlatMap*>(this)->at(key); }
+
+  /// Insert `value` under `key` (the key must not already be present).
+  void emplace(std::uint64_t key, V value) {
+    assert(key != 0);
+    assert(find(key) == nullptr && "FlatMap::emplace: duplicate key");
+    if (keys_.empty() || (size_ + 1) * kMaxLoadDen > keys_.size() * kMaxLoadNum) {
+      rehash(keys_.empty() ? kMinCapacity : keys_.size() * 2);
+    }
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = index_of(key);
+    while (keys_[i] != 0) i = (i + 1) & mask;
+    keys_[i] = key;
+    new (&values_[i]) V(std::move(value));
+    ++size_;
+  }
+
+  /// Remove `key` if present; returns whether an entry was removed.
+  bool erase(std::uint64_t key) {
+    assert(key != 0);
+    if (keys_.empty()) return false;
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = index_of(key);
+    while (keys_[i] != key) {
+      if (keys_[i] == 0) return false;
+      i = (i + 1) & mask;
+    }
+    // Backward-shift deletion: close the gap by moving back every element of
+    // the probe run that hashes at or before the vacated slot.
+    std::size_t hole = i;
+    values_[hole].~V();
+    std::size_t j = (hole + 1) & mask;
+    while (keys_[j] != 0) {
+      const std::size_t home = index_of(keys_[j]);
+      // Move j back into the hole iff its home position does not sit in the
+      // (cyclic) open interval (hole, j] — the standard Robin-Hood test.
+      const bool movable = ((j - home) & mask) >= ((j - hole) & mask);
+      if (movable) {
+        keys_[hole] = keys_[j];
+        new (&values_[hole]) V(std::move(values_[j]));
+        values_[j].~V();
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+    keys_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  // Max load factor 7/8: probes stay short and growth steps are rare.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  std::size_t index_of(std::uint64_t key) const {
+    // Fibonacci multiplicative hash: message ids are sequential, so the
+    // multiplier spreads dense runs across the table.
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >> 32) & (keys_.size() - 1);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    RawSlots old_values = std::move(values_);
+    keys_.assign(new_capacity, 0);
+    values_ = RawSlots(new_capacity);
+    const std::size_t mask = new_capacity - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      std::size_t j = index_of(old_keys[i]);
+      while (keys_[j] != 0) j = (j + 1) & mask;
+      keys_[j] = old_keys[i];
+      new (&values_[j]) V(std::move(old_values[i]));
+      old_values[i].~V();
+    }
+  }
+
+  /// Uninitialised value slots: lifetimes are managed manually so V needs no
+  /// default constructor and empty slots cost no construction.
+  class RawSlots {
+   public:
+    RawSlots() = default;
+    explicit RawSlots(std::size_t n)
+        : data_(n > 0 ? static_cast<V*>(::operator new(n * sizeof(V), std::align_val_t(alignof(V))))
+                      : nullptr) {}
+    RawSlots(RawSlots&& other) noexcept : data_(std::exchange(other.data_, nullptr)) {}
+    RawSlots& operator=(RawSlots&& other) noexcept {
+      if (this != &other) {
+        free_storage();
+        data_ = std::exchange(other.data_, nullptr);
+      }
+      return *this;
+    }
+    RawSlots(const RawSlots&) = delete;
+    RawSlots& operator=(const RawSlots&) = delete;
+    ~RawSlots() { free_storage(); }
+
+    V& operator[](std::size_t i) { return data_[i]; }
+
+   private:
+    void free_storage() {
+      if (data_ != nullptr) ::operator delete(data_, std::align_val_t(alignof(V)));
+    }
+    V* data_{nullptr};
+  };
+
+  std::vector<std::uint64_t> keys_;  ///< 0 = empty slot
+  RawSlots values_;                  ///< constructed iff the matching key != 0
+  std::size_t size_{0};
+};
+
+}  // namespace dfly

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+/// Fixed-slab FIFO queue that never gives storage back.
+///
+/// std::deque is the natural shape for the simulator's many small FIFOs
+/// (NIC send queues, router arbitration queues), but libstdc++'s deque
+/// allocates and frees 512-byte slabs as the live window crosses slab
+/// boundaries — a queue oscillating around a boundary churns the allocator
+/// on every push/pop cycle, and clear() drops all spare slabs so every
+/// arena-recycled cell re-grows them. RingQueue replaces it on those hot
+/// paths: one power-of-two vector, head/size indices, capacity kept by
+/// clear(). Steady-state push/pop after the first cell's growth touches the
+/// allocator zero times.
+namespace dfly {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Drop all elements; the slab is kept for the next cell.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Grow the slab to hold at least `n` elements (never shrinks).
+  void reserve(std::size_t n) {
+    if (n > slots_.size()) grow(n);
+  }
+
+  void push_back(const T& value) {
+    if (size_ == slots_.size()) grow(size_ + 1);
+    slots_[(head_ + size_) & (slots_.size() - 1)] = value;
+    ++size_;
+  }
+
+  /// Deque-style: re-queue a value at the head (router stall replay).
+  void push_front(const T& value) {
+    if (size_ == slots_.size()) grow(size_ + 1);
+    head_ = (head_ + slots_.size() - 1) & (slots_.size() - 1);
+    slots_[head_] = value;
+    ++size_;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+  T& back() {
+    assert(size_ > 0);
+    return slots_[(head_ + size_ - 1) & (slots_.size() - 1)];
+  }
+  const T& back() const {
+    assert(size_ > 0);
+    return slots_[(head_ + size_ - 1) & (slots_.size() - 1)];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --size_;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    while (capacity < need) capacity *= 2;
+    std::vector<T> next(capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  // power-of-two length; index masking, no modulo
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace dfly

@@ -122,14 +122,14 @@ void Study::build() {
   network_ = std::make_unique<Network>(engine_, *blueprint_, *routing_, num_apps,
                                        config_.seed, config_.observability, arena_);
   if (!config_.faults.empty()) network_->apply_faults(blueprint_->faults());
-  mpi_system_ = std::make_unique<mpi::MpiSystem>(*network_);
+  mpi_system_ = std::make_unique<mpi::MpiSystem>(*network_, arena_);
   int app_id = 0;
   for (auto& pending : pending_) {
     motifs_.push_back(std::move(pending.motif));
     jobs_.push_back(std::make_unique<mpi::Job>(engine_, *network_, *mpi_system_, app_id,
                                                pending.label, *motifs_.back(),
                                                std::move(pending.nodes), config_.seed,
-                                               config_.protocol));
+                                               config_.protocol, arena_));
     network_->set_app_class(app_id, pending.traffic_class);
     traces_.push_back(pending.record_trace ? std::make_unique<trace::MessageTrace>() : nullptr);
     if (traces_.back() != nullptr) jobs_.back()->set_send_observer(traces_.back().get());

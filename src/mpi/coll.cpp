@@ -32,7 +32,7 @@ std::int64_t chunk_size(std::int64_t bytes, int n) {
 }
 
 /// Index of `rank` inside `members`, asserting membership.
-int member_index(const std::vector<int>& members, int rank) {
+int member_index(std::span<const int> members, int rank) {
   for (int i = 0; i < static_cast<int>(members.size()); ++i) {
     if (members[static_cast<std::size_t>(i)] == rank) return i;
   }
@@ -99,19 +99,19 @@ Task allreduce(RankCtx& ctx, std::int64_t bytes, AllreduceAlg alg) {
   }
 }
 
-Task alltoall(RankCtx& ctx, std::int64_t bytes, std::vector<int> members, AlltoallAlg alg) {
+Task alltoall(RankCtx& ctx, std::int64_t bytes, std::span<const int> members, AlltoallAlg alg) {
   const auto n = static_cast<int>(members.size());
   const bool pow2 = (n & (n - 1)) == 0;
   switch (alg) {
-    case AlltoallAlg::kRing: co_await ctx.alltoall(bytes, std::move(members)); break;
+    case AlltoallAlg::kRing: co_await ctx.alltoall(bytes, members); break;
     case AlltoallAlg::kPairwise:
       if (pow2) {
-        co_await alltoall_pairwise(ctx, bytes, std::move(members));
+        co_await alltoall_pairwise(ctx, bytes, members);
       } else {
-        co_await ctx.alltoall(bytes, std::move(members));
+        co_await ctx.alltoall(bytes, members);
       }
       break;
-    case AlltoallAlg::kBruck: co_await alltoall_bruck(ctx, bytes, std::move(members)); break;
+    case AlltoallAlg::kBruck: co_await alltoall_bruck(ctx, bytes, members); break;
   }
 }
 
@@ -169,8 +169,8 @@ Task reduce_scatter_halving(RankCtx& ctx, std::int64_t bytes) {
   }
 }
 
-Task alltoallv_ring(RankCtx& ctx, std::vector<std::int64_t> send_bytes,
-                    std::vector<std::int64_t> recv_bytes, std::vector<int> members) {
+Task alltoallv_ring(RankCtx& ctx, std::span<const std::int64_t> send_bytes,
+                    std::span<const std::int64_t> recv_bytes, std::span<const int> members) {
   const int n = static_cast<int>(members.size());
   if (static_cast<int>(send_bytes.size()) != n || static_cast<int>(recv_bytes.size()) != n) {
     throw std::invalid_argument("alltoallv_ring: count vectors must match the membership");
@@ -337,15 +337,18 @@ Task bcast_binomial(RankCtx& ctx, int root, std::int64_t bytes) {
   }
   // Forward to children, largest subtree first: child = vrank | mask for
   // masks above our lowest set bit (or all masks when we are the root).
+  // At most log2(n) children: a fixed-size frame-local array replaces the
+  // old per-call heap vector.
   const int lowbit = vrank == 0 ? n : vrank & (-vrank);
-  std::vector<ReqId> sends;
+  ReqId sends[32];
+  int n_sends = 0;
   for (int mask = floor_pow2(n); mask >= 1; mask /= 2) {
     if (mask >= lowbit) continue;
     const int child_v = vrank | mask;
     if (child_v == vrank || child_v >= n) continue;
-    sends.push_back(ctx.isend((child_v + root) % n, bytes, tag));
+    sends[n_sends++] = ctx.isend((child_v + root) % n, bytes, tag);
   }
-  if (!sends.empty()) co_await ctx.wait_all(std::move(sends));
+  if (n_sends > 0) co_await ctx.wait_all(std::span<const ReqId>(sends, static_cast<std::size_t>(n_sends)));
 }
 
 Task reduce_binomial(RankCtx& ctx, int root, std::int64_t bytes) {
@@ -427,7 +430,7 @@ Task allgather_ring(RankCtx& ctx, std::int64_t per_rank_bytes) {
   }
 }
 
-Task alltoall_pairwise(RankCtx& ctx, std::int64_t bytes, std::vector<int> members) {
+Task alltoall_pairwise(RankCtx& ctx, std::int64_t bytes, std::span<const int> members) {
   const int n = static_cast<int>(members.size());
   assert((n & (n - 1)) == 0 && "pairwise alltoall requires power-of-two membership");
   const int me_idx = member_index(members, ctx.rank());
@@ -441,7 +444,7 @@ Task alltoall_pairwise(RankCtx& ctx, std::int64_t bytes, std::vector<int> member
   }
 }
 
-Task alltoall_bruck(RankCtx& ctx, std::int64_t bytes, std::vector<int> members) {
+Task alltoall_bruck(RankCtx& ctx, std::int64_t bytes, std::span<const int> members) {
   const int n = static_cast<int>(members.size());
   if (n < 2) co_return;
   const int me_idx = member_index(members, ctx.rank());

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "mpi/rank.hpp"
 #include "mpi/task.hpp"
@@ -71,8 +71,14 @@ AlltoallAlg alltoall_from_string(const std::string& name);
 ReduceScatterAlg reduce_scatter_from_string(const std::string& name);
 
 /// Dispatch on `alg`; every rank of the job must call with the same values.
+///
+/// Membership spans are borrowed, not copied: the caller's buffer must stay
+/// valid until the awaited collective completes. Every call site in this
+/// codebase passes a coroutine-frame local (built once, reused every
+/// iteration), which satisfies that for free — and makes repeated
+/// collectives allocation-free.
 Task allreduce(RankCtx& ctx, std::int64_t bytes, AllreduceAlg alg);
-Task alltoall(RankCtx& ctx, std::int64_t bytes, std::vector<int> members, AlltoallAlg alg);
+Task alltoall(RankCtx& ctx, std::int64_t bytes, std::span<const int> members, AlltoallAlg alg);
 Task reduce_scatter(RankCtx& ctx, std::int64_t bytes, ReduceScatterAlg alg);
 
 // --- allreduce family -------------------------------------------------------
@@ -115,11 +121,11 @@ Task allgather_ring(RankCtx& ctx, std::int64_t per_rank_bytes);
 
 /// Pairwise-exchange alltoall: n-1 rounds, partner me XOR round (requires
 /// power-of-two membership; the dispatcher falls back to ring otherwise).
-Task alltoall_pairwise(RankCtx& ctx, std::int64_t bytes, std::vector<int> members);
+Task alltoall_pairwise(RankCtx& ctx, std::int64_t bytes, std::span<const int> members);
 
 /// Bruck alltoall: ceil(log2 n) rounds; round r ships every block whose
 /// index has bit r set (about n/2 blocks of `bytes` each) to member me+2^r.
-Task alltoall_bruck(RankCtx& ctx, std::int64_t bytes, std::vector<int> members);
+Task alltoall_bruck(RankCtx& ctx, std::int64_t bytes, std::span<const int> members);
 
 /// Ring reduce-scatter: after n-1 rounds of ceil(bytes/n) chunks each rank
 /// owns one fully reduced block (the first pass of ring allreduce).
@@ -135,8 +141,8 @@ Task reduce_scatter_halving(RankCtx& ctx, std::int64_t bytes);
 /// patterns cost only their non-zero traffic. Every member must pass
 /// mirror-consistent vectors (my send_bytes[j] == j's recv_bytes[my index]);
 /// ring schedule (round i talks to members me+i / me-i).
-Task alltoallv_ring(RankCtx& ctx, std::vector<std::int64_t> send_bytes,
-                    std::vector<std::int64_t> recv_bytes, std::vector<int> members);
+Task alltoallv_ring(RankCtx& ctx, std::span<const std::int64_t> send_bytes,
+                    std::span<const std::int64_t> recv_bytes, std::span<const int> members);
 
 /// Dissemination barrier: ceil(log2 n) rounds of 8-byte flags to member
 /// me + 2^k. Completes in log rounds regardless of arrival skew.

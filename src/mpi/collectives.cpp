@@ -1,5 +1,5 @@
 #include <cassert>
-#include <utility>
+#include <span>
 
 #include "mpi/job.hpp"
 #include "mpi/rank.hpp"
@@ -16,7 +16,7 @@ Task RankCtx::recv(int src_rank, int tag) {
   co_await wait(id);
 }
 
-Task RankCtx::wait_all(std::vector<ReqId> ids) {
+Task RankCtx::wait_all(std::span<const ReqId> ids) {
   // Waiting sequentially is equivalent: the rank unblocks when the slowest
   // request completes, and each wait accounts only the residual block time.
   for (const ReqId id : ids) co_await wait(id);
@@ -40,8 +40,9 @@ Task RankCtx::allreduce(std::int64_t bytes) {
   const int parent = (me - 1) / 2;
 
   if (left < n && right < n) {
-    std::vector<ReqId> kids{irecv(left, tag_up), irecv(right, tag_up)};
-    co_await wait_all(std::move(kids));
+    const ReqId kids[2] = {irecv(left, tag_up), irecv(right, tag_up)};
+    co_await wait(kids[0]);
+    co_await wait(kids[1]);
   } else if (left < n) {
     co_await recv(left, tag_up);
   }
@@ -51,13 +52,16 @@ Task RankCtx::allreduce(std::int64_t bytes) {
     co_await recv(parent, tag_down);
   }
 
-  std::vector<ReqId> down;
-  if (left < n) down.push_back(isend(left, bytes, tag_down));
-  if (right < n) down.push_back(isend(right, bytes, tag_down));
-  if (!down.empty()) co_await wait_all(std::move(down));
+  // Fan-out is at most two children; both sends are posted back-to-back
+  // before the first wait so the ingress burst is preserved.
+  ReqId down[2];
+  int n_down = 0;
+  if (left < n) down[n_down++] = isend(left, bytes, tag_down);
+  if (right < n) down[n_down++] = isend(right, bytes, tag_down);
+  for (int i = 0; i < n_down; ++i) co_await wait(down[i]);
 }
 
-Task RankCtx::alltoall(std::int64_t bytes, std::vector<int> members) {
+Task RankCtx::alltoall(std::int64_t bytes, std::span<const int> members) {
   // SST's multi-step ring exchange: in round i, member m sends to member
   // m+i and receives from member m-i. One send per round, so the operation
   // peak ingress is a single message (§IV).

@@ -6,13 +6,14 @@
 
 /// Freelist allocator for mpi::Task coroutine frames.
 ///
-/// Every simulated rank is a coroutine, so a full cell allocates one frame
-/// per rank wave — the largest remaining per-cell steady-state allocation
-/// source after the PR-3 arena work (~465k allocations per full FFT3D cell
-/// were MPI-layer, coroutine frames chief among them). Task::promise_type
-/// routes its `operator new` through the pool bound to the current thread:
-/// freed frames park in size-bucketed freelists and the next same-shape cell
-/// on the worker re-uses them, so steady-state cells allocate no new frames.
+/// Every simulated rank is a coroutine, and every collective call spawns
+/// nested Task frames, so a cell creates frames constantly. The pool keeps
+/// that off the allocator: Task::promise_type routes its `operator new`
+/// through the pool bound to the current thread, freed frames park in
+/// size-bucketed freelists, and the next wave (or the next same-shape cell
+/// on the worker) re-uses them — steady-state cells allocate no new frames.
+/// This is one leg of the MPI-layer recycling story; docs/MEMORY.md has the
+/// measured numbers and docs/ARCHITECTURE.md the lifecycle.
 ///
 /// The pool is fed from the worker's SimArena (core/arena.hpp owns one and
 /// ScopedArenaBinding binds it alongside the arena), giving frames the same

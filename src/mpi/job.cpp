@@ -2,24 +2,64 @@
 
 #include <cassert>
 
+#include "core/arena.hpp"
+
 namespace dfly::mpi {
 
 Job::Job(Engine& engine, Network& network, MpiSystem& system, int app_id, std::string name,
-         const Motif& motif, std::vector<int> nodes, std::uint64_t seed, ProtocolConfig protocol)
+         const Motif& motif, std::vector<int> nodes, std::uint64_t seed, ProtocolConfig protocol,
+         SimArena* arena)
     : engine_(&engine),
       network_(&network),
       system_(&system),
+      arena_(arena),
       app_id_(app_id),
       name_(std::move(name)),
       motif_(&motif),
       nodes_(std::move(nodes)),
       protocol_(protocol) {
-  ranks_.reserve(nodes_.size());
-  for (int r = 0; r < static_cast<int>(nodes_.size()); ++r) {
-    ranks_.push_back(std::make_unique<RankCtx>(
-        *this, r, nodes_[static_cast<std::size_t>(r)],
-        Rng(seed, (static_cast<std::uint64_t>(app_id) << 32) | static_cast<std::uint64_t>(r))));
+  const int n = static_cast<int>(nodes_.size());
+  if (arena_ != nullptr) {
+    JobStorage storage = arena_->take_job_storage();
+    ranks_ = std::move(storage.ranks);
+    tasks_ = std::move(storage.tasks);
+    inflight_ = std::move(storage.inflight);
+    rendezvous_ = std::move(storage.rendezvous);
+    // A previous larger cell may have parked more ranks than this one needs;
+    // the extras are destroyed (shrinks are rare — capacity tracks the
+    // worker's high-water shape, not every cell).
+    if (static_cast<int>(ranks_.size()) > n) ranks_.resize(static_cast<std::size_t>(n));
   }
+  const int recycled = static_cast<int>(ranks_.size());
+  ranks_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    Rng rng(seed, (static_cast<std::uint64_t>(app_id) << 32) | static_cast<std::uint64_t>(r));
+    if (r < recycled) {
+      ranks_[static_cast<std::size_t>(r)]->reinit(*this, r, nodes_[static_cast<std::size_t>(r)],
+                                                  rng);
+    } else {
+      ranks_.push_back(
+          std::make_unique<RankCtx>(*this, r, nodes_[static_cast<std::size_t>(r)], rng));
+    }
+    if (arena_ != nullptr) arena_->count_rank(r < recycled);
+  }
+}
+
+Job::~Job() {
+  if (arena_ == nullptr) return;
+  // Park the backing storage for the next cell. Coroutine frames are
+  // destroyed first (tasks reference the ranks); the maps are cleared but
+  // keep their tables, and the RankCtx objects keep every container's
+  // capacity — reinit() restores fresh observable state on reuse.
+  JobStorage storage;
+  tasks_.clear();
+  inflight_.clear();
+  rendezvous_.clear();
+  storage.ranks = std::move(ranks_);
+  storage.tasks = std::move(tasks_);
+  storage.inflight = std::move(inflight_);
+  storage.rendezvous = std::move(rendezvous_);
+  arena_->return_job_storage(std::move(storage));
 }
 
 Task Job::drive(RankCtx& ctx) {
@@ -64,7 +104,7 @@ void Job::post_send(int src_rank, int dst_rank, std::int64_t bytes, int tag, Req
 }
 
 void Job::rdv_matched(std::uint64_t rdv_id, int dst_rank, ReqId recv_req) {
-  auto& state = rendezvous_.at(rdv_id);
+  RdvState& state = rendezvous_.at(rdv_id);
   assert(!state.recv_known);
   state.recv_known = true;
   state.recv_req = recv_req;
@@ -73,7 +113,7 @@ void Job::rdv_matched(std::uint64_t rdv_id, int dst_rank, ReqId recv_req) {
 }
 
 void Job::rdv_sink(std::uint64_t rdv_id, int dst_rank) {
-  auto& state = rendezvous_.at(rdv_id);
+  RdvState& state = rendezvous_.at(rdv_id);
   assert(!state.recv_known);
   state.recv_known = true;
   state.recv_req = kSinkRecv;
@@ -81,21 +121,20 @@ void Job::rdv_sink(std::uint64_t rdv_id, int dst_rank) {
 }
 
 void Job::on_message_sent(std::uint64_t msg_id) {
-  const auto it = inflight_.find(msg_id);
-  assert(it != inflight_.end());
-  const MsgMeta& meta = it->second;
+  const MsgMeta* meta = inflight_.find(msg_id);
+  assert(meta != nullptr);
   // The sender's request completes when its *payload* is fully on the wire:
   // immediately for eager, after the handshake for rendezvous.
-  if (meta.kind == MsgKind::kEager || meta.kind == MsgKind::kRdvData) {
-    ranks_[static_cast<std::size_t>(meta.src_rank)]->complete_request(meta.send_req);
+  if (meta->kind == MsgKind::kEager || meta->kind == MsgKind::kRdvData) {
+    ranks_[static_cast<std::size_t>(meta->src_rank)]->complete_request(meta->send_req);
   }
 }
 
 void Job::on_message_delivered(std::uint64_t msg_id) {
-  const auto it = inflight_.find(msg_id);
-  assert(it != inflight_.end());
-  const MsgMeta meta = it->second;
-  inflight_.erase(it);
+  const MsgMeta* it = inflight_.find(msg_id);
+  assert(it != nullptr);
+  const MsgMeta meta = *it;
+  inflight_.erase(msg_id);
   switch (meta.kind) {
     case MsgKind::kEager:
       ranks_[static_cast<std::size_t>(meta.dst_rank)]->deliver_eager(meta.src_rank, meta.tag,
@@ -116,11 +155,11 @@ void Job::on_message_delivered(std::uint64_t msg_id) {
       break;
     }
     case MsgKind::kRdvData: {
-      const auto rdv_it = rendezvous_.find(meta.rdv_id);
-      assert(rdv_it != rendezvous_.end() && rdv_it->second.recv_known);
-      const ReqId recv_req = rdv_it->second.recv_req;
-      const int dst_rank = rdv_it->second.dst_rank;
-      rendezvous_.erase(rdv_it);
+      const RdvState* rdv = rendezvous_.find(meta.rdv_id);
+      assert(rdv != nullptr && rdv->recv_known);
+      const ReqId recv_req = rdv->recv_req;
+      const int dst_rank = rdv->dst_rank;
+      rendezvous_.erase(meta.rdv_id);
       if (recv_req != kSinkRecv) {
         ranks_[static_cast<std::size_t>(dst_rank)]->complete_request(recv_req);
       }
@@ -160,6 +199,19 @@ double Job::injection_rate_gbs() const {
   if (elapsed <= 0) return 0.0;
   // bytes / ns == GB/s
   return static_cast<double>(total_bytes_sent()) / to_ns(elapsed);
+}
+
+MpiSystem::MpiSystem(Network& network, SimArena* arena) : arena_(arena) {
+  if (arena_ != nullptr) owners_ = std::move(arena_->take_system_storage().owners);
+  network.set_sink(*this);
+}
+
+MpiSystem::~MpiSystem() {
+  if (arena_ == nullptr) return;
+  owners_.clear();
+  SystemStorage storage;
+  storage.owners = std::move(owners_);
+  arena_->return_system_storage(std::move(storage));
 }
 
 }  // namespace dfly::mpi

@@ -3,13 +3,17 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mpi/rank.hpp"
+#include "mpi/storage.hpp"
 #include "mpi/task.hpp"
 #include "net/network.hpp"
 #include "stats/histogram.hpp"
+
+namespace dfly {
+class SimArena;
+}
 
 namespace dfly::mpi {
 
@@ -50,11 +54,26 @@ class SendObserver {
 
 /// One running application: a set of ranks mapped 1:1 onto compute nodes,
 /// all executing the same motif (SPMD).
+///
+/// The Job is also the messaging-protocol engine for its ranks: post_send
+/// decides eager vs rendezvous (ProtocolConfig::eager_threshold), drives the
+/// RTS/CTS handshake, and routes message completions back to the right
+/// rank's request. In-flight messages and handshakes are tracked in FlatMaps
+/// (one insert + one erase per message, allocation-free once the tables have
+/// grown to the cell's peak).
+///
+/// Pass a SimArena to recycle the Job's backing storage across cells: the
+/// RankCtx objects, the coroutine task handles and the tracking maps are
+/// taken from the arena's parked JobStorage bundles, reinit()-ed in place,
+/// and handed back (cleared, capacity intact) on destruction. Recycling is
+/// observable-state-neutral — a recycled Job runs bit-identically to a fresh
+/// one (see docs/ARCHITECTURE.md).
 class Job {
  public:
   Job(Engine& engine, Network& network, MpiSystem& system, int app_id, std::string name,
       const Motif& motif, std::vector<int> nodes, std::uint64_t seed,
-      ProtocolConfig protocol = {});
+      ProtocolConfig protocol = {}, SimArena* arena = nullptr);
+  ~Job();
 
   Job(const Job&) = delete;
   Job& operator=(const Job&) = delete;
@@ -108,29 +127,8 @@ class Job {
   void set_send_observer(SendObserver* observer) { send_observer_ = observer; }
 
  private:
-  enum class MsgKind : std::uint8_t { kEager, kRts, kCts, kRdvData };
-
   /// Sentinel receive-request id for sink-accepted rendezvous (rdv_sink).
   static constexpr ReqId kSinkRecv = 0xffffffffu;
-
-  struct MsgMeta {
-    std::int32_t src_rank;
-    std::int32_t dst_rank;
-    std::int32_t tag;
-    std::int64_t bytes;
-    ReqId send_req;         ///< sender request (eager / rdv data)
-    MsgKind kind;
-    std::uint64_t rdv_id;   ///< rendezvous handle (0 if eager)
-  };
-  struct RdvState {
-    std::int32_t src_rank;
-    std::int32_t dst_rank;
-    std::int32_t tag;
-    std::int64_t bytes;
-    ReqId send_req;
-    ReqId recv_req{0};
-    bool recv_known{false};
-  };
 
   Task drive(RankCtx& ctx);
   std::uint64_t submit(int src_rank, int dst_rank, std::int64_t bytes, int tag, ReqId send_req,
@@ -139,6 +137,7 @@ class Job {
   Engine* engine_;
   Network* network_;
   MpiSystem* system_;
+  SimArena* arena_;
   int app_id_;
   std::string name_;
   const Motif* motif_;
@@ -146,8 +145,8 @@ class Job {
   ProtocolConfig protocol_;
   std::vector<std::unique_ptr<RankCtx>> ranks_;
   std::vector<Task> tasks_;
-  std::unordered_map<std::uint64_t, MsgMeta> inflight_;
-  std::unordered_map<std::uint64_t, RdvState> rendezvous_;
+  FlatMap<MsgMeta> inflight_;
+  FlatMap<RdvState> rendezvous_;
   std::uint64_t next_rdv_id_{1};
   SendObserver* send_observer_{nullptr};
   int finished_ranks_{0};
@@ -156,10 +155,15 @@ class Job {
 };
 
 /// Routes network message events to the owning job (several jobs share one
-/// network; message ids are globally unique).
+/// network; message ids are globally unique). With a SimArena, the routing
+/// map's table is recycled across cells like the Jobs' storage.
 class MpiSystem final : public MessageEvents {
  public:
-  explicit MpiSystem(Network& network) { network.set_sink(*this); }
+  explicit MpiSystem(Network& network, SimArena* arena = nullptr);
+  ~MpiSystem() override;
+
+  MpiSystem(const MpiSystem&) = delete;
+  MpiSystem& operator=(const MpiSystem&) = delete;
 
   void track(std::uint64_t msg_id, Job& job) { owners_.emplace(msg_id, &job); }
 
@@ -167,14 +171,14 @@ class MpiSystem final : public MessageEvents {
     owners_.at(msg_id)->on_message_sent(msg_id);
   }
   void message_delivered(std::uint64_t msg_id) override {
-    const auto it = owners_.find(msg_id);
-    Job* job = it->second;
-    owners_.erase(it);
+    Job* job = owners_.at(msg_id);
+    owners_.erase(msg_id);
     job->on_message_delivered(msg_id);
   }
 
  private:
-  std::unordered_map<std::uint64_t, Job*> owners_;
+  SimArena* arena_;
+  FlatMap<Job*> owners_;
 };
 
 }  // namespace dfly::mpi

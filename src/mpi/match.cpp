@@ -4,10 +4,12 @@ namespace dfly::mpi {
 
 std::uint32_t MatchList::on_arrival(int src_rank, int tag, std::int64_t bytes, SimTime now,
                                     std::uint64_t rdv_id) {
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if ((it->src_rank == kAnySource || it->src_rank == src_rank) && it->tag == tag) {
-      const std::uint32_t request = it->request;
-      posted_.erase(it);
+  std::uint32_t prev = kNil;
+  for (std::uint32_t i = posted_.head; i != kNil; prev = i, i = posted_.slots[i].next) {
+    const Posted& p = posted_.slots[i].item;
+    if ((p.src_rank == kAnySource || p.src_rank == src_rank) && p.tag == tag) {
+      const std::uint32_t request = p.request;
+      posted_.erase_after(prev, i);
       return request;
     }
   }
@@ -17,15 +19,27 @@ std::uint32_t MatchList::on_arrival(int src_rank, int tag, std::int64_t bytes, S
 
 std::optional<MatchList::Unexpected> MatchList::post_recv(int src_rank, int tag,
                                                           std::uint32_t request) {
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    if ((src_rank == kAnySource || it->src_rank == src_rank) && it->tag == tag) {
-      Unexpected hit = *it;
-      unexpected_.erase(it);
+  std::uint32_t prev = kNil;
+  for (std::uint32_t i = unexpected_.head; i != kNil; prev = i, i = unexpected_.slots[i].next) {
+    const Unexpected& u = unexpected_.slots[i].item;
+    if ((src_rank == kAnySource || u.src_rank == src_rank) && u.tag == tag) {
+      const Unexpected hit = u;
+      unexpected_.erase_after(prev, i);
       return hit;
     }
   }
   posted_.push_back(Posted{src_rank, tag, request});
   return std::nullopt;
+}
+
+void MatchList::reset() {
+  posted_.reset();
+  unexpected_.reset();
+}
+
+void MatchList::reserve(std::size_t posted, std::size_t unexpected) {
+  posted_.reserve(posted);
+  unexpected_.reserve(unexpected);
 }
 
 }  // namespace dfly::mpi

@@ -13,6 +13,25 @@ constexpr std::uint32_t kResume = 1;
 RankCtx::RankCtx(Job& job, int rank, int node, Rng rng)
     : job_(&job), rank_(rank), node_(node), rng_(rng) {}
 
+void RankCtx::reinit(Job& job, int rank, int node, Rng rng) {
+  job_ = &job;
+  rank_ = rank;
+  node_ = node;
+  rng_ = rng;
+  match_.reset();
+  slots_.clear();        // capacity kept: ids are handed out 0, 1, 2, ... again
+  free_slots_.clear();
+  pending_resume_ = {};
+  comm_time_ = 0;
+  bytes_sent_ = 0;
+  messages_sent_ = 0;
+  burst_ = 0;
+  peak_burst_ = 0;
+  coll_seq_ = 0;
+  sink_mode_ = false;
+  iteration_marks_.clear();
+}
+
 int RankCtx::size() const { return job_->size(); }
 SimTime RankCtx::now() const { return job_->engine().now(); }
 

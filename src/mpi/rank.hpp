@@ -2,7 +2,7 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "mpi/match.hpp"
@@ -37,9 +37,25 @@ struct Request {
 /// *communication time* (the paper's Fig 4/8/10 metric); consecutive sends
 /// posted without an intervening block form an *ingress burst* whose maximum
 /// is the rank's peak ingress volume (§IV metric 2).
+///
+/// Allocation discipline: the request-slot pool, the match-list pools and
+/// the iteration-mark vector all keep their high-water storage, and the
+/// span-based collective entry points borrow the caller's buffers instead of
+/// copying them — so a rank in steady state issues MPI traffic without
+/// touching the heap. A RankCtx recycled from a SimArena (via reinit()) is
+/// observably identical to a fresh one: request ids are handed out 0, 1,
+/// 2, ... again and every counter restarts at zero, only the container
+/// capacity carries over (see docs/ARCHITECTURE.md).
 class RankCtx final : public Component {
  public:
   RankCtx(Job& job, int rank, int node, Rng rng);
+
+  /// Re-point and re-zero every piece of per-cell state so a RankCtx
+  /// recycled from a per-worker arena behaves exactly like a freshly
+  /// constructed one while keeping its container storage (request slots,
+  /// match-list pools, iteration-mark capacity). The constructor funnels
+  /// through this; Job calls it when rebuilding from a parked JobStorage.
+  void reinit(Job& job, int rank, int node, Rng rng);
 
   int rank() const { return rank_; }
   int size() const;
@@ -48,7 +64,15 @@ class RankCtx final : public Component {
   Rng& rng() { return rng_; }
 
   // --- non-blocking primitives ---------------------------------------------
+  /// Post a send of `bytes` to `dst_rank`. Whether it goes eagerly or via
+  /// the RTS/CTS rendezvous handshake is the Job's protocol decision
+  /// (ProtocolConfig::eager_threshold); either way the returned request
+  /// completes when the payload is fully on the wire.
   ReqId isend(int dst_rank, std::int64_t bytes, int tag);
+  /// Post a receive for (src_rank, tag); kAnySource matches any sender. An
+  /// already-buffered eager message completes the request immediately; an
+  /// unexpected rendezvous RTS triggers the clear-to-send instead, and the
+  /// request completes when the payload lands.
   ReqId irecv(int src_rank, int tag);
 
   // --- awaitables ------------------------------------------------------------
@@ -82,13 +106,21 @@ class RankCtx final : public Component {
   // --- composite operations (collectives.cpp) -------------------------------
   Task send(int dst_rank, std::int64_t bytes, int tag);  ///< isend + wait
   Task recv(int src_rank, int tag);                      ///< irecv + wait
-  Task wait_all(std::vector<ReqId> ids);
+  /// Wait for every request in `ids`. Borrows the caller's buffer: the span
+  /// must stay valid until the await completes (a coroutine-frame local —
+  /// the only call pattern in this codebase — always is). The ids are NOT
+  /// consumed from the caller's container; reuse a window buffer by
+  /// clear()ing it after the await.
+  Task wait_all(std::span<const ReqId> ids);
   Task barrier();
   /// Binary-tree reduce + broadcast, `bytes` per edge (SST Allreduce).
   Task allreduce(std::int64_t bytes);
   /// Multi-step ring exchange over `members` (job-rank ids), `bytes` per
   /// pair (SST Alltoall): round i sends to member me+i, receives from me-i.
-  Task alltoall(std::int64_t bytes, std::vector<int> members);
+  /// Borrows `members` for the duration of the await (same rule as
+  /// wait_all) — a motif can build the member list once and reuse it every
+  /// iteration without per-call copies.
+  Task alltoall(std::int64_t bytes, std::span<const int> members);
 
   /// Timestamp an application-defined iteration boundary.
   void mark_iteration() { iteration_marks_.push_back(now()); }
@@ -111,6 +143,8 @@ class RankCtx final : public Component {
   std::int64_t messages_sent() const { return messages_sent_; }
   std::int64_t peak_ingress_bytes() const { return peak_burst_; }
   const std::vector<SimTime>& iteration_marks() const { return iteration_marks_; }
+  /// Carried match-list slot capacity (arena bookkeeping / test hook).
+  std::size_t match_capacity() const { return match_.capacity(); }
 
   void handle(Engine& engine, const Event& event) override;
 
@@ -139,7 +173,11 @@ class RankCtx final : public Component {
   int node_;
   Rng rng_;
   MatchList match_;
-  std::deque<Request> slots_;
+  // Request slots are a plain vector (id == index): nothing holds a
+  // Request& across a point where alloc_request could grow the vector, and
+  // the capacity carries across reinit() so steady-state traffic allocates
+  // nothing here.
+  std::vector<Request> slots_;
   std::vector<ReqId> free_slots_;
   std::coroutine_handle<> pending_resume_{};
 

@@ -1,8 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
+
+#include "core/ring_queue.hpp"
 
 namespace dfly {
 
@@ -41,17 +42,19 @@ class InputBuffers {
   int capacity() const { return capacity_; }
 
  private:
-  std::deque<std::uint32_t>& q(int port, int vc) {
+  RingQueue<std::uint32_t>& q(int port, int vc) {
     return queues_[static_cast<std::size_t>(port) * num_vcs_ + static_cast<std::size_t>(vc)];
   }
-  const std::deque<std::uint32_t>& q(int port, int vc) const {
+  const RingQueue<std::uint32_t>& q(int port, int vc) const {
     return queues_[static_cast<std::size_t>(port) * num_vcs_ + static_cast<std::size_t>(vc)];
   }
 
   int num_ports_;
   int num_vcs_;
   int capacity_;
-  std::vector<std::deque<std::uint32_t>> queues_;
+  // RingQueues: bounded at `capacity_` ids each, storage survives reset()
+  // so recycled routers re-buffer without touching the allocator.
+  std::vector<RingQueue<std::uint32_t>> queues_;
 };
 
 }  // namespace dfly

@@ -197,13 +197,13 @@ void Nic::on_eject(Engine& engine, std::uint32_t packet_id) {
                      static_cast<std::uint64_t>(topo_->terminal_port_of_node(node_)),
                      static_cast<std::uint64_t>(pkt.out_vc));
 
-  auto it = inbound_.find(pkt.msg_id);
-  assert(it != inbound_.end() && "packet for unknown message");
-  it->second -= pkt.bytes;
-  assert(it->second >= 0);
-  const bool complete = it->second == 0;
+  std::int64_t* remaining = inbound_.find(pkt.msg_id);
+  assert(remaining != nullptr && "packet for unknown message");
+  *remaining -= pkt.bytes;
+  assert(*remaining >= 0);
+  const bool complete = *remaining == 0;
   const std::uint64_t msg_id = pkt.msg_id;
-  if (complete) inbound_.erase(it);
+  if (complete) inbound_.erase(msg_id);
   pool_->release(pkt);
   if (complete && sink_ != nullptr) sink_->message_delivered(msg_id);
 }

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
+#include "core/flat_map.hpp"
+#include "core/ring_queue.hpp"
 #include "net/config.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -123,9 +123,15 @@ class Nic final : public Component {
   const TrafficClassMap* classes_{nullptr};
   NicDirectory* directory_{nullptr};
 
-  std::deque<Chunk> sendq_;
+  // FIFO of partially-sent messages. A RingQueue: a deque here oscillates
+  // slab allocations around every slab boundary the queue depth crosses.
+  RingQueue<Chunk> sendq_;
   std::int64_t queued_bytes_{0};
-  std::unordered_map<std::uint64_t, std::int64_t> inbound_;
+  // Per-message remaining-byte countdown at the ejection side. A FlatMap:
+  // one insert (expect_message) and one erase (last packet) per message,
+  // allocation-free once the table has grown to the cell's peak in-flight
+  // count — the table itself rides the arena recycle via reinit().
+  FlatMap<std::int64_t> inbound_;
   int credits_;
   SimTime busy_until_{0};
   bool try_pending_{false};

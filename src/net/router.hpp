@@ -1,8 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
+
+#include "core/ring_queue.hpp"
 
 #include "net/buffer.hpp"
 #include "net/config.hpp"
@@ -105,11 +106,13 @@ class Router final : public Component {
     SimTime busy_until{0};
     bool try_pending{false};
     SimTime stall_start{-1};
-    std::deque<Request> requests;
-    std::vector<std::deque<Request>> stalled;  ///< per VC
+    // RingQueues, not deques: these FIFOs oscillate around slab boundaries
+    // under load, and their storage must survive clear() for arena reuse.
+    RingQueue<Request> requests;
+    std::vector<RingQueue<Request>> stalled;  ///< per VC
     // QoS (cfg.qos.num_classes > 1): per-class request queues arbitrated by
     // deficit-weighted round-robin; `requests` is unused in that mode.
-    std::vector<std::deque<Request>> class_requests;
+    std::vector<RingQueue<Request>> class_requests;
     std::vector<std::int64_t> deficit;  ///< DWRR deficit per class, in bytes
   };
 

@@ -5,7 +5,7 @@
 
 namespace dfly {
 
-/// Adapter that lets std::function callbacks ride the component event path.
+/// Adapter that lets InlineFn callbacks ride the component event path.
 /// One-shot but pooled: handle() disarms the owning slot (destroying the
 /// capture) before invoking the callback, so the callback itself may arm new
 /// closures (possibly reusing this very slot) or clear() the engine; the
@@ -15,7 +15,7 @@ class Engine::Closure final : public Component {
  public:
   Closure() = default;
 
-  void arm(std::function<void()> fn, std::uint32_t slot) {
+  void arm(InlineFn fn, std::uint32_t slot) {
     fn_ = std::move(fn);
     slot_ = slot;
     armed_ = true;
@@ -29,13 +29,13 @@ class Engine::Closure final : public Component {
   bool armed() const { return armed_; }
 
   void handle(Engine& engine, const Event&) override {
-    std::function<void()> fn = std::move(fn_);
+    InlineFn fn = std::move(fn_);
     engine.release_closure(slot_);  // disarms *this; only locals below
     fn();
   }
 
  private:
-  std::function<void()> fn_;
+  InlineFn fn_;
   std::uint32_t slot_{0};
   bool armed_{false};
 };
@@ -51,7 +51,7 @@ void Engine::schedule_at(SimTime when, Component& target, std::uint32_t kind,
   push(make_key(when, next_seq_++), Payload{&target, kind, a, b});
 }
 
-void Engine::call_at(SimTime when, std::function<void()> fn) {
+void Engine::call_at(SimTime when, InlineFn fn) {
   std::uint32_t slot;
   if (free_closure_slots_.empty()) {
     slot = static_cast<std::uint32_t>(closures_.size());

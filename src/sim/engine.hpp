@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "sim/event.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace dfly {
@@ -58,15 +58,15 @@ class Engine {
     schedule_at(now_ + delay, target, kind, a, b);
   }
 
-  /// Convenience: schedule an owned closure (for tests/setup, not the
-  /// per-packet hot path). The closure is one-shot: its slot is recycled as
-  /// soon as it fires, so periodic call_in chains do not accumulate memory
-  /// over a long run. Slot adapters themselves are pooled — once the engine
-  /// has grown to a cell's peak concurrent-closure count, re-arming a slot
-  /// performs no heap allocation (beyond any the std::function itself needs
-  /// for an over-sized capture).
-  void call_at(SimTime when, std::function<void()> fn);
-  void call_in(SimTime delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
+  /// Schedule an owned closure. The closure is one-shot: its slot is
+  /// recycled as soon as it fires, so periodic call_in chains do not
+  /// accumulate memory over a long run. Slot adapters themselves are pooled
+  /// and the callback lives in an InlineFn, so once the engine has grown to a
+  /// cell's peak concurrent-closure count, re-arming a slot performs no heap
+  /// allocation for any capture up to InlineFn::kInlineBytes (larger ones
+  /// fall back to one heap block per arm).
+  void call_at(SimTime when, InlineFn fn);
+  void call_in(SimTime delay, InlineFn fn) { call_at(now_ + delay, std::move(fn)); }
 
   /// Run until the queue is empty or `until` is passed. Returns the number
   /// of events executed. Events at exactly `until` are executed.

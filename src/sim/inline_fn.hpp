@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// Small-buffer one-shot callable for the engine's callback path.
+///
+/// Engine::call_at used to store its callback in a std::function, whose
+/// small-buffer optimisation tops out at two pointers on libstdc++ — the MPI
+/// and network layers' protocol callbacks (a sink pointer plus a message id,
+/// sometimes a couple of ints more) sat right at that edge, and every capture
+/// past it cost a heap allocation per scheduled callback. InlineFn widens the
+/// inline buffer to kInlineBytes so every protocol/completion capture in the
+/// simulator stays inline; captures larger than the buffer still work through
+/// a heap fallback, so tests and setup code keep full generality.
+///
+/// Move-only and deliberately minimal: no copy, no target introspection, no
+/// allocator support — exactly what a pooled one-shot closure slot needs.
+namespace dfly {
+
+class InlineFn {
+ public:
+  /// Inline capture budget. 48 bytes = six pointers: comfortably above every
+  /// hot-path capture (see net/network.cpp, mpi/job.cpp) without bloating
+  /// the pooled closure slots that store one InlineFn each.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFn> && std::is_invocable_r_v<void, F&>)
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      new (buffer_) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buffer_) = new Fn(std::forward<F>(fn));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buffer_, other.buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty InlineFn");
+    ops_->invoke(buffer_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into `dst` from `src`, then destroy `src`'s target.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* storage) { (**std::launder(reinterpret_cast<Fn**>(storage)))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<Fn**>(dst) = *std::launder(reinterpret_cast<Fn**>(src));
+      },
+      [](void* storage) { delete *std::launder(reinterpret_cast<Fn**>(storage)); },
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace dfly

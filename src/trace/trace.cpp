@@ -136,11 +136,11 @@ mpi::Task ReplayMotif::run(mpi::RankCtx& ctx) const {
     if (record.dst_rank == ctx.rank() || record.dst_rank >= ctx.size()) continue;
     window.push_back(ctx.isend(record.dst_rank, record.bytes, record.tag));
     if (static_cast<int>(window.size()) >= params_.window) {
-      co_await ctx.wait_all(std::move(window));
+      co_await ctx.wait_all(window);
       window.clear();
     }
   }
-  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  if (!window.empty()) co_await ctx.wait_all(window);
   ctx.mark_iteration();
 }
 

@@ -87,12 +87,15 @@ mpi::Task NdStencilMotif::run(mpi::RankCtx& ctx) const {
   // back-to-back — the consecutive sends form the ingress burst that gives
   // the stencil family its large peak ingress volume (§IV, Table I).
   const std::vector<int> neighbors = grid_.face_neighbors(ctx.rank(), p_.periodic);
+  // One request buffer for the whole run: the coroutine frame keeps it, so
+  // steady-state iterations post their halo without heap traffic.
+  std::vector<mpi::ReqId> reqs;
+  reqs.reserve(neighbors.size() * 2);
   for (int iter = 0; iter < p_.iterations; ++iter) {
-    std::vector<mpi::ReqId> reqs;
-    reqs.reserve(neighbors.size() * 2);
+    reqs.clear();
     for (const int nb : neighbors) reqs.push_back(ctx.irecv(nb, iter));
     for (const int nb : neighbors) reqs.push_back(ctx.isend(nb, p_.msg_bytes, iter));
-    co_await ctx.wait_all(std::move(reqs));
+    co_await ctx.wait_all(reqs);
     co_await ctx.compute(p_.compute);
     ctx.mark_iteration();
   }

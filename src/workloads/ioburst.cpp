@@ -15,23 +15,24 @@ mpi::Task IoBurstMotif::run(mpi::RankCtx& ctx) const {
   }
   const int dst = ctx.rank() % buffers;
   const std::int64_t chunk = p_.chunk_bytes < 1 ? p_.checkpoint_bytes : p_.chunk_bytes;
+  std::vector<mpi::ReqId> window;
+  window.reserve(static_cast<std::size_t>(p_.window));
   for (int iter = 0; iter < p_.iterations; ++iter) {
     co_await ctx.compute(p_.period);
     // Checkpoint drain: every compute rank floods its buffer rank with
     // chunk-sized writes, `window` outstanding at a time.
-    std::vector<mpi::ReqId> window;
-    window.reserve(static_cast<std::size_t>(p_.window));
+    window.clear();
     std::int64_t remaining = p_.checkpoint_bytes;
     while (remaining > 0) {
       const std::int64_t bytes = remaining < chunk ? remaining : chunk;
       window.push_back(ctx.isend(dst, bytes, /*tag=*/iter));
       remaining -= bytes;
       if (static_cast<int>(window.size()) >= p_.window) {
-        co_await ctx.wait_all(std::move(window));
+        co_await ctx.wait_all(window);
         window.clear();
       }
     }
-    if (!window.empty()) co_await ctx.wait_all(std::move(window));
+    if (!window.empty()) co_await ctx.wait_all(window);
     ctx.mark_iteration();
   }
 }

@@ -19,6 +19,10 @@ mpi::Task LuSweepMotif::run(mpi::RankCtx& ctx) const {
   const int ix = ctx.rank() / p_.ny;
   const int iy = ctx.rank() % p_.ny;
 
+  // One send buffer for the whole sweep; the coroutine frame keeps it so
+  // steady-state iterations post their planes without heap traffic.
+  std::vector<mpi::ReqId> sends;
+  sends.reserve(static_cast<std::size_t>(2 * p_.planes));
   for (int iter = 0; iter < p_.iterations; ++iter) {
     for (int dir = 0; dir < 2; ++dir) {
       // Upstream/downstream neighbours under this sweep direction.
@@ -32,8 +36,7 @@ mpi::Task LuSweepMotif::run(mpi::RankCtx& ctx) const {
       const bool has_down_x = down_x >= 0 && down_x < p_.nx;
       const bool has_down_y = down_y >= 0 && down_y < p_.ny;
 
-      std::vector<mpi::ReqId> sends;
-      sends.reserve(static_cast<std::size_t>(2 * p_.planes));
+      sends.clear();
       for (int k = 0; k < p_.planes; ++k) {
         const int tag = sweep_tag(iter, dir, k, p_.planes);
         if (has_up_x) co_await ctx.recv(up_x * p_.ny + iy, tag);
@@ -42,7 +45,7 @@ mpi::Task LuSweepMotif::run(mpi::RankCtx& ctx) const {
         if (has_down_x) sends.push_back(ctx.isend(down_x * p_.ny + iy, p_.msg_bytes, tag));
         if (has_down_y) sends.push_back(ctx.isend(ix * p_.ny + down_y, p_.msg_bytes, tag));
       }
-      co_await ctx.wait_all(std::move(sends));
+      co_await ctx.wait_all(sends);
     }
     ctx.mark_iteration();
   }

@@ -22,14 +22,17 @@ mpi::Task LuleshMotif::run(mpi::RankCtx& ctx) const {
   if (y + 1 < p_.ny) succs.push_back(grid.rank_of({x, y + 1, z}));
   if (z + 1 < p_.nz) succs.push_back(grid.rank_of({x, y, z + 1}));
 
+  // One request buffer for the whole run (coroutine-frame local, reused
+  // every timestep so steady-state iterations never touch the heap).
+  std::vector<mpi::ReqId> reqs;
+  reqs.reserve(stencil.size() * 2);
   for (int iter = 0; iter < p_.iterations; ++iter) {
     // Phase 1: 26-point ghost exchange (non-blocking, single burst).
     const int stencil_tag = iter * 2;
-    std::vector<mpi::ReqId> reqs;
-    reqs.reserve(stencil.size() * 2);
+    reqs.clear();
     for (const int nb : stencil) reqs.push_back(ctx.irecv(nb, stencil_tag));
     for (const int nb : stencil) reqs.push_back(ctx.isend(nb, p_.stencil_bytes, stencil_tag));
-    co_await ctx.wait_all(std::move(reqs));
+    co_await ctx.wait_all(reqs);
     co_await ctx.compute(p_.compute);
 
     // Phase 2: diagonal sweep; blocking sends keep the sweep burst at one

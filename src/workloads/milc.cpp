@@ -9,12 +9,13 @@ mpi::Task MilcMotif::run(mpi::RankCtx& ctx) const {
   // chain serialises on global tail latency, which is what production MILC
   // runs are sensitive to.
   const std::vector<int> neighbors = grid_.face_neighbors(ctx.rank(), /*periodic=*/true);
+  std::vector<mpi::ReqId> reqs;
+  reqs.reserve(neighbors.size() * 2);
   for (int iter = 0; iter < p_.iterations; ++iter) {
-    std::vector<mpi::ReqId> reqs;
-    reqs.reserve(neighbors.size() * 2);
+    reqs.clear();
     for (const int nb : neighbors) reqs.push_back(ctx.irecv(nb, iter));
     for (const int nb : neighbors) reqs.push_back(ctx.isend(nb, p_.msg_bytes, iter));
-    co_await ctx.wait_all(std::move(reqs));
+    co_await ctx.wait_all(reqs);
     co_await ctx.compute(p_.compute);
     for (int cg = 0; cg < p_.cg_per_iteration; ++cg) {
       co_await ctx.allreduce(p_.cg_bytes);

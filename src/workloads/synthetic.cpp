@@ -23,12 +23,12 @@ mpi::Task IncastMotif::run(mpi::RankCtx& ctx) const {
   for (int i = 0; i < p_.iterations; ++i) {
     window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
     if (static_cast<int>(window.size()) >= p_.window) {
-      co_await ctx.wait_all(std::move(window));
+      co_await ctx.wait_all(window);
       window.clear();
     }
     co_await ctx.compute(p_.interval);
   }
-  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  if (!window.empty()) co_await ctx.wait_all(window);
   ctx.mark_iteration();
 }
 
@@ -42,12 +42,12 @@ mpi::Task ShiftMotif::run(mpi::RankCtx& ctx) const {
   for (int i = 0; i < p_.iterations; ++i) {
     window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
     if (static_cast<int>(window.size()) >= p_.window) {
-      co_await ctx.wait_all(std::move(window));
+      co_await ctx.wait_all(window);
       window.clear();
     }
     co_await ctx.compute(p_.interval);
   }
-  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  if (!window.empty()) co_await ctx.wait_all(window);
   ctx.mark_iteration();
 }
 
@@ -74,12 +74,12 @@ mpi::Task GroupAdversarialMotif::run(mpi::RankCtx& ctx) const {
     if (dst == ctx.rank()) dst = block_base + (dst - block_base + 1) % block_size;
     window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
     if (static_cast<int>(window.size()) >= p_.window) {
-      co_await ctx.wait_all(std::move(window));
+      co_await ctx.wait_all(window);
       window.clear();
     }
     co_await ctx.compute(p_.interval);
   }
-  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  if (!window.empty()) co_await ctx.wait_all(window);
   ctx.mark_iteration();
 }
 
@@ -145,12 +145,12 @@ mpi::Task HotRegionMotif::run(mpi::RankCtx& ctx) const {
     }
     window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
     if (static_cast<int>(window.size()) >= p_.window) {
-      co_await ctx.wait_all(std::move(window));
+      co_await ctx.wait_all(window);
       window.clear();
     }
     co_await ctx.compute(p_.interval);
   }
-  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  if (!window.empty()) co_await ctx.wait_all(window);
   ctx.mark_iteration();
 }
 
@@ -179,15 +179,14 @@ mpi::Task SparseExchangeMotif::run(mpi::RankCtx& ctx) const {
   const int n = ctx.size();
   std::vector<int> members(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) members[static_cast<std::size_t>(i)] = i;
+  std::vector<std::int64_t> send_bytes(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> recv_bytes(static_cast<std::size_t>(n));
   for (int iter = 0; iter < p_.iterations; ++iter) {
-    std::vector<std::int64_t> send_bytes(static_cast<std::size_t>(n));
-    std::vector<std::int64_t> recv_bytes(static_cast<std::size_t>(n));
     for (int peer = 0; peer < n; ++peer) {
       send_bytes[static_cast<std::size_t>(peer)] = lane_bytes(ctx.rank(), peer, iter);
       recv_bytes[static_cast<std::size_t>(peer)] = lane_bytes(peer, ctx.rank(), iter);
     }
-    co_await mpi::coll::alltoallv_ring(ctx, std::move(send_bytes), std::move(recv_bytes),
-                                       members);
+    co_await mpi::coll::alltoallv_ring(ctx, send_bytes, recv_bytes, members);
     co_await ctx.compute(p_.compute);
     ctx.mark_iteration();
   }

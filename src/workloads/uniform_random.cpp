@@ -16,13 +16,13 @@ mpi::Task UniformRandomMotif::run(mpi::RankCtx& ctx) const {
     }
     window.push_back(ctx.isend(dst, p_.msg_bytes, /*tag=*/0));
     if (static_cast<int>(window.size()) >= p_.window) {
-      co_await ctx.wait_all(std::move(window));
+      co_await ctx.wait_all(window);
       window.clear();
     }
     co_await ctx.compute(p_.interval);
     if (i % 100 == 0) ctx.mark_iteration();
   }
-  if (!window.empty()) co_await ctx.wait_all(std::move(window));
+  if (!window.empty()) co_await ctx.wait_all(window);
 }
 
 }  // namespace dfly::workloads

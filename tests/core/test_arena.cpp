@@ -16,6 +16,10 @@
 
 #include "core/json_report.hpp"
 #include "core/study.hpp"
+#include "mpi/coll.hpp"
+#include "mpi/job.hpp"
+#include "net/network.hpp"
+#include "routing/factory.hpp"
 #include "sim/rng.hpp"
 
 // --- counting allocator ------------------------------------------------------
@@ -197,6 +201,91 @@ TEST(ArenaReuse, SecondStudyCellAllocatesLess) {
   EXPECT_LT(second, first);
 }
 
+// --- MPI-layer steady state --------------------------------------------------
+
+/// Exercises every steady-state MPI allocation source in one motif: the
+/// point-to-point window (request slots, match lists, eager + rendezvous
+/// protocol maps), the built-in tree/ring collectives, and the extended
+/// algorithm families (coroutine frames of nested collective Tasks).
+class MpiChurnMotif final : public mpi::Motif {
+ public:
+  std::string name() const override { return "MpiChurn"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    const int n = ctx.size();
+    std::vector<int> members(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) members[static_cast<std::size_t>(i)] = i;
+    std::vector<mpi::ReqId> window;
+    window.reserve(2 * static_cast<std::size_t>(n));
+    for (int iter = 0; iter < 4; ++iter) {
+      window.clear();
+      for (int peer = 0; peer < n; ++peer) {
+        if (peer == ctx.rank()) continue;
+        window.push_back(ctx.irecv(peer, iter));
+        // > eager_threshold every other iteration: both protocol paths churn.
+        window.push_back(ctx.isend(peer, iter % 2 == 0 ? 1024 : 64 * 1024, iter));
+      }
+      co_await ctx.wait_all(window);
+      co_await ctx.allreduce(512);
+      co_await ctx.alltoall(256, members);
+      co_await mpi::coll::allreduce(ctx, 2048, mpi::coll::AllreduceAlg::kRing);
+      co_await ctx.barrier();
+    }
+  }
+};
+
+/// One MPI cell over recycled arena storage. Returns the allocation delta of
+/// the region the tentpole pins to zero: MpiSystem + Job construction from
+/// parked storage, the whole simulation run, and the teardown that parks the
+/// storage again. The network/routing scaffolding is built outside the
+/// measured window (its reuse is covered by the Study-level tests).
+std::uint64_t run_mpi_cell(SimArena& arena, const SystemBlueprint& bp) {
+  Engine engine = arena.take_engine();
+  routing::RoutingContext context{&engine, &bp.topo(), &bp.net(), 21};
+  std::unique_ptr<RoutingAlgorithm> routing = routing::make_routing("MIN", context);
+  Network net(engine, bp, *routing, 1, 21, {}, &arena);
+  MpiChurnMotif motif;
+  std::vector<int> nodes;
+  for (int r = 0; r < 8; ++r) nodes.push_back(r);
+  std::uint64_t delta;
+  {
+    mpi::ScopedFramePoolBinding frames(&arena.frame_pool());
+    const std::uint64_t before = allocation_count();
+    auto system = std::make_unique<mpi::MpiSystem>(net, &arena);
+    auto job = std::make_unique<mpi::Job>(engine, net, *system, 0, "churn", motif,
+                                          std::move(nodes), 21, mpi::ProtocolConfig{}, &arena);
+    job->start();
+    engine.run();
+    job.reset();
+    system.reset();
+    delta = allocation_count() - before;
+  }
+  arena.return_engine(std::move(engine));
+  return delta;
+}
+
+TEST(ArenaSteadyState, MpiLayerNearZeroAllocationsOnSecondSameShapeCell) {
+  SimArena arena;
+  const std::shared_ptr<const SystemBlueprint> bp =
+      SystemBlueprint::build(tiny_config("MIN", 21));
+  const std::uint64_t first = run_mpi_cell(arena, *bp);
+  EXPECT_GT(first, 100u) << "warm-up cell must grow the MPI storage";
+  // Second same-shape cell: RankCtx objects, request slots, match-list
+  // pools, protocol maps, coroutine frames and the Task vector all come back
+  // out of the parked JobStorage/frame pool, and the simulation itself (the
+  // engine.run() region) allocates ZERO times. The only heap traffic left is
+  // per-cell setup the harness and motif own: two unique_ptr nodes plus the
+  // member/window vectors in each rank's coroutine frame (2 x 8 ranks).
+  // Any regrowth in src/mpi shows up as a delta above this bound.
+  const std::uint64_t second = run_mpi_cell(arena, *bp);
+  EXPECT_LE(second, 24u);
+  const std::uint64_t third = run_mpi_cell(arena, *bp);
+  EXPECT_LE(third, 24u);
+  EXPECT_GT(arena.stats().rank_reuses, 0u);
+  EXPECT_GT(arena.stats().inflight_capacity, 0u);
+  EXPECT_GT(arena.stats().owners_capacity, 0u);
+  EXPECT_GT(arena.stats().match_capacity, 0u);
+}
+
 // --- dirty-state fuzz --------------------------------------------------------
 
 // Cells of deliberately different sizes, workloads, routings and QoS shapes
@@ -241,6 +330,81 @@ TEST(ArenaReuse, DirtyStateFuzzAcrossDifferentCellShapes) {
     EXPECT_EQ(dirty[i], report_to_json(fresh))
         << "cell " << i << " (" << cells[i].app << " on " << cells[i].config.routing
         << ", seed " << cells[i].config.seed << ") diverged after arena reuse";
+  }
+}
+
+/// One job running a specific (allreduce, alltoall, reduce-scatter)
+/// algorithm triple — the dirty-state fuzz below drives every family through
+/// one arena back-to-back so a pooled structure that one algorithm shapes
+/// differently (match-list slots, frame sizes, protocol-map load) is handed
+/// dirty to the next.
+class AlgMixMotif final : public mpi::Motif {
+ public:
+  AlgMixMotif(mpi::coll::AllreduceAlg ar, mpi::coll::AlltoallAlg a2a,
+              mpi::coll::ReduceScatterAlg rs)
+      : ar_(ar), a2a_(a2a), rs_(rs) {}
+  std::string name() const override { return "AlgMix"; }
+  mpi::Task run(mpi::RankCtx& ctx) const override {
+    const int n = ctx.size();
+    std::vector<int> members(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) members[static_cast<std::size_t>(i)] = i;
+    for (int iter = 0; iter < 3; ++iter) {
+      co_await mpi::coll::allreduce(ctx, 8192, ar_);
+      co_await mpi::coll::alltoall(ctx, 1024, members, a2a_);
+      co_await mpi::coll::reduce_scatter(ctx, 4096, rs_);
+      ctx.mark_iteration();
+    }
+  }
+
+ private:
+  mpi::coll::AllreduceAlg ar_;
+  mpi::coll::AlltoallAlg a2a_;
+  mpi::coll::ReduceScatterAlg rs_;
+};
+
+Report run_alg_cell(const StudyConfig& config, mpi::coll::AllreduceAlg ar,
+                    mpi::coll::AlltoallAlg a2a, mpi::coll::ReduceScatterAlg rs, int nodes,
+                    SimArena* arena) {
+  Study study(config, arena);
+  study.add_motif(std::make_unique<AlgMixMotif>(ar, a2a, rs), nodes, "AlgMix");
+  return study.run();
+}
+
+// Every collective-algorithm family cycles through ONE arena (varying rank
+// counts, including non-power-of-two fallback paths); each report must match
+// a fresh no-arena run bit-for-bit.
+TEST(ArenaReuse, DirtyStateCollectivesFuzzMatchesFreshRuns) {
+  using mpi::coll::AllreduceAlg;
+  using mpi::coll::AlltoallAlg;
+  using mpi::coll::ReduceScatterAlg;
+  struct AlgCell {
+    AllreduceAlg ar;
+    AlltoallAlg a2a;
+    ReduceScatterAlg rs;
+    int nodes;
+  };
+  const std::vector<AlgCell> cells{
+      {AllreduceAlg::kBinaryTree, AlltoallAlg::kRing, ReduceScatterAlg::kRing, 16},
+      {AllreduceAlg::kRing, AlltoallAlg::kPairwise, ReduceScatterAlg::kHalving, 16},
+      {AllreduceAlg::kRecursiveDoubling, AlltoallAlg::kBruck, ReduceScatterAlg::kRing, 12},
+      {AllreduceAlg::kHalvingDoubling, AlltoallAlg::kBruck, ReduceScatterAlg::kHalving, 32},
+      {AllreduceAlg::kRing, AlltoallAlg::kRing, ReduceScatterAlg::kHalving, 24},
+      {AllreduceAlg::kBinaryTree, AlltoallAlg::kPairwise, ReduceScatterAlg::kRing, 32},
+  };
+
+  SimArena arena;
+  std::vector<std::string> dirty;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const AlgCell& c = cells[i];
+    dirty.push_back(report_to_json(
+        run_alg_cell(tiny_config("UGALg", 40 + i), c.ar, c.a2a, c.rs, c.nodes, &arena)));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const AlgCell& c = cells[i];
+    const Report fresh =
+        run_alg_cell(tiny_config("UGALg", 40 + i), c.ar, c.a2a, c.rs, c.nodes, nullptr);
+    EXPECT_EQ(dirty[i], report_to_json(fresh))
+        << "algorithm cell " << i << " diverged after arena reuse";
   }
 }
 

@@ -45,7 +45,7 @@ class OneCollectiveMotif final : public mpi::Motif {
       case Op::kAlltoall: {
         std::vector<int> members(static_cast<std::size_t>(ctx.size()));
         for (int i = 0; i < ctx.size(); ++i) members[static_cast<std::size_t>(i)] = i;
-        co_await mpi::coll::alltoall(ctx, bytes_, std::move(members), a2a_alg_);
+        co_await mpi::coll::alltoall(ctx, bytes_, members, a2a_alg_);
         break;
       }
       case Op::kBcast: co_await mpi::coll::bcast_binomial(ctx, root_, bytes_); break;

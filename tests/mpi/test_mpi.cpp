@@ -104,10 +104,10 @@ class BurstMotif final : public mpi::Motif {
       // Three consecutive sends (one burst), then a block, then two more.
       std::vector<mpi::ReqId> reqs;
       for (int i = 0; i < 3; ++i) reqs.push_back(ctx.isend(1, 1000, i));
-      co_await ctx.wait_all(std::move(reqs));
+      co_await ctx.wait_all(reqs);
       std::vector<mpi::ReqId> more;
       for (int i = 3; i < 5; ++i) more.push_back(ctx.isend(1, 1000, i));
-      co_await ctx.wait_all(std::move(more));
+      co_await ctx.wait_all(more);
     } else if (ctx.rank() == 1) {
       for (int i = 0; i < 5; ++i) co_await ctx.recv(0, i);
     }

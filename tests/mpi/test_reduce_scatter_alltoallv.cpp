@@ -50,8 +50,7 @@ class OneOpMotif final : public mpi::Motif {
         send[static_cast<std::size_t>(peer)] = triangular_lane(bytes_, ctx.rank(), peer);
         recv[static_cast<std::size_t>(peer)] = triangular_lane(bytes_, peer, ctx.rank());
       }
-      co_await mpi::coll::alltoallv_ring(ctx, std::move(send), std::move(recv),
-                                         std::move(members));
+      co_await mpi::coll::alltoallv_ring(ctx, send, recv, members);
     }
     ctx.mark_iteration();
   }
@@ -194,7 +193,7 @@ TEST(Alltoallv, MismatchedVectorSizesThrow) {
       std::iota(members.begin(), members.end(), 0);
       std::vector<std::int64_t> short_vec(static_cast<std::size_t>(ctx.size()) - 1, 1);
       std::vector<std::int64_t> full_vec(static_cast<std::size_t>(ctx.size()), 1);
-      co_await mpi::coll::alltoallv_ring(ctx, short_vec, full_vec, std::move(members));
+      co_await mpi::coll::alltoallv_ring(ctx, short_vec, full_vec, members);
     }
   };
   // Simulated ranks must not throw: the coroutine layer escalates the
@@ -241,7 +240,7 @@ TEST(Alltoallv, AllZeroVectorsComplete) {
       std::vector<int> members(static_cast<std::size_t>(n));
       std::iota(members.begin(), members.end(), 0);
       std::vector<std::int64_t> zeros(static_cast<std::size_t>(n), 0);
-      co_await mpi::coll::alltoallv_ring(ctx, zeros, zeros, std::move(members));
+      co_await mpi::coll::alltoallv_ring(ctx, zeros, zeros, members);
       ctx.mark_iteration();
     }
   };

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the project's Markdown docs.
+
+Scans README.md and docs/*.md for Markdown links and image references whose
+target is a relative path, and verifies the target exists in the working
+tree. Heading anchors (``file.md#section`` or ``#section``) are checked
+against the target file's ATX headings using GitHub's anchor rules
+(lowercase, spaces to dashes, punctuation dropped).
+
+External links (http/https/mailto) and generated paths (``build/...``) are
+skipped — CI has no business probing the network, and build outputs don't
+exist in a fresh checkout.
+
+Usage: tools/check_links.py [root]   (root defaults to the repo root)
+Exit status: 0 when every link resolves, 1 otherwise (each break printed).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "build/")
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: strip markup, lowercase, spaces->dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path: Path) -> set[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {anchor_of(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(doc: Path, root: Path) -> list[str]:
+    errors = []
+    text = CODE_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("../../"):
+            continue  # external, generated, or forge-relative (CI badge)
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor
+            if fragment and anchor_of(fragment) not in anchors_in(doc):
+                errors.append(f"{doc.relative_to(root)}: broken anchor '#{fragment}'")
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{doc.relative_to(root)}: broken link '{target}'")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if anchor_of(fragment) not in anchors_in(resolved):
+                errors.append(
+                    f"{doc.relative_to(root)}: broken anchor '{target}' "
+                    f"(no such heading in {path_part})")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    docs = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    errors = []
+    checked = 0
+    for doc in docs:
+        if not doc.exists():
+            continue
+        checked += 1
+        errors.extend(check_file(doc, root))
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"check_links: {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
