@@ -108,6 +108,16 @@ void SimArena::return_system_storage(mpi::SystemStorage&& storage) {
   system_storage_ = std::move(storage);
 }
 
+void SimArena::shed() {
+  if (in_use()) return;  // a live Study owns the storage; nothing to drop
+  engine_ = Engine{};
+  net_ = NetStorage{};
+  job_storage_.clear();
+  job_storage_.shrink_to_fit();
+  system_storage_ = mpi::SystemStorage{};
+  frame_pool_.trim();
+}
+
 ScopedArenaBinding::ScopedArenaBinding(SimArena* arena)
     : previous_(t_current_arena),
       frame_binding_(arena != nullptr ? &arena->frame_pool() : nullptr) {

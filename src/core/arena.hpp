@@ -120,6 +120,15 @@ class SimArena {
   void count_nic(bool reused) { ++(reused ? stats_.nic_reuses : stats_.nic_builds); }
   void count_rank(bool reused) { ++(reused ? stats_.rank_reuses : stats_.rank_builds); }
 
+  /// Release every byte of carried storage (engine event heap, packet slabs,
+  /// router/NIC buffers, parked MPI bundles, coroutine-frame freelists) and
+  /// return the arena to its freshly-constructed empty state; stats() and
+  /// the thread binding survive. run_plan() calls this before retrying a
+  /// cell that failed with std::bad_alloc, so the retry starts from the
+  /// smallest footprint the process can offer. No-op while a Study holds the
+  /// arena (in_use()).
+  void shed();
+
   /// Coroutine-frame freelist fed from this arena: ScopedArenaBinding binds
   /// it to the worker thread alongside the arena, so mpi::Task frames share
   /// the carried-storage lifecycle (see mpi/frame_pool.hpp).

@@ -286,6 +286,15 @@ const std::vector<KeySpec>& key_specs() {
       {"time_limit_ms",
        [](C& c, const F& f, const std::string& k) { c.time_limit = f.get_int(k) * kMs; },
        [](const C& c) { return std::to_string(c.time_limit / kMs); }},
+      {"wall_limit_s",
+       [](C& c, const F& f, const std::string& k) {
+         c.wall_limit_s = f.get_double(k);
+         if (c.wall_limit_s < 0) {
+           throw std::invalid_argument("ConfigFile: " + f.where(k) +
+                                       ": 'wall_limit_s' must be >= 0");
+         }
+       },
+       [](const C& c) { return format_double(c.wall_limit_s); }},
       {"net.flit_bytes",
        [](C& c, const F& f, const std::string& k) { c.net.flit_bytes = f.get_int(k); },
        [](const C& c) { return std::to_string(c.net.flit_bytes); }},

@@ -85,7 +85,8 @@ class ConfigFile {
 ///   routing                   MIN/VALg/VALn/UGALg/UGALn/PAR/Q-adp/...
 ///   placement                 random/contiguous/linear
 ///   seed, scale               run knobs
-///   time_limit_ms             simulation guard
+///   time_limit_ms             simulation guard (simulated clock)
+///   wall_limit_s              cooperative real-time watchdog (0 = off)
 ///   net.{flit_bytes,packet_bytes,buffer_packets,num_vcs,link_gbps}
 ///   net.{local_latency_ns,global_latency_ns,router_latency_ns}
 ///   protocol.{eager_threshold,control_bytes}  eager/rendezvous split

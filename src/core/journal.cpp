@@ -1,0 +1,231 @@
+#include "core/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json_report.hpp"
+
+namespace dfly {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("PlanJournal: " + what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string hash_to_hex(std::uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+/// Scan `line` for `"name":` and return the character position just past the
+/// colon, or npos. Keys are emitted by format() and never appear inside the
+/// escaped error string with this exact quoted-colon spelling prefix-first,
+/// so a forward find of the FIRST occurrence is unambiguous for every field
+/// that precedes "error" (and "error" itself is located by its key).
+std::size_t value_pos(const std::string& line, const char* name) {
+  const std::string needle = '"' + std::string(name) + "\":";
+  const std::size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool parse_u64_at(const std::string& line, std::size_t pos, std::uint64_t& out) {
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return false;
+  std::uint64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+    ++pos;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_bool_at(const std::string& line, std::size_t pos, bool& out) {
+  if (line.compare(pos, 4, "true") == 0) {
+    out = true;
+    return true;
+  }
+  if (line.compare(pos, 5, "false") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Inverse of JsonWriter::escape for the subset it emits. Returns false on a
+/// malformed sequence or a missing closing quote (torn line).
+bool parse_string_at(const std::string& line, std::size_t pos, std::string& out) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= line.size()) return false;
+    const char esc = line[pos + 1];
+    pos += 2;
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (pos + 4 > line.size()) return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = line[pos + static_cast<std::size_t>(i)];
+          value <<= 4;
+          if (h >= '0' && h <= '9') {
+            value |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            value |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        // JsonWriter only \u-escapes control characters (< 0x20); anything
+        // else would not round-trip through this byte-level decoder.
+        if (value > 0xff) return false;
+        out += static_cast<char>(value);
+        pos += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // no closing quote: torn write
+}
+
+}  // namespace
+
+PlanJournal::PlanJournal(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open", path);
+}
+
+PlanJournal::~PlanJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PlanJournal::append(const JournalRecord& record) {
+  const std::string line = format(record) + '\n';
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed on", path_);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) throw_errno("fsync failed on", path_);
+}
+
+std::string PlanJournal::format(const JournalRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("cell").value(record.cell);
+  w.key("ok").value(record.ok);
+  w.key("completed").value(record.completed);
+  w.key("hash").value(hash_to_hex(record.hash));
+  w.key("attempts").value(record.attempts);
+  w.key("timeout").value(record.timeout);
+  w.key("offset").value(record.offset);
+  w.key("error").value(record.error);
+  w.end_object();
+  return w.str();
+}
+
+std::optional<JournalRecord> PlanJournal::parse_line(const std::string& line) {
+  JournalRecord record;
+  if (line.empty() || line.front() != '{' || line.back() != '}') return std::nullopt;
+
+  std::size_t pos = value_pos(line, "cell");
+  if (pos == std::string::npos || !parse_u64_at(line, pos, record.cell)) return std::nullopt;
+  pos = value_pos(line, "ok");
+  if (pos == std::string::npos || !parse_bool_at(line, pos, record.ok)) return std::nullopt;
+  pos = value_pos(line, "completed");
+  if (pos == std::string::npos || !parse_bool_at(line, pos, record.completed)) {
+    return std::nullopt;
+  }
+  pos = value_pos(line, "hash");
+  std::string hex;
+  if (pos == std::string::npos || !parse_string_at(line, pos, hex) || hex.size() != 16) {
+    return std::nullopt;
+  }
+  record.hash = std::strtoull(hex.c_str(), nullptr, 16);
+  pos = value_pos(line, "attempts");
+  std::uint64_t attempts = 0;
+  if (pos == std::string::npos || !parse_u64_at(line, pos, attempts)) return std::nullopt;
+  record.attempts = static_cast<int>(attempts);
+  pos = value_pos(line, "timeout");
+  if (pos == std::string::npos || !parse_bool_at(line, pos, record.timeout)) {
+    return std::nullopt;
+  }
+  pos = value_pos(line, "offset");
+  if (pos == std::string::npos || !parse_u64_at(line, pos, record.offset)) return std::nullopt;
+  pos = value_pos(line, "error");
+  if (pos == std::string::npos || !parse_string_at(line, pos, record.error)) {
+    return std::nullopt;
+  }
+  return record;
+}
+
+std::vector<JournalRecord> PlanJournal::recover(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (::access(path.c_str(), F_OK) != 0) return {};  // fresh start
+    throw std::runtime_error("PlanJournal: cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  in.close();
+
+  std::vector<JournalRecord> records;
+  std::size_t start = 0;
+  std::uint64_t good_end = 0;  // byte offset just past the last intact record
+  while (start < text.size()) {
+    const std::size_t newline = text.find('\n', start);
+    if (newline == std::string::npos) break;  // torn tail: no terminator
+    const std::optional<JournalRecord> record =
+        parse_line(text.substr(start, newline - start));
+    if (!record) break;  // torn or corrupt line: discard it and the rest
+    records.push_back(*record);
+    start = newline + 1;
+    good_end = start;
+  }
+  if (good_end != text.size()) truncate_file(path, good_end);
+  return records;
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  // O_CREAT so that truncating a missing output to offset 0 (fresh resume
+  // with an empty journal) leaves a well-defined empty file behind.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("cannot open for truncation", path);
+  const int rc = ::ftruncate(fd, static_cast<off_t>(size));
+  ::close(fd);
+  if (rc != 0) throw_errno("cannot truncate", path);
+}
+
+}  // namespace dfly

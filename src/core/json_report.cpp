@@ -1,7 +1,9 @@
 #include "core/json_report.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -252,9 +254,21 @@ std::string sweep_to_json(const SweepSummary& summary) {
 }
 
 void save_json(const std::string& path, const std::string& json) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_json: cannot open " + path);
-  out << json << '\n';
+  // Whole-file write via temp + atomic rename: a reader (or a crash) never
+  // observes a half-written document, and a failed write leaves any previous
+  // file at `path` untouched.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_json: cannot open " + tmp);
+    out << json << '\n';
+    out.flush();
+    if (!out.good()) throw std::runtime_error("save_json: write failed on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("save_json: cannot rename " + tmp + " to " + path + ": " +
+                             std::strerror(errno));
+  }
 }
 
 }  // namespace dfly

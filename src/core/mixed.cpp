@@ -66,7 +66,9 @@ std::vector<MixedSuite> run_mixed_suites(const std::vector<StudyConfig>& configs
   plan.config_list = configs;
   plan.mixed_solos = true;
   CollectSink sink;
-  run_plan(plan, sink, jobs);
+  // Legacy fail-fast contract: callers of this shim predate cell isolation
+  // and expect the first cell exception to propagate.
+  run_plan(plan, sink, jobs).rethrow_any();
   std::vector<Report> reports = sink.take_reports();
 
   const std::size_t stride = 1 + table2_mix().size();

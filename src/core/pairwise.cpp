@@ -41,7 +41,9 @@ std::vector<PairwiseResult> run_pairwise_cells(const StudyConfig& base,
   plan.mode = PlanMode::kPairwise;
   plan.pairwise_list = cells;
   CollectSink sink;
-  run_plan(plan, sink, jobs);
+  // Legacy fail-fast contract: callers of this shim predate cell isolation
+  // and expect the first cell exception to propagate.
+  run_plan(plan, sink, jobs).rethrow_any();
   std::vector<Report> reports = sink.take_reports();
 
   std::vector<PairwiseResult> results(cells.size());

@@ -78,10 +78,45 @@ int ParallelRunner::hardware_jobs() {
   return jobs < cap ? jobs : cap;
 }
 
-void ParallelRunner::run_indexed(std::size_t n,
-                                 const std::function<void(std::size_t)>& fn) const {
+std::string WorkerErrors::summary() const {
+  std::string out;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (workers[w].failures == 0) continue;
+    if (!out.empty()) out += "; ";
+    out += "worker " + std::to_string(w) + ": " + std::to_string(workers[w].failures) +
+           (workers[w].failures == 1 ? " failure" : " failures") + ", first: " +
+           workers[w].first;
+  }
+  return out;
+}
+
+namespace {
+
+/// what() of the in-flight exception, with a stable spelling for non-
+/// std::exception throwables.
+std::string current_exception_message() {
+  try {
+    throw;
+  } catch (const std::exception& error) {
+    return error.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+void ParallelRunner::run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                                 WorkerErrors* errors) const {
+  if (errors != nullptr) errors->workers.clear();
   if (n == 0) return;
   const int workers = jobs_ < static_cast<int>(n) ? jobs_ : static_cast<int>(n);
+  // stop_early: legacy mode — the first failure stops new claims and is
+  // rethrown after the pool drains. With an errors sink the caller wants
+  // every cell attempted and the full per-worker picture instead.
+  const bool stop_early = errors == nullptr;
+  WorkerErrors collected;
+  collected.workers.resize(static_cast<std::size_t>(workers < 1 ? 1 : workers));
   // Each worker (including the sequential fast path) binds a persistent
   // SimArena for its run: the first cell grows the storage, every later cell
   // on the same worker reuses it in place. Reuse is output-neutral, so cell
@@ -95,41 +130,60 @@ void ParallelRunner::run_indexed(std::size_t n,
   const bool use_arena = arena_enabled();
   BlueprintCache blueprint_cache;
   BlueprintCache* shared_cache = blueprint_enabled() ? &blueprint_cache : nullptr;
+  std::exception_ptr first_error;
   if (workers <= 1) {
     SimArena arena;
     ScopedArenaBinding binding(use_arena ? &arena : nullptr);
     ScopedBlueprintCacheBinding cache_binding(shared_cache);
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  // Work stealing via a shared counter: cells are claimed in index order, so
-  // a cheap cell never waits behind an expensive one on the same worker.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    SimArena arena;
-    ScopedArenaBinding binding(use_arena ? &arena : nullptr);
-    ScopedBlueprintCacheBinding cache_binding(shared_cache);
-    for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+    for (std::size_t i = 0; i < n; ++i) {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        WorkerErrors::Worker& me = collected.workers[0];
+        if (me.failures++ == 0) {
+          me.first = current_exception_message();
+          first_error = std::current_exception();
+        }
+        if (stop_early) break;
       }
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
-  if (error) std::rethrow_exception(error);
+  } else {
+    // Work stealing via a shared counter: cells are claimed in index order,
+    // so a cheap cell never waits behind an expensive one on the same worker.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    auto worker = [&](std::size_t id) {
+      SimArena arena;
+      ScopedArenaBinding binding(use_arena ? &arena : nullptr);
+      ScopedBlueprintCacheBinding cache_binding(shared_cache);
+      WorkerErrors::Worker& me = collected.workers[id];
+      for (;;) {
+        if (stop_early && failed.load(std::memory_order_relaxed)) return;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          if (me.failures++ == 0) me.first = current_exception_message();
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back(worker, static_cast<std::size_t>(t));
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (errors != nullptr) {
+    *errors = std::move(collected);
+    return;  // diagnostic mode: the caller owns failure policy, no rethrow
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace dfly

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 /// Parallel experiment execution.
@@ -15,6 +16,32 @@
 /// bit-identical to a sequential run regardless of worker count or
 /// completion order.
 namespace dfly {
+
+/// Per-worker exception diagnostics collected by a run_indexed() call.
+///
+/// Historically only the FIRST exception thrown by any worker survived (it
+/// was rethrown; everything else was dropped on the floor). Campaign-grade
+/// diagnostics need the full picture: how many cells each worker lost and
+/// what the first failure on each worker looked like — enough to tell "one
+/// pathological cell" from "worker 3's arena is poisoned" from "the disk
+/// filled up everywhere". run_plan() forwards this into PlanOutcome.
+struct WorkerErrors {
+  struct Worker {
+    std::size_t failures{0};  ///< cells whose fn threw on this worker
+    std::string first;        ///< what() of this worker's first exception
+  };
+  std::vector<Worker> workers;  ///< index = worker id (size = worker count)
+
+  std::size_t total() const {
+    std::size_t sum = 0;
+    for (const Worker& worker : workers) sum += worker.failures;
+    return sum;
+  }
+  bool any() const { return total() > 0; }
+  /// "worker 0: 3 failures, first: bad_alloc; worker 2: ..." (empty when
+  /// clean) — the one-line form the CLI prints.
+  std::string summary() const;
+};
 
 /// Thread-pool runner for independent simulation cells.
 ///
@@ -56,9 +83,18 @@ class ParallelRunner {
   /// Invoke fn(0) .. fn(n-1), sharded across jobs() worker threads
   /// (sequential when jobs() == 1 or n <= 1). `fn` must only touch state
   /// owned by cell i — see the thread-safety notes on PacketPool, LinkStats
-  /// and Rng. The first exception thrown by any cell is rethrown on the
-  /// calling thread after all workers drain; cells not yet started are
-  /// skipped.
+  /// and Rng.
+  ///
+  /// Exception handling comes in two modes:
+  ///  - errors == nullptr (legacy): the first failure stops workers from
+  ///    claiming new cells, and the first exception is rethrown on the
+  ///    calling thread after all workers drain; cells not yet started are
+  ///    skipped. Every exception is still *counted* per worker internally.
+  ///  - errors != nullptr: nothing is rethrown and no early stop happens —
+  ///    every cell is attempted, each worker's failure count and first
+  ///    message land in *errors (resized to the worker count). Callers that
+  ///    isolate failures per cell (run_plan) catch inside fn themselves, so
+  ///    entries here indicate infrastructure failures, not cell failures.
   ///
   /// Each worker carries a persistent SimArena (core/arena.hpp) for the
   /// duration of the call, so Studies built inside `fn` reuse the worker's
@@ -67,7 +103,8 @@ class ParallelRunner {
   /// topology/wiring/routing plan instead of rebuilding it. Disabled by
   /// --no-arena / DFSIM_NO_ARENA and --no-blueprint / DFSIM_NO_BLUEPRINT
   /// respectively; output is bit-identical in every combination.
-  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   WorkerErrors* errors = nullptr) const;
 
   /// Evaluate every task; results are returned in task order, so callers
   /// print deterministic tables no matter how the cells interleave.

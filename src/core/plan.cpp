@@ -1,13 +1,19 @@
 #include "core/plan.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "core/arena.hpp"
+#include "core/blueprint.hpp"
 #include "core/json_report.hpp"
 #include "core/mixed.hpp"
-#include "core/parallel.hpp"
 #include "routing/factory.hpp"
 #include "workloads/factory.hpp"
 
@@ -84,7 +90,67 @@ const char* to_string(PlanCellKind kind) {
 }
 
 void PlanSink::begin(const ExperimentPlan&, const std::vector<PlanCell>&) {}
+void PlanSink::cell_failed(const PlanCell&, const CellFailure&) {}
 void PlanSink::end() {}
+
+// --- cell identity -----------------------------------------------------------
+
+namespace {
+
+/// Field-by-field FNV-1a (never over raw struct bytes: no padding, stable
+/// across platforms and processes).
+class CellHasher {
+ public:
+  void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      step(static_cast<unsigned char>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  void mix_double(double v) {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix_u64(bits);
+  }
+  void mix_string(const std::string& s) {
+    mix_u64(s.size());
+    for (const char c : s) step(static_cast<unsigned char>(c));
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  void step(unsigned char byte) {
+    h_ ^= byte;
+    h_ *= 1099511628211ull;
+  }
+  std::uint64_t h_{14695981039346656037ull};
+};
+
+}  // namespace
+
+std::uint64_t plan_cell_hash(const PlanCell& cell) {
+  CellHasher h;
+  // BlueprintKey covers every config field that shapes the system (topology,
+  // net, routing parameterisation, placement, faults); the fields it
+  // deliberately excludes are mixed in explicitly below.
+  h.mix_u64(static_cast<std::uint64_t>(BlueprintKey::of(cell.config).hash()));
+  h.mix_u64(cell.config.seed);
+  h.mix_u64(static_cast<std::uint64_t>(cell.config.scale));
+  h.mix_u64(static_cast<std::uint64_t>(cell.config.time_limit));
+  h.mix_double(cell.config.wall_limit_s);
+  h.mix_u64(static_cast<std::uint64_t>(cell.kind));
+  h.mix_string(cell.variant);
+  h.mix_string(cell.target);
+  h.mix_string(cell.background);
+  h.mix_u64(cell.jobs.size());
+  for (const PlanJob& job : cell.jobs) {
+    h.mix_string(job.app);
+    h.mix_u64(static_cast<std::uint64_t>(job.nodes));
+  }
+  h.mix_u64(cell.index);
+  return h.value();
+}
 
 // --- expansion ---------------------------------------------------------------
 
@@ -94,6 +160,12 @@ void ExperimentPlan::validate() const {
       throw std::invalid_argument("ExperimentPlan: scales must be >= 1, got " +
                                   std::to_string(scale));
     }
+  }
+  if (cell_timeout_s < 0) {
+    throw std::invalid_argument("ExperimentPlan: cell_timeout_s must be >= 0");
+  }
+  if (cell_retries < 0) {
+    throw std::invalid_argument("ExperimentPlan: cell_retries must be >= 0");
   }
   for (const std::string& name : routings) check_routing("routings axis", name);
   switch (mode) {
@@ -241,37 +313,242 @@ Report run_plan_cell(const ExperimentPlan& plan, const PlanCell& cell) {
   throw std::logic_error("run_plan_cell: unhandled cell kind");
 }
 
-PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink, int jobs) {
+PlanShard parse_shard(const std::string& text) {
+  const auto bad = [&]() -> PlanShard {
+    throw std::invalid_argument("shard wants K/N with 1 <= K <= N (e.g. 2/4), got '" + text +
+                                "'");
+  };
+  const auto parse_number = [&](const std::string& part) -> std::uint64_t {
+    if (part.empty() || part.size() > 9) bad();
+    std::uint64_t value = 0;
+    for (const char c : part) {
+      if (c < '0' || c > '9') bad();
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return bad();
+  const std::uint64_t k = parse_number(text.substr(0, slash));
+  const std::uint64_t n = parse_number(text.substr(slash + 1));
+  if (k < 1 || n < 1 || k > n) bad();
+  return PlanShard{static_cast<std::size_t>(k - 1), static_cast<std::size_t>(n)};
+}
+
+void PlanOutcome::rethrow_any() const {
+  if (!failures.empty()) {
+    const CellFailure& failure = failures.front();
+    if (failure.error) std::rethrow_exception(failure.error);
+    throw std::runtime_error("plan cell " + std::to_string(failure.index) +
+                             " failed: " + failure.message);
+  }
+  if (worker_errors.any()) {
+    throw std::runtime_error("campaign infrastructure failure: " + worker_errors.summary());
+  }
+}
+
+namespace {
+
+/// One cell's execution result, waiting in its emission slot.
+struct CellResult {
+  Report report;
+  CellFailure failure;
+  bool ok{false};
+};
+
+/// Run one cell with full fault isolation: never throws. Timeouts are final;
+/// transient failures (bad_alloc / TransientCellError) are retried after
+/// shedding the worker's arena and backing off.
+CellResult run_cell_isolated(const ExperimentPlan& plan, const PlanCell& cell) {
+  CellResult result;
+  result.failure.index = cell.index;
+  const int max_attempts = 1 + plan.cell_retries;
+  for (int attempt = 1;; ++attempt) {
+    result.failure.attempts = attempt;
+    bool transient = false;
+    try {
+      if (plan.cell_timeout_s > 0 && cell.config.wall_limit_s <= 0) {
+        PlanCell timed = cell;
+        timed.config.wall_limit_s = plan.cell_timeout_s;
+        result.report = run_plan_cell(plan, timed);
+      } else {
+        result.report = run_plan_cell(plan, cell);
+      }
+      result.ok = true;
+      return result;
+    } catch (const WallDeadlineExceeded& error) {
+      result.failure.message = error.what();
+      result.failure.timeout = true;
+      result.failure.error = std::current_exception();
+      return result;  // a timed-out cell would time out again: no retry
+    } catch (const std::bad_alloc& error) {
+      transient = true;
+      result.failure.message = error.what();
+      result.failure.error = std::current_exception();
+    } catch (const TransientCellError& error) {
+      transient = true;
+      result.failure.message = error.what();
+      result.failure.error = std::current_exception();
+    } catch (const std::exception& error) {
+      result.failure.message = error.what();
+      result.failure.error = std::current_exception();
+    } catch (...) {
+      result.failure.message = "unknown exception";
+      result.failure.error = std::current_exception();
+    }
+    if (!transient || attempt >= max_attempts) return result;
+    // Transient retry: release every byte this worker is holding (the most
+    // likely cure for bad_alloc), then back off briefly so a machine-wide
+    // memory spike can pass. 10ms, 20ms, 40ms, ... capped at 640ms.
+    if (SimArena* arena = SimArena::current()) arena->shed();
+    const int shift = attempt - 1 < 6 ? attempt - 1 : 6;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 << shift));
+  }
+}
+
+}  // namespace
+
+PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink,
+                     const RunPlanOptions& options) {
+  if (options.shard.count < 1 || options.shard.index >= options.shard.count) {
+    throw std::invalid_argument("run_plan: shard index " + std::to_string(options.shard.index) +
+                                " out of range for " + std::to_string(options.shard.count) +
+                                " shards");
+  }
   const std::vector<PlanCell> cells = plan.expand();
-  sink.begin(plan, cells);
 
   PlanOutcome outcome;
-  outcome.cells = cells.size();
+  std::vector<char> done(cells.size(), 0);
+
+  // Replay the previous run's journal: each record is validated against the
+  // re-expanded plan, then its cell is marked done and its outcome counted
+  // as if this run had produced it — so exit status is stable across any
+  // number of interrupt/resume cycles.
+  if (options.resume != nullptr) {
+    for (const JournalRecord& record : *options.resume) {
+      if (record.cell >= cells.size()) {
+        throw std::runtime_error("run_plan: journal records cell " +
+                                 std::to_string(record.cell) + " but the plan expands to " +
+                                 std::to_string(cells.size()) +
+                                 " cells — the plan changed; remove the journal to start over");
+      }
+      const PlanCell& cell = cells[record.cell];
+      if (plan_cell_hash(cell) != record.hash) {
+        throw std::runtime_error("run_plan: journal hash mismatch for cell " +
+                                 std::to_string(record.cell) +
+                                 " — the plan changed under the journal; remove the journal "
+                                 "(and the output) to start over");
+      }
+      if (!options.shard.selects(record.cell) || done[record.cell]) continue;
+      done[record.cell] = 1;
+      ++outcome.resumed;
+      if (record.ok) {
+        if (record.completed) ++outcome.completed;
+      } else {
+        CellFailure failure;
+        failure.index = record.cell;
+        failure.message = record.error;
+        failure.attempts = record.attempts;
+        failure.timeout = record.timeout;
+        outcome.failures.push_back(std::move(failure));
+      }
+    }
+  }
+
+  std::vector<std::size_t> work;  // cell indices this invocation simulates
+  work.reserve(cells.size());
+  for (const PlanCell& cell : cells) {
+    if (!options.shard.selects(cell.index)) continue;
+    ++outcome.cells;
+    if (!done[cell.index]) work.push_back(cell.index);
+  }
+
+  sink.begin(plan, cells);
 
   // Workers finish out of order; results wait in their slot until every
   // earlier cell has been emitted, then flush to the sink in index order (a
   // flushed slot is released immediately, so memory holds only the
   // out-of-order window, not the whole campaign).
-  std::vector<Report> slots(cells.size());
-  std::vector<char> ready(cells.size(), 0);
+  std::vector<CellResult> slots(work.size());
+  std::vector<char> ready(work.size(), 0);
   std::size_t next_emit = 0;
   std::mutex emit_mutex;
 
-  ParallelRunner(jobs).run_indexed(cells.size(), [&](std::size_t i) {
-    Report report = run_plan_cell(plan, cells[i]);
-    const std::lock_guard<std::mutex> lock(emit_mutex);
-    slots[i] = std::move(report);
-    ready[i] = 1;
-    while (next_emit < cells.size() && ready[next_emit]) {
-      if (slots[next_emit].completed) ++outcome.completed;
-      sink.cell_done(cells[next_emit], slots[next_emit]);
-      slots[next_emit] = Report{};
-      ++next_emit;
+  // Serialised by emit_mutex. May throw only AFTER the slot is consumed
+  // (next_emit already advanced): a journal-append failure then surfaces as
+  // a worker error without any cell being emitted twice.
+  const auto emit = [&](std::size_t k) {
+    const PlanCell& cell = cells[work[k]];
+    CellResult result = std::move(slots[k]);
+    slots[k] = CellResult{};
+    if (result.ok) {
+      try {
+        sink.cell_done(cell, result.report);
+      } catch (const std::exception& error) {
+        result.ok = false;
+        result.failure.sink_error = true;
+        result.failure.message = error.what();
+        result.failure.error = std::current_exception();
+      } catch (...) {
+        result.ok = false;
+        result.failure.sink_error = true;
+        result.failure.message = "unknown exception";
+        result.failure.error = std::current_exception();
+      }
     }
-  });
+    if (result.ok) {
+      if (result.report.completed) ++outcome.completed;
+    } else {
+      outcome.failures.push_back(result.failure);
+      try {
+        sink.cell_failed(cell, result.failure);
+      } catch (...) {
+        // cell_failed is advisory; the failure is already recorded.
+      }
+    }
+    ++outcome.executed;
+    if (options.journal != nullptr) {
+      JournalRecord record;
+      record.cell = cell.index;
+      record.ok = result.ok;
+      record.completed = result.ok && result.report.completed;
+      record.hash = plan_cell_hash(cell);
+      record.attempts = result.failure.attempts;
+      record.timeout = result.failure.timeout;
+      record.offset = options.output_offset ? options.output_offset() : 0;
+      record.error = result.ok ? std::string() : result.failure.message;
+      // Ordering contract: the output line is already flushed, so this
+      // fsync'd record — carrying the post-line offset — commits the cell.
+      // A crash in between leaves an orphan output line that --resume cuts
+      // by truncating to the last journaled offset.
+      options.journal->append(record);
+    }
+  };
+
+  ParallelRunner(options.jobs).run_indexed(
+      work.size(),
+      [&](std::size_t k) {
+        CellResult result = run_cell_isolated(plan, cells[work[k]]);
+        const std::lock_guard<std::mutex> lock(emit_mutex);
+        slots[k] = std::move(result);
+        ready[k] = 1;
+        while (next_emit < work.size() && ready[next_emit]) emit(next_emit++);
+      },
+      &outcome.worker_errors);
 
   sink.end();
+
+  // Resume-replayed and freshly-recorded failures interleave; present them
+  // in cell order regardless of history.
+  std::stable_sort(outcome.failures.begin(), outcome.failures.end(),
+                   [](const CellFailure& a, const CellFailure& b) { return a.index < b.index; });
   return outcome;
+}
+
+PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink, int jobs) {
+  RunPlanOptions options;
+  options.jobs = jobs;
+  return run_plan(plan, sink, options);
 }
 
 // --- sinks -------------------------------------------------------------------
@@ -279,10 +556,15 @@ PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink, int jobs) {
 void CollectSink::begin(const ExperimentPlan&, const std::vector<PlanCell>& cells) {
   cells_ = cells;
   reports_.assign(cells.size(), Report{});
+  failures_.clear();
 }
 
 void CollectSink::cell_done(const PlanCell& cell, const Report& report) {
   reports_[cell.index] = report;
+}
+
+void CollectSink::cell_failed(const PlanCell&, const CellFailure& failure) {
+  failures_.push_back(failure);
 }
 
 void TeeSink::begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) {
@@ -293,14 +575,28 @@ void TeeSink::cell_done(const PlanCell& cell, const Report& report) {
   for (PlanSink* sink : sinks_) sink->cell_done(cell, report);
 }
 
+void TeeSink::cell_failed(const PlanCell& cell, const CellFailure& failure) {
+  for (PlanSink* sink : sinks_) sink->cell_failed(cell, failure);
+}
+
 void TeeSink::end() {
   for (PlanSink* sink : sinks_) sink->end();
 }
 
 JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
 
-JsonlSink::JsonlSink(const std::string& path) : owned_(path), out_(&owned_) {
+JsonlSink::JsonlSink(const std::string& path, bool append)
+    : owned_(path, append ? std::ios::binary | std::ios::app
+                          : std::ios::binary | std::ios::trunc),
+      out_(&owned_),
+      path_(path) {
   if (!owned_) throw std::runtime_error("JsonlSink: cannot open " + path);
+  if (append) {
+    // Resume continues after the (already truncated) existing content; the
+    // journal offsets it writes must be absolute file sizes.
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe && probe.tellg() > 0) bytes_ = static_cast<std::uint64_t>(probe.tellg());
+  }
 }
 
 void JsonlSink::cell_done(const PlanCell& cell, const Report& report) {
@@ -327,12 +623,25 @@ void JsonlSink::cell_done(const PlanCell& cell, const Report& report) {
   write_report(w, report);
   w.end_object();
   *out_ << w.str() << '\n' << std::flush;
+  if (!out_->good()) {
+    throw std::runtime_error("JsonlSink: write failed" +
+                             (path_.empty() ? std::string() : " on " + path_));
+  }
+  bytes_ += w.str().size() + 1;
 }
 
 CsvSink::CsvSink(std::ostream& out) : out_(&out) {}
 
-CsvSink::CsvSink(const std::string& path) : owned_(path), out_(&owned_) {
-  if (!owned_) throw std::runtime_error("CsvSink: cannot open " + path);
+CsvSink::CsvSink(const std::string& path)
+    : owned_(path + ".tmp", std::ios::binary | std::ios::trunc), out_(&owned_), path_(path) {
+  if (!owned_) throw std::runtime_error("CsvSink: cannot open " + path + ".tmp");
+}
+
+void CsvSink::check_stream(const char* what) const {
+  if (!out_->good()) {
+    throw std::runtime_error(std::string("CsvSink: ") + what + " failed" +
+                             (path_.empty() ? std::string() : " on " + path_ + ".tmp"));
+  }
 }
 
 void CsvSink::begin(const ExperimentPlan&, const std::vector<PlanCell>&) {
@@ -340,6 +649,7 @@ void CsvSink::begin(const ExperimentPlan&, const std::vector<PlanCell>&) {
            "comm_mean_ms,comm_std_ms,exec_ms,injection_rate_gbs,lat_mean_us,lat_p99_us,"
            "nonminimal_fraction,completed,makespan_ms,sys_lat_p99_us\n"
         << std::flush;
+  check_stream("header write");
 }
 
 void CsvSink::cell_done(const PlanCell& cell, const Report& report) {
@@ -360,6 +670,87 @@ void CsvSink::cell_done(const PlanCell& cell, const Report& report) {
           << csv_double(app.nonminimal_fraction) << ',' << suffix << '\n';
   }
   *out_ << std::flush;
+  check_stream("write");
+}
+
+void CsvSink::end() {
+  if (path_.empty()) return;  // ostream ctor: nothing to finalise
+  owned_.flush();
+  check_stream("flush");
+  owned_.close();
+  if (std::rename((path_ + ".tmp").c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("CsvSink: cannot rename " + path_ + ".tmp to " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+// --- shard reassembly --------------------------------------------------------
+
+std::size_t merge_shard_jsonl(const std::vector<std::string>& inputs,
+                              const std::string& out_path, std::ostream* warnings) {
+  static const char kPrefix[] = "{\"cell\":";
+  static const std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+
+  std::vector<std::pair<std::uint64_t, std::string>> lines;
+  for (const std::string& input : inputs) {
+    std::ifstream in(input, std::ios::binary);
+    if (!in) throw std::runtime_error("merge_shard_jsonl: cannot read " + input);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.compare(0, kPrefixLen, kPrefix) != 0) {
+        throw std::runtime_error("merge_shard_jsonl: " + input +
+                                 ": line without a leading \"cell\" index");
+      }
+      std::size_t pos = kPrefixLen;
+      std::uint64_t cell = 0;
+      bool digits = false;
+      while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+        cell = cell * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+        ++pos;
+        digits = true;
+      }
+      if (!digits) {
+        throw std::runtime_error("merge_shard_jsonl: " + input +
+                                 ": malformed \"cell\" index");
+      }
+      lines.emplace_back(cell, std::move(line));
+    }
+  }
+
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].first == lines[i - 1].first) {
+      throw std::runtime_error("merge_shard_jsonl: cell " + std::to_string(lines[i].first) +
+                               " appears in more than one input (overlapping shards?)");
+    }
+  }
+  if (warnings != nullptr && !lines.empty()) {
+    // Gaps are expected exactly where cells failed; surface them so a silent
+    // partial merge cannot masquerade as a complete campaign.
+    std::uint64_t expect = 0;
+    for (const auto& [cell, line] : lines) {
+      for (; expect < cell; ++expect) {
+        *warnings << "merge-shards: no line for cell " << expect << " (failed or not run)\n";
+      }
+      expect = cell + 1;
+    }
+  }
+
+  const std::string tmp = out_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("merge_shard_jsonl: cannot open " + tmp);
+    for (const auto& [cell, line] : lines) out << line << '\n';
+    out.flush();
+    if (!out.good()) throw std::runtime_error("merge_shard_jsonl: write failed on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), out_path.c_str()) != 0) {
+    throw std::runtime_error("merge_shard_jsonl: cannot rename " + tmp + " to " + out_path +
+                             ": " + std::strerror(errno));
+  }
+  return lines.size();
 }
 
 // --- config-file surface -----------------------------------------------------
@@ -427,7 +818,7 @@ ExperimentPlan plan_from_config(const ConfigFile& file) {
   static const std::vector<std::string> kPlanKeys{
       "plan.name",    "plan.mode",  "plan.routings",    "plan.placements",
       "plan.scales",  "plan.seeds", "plan.jobs",        "plan.targets",
-      "plan.backgrounds", "plan.solos",
+      "plan.backgrounds", "plan.solos", "plan.cell_timeout_s", "plan.cell_retries",
   };
 
   ExperimentPlan plan;
@@ -470,6 +861,16 @@ ExperimentPlan plan_from_config(const ConfigFile& file) {
   plan.targets = file.get_string_list("plan.targets");
   plan.backgrounds = file.get_string_list("plan.backgrounds");
   plan.mixed_solos = file.get_bool("plan.solos", true);
+  plan.cell_timeout_s = file.get_double("plan.cell_timeout_s", 0.0);
+  if (plan.cell_timeout_s < 0) {
+    throw std::invalid_argument("ConfigFile: " + file.where("plan.cell_timeout_s") +
+                                ": must be >= 0");
+  }
+  plan.cell_retries = file.get_int("plan.cell_retries", 2);
+  if (plan.cell_retries < 0) {
+    throw std::invalid_argument("ConfigFile: " + file.where("plan.cell_retries") +
+                                ": must be >= 0");
+  }
 
   plan.validate();
   return plan;

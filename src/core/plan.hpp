@@ -1,15 +1,19 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <functional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/config_file.hpp"
+#include "core/journal.hpp"
 #include "core/pairwise.hpp"
+#include "core/parallel.hpp"
 #include "core/study.hpp"
 
 /// Declarative experiment campaigns.
@@ -24,6 +28,15 @@
 /// cross-cell SystemBlueprint sharing intact), streaming each finished cell
 /// to a PlanSink in cell order — so output bytes are identical for any
 /// worker count.
+///
+/// Fault tolerance (docs/ROBUSTNESS.md): run_plan isolates every cell — a
+/// throwing cell is recorded as a CellFailure and the campaign continues;
+/// transient failures (std::bad_alloc, TransientCellError) are retried with
+/// backoff after shedding the worker's arena; plan.cell_timeout_s arms a
+/// per-cell wall-clock watchdog; an optional fsync'd PlanJournal makes the
+/// campaign resumable byte-identically after any crash; and a PlanShard
+/// runs a deterministic slice for multi-host fan-out (reassembled with
+/// merge_shard_jsonl).
 ///
 /// The legacy driver surfaces — SeedSweep::run, run_pairwise_cells,
 /// run_mixed_suites — are retained as thin shims over this core; new
@@ -77,19 +90,56 @@ struct PlanCell {
   std::vector<PlanJob> jobs;  ///< kSingle job list, else empty
 };
 
+/// Stable identity hash of an expanded cell: everything that determines its
+/// simulation output (config shape + seed/scale/limits + kind + job mix +
+/// index). --resume recomputes this for every journaled cell and refuses to
+/// skip a cell whose hash no longer matches — the plan file changed under
+/// the journal. Stable across processes and platforms (FNV-1a over explicit
+/// fields, never over raw struct bytes).
+std::uint64_t plan_cell_hash(const PlanCell& cell);
+
+/// Throw this from a kCustom runner (or any cell code) to mark a failure as
+/// transient: run_plan retries the cell — like std::bad_alloc — instead of
+/// recording it failed on first throw.
+class TransientCellError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One isolated cell failure recorded by run_plan (the campaign continued).
+struct CellFailure {
+  std::size_t index{0};  ///< PlanCell.index of the failed cell
+  std::string message;   ///< what() of the final attempt's exception
+  int attempts{1};       ///< simulation attempts consumed (> 1 after retries)
+  bool timeout{false};     ///< abandoned by the wall-clock watchdog
+  bool sink_error{false};  ///< the simulation succeeded but a sink write failed
+  /// The final attempt's exception, for callers that need legacy rethrow
+  /// semantics (PlanOutcome::rethrow_any). Null for failures replayed from a
+  /// resume journal.
+  std::exception_ptr error;
+};
+
 struct ExperimentPlan;
 
 /// Streaming consumer of finished cells. run_plan() calls begin() once with
-/// the full expansion, then cell_done() exactly once per cell in cell-index
-/// order — cell i is delivered as soon as it *and every cell before it* has
-/// finished, so a file sink flushes incrementally while workers are still
-/// running later cells — then end() once. Calls are serialised by run_plan
-/// (sinks need no locking of their own).
+/// the full expansion, then — in cell-index order over the cells this run
+/// executes — exactly one of cell_done() (the cell produced a Report) or
+/// cell_failed() (the cell was recorded as failed) per cell; cell i is
+/// delivered as soon as it *and every cell before it* has finished, so a
+/// file sink flushes incrementally while workers are still running later
+/// cells — then end() once. end() is called even when cells failed (sinks
+/// must finalise whatever was delivered); it is skipped only when begin()
+/// itself threw. Calls are serialised by run_plan (sinks need no locking of
+/// their own). A cell_done() override that throws converts that cell into a
+/// recorded sink_error failure — the campaign continues.
 class PlanSink {
  public:
   virtual ~PlanSink() = default;
   virtual void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells);
   virtual void cell_done(const PlanCell& cell, const Report& report) = 0;
+  /// Default: ignore (file sinks simply have no line for the cell; the
+  /// journal and PlanOutcome carry the failure).
+  virtual void cell_failed(const PlanCell& cell, const CellFailure& failure);
   virtual void end();
 };
 
@@ -128,6 +178,17 @@ struct ExperimentPlan {
   /// only touch state owned by its cell).
   std::function<Report(const PlanCell&)> custom;
 
+  // --- robustness ---------------------------------------------------------
+  /// > 0 arms a per-cell wall-clock watchdog: a cell still running after
+  /// this many real seconds is abandoned (Engine throws WallDeadlineExceeded
+  /// at the next deadline check) and recorded as a timeout failure — no
+  /// retry. Cells whose config already sets wall_limit_s keep their own.
+  double cell_timeout_s{0};
+  /// Extra attempts granted to a cell that fails transiently (std::bad_alloc
+  /// or TransientCellError): the worker sheds its arena, backs off
+  /// (10ms << attempt, capped at 1s) and re-runs. 0 disables retries.
+  int cell_retries{2};
+
   /// Deterministic ordered expansion; calls validate() first. Cell order and
   /// content depend only on the plan — never on jobs or timing.
   std::vector<PlanCell> expand() const;
@@ -138,19 +199,23 @@ struct ExperimentPlan {
 };
 
 /// Collects reports in cell order (and keeps the expansion for callers that
-/// index results by axis position).
+/// index results by axis position). Failed cells keep a default Report and
+/// land in failures().
 class CollectSink final : public PlanSink {
  public:
   void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) override;
   void cell_done(const PlanCell& cell, const Report& report) override;
+  void cell_failed(const PlanCell& cell, const CellFailure& failure) override;
 
   const std::vector<PlanCell>& cells() const { return cells_; }
   const std::vector<Report>& reports() const { return reports_; }
   std::vector<Report>&& take_reports() { return std::move(reports_); }
+  const std::vector<CellFailure>& failures() const { return failures_; }
 
  private:
   std::vector<PlanCell> cells_;
   std::vector<Report> reports_;
+  std::vector<CellFailure> failures_;
 };
 
 /// JSON Lines: one self-contained object per cell —
@@ -159,21 +224,38 @@ class CollectSink final : public PlanSink {
 ///    "report":{<report_to_json document>}}
 /// — written and flushed as each cell completes, so a long campaign's
 /// output is tail-able and survives interruption up to the last whole line.
+/// Every append is error-checked: a short write (disk full, quota) throws
+/// std::runtime_error, which run_plan records as a sink_error failure for
+/// that cell instead of silently emitting a torn campaign file.
 class JsonlSink final : public PlanSink {
  public:
   explicit JsonlSink(std::ostream& out);
   /// Opens `path` for writing (throws std::runtime_error on failure).
-  explicit JsonlSink(const std::string& path);
+  /// `append` = true keeps existing content and continues after it — the
+  /// --resume path, after the driver truncated the file to the last
+  /// journaled offset.
+  explicit JsonlSink(const std::string& path, bool append = false);
 
   void cell_done(const PlanCell& cell, const Report& report) override;
+
+  /// Size in bytes of the stream after the last flushed cell (for a fresh
+  /// file this equals bytes written; in append mode it starts at the
+  /// pre-existing size). The journal records this as each cell's offset.
+  std::uint64_t bytes_written() const { return bytes_; }
 
  private:
   std::ofstream owned_;
   std::ostream* out_;
+  std::string path_;  ///< "" for the ostream ctor (error messages only)
+  std::uint64_t bytes_{0};
 };
 
 /// CSV: a header plus one row per (cell, application) — the flat table a
-/// plotting notebook ingests directly. Flushed per cell like JsonlSink.
+/// plotting notebook ingests directly. The path ctor writes to `path + ".tmp"`
+/// and atomically renames onto `path` in end(), so readers only ever observe
+/// a complete table — an interrupted campaign leaves the previous file
+/// untouched (resume a partial campaign through the JSONL + journal pair,
+/// not the CSV). Appends are error-checked like JsonlSink.
 class CsvSink final : public PlanSink {
  public:
   explicit CsvSink(std::ostream& out);
@@ -181,10 +263,14 @@ class CsvSink final : public PlanSink {
 
   void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) override;
   void cell_done(const PlanCell& cell, const Report& report) override;
+  void end() override;
 
  private:
+  void check_stream(const char* what) const;
+
   std::ofstream owned_;
   std::ostream* out_;
+  std::string path_;  ///< final destination; "" for the ostream ctor
 };
 
 /// Fans one campaign stream out to several sinks (console + JSONL + CSV is
@@ -198,29 +284,105 @@ class TeeSink final : public PlanSink {
 
   void begin(const ExperimentPlan& plan, const std::vector<PlanCell>& cells) override;
   void cell_done(const PlanCell& cell, const Report& report) override;
+  void cell_failed(const PlanCell& cell, const CellFailure& failure) override;
   void end() override;
 
  private:
   std::vector<PlanSink*> sinks_;
 };
 
-/// Outcome of a campaign run (drives the CLI exit status).
-struct PlanOutcome {
-  std::size_t cells{0};
-  std::size_t completed{0};  ///< cells whose Report.completed is true
+/// A deterministic 1-of-N slice of a campaign: shard k runs exactly the
+/// cells with `index % count == index_`, so N invocations with the same plan
+/// and k = 0..N-1 partition the expansion with no coordination. Parsed from
+/// the CLI's 1-based "K/N" spelling by parse_shard.
+struct PlanShard {
+  std::size_t index{0};  ///< 0-based shard id
+  std::size_t count{1};  ///< total shards; 1 = no sharding
+
+  bool active() const { return count > 1; }
+  bool selects(std::size_t cell_index) const {
+    return count <= 1 || cell_index % count == index;
+  }
 };
 
-/// THE campaign entry point: expand the plan, shard the cells across `jobs`
-/// ParallelRunner workers (> 0 = exact count, 0 = DFSIM_JOBS, else
-/// sequential; per-worker arenas and the shared BlueprintCache apply as for
-/// every other driver), and stream results to `sink` in cell order. The
-/// first cell exception is rethrown after workers drain (end() is not
-/// called then). Output is bit-identical for any worker count.
+/// Parse "K/N" (1 <= K <= N, e.g. "2/4") into the 0-based PlanShard; throws
+/// std::invalid_argument on anything else.
+PlanShard parse_shard(const std::string& text);
+
+/// Outcome of a campaign run (drives the CLI exit status).
+struct PlanOutcome {
+  std::size_t cells{0};      ///< cells this invocation was responsible for
+                             ///  (after shard selection; includes resumed)
+  std::size_t executed{0};   ///< cells actually simulated by this invocation
+  std::size_t resumed{0};    ///< cells skipped because the journal had them
+  std::size_t completed{0};  ///< cells whose Report.completed is true
+                             ///  (journaled completions count on resume)
+  /// Every isolated cell failure, in cell order (journaled failures are
+  /// replayed here on resume, with a null exception pointer).
+  std::vector<CellFailure> failures;
+  /// Infrastructure failures that escaped cell isolation (journal/sink-end
+  /// write errors, etc.), per worker.
+  WorkerErrors worker_errors;
+
+  /// Every cell produced a report, every report completed, and no
+  /// infrastructure errors — the CLI's exit-0 condition.
+  bool all_ok() const {
+    return failures.empty() && !worker_errors.any() && completed == cells;
+  }
+  /// Legacy fail-fast surface for the pre-plan driver shims: rethrow the
+  /// first failure's original exception (or a std::runtime_error carrying
+  /// its message when only a journal replay is available). No-op when clean.
+  void rethrow_any() const;
+};
+
+/// Execution options for run_plan (all default to the plain local run).
+struct RunPlanOptions {
+  /// ParallelRunner worker count: > 0 = exact, 0 = DFSIM_JOBS else
+  /// sequential.
+  int jobs{0};
+  /// Deterministic slice to execute (default: every cell).
+  PlanShard shard{};
+  /// When set, every finished cell (ok, failed or timed out) is durably
+  /// journaled — fsync'd before the next cell emits. Not owned.
+  PlanJournal* journal{nullptr};
+  /// Recovered records of a previous run's journal: matching cells are
+  /// skipped and their outcome replayed. Records are validated against the
+  /// re-expanded plan via plan_cell_hash (mismatch throws std::runtime_error
+  /// — the plan changed under the journal). Not owned; may be null.
+  const std::vector<JournalRecord>* resume{nullptr};
+  /// Size in bytes of the primary output stream after the cell that was just
+  /// emitted (JsonlSink::bytes_written bound by the CLI). Recorded in each
+  /// journal record as the resume truncation point; unset records offset 0.
+  std::function<std::uint64_t()> output_offset;
+};
+
+/// THE campaign entry point: expand the plan, shard the cells across
+/// `options.jobs` ParallelRunner workers (per-worker arenas and the shared
+/// BlueprintCache apply as for every other driver), and stream results to
+/// `sink` in cell order. Every cell is fault-isolated: exceptions become
+/// recorded CellFailures (transient ones retried per plan.cell_retries,
+/// watchdog timeouts per plan.cell_timeout_s), the campaign always runs to
+/// the end, and sink.end() is always called after begin() succeeded. Output
+/// is bit-identical for any worker count — and, through the journal/resume
+/// pair, across crash-resume boundaries and shard reassembly.
+PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink,
+                     const RunPlanOptions& options);
+/// Convenience overload: local run with `jobs` workers, no shard/journal.
 PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink, int jobs = 0);
 
 /// Run one already-expanded cell on the calling thread (the per-cell work
 /// run_plan schedules; exposed for tests and custom drivers).
 Report run_plan_cell(const ExperimentPlan& plan, const PlanCell& cell);
+
+/// Reassemble one campaign JSONL from per-shard outputs: every line of every
+/// input is keyed by its leading `"cell":N`, sorted by cell index, and
+/// written to `out_path` via a temp file + atomic rename. A duplicate cell
+/// index across inputs throws std::runtime_error (overlapping shards); gaps
+/// are tolerated (failed cells have no line) but reported on `warnings` when
+/// provided. Returns the number of lines written.
+std::size_t merge_shard_jsonl(const std::vector<std::string>& inputs,
+                              const std::string& out_path,
+                              std::ostream* warnings = nullptr);
 
 /// Build a plan from a config file: every non-`plan.` key configures the
 /// base StudyConfig via apply_config; `plan.*` keys describe the campaign —
@@ -234,6 +396,8 @@ Report run_plan_cell(const ExperimentPlan& plan, const PlanCell& cell);
 ///   plan.targets     = FFT3D,LU                (mode pairwise)
 ///   plan.backgrounds = None,UR,Halo3D          (mode pairwise)
 ///   plan.solos       = true                    (mode mixed)
+///   plan.cell_timeout_s = 900                  (wall-clock watchdog; 0 = off)
+///   plan.cell_retries   = 2                    (transient-failure retries)
 ///   plan.variant.<label> = key=value; key=value  (repeatable; sorted by
 ///                          label; an empty value is the unmodified base)
 /// Unknown plan keys throw std::invalid_argument naming the source line.

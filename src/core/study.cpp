@@ -1,6 +1,7 @@
 #include "core/study.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "core/arena.hpp"
@@ -148,7 +149,17 @@ Report Study::run() {
   mpi::ScopedFramePoolBinding frame_binding(arena_ != nullptr ? &arena_->frame_pool() : nullptr);
   build();
   for (auto& job : jobs_) job->start();
+  // Arm the cooperative watchdog for this run only: a WallDeadlineExceeded
+  // propagates to the caller (run_plan records it as a cell timeout) and the
+  // Study tears down normally — same mid-flight teardown path as a
+  // time_limit-capped run.
+  if (config_.wall_limit_s > 0) {
+    engine_.set_wall_deadline(std::chrono::steady_clock::now() +
+                              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(config_.wall_limit_s)));
+  }
   engine_.run(config_.time_limit);
+  engine_.clear_wall_deadline();
   return report();
 }
 

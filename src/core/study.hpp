@@ -35,6 +35,13 @@ struct StudyConfig {
   FaultPlan faults{};
   /// Hard stop for the simulation clock (guards against motif deadlocks).
   SimTime time_limit{2 * kSec};
+  /// Cooperative wall-clock watchdog for run(): > 0 arms an Engine deadline
+  /// of this many real seconds, after which the run is abandoned with
+  /// WallDeadlineExceeded (see sim/engine.hpp). 0 = no watchdog. Campaign
+  /// plans set this per cell via plan.cell_timeout_s (core/plan.hpp) so a
+  /// hung cell is recorded as a timeout instead of stalling the campaign.
+  /// Like seed/scale/time_limit, this never affects the blueprint shape.
+  double wall_limit_s{0};
 };
 
 /// Per-application results of a finished run.

@@ -49,7 +49,9 @@ SweepSummary SeedSweep::run(const std::function<Report(std::uint64_t)>& experime
   plan.seeds = seeds_;
   plan.custom = [&experiment](const PlanCell& cell) { return experiment(cell.config.seed); };
   CollectSink sink;
-  run_plan(plan, sink, jobs);
+  // Legacy fail-fast contract: callers of this shim predate cell isolation
+  // and expect the first cell exception to propagate.
+  run_plan(plan, sink, jobs).rethrow_any();
   return aggregate(sink.reports());
 }
 

@@ -22,10 +22,13 @@ static_assert(alignof(std::max_align_t) <= 16);
 
 FramePool* FramePool::current() { return t_current_pool; }
 
-FramePool::~FramePool() {
+FramePool::~FramePool() { trim(); }
+
+void FramePool::trim() {
   for (auto& bucket : buckets_) {
     for (void* block : bucket) ::operator delete(block);
     bucket.clear();
+    bucket.shrink_to_fit();
   }
 }
 

@@ -54,6 +54,12 @@ class FramePool {
   std::size_t parked_blocks() const;
   std::size_t parked_bytes() const;
 
+  /// Free every parked block (the pool stays usable and refills on demand).
+  /// SimArena::shed() calls this between retry attempts of a cell that died
+  /// of memory pressure — the freelists are the one part of the carried
+  /// storage the allocator cannot reclaim on its own.
+  void trim();
+
  private:
   /// Frames are bucketed at kGranularity steps up to kMaxPooledBytes; larger
   /// (or pool-less) allocations bypass the freelists.

@@ -166,10 +166,12 @@ std::uint64_t Engine::run(SimTime until) {
   // its events were already popped and precede everything in the heap, so
   // they dispatch first regardless of `until`.
   while (batch_pos_ < batch_.size()) {
+    check_wall_deadline();
     dispatch(batch_[batch_pos_++]);
     ++count;
   }
   while (!keys_.empty() && key_when(keys_.front()) <= until) {
+    check_wall_deadline();
     const Entry entry = pop_min();
     const SimTime when = key_when(entry.key);
     if (keys_.empty() || key_when(keys_.front()) != when) {
@@ -224,6 +226,8 @@ void Engine::reset() {
   next_seq_ = 0;
   executed_ = 0;
   peak_queued_ = 0;
+  has_wall_deadline_ = false;
+  deadline_stride_ = 0;
 }
 
 void Engine::reserve(std::size_t events, std::size_t closures) {

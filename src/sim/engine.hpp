@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -9,6 +11,15 @@
 #include "sim/time.hpp"
 
 namespace dfly {
+
+/// Thrown by Engine::run() when the cooperative wall-clock deadline set with
+/// set_wall_deadline() expires. Campaign drivers (core/plan.hpp) catch this
+/// to abandon a hung cell and record it as a timeout instead of waiting on it
+/// forever; the engine is left in a consistent (tear-down-able) state.
+class WallDeadlineExceeded : public std::runtime_error {
+ public:
+  WallDeadlineExceeded() : std::runtime_error("simulation wall-clock deadline exceeded") {}
+};
 
 /// Deterministic sequential discrete-event engine.
 ///
@@ -110,6 +121,28 @@ class Engine {
   /// allocates from schedule_at/call_at.
   void reserve(std::size_t events, std::size_t closures = 0);
 
+  /// Arm a cooperative wall-clock watchdog: run() checks the real clock every
+  /// kDeadlineStride events and throws WallDeadlineExceeded once `deadline`
+  /// has passed, so a simulation stuck in a pathological state (livelocked
+  /// protocol, runaway event chain) is abandoned in bounded real time instead
+  /// of hung on. The check costs one predictable branch per event when armed
+  /// and nothing measurable when not. clear_wall_deadline() (and reset())
+  /// disarm it.
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline) {
+    wall_deadline_ = deadline;
+    has_wall_deadline_ = true;
+    deadline_stride_ = 0;
+  }
+  void clear_wall_deadline() { has_wall_deadline_ = false; }
+  bool has_wall_deadline() const { return has_wall_deadline_; }
+
+  /// Events executed between wall-clock reads while a deadline is armed —
+  /// frequent enough that a hung cell is caught within a fraction of a
+  /// second, rare enough that steady_clock::now() never shows up in a
+  /// profile. The *first* check happens on the first event, so even a
+  /// zero-event-budget deadline fires promptly.
+  static constexpr std::uint32_t kDeadlineStride = 4096;
+
   /// Closures allocated by call_at/call_in that have not fired yet
   /// (test hook for the reclamation guarantee).
   std::size_t live_closures() const { return live_closures_; }
@@ -157,6 +190,17 @@ class Engine {
   void dispatch(const Entry& entry);
   void release_closure(std::uint32_t slot);
 
+  /// One-per-event watchdog probe: counts down kDeadlineStride events, then
+  /// reads the real clock and throws WallDeadlineExceeded when it has passed
+  /// the armed deadline. The countdown starts at 0 so the very first event
+  /// after arming performs a check.
+  void check_wall_deadline() {
+    if (!has_wall_deadline_) return;
+    if (deadline_stride_-- != 0) return;
+    deadline_stride_ = kDeadlineStride;
+    if (std::chrono::steady_clock::now() >= wall_deadline_) throw WallDeadlineExceeded();
+  }
+
   // Index-based 4-ary min-heap on (when, seq); keys_ and payloads_ are
   // parallel arrays moved in lockstep by the sift routines, with capacity
   // growth kept synchronised by push().
@@ -174,6 +218,10 @@ class Engine {
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
   std::size_t peak_queued_{0};
+  // Cooperative wall-clock watchdog (see set_wall_deadline()).
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  std::uint32_t deadline_stride_{0};
+  bool has_wall_deadline_{false};
 };
 
 }  // namespace dfly

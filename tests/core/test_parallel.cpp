@@ -70,6 +70,54 @@ TEST(ParallelRunner, PropagatesTheFirstException) {
                std::runtime_error);
 }
 
+TEST(ParallelRunner, CollectModeAttemptsEveryIndexAndRecordsEachFailure) {
+  // errors != nullptr: no early stop, no rethrow — every index runs, each
+  // worker's failure count and first message land in the WorkerErrors.
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& hit : hits) hit = 0;
+  WorkerErrors errors;
+  ParallelRunner(4).run_indexed(
+      hits.size(),
+      [&](std::size_t i) {
+        ++hits[i];
+        if (i % 7 == 3) throw std::runtime_error("index " + std::to_string(i));
+      },
+      &errors);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);  // nothing skipped
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    if (i % 7 == 3) ++expected;
+  }
+  EXPECT_EQ(errors.total(), expected);
+  EXPECT_TRUE(errors.any());
+  EXPECT_NE(errors.summary().find("failure"), std::string::npos);
+}
+
+TEST(ParallelRunner, CollectModeSequentialKeepsGoingAndKeepsTheFirstMessage) {
+  WorkerErrors errors;
+  int calls = 0;
+  ParallelRunner(1).run_indexed(
+      8,
+      [&](std::size_t i) {
+        ++calls;
+        if (i == 2 || i == 5) throw std::runtime_error("boom at " + std::to_string(i));
+      },
+      &errors);
+  EXPECT_EQ(calls, 8);
+  EXPECT_EQ(errors.total(), 2u);
+  ASSERT_EQ(errors.workers.size(), 1u);
+  EXPECT_EQ(errors.workers[0].failures, 2u);
+  EXPECT_NE(errors.workers[0].first.find("boom at 2"), std::string::npos);
+}
+
+TEST(ParallelRunner, CollectModeIsEmptyOnACleanRun) {
+  WorkerErrors errors;
+  ParallelRunner(4).run_indexed(32, [](std::size_t) {}, &errors);
+  EXPECT_FALSE(errors.any());
+  EXPECT_EQ(errors.total(), 0u);
+  EXPECT_TRUE(errors.summary().empty());
+}
+
 TEST(ParallelRunner, ResolveJobsPrefersExplicitThenEnvThenFallback) {
   const char* saved = std::getenv("DFSIM_JOBS");
   const std::string saved_value = saved ? saved : "";

@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -45,6 +48,26 @@ std::string jsonl_of(const ExperimentPlan& plan, int jobs) {
   JsonlSink sink(out);
   run_plan(plan, sink, jobs);
   return out.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+Report tiny_experiment(std::uint64_t seed) {
+  StudyConfig config = tiny_config();
+  config.seed = seed;
+  Study study(config);
+  study.add_app("UR", 32);
+  return study.run();
 }
 
 // --- expansion ---------------------------------------------------------------
@@ -255,16 +278,325 @@ TEST(PlanSinks, FileSinksRejectUnwritablePaths) {
   EXPECT_THROW(CsvSink("/nonexistent-dir/x.csv"), std::runtime_error);
 }
 
-TEST(PlanExecution, CellExceptionsPropagate) {
+// --- fault isolation, retry, timeout -----------------------------------------
+
+TEST(PlanParallelIsolation, ThrowingCellsAreRecordedAndSurvivorsMatchFreshRuns) {
+  // Real simulation cells fuzzed with two throwing cells through ONE run_plan
+  // call (shared arenas + blueprint cache engaged): the failures are recorded
+  // and isolated, every other cell is delivered in order, and each survivor
+  // is byte-identical to a fresh fully-private run — a poisoned worker arena
+  // or a torn cache entry would break that.
   ExperimentPlan plan;
   plan.mode = PlanMode::kCustom;
-  plan.seeds = {1, 2, 3, 4};
+  plan.seeds = {1, 2, 3, 4, 5, 6};
   plan.custom = [](const PlanCell& cell) -> Report {
-    if (cell.config.seed == 3) throw std::runtime_error("cell 3 failed");
-    return Report{};
+    if (cell.config.seed == 3 || cell.config.seed == 5) {
+      throw std::runtime_error("boom seed " + std::to_string(cell.config.seed));
+    }
+    return tiny_experiment(cell.config.seed);
   };
   CollectSink sink;
-  EXPECT_THROW(run_plan(plan, sink, 2), std::runtime_error);
+  const PlanOutcome outcome = run_plan(plan, sink, 4);
+
+  EXPECT_EQ(outcome.cells, 6u);
+  EXPECT_EQ(outcome.executed, 6u);
+  EXPECT_EQ(outcome.completed, 4u);
+  EXPECT_FALSE(outcome.all_ok());
+  EXPECT_FALSE(outcome.worker_errors.any());
+  ASSERT_EQ(outcome.failures.size(), 2u);
+  EXPECT_EQ(outcome.failures[0].index, 2u);
+  EXPECT_EQ(outcome.failures[1].index, 4u);
+  EXPECT_NE(outcome.failures[0].message.find("boom seed 3"), std::string::npos);
+  EXPECT_FALSE(outcome.failures[0].timeout);
+  EXPECT_EQ(outcome.failures[0].attempts, 1);  // non-transient: no retry
+  ASSERT_EQ(sink.failures().size(), 2u);
+  EXPECT_EQ(sink.failures()[0].index, 2u);
+
+  // rethrow_any gives the legacy fail-fast surface the original exception.
+  EXPECT_THROW(outcome.rethrow_any(), std::runtime_error);
+
+  struct ToggleGuard {
+    ~ToggleGuard() {
+      set_arena_enabled(true);
+      set_blueprint_enabled(true);
+    }
+  } guard;
+  set_arena_enabled(false);
+  set_blueprint_enabled(false);
+  ASSERT_EQ(sink.reports().size(), 6u);
+  for (const std::size_t i : {0u, 1u, 3u, 5u}) {
+    EXPECT_EQ(report_to_json(sink.reports()[i]),
+              report_to_json(tiny_experiment(plan.seeds[i])))
+        << "survivor cell " << i;
+  }
+}
+
+TEST(PlanParallelIsolation, LegacyShimsStillFailFast) {
+  // The pre-isolation drivers (SeedSweep, pairwise, mixed shims) keep their
+  // contract: the first cell exception propagates out of run().
+  const SeedSweep sweep(1, 4);
+  EXPECT_THROW(sweep.run(
+                   [](std::uint64_t seed) -> Report {
+                     if (seed == 3) throw std::runtime_error("cell 3 failed");
+                     Report report;
+                     report.completed = true;
+                     return report;
+                   },
+                   2),
+               std::runtime_error);
+}
+
+TEST(PlanExecution, TransientFailuresAreRetriedUntilSuccess) {
+  std::atomic<int> attempts{0};
+  ExperimentPlan plan;
+  plan.mode = PlanMode::kCustom;
+  plan.seeds = {7};
+  plan.cell_retries = 3;
+  plan.custom = [&attempts](const PlanCell&) -> Report {
+    if (attempts.fetch_add(1) < 2) throw TransientCellError("transient pressure");
+    Report report;
+    report.completed = true;
+    return report;
+  };
+  CollectSink sink;
+  const PlanOutcome outcome = run_plan(plan, sink, 1);
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_TRUE(outcome.failures.empty());
+  EXPECT_TRUE(outcome.all_ok());
+}
+
+TEST(PlanExecution, ExhaustedRetriesRecordTheAttemptCount) {
+  std::atomic<int> attempts{0};
+  ExperimentPlan plan;
+  plan.mode = PlanMode::kCustom;
+  plan.seeds = {7};
+  plan.cell_retries = 1;
+  plan.custom = [&attempts](const PlanCell&) -> Report {
+    ++attempts;
+    throw TransientCellError("still transient");
+  };
+  CollectSink sink;
+  const PlanOutcome outcome = run_plan(plan, sink, 1);
+  EXPECT_EQ(attempts.load(), 2);  // initial try + one retry
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].attempts, 2);
+  EXPECT_FALSE(outcome.failures[0].timeout);
+  EXPECT_NE(outcome.failures[0].message.find("still transient"), std::string::npos);
+}
+
+TEST(PlanExecution, NonTransientFailuresAreNotRetried) {
+  std::atomic<int> attempts{0};
+  ExperimentPlan plan;
+  plan.mode = PlanMode::kCustom;
+  plan.seeds = {7};
+  plan.cell_retries = 5;
+  plan.custom = [&attempts](const PlanCell&) -> Report {
+    ++attempts;
+    throw std::logic_error("deterministic bug");
+  };
+  CollectSink sink;
+  const PlanOutcome outcome = run_plan(plan, sink, 1);
+  EXPECT_EQ(attempts.load(), 1);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].attempts, 1);
+}
+
+TEST(PlanExecution, WatchdogRecordsTimeoutWithoutRetry) {
+  // A real simulation cell with an already-expired wall budget: the Engine's
+  // cooperative deadline fires on the first event, the cell is recorded as a
+  // timeout, and — timeouts being final — the generous retry budget is never
+  // consumed.
+  ExperimentPlan plan = tiny_single_plan();
+  plan.cell_timeout_s = 1e-9;
+  plan.cell_retries = 5;
+  CollectSink sink;
+  const PlanOutcome outcome = run_plan(plan, sink, 1);
+  EXPECT_EQ(outcome.completed, 0u);
+  EXPECT_FALSE(outcome.all_ok());
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_TRUE(outcome.failures[0].timeout);
+  EXPECT_EQ(outcome.failures[0].attempts, 1);
+}
+
+TEST(PlanSinks, ThrowingSinkBecomesARecordedSinkErrorFailure) {
+  struct BadSink final : PlanSink {
+    int ends{0};
+    std::vector<std::size_t> delivered;
+    void cell_done(const PlanCell& cell, const Report&) override {
+      if (cell.index == 1) throw std::runtime_error("disk full");
+      delivered.push_back(cell.index);
+    }
+    void end() override { ++ends; }
+  } sink;
+  ExperimentPlan plan;
+  plan.mode = PlanMode::kCustom;
+  plan.seeds = {1, 2, 3};
+  plan.custom = [](const PlanCell&) {
+    Report report;
+    report.completed = true;
+    return report;
+  };
+  const PlanOutcome outcome = run_plan(plan, sink, 1);
+  EXPECT_EQ(sink.ends, 1);  // end() runs even after a sink write failed
+  EXPECT_EQ(sink.delivered, (std::vector<std::size_t>{0, 2}));
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].index, 1u);
+  EXPECT_TRUE(outcome.failures[0].sink_error);
+  EXPECT_NE(outcome.failures[0].message.find("disk full"), std::string::npos);
+  EXPECT_FALSE(outcome.all_ok());
+}
+
+// --- cell identity hash ------------------------------------------------------
+
+TEST(PlanCellHash, StableAcrossExpansionsAndSensitiveToCellIdentity) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.seeds = {1, 2};
+  const std::vector<PlanCell> first = plan.expand();
+  const std::vector<PlanCell> second = plan.expand();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(plan_cell_hash(first[0]), plan_cell_hash(second[0]));
+  EXPECT_EQ(plan_cell_hash(first[1]), plan_cell_hash(second[1]));
+  EXPECT_NE(plan_cell_hash(first[0]), plan_cell_hash(first[1]));
+
+  PlanCell tweaked = first[0];
+  tweaked.config.scale *= 2;
+  EXPECT_NE(plan_cell_hash(tweaked), plan_cell_hash(first[0]));
+  tweaked = first[0];
+  tweaked.index = 99;
+  EXPECT_NE(plan_cell_hash(tweaked), plan_cell_hash(first[0]));
+}
+
+// --- sharding + merge --------------------------------------------------------
+
+TEST(PlanSharding, ParseShardAcceptsKOverNAndRejectsJunk) {
+  EXPECT_EQ(parse_shard("1/1").index, 0u);
+  EXPECT_EQ(parse_shard("1/1").count, 1u);
+  EXPECT_FALSE(parse_shard("1/1").active());
+  const PlanShard shard = parse_shard("2/4");
+  EXPECT_EQ(shard.index, 1u);
+  EXPECT_EQ(shard.count, 4u);
+  EXPECT_TRUE(shard.active());
+  EXPECT_TRUE(shard.selects(1));
+  EXPECT_FALSE(shard.selects(0));
+  EXPECT_TRUE(shard.selects(5));
+  for (const char* bad : {"", "0/4", "5/4", "1/0", "a/b", "1/", "/2", "-1/2", "1/2/3"}) {
+    EXPECT_THROW(parse_shard(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(PlanParallelSharding, ShardUnionMergesByteIdenticalToFullRun) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.seeds = {1, 2, 3, 4, 5};
+  const std::string full = jsonl_of(plan, 2);
+
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> parts;
+  std::size_t total_cells = 0;
+  for (int k = 1; k <= 2; ++k) {
+    const std::string path = dir + "/dfly_shard_" + std::to_string(k) + ".jsonl";
+    JsonlSink sink(path);
+    RunPlanOptions options;
+    options.jobs = 2;
+    options.shard = parse_shard(std::to_string(k) + "/2");
+    const PlanOutcome outcome = run_plan(plan, sink, options);
+    EXPECT_TRUE(outcome.all_ok()) << "shard " << k;
+    total_cells += outcome.cells;
+    parts.push_back(path);
+  }
+  EXPECT_EQ(total_cells, 5u);  // shards partition the expansion
+
+  const std::string merged = dir + "/dfly_shard_merged.jsonl";
+  EXPECT_EQ(merge_shard_jsonl(parts, merged, nullptr), 5u);
+  EXPECT_EQ(read_file(merged), full);
+
+  // Overlapping shards are a fatal reassembly error, not a silent overwrite.
+  EXPECT_THROW(merge_shard_jsonl({parts[0], parts[0], parts[1]}, merged, nullptr),
+               std::runtime_error);
+
+  for (const std::string& path : parts) std::remove(path.c_str());
+  std::remove(merged.c_str());
+}
+
+// --- journal + resume --------------------------------------------------------
+
+TEST(PlanParallelResume, TornCrashStateResumesByteIdentical) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.seeds = {1, 2, 3, 4};
+  const std::string reference = jsonl_of(plan, 2);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl = dir + "/dfly_resume.jsonl";
+  const std::string journal = dir + "/dfly_resume.journal";
+  std::remove(jsonl.c_str());
+  std::remove(journal.c_str());
+
+  // Uninterrupted journaled run: establishes the per-cell output offsets.
+  {
+    PlanJournal log(journal);
+    JsonlSink sink(jsonl);
+    RunPlanOptions options;
+    options.jobs = 2;
+    options.journal = &log;
+    options.output_offset = [&sink] { return sink.bytes_written(); };
+    const PlanOutcome outcome = run_plan(plan, sink, options);
+    EXPECT_TRUE(outcome.all_ok());
+  }
+  const std::vector<JournalRecord> full_records = PlanJournal::recover(journal);
+  ASSERT_EQ(full_records.size(), 4u);
+  EXPECT_EQ(read_file(jsonl), reference);
+
+  // Emulate kill -9 after cell 1: the output holds cells 0-1 plus a torn
+  // prefix of cell 2's line (flushed but never journaled), and the journal
+  // holds records 0-1 plus a record torn mid-write.
+  const std::uint64_t safe = full_records[1].offset;
+  ASSERT_GE(reference.size(), safe + 29);
+  write_file(jsonl, reference.substr(0, safe) + reference.substr(safe, 29));
+  write_file(journal, PlanJournal::format(full_records[0]) + "\n" +
+                          PlanJournal::format(full_records[1]) + "\n" +
+                          "{\"cell\":2,\"ok\":tr");
+
+  // recover() repairs the journal in place; the driver then truncates the
+  // output back to the last journaled offset, cutting the orphan tail.
+  const std::vector<JournalRecord> records = PlanJournal::recover(journal);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], full_records[0]);
+  EXPECT_EQ(records[1], full_records[1]);
+  truncate_file(jsonl, records.back().offset);
+
+  PlanJournal log(journal);
+  JsonlSink sink(jsonl, /*append=*/true);
+  EXPECT_EQ(sink.bytes_written(), safe);
+  RunPlanOptions options;
+  options.jobs = 2;
+  options.journal = &log;
+  options.resume = &records;
+  options.output_offset = [&sink] { return sink.bytes_written(); };
+  const PlanOutcome outcome = run_plan(plan, sink, options);
+  EXPECT_EQ(outcome.cells, 4u);
+  EXPECT_EQ(outcome.resumed, 2u);
+  EXPECT_EQ(outcome.executed, 2u);
+  EXPECT_TRUE(outcome.all_ok());
+
+  EXPECT_EQ(read_file(jsonl), reference);
+  EXPECT_EQ(PlanJournal::recover(journal).size(), 4u);
+
+  std::remove(jsonl.c_str());
+  std::remove(journal.c_str());
+}
+
+TEST(PlanParallelResume, RefusesAJournalFromADifferentPlan) {
+  ExperimentPlan plan = tiny_single_plan();
+  plan.seeds = {1, 2};
+  JournalRecord stale;
+  stale.cell = 0;
+  stale.ok = true;
+  stale.completed = true;
+  stale.hash = 0xdeadbeefu;  // no expansion of this plan hashes to this
+  const std::vector<JournalRecord> records{stale};
+  RunPlanOptions options;
+  options.resume = &records;
+  CollectSink sink;
+  EXPECT_THROW(run_plan(plan, sink, options), std::runtime_error);
 }
 
 TEST(PlanExecution, CustomCellsSeeTheResolvedConfig) {
@@ -286,14 +618,6 @@ TEST(PlanExecution, CustomCellsSeeTheResolvedConfig) {
 }
 
 // --- legacy shims are byte-identical to hand-rolled references ---------------
-
-Report tiny_experiment(std::uint64_t seed) {
-  StudyConfig config = tiny_config();
-  config.seed = seed;
-  Study study(config);
-  study.add_app("UR", 32);
-  return study.run();
-}
 
 TEST(PlanShimParallelEquivalence, SeedSweepMatchesDirectParallelRunner) {
   const SeedSweep sweep(42, 5);
@@ -454,6 +778,26 @@ TEST(PlanFromConfig, ParsesSingleModeJobLists) {
   ASSERT_EQ(plan.jobs.size(), 2u);
   EXPECT_EQ(plan.jobs[0], (PlanJob{"FFT3D", 528}));
   EXPECT_EQ(plan.jobs[1], (PlanJob{"Halo3D", 0}));
+}
+
+TEST(PlanFromConfig, ParsesRobustnessKnobs) {
+  const ExperimentPlan plan = plan_from_config(ConfigFile::parse(
+      "plan.mode = single\nplan.jobs = UR\nplan.cell_timeout_s = 900\nplan.cell_retries = 4\n"));
+  EXPECT_EQ(plan.cell_timeout_s, 900.0);
+  EXPECT_EQ(plan.cell_retries, 4);
+
+  // Defaults when unset: no watchdog, two transient retries.
+  const ExperimentPlan defaults =
+      plan_from_config(ConfigFile::parse("plan.mode = single\nplan.jobs = UR\n"));
+  EXPECT_EQ(defaults.cell_timeout_s, 0.0);
+  EXPECT_EQ(defaults.cell_retries, 2);
+
+  EXPECT_THROW(plan_from_config(ConfigFile::parse(
+                   "plan.mode = single\nplan.jobs = UR\nplan.cell_retries = -1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(plan_from_config(ConfigFile::parse(
+                   "plan.mode = single\nplan.jobs = UR\nplan.cell_timeout_s = -2\n")),
+               std::invalid_argument);
 }
 
 TEST(PlanFromConfig, ErrorsNameTheOffendingLine) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <functional>
 #include <queue>
 #include <vector>
@@ -74,6 +75,38 @@ TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
   EXPECT_EQ(engine.queued(), 1u);
   engine.run(21);
   EXPECT_EQ(recorder.log.size(), 3u);
+}
+
+TEST(Engine, WallDeadlineInThePastFiresBeforeTheFirstEvent) {
+  Engine engine;
+  Recorder recorder;
+  engine.schedule_at(10, recorder, 1);
+  engine.set_wall_deadline(std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_TRUE(engine.has_wall_deadline());
+  EXPECT_THROW(engine.run(), WallDeadlineExceeded);
+  // The check precedes dispatch, so the event is still queued...
+  EXPECT_TRUE(recorder.log.empty());
+  EXPECT_EQ(engine.queued(), 1u);
+  // ...and a disarmed engine finishes the run normally.
+  engine.clear_wall_deadline();
+  EXPECT_FALSE(engine.has_wall_deadline());
+  engine.run();
+  ASSERT_EQ(recorder.log.size(), 1u);
+  EXPECT_EQ(recorder.log[0].kind, 1u);
+}
+
+TEST(Engine, WallDeadlineAbandonsARunawayEventChain) {
+  // A self-rescheduling chain never drains the queue: without the watchdog
+  // run() would spin forever. With it armed the run is abandoned in bounded
+  // real time and the engine stays tear-down-able.
+  Engine engine;
+  struct Chain final : Component {
+    void handle(Engine& engine, const Event&) override { engine.schedule_in(1, *this, 0); }
+  } chain;
+  engine.schedule_at(0, chain, 0);
+  engine.set_wall_deadline(std::chrono::steady_clock::now() + std::chrono::milliseconds(10));
+  EXPECT_THROW(engine.run(), WallDeadlineExceeded);
+  EXPECT_GT(engine.executed(), 0u);
 }
 
 TEST(Engine, StepExecutesExactlyOneEvent) {

@@ -16,11 +16,24 @@
 //   # record a trace, write the IO-module CSV set
 //   dflysim --app=LU:140 --trace=0:lu.csv --csv=run1
 //
-// Exit status: 0 when every rank of every job completed, 1 otherwise.
+//   # crash-safe campaign: journal every finished cell, resume after kill -9
+//   dflysim --plan=fig4.cfg --jsonl=fig4.jsonl --journal=fig4.journal
+//   dflysim --plan=fig4.cfg --jsonl=fig4.jsonl --journal=fig4.journal --resume
+//
+//   # shard a campaign across hosts, then reassemble byte-identically
+//   dflysim --plan=fig4.cfg --shard=1/2 --jsonl=a.jsonl   # host A
+//   dflysim --plan=fig4.cfg --shard=2/2 --jsonl=b.jsonl   # host B
+//   dflysim --merge-shards=fig4.jsonl a.jsonl b.jsonl
+//
+// Exit status (see docs/ROBUSTNESS.md):
+//   0  success — every cell (or the single run) simulated and completed
+//   1  usage error, or a fatal error before/outside the run loop
+//   2  the run finished, but with recorded failures or incomplete cells
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -31,6 +44,7 @@
 #include "core/arena.hpp"
 #include "core/blueprint.hpp"
 #include "core/config_file.hpp"
+#include "core/journal.hpp"
 #include "core/json_report.hpp"
 #include "core/plan.hpp"
 #include "core/study.hpp"
@@ -63,6 +77,12 @@ struct CliOptions {
   std::vector<std::pair<std::string, std::string>> sets;    ///< --set=KEY=VALUE
   std::string jsonl_path;                                   ///< "-" = stdout
   std::string plan_csv_path;                                ///< --plan-csv=FILE
+  // Fault tolerance (docs/ROBUSTNESS.md):
+  std::string journal_path;  ///< --journal=FILE: fsync'd per-cell journal
+  bool resume{false};        ///< --resume: skip journaled cells, continue
+  std::string shard;         ///< --shard=K/N: run a deterministic slice
+  std::string merge_out;     ///< --merge-shards=OUT: reassemble shard JSONLs
+  std::vector<std::string> merge_inputs;  ///< positional inputs for the merge
   /// Single-run/sweep flags seen on the command line; a --plan run rejects
   /// them instead of silently ignoring them (the plan file owns the config).
   std::vector<std::string> single_run_flags;
@@ -79,7 +99,19 @@ struct CliOptions {
       "                       built (repeatable; e.g. --set=plan.seeds=1..4)\n"
       "  --jsonl=FILE         stream one JSON object per finished campaign cell\n"
       "                       ('-' = stdout; identical bytes for any --jobs)\n"
-      "  --plan-csv=FILE      also write the campaign's per-app CSV table\n"
+      "  --plan-csv=FILE      also write the campaign's per-app CSV table (written\n"
+      "                       to FILE.tmp and atomically renamed when complete)\n"
+      "  --journal=FILE       durably record every finished campaign cell (one\n"
+      "                       fsync'd JSON line each) so the campaign survives\n"
+      "                       crashes; see --resume and docs/ROBUSTNESS.md\n"
+      "  --resume             continue a journaled campaign: skip recorded cells,\n"
+      "                       truncate any torn output tail, and produce output\n"
+      "                       byte-identical to an uninterrupted run (needs\n"
+      "                       --journal=FILE and --jsonl=FILE, not '-')\n"
+      "  --shard=K/N          run only cells with index %% N == K-1 (1 <= K <= N);\n"
+      "                       N invocations partition the campaign deterministically\n"
+      "  --merge-shards=OUT   reassemble per-shard --jsonl outputs into one\n"
+      "                       campaign file: dflysim --merge-shards=OUT A B ...\n"
       "  --app=NAME:NODES     add an application (repeatable; NODES=0 fills the machine)\n"
       "  --routing=NAME       MIN|VALg|VALn|UGALg|UGALn|PAR|FlowUGAL|AppAware|Q-adp\n"
       "  --placement=NAME     random|contiguous|linear\n"
@@ -104,7 +136,10 @@ struct CliOptions {
       "  --list-apps          print the nine application names and exit\n"
       "  --list-routings      print every routing algorithm and exit\n"
       "  --list-placements    print every placement policy and exit\n"
-      "  --help               this text\n",
+      "  --help               this text\n"
+      "exit status: 0 = success; 1 = usage/fatal error; 2 = ran to the end but\n"
+      "some cells failed or did not complete (campaign failures are recorded,\n"
+      "not fatal — see docs/ROBUSTNESS.md)\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
@@ -197,6 +232,16 @@ CliOptions parse_cli(int argc, char** argv) {
       options.jsonl_path = value_of(arg);
     } else if (std::strncmp(arg, "--plan-csv=", 11) == 0) {
       options.plan_csv_path = value_of(arg);
+    } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+      options.journal_path = value_of(arg);
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+      options.shard = value_of(arg);
+    } else if (std::strncmp(arg, "--merge-shards=", 15) == 0) {
+      options.merge_out = value_of(arg);
+    } else if (arg[0] != '-') {
+      options.merge_inputs.emplace_back(arg);  // positional: shard inputs
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       single_run("--json");
       options.json_path = value_of(arg);
@@ -215,8 +260,25 @@ CliOptions parse_cli(int argc, char** argv) {
       options.trace_path = value.substr(colon + 1);
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
-      usage(2);
+      usage(1);
     }
+  }
+  if (!options.merge_out.empty()) {
+    if (!options.plan_path.empty() || !options.apps.empty()) {
+      std::fputs("--merge-shards is a standalone mode; it does not combine with "
+                 "--plan or --app\n\n",
+                 stderr);
+      usage(1);
+    }
+    if (options.merge_inputs.empty()) {
+      std::fputs("--merge-shards needs at least one input JSONL file\n\n", stderr);
+      usage(1);
+    }
+    return options;
+  }
+  if (!options.merge_inputs.empty()) {
+    std::fprintf(stderr, "unexpected argument: %s\n\n", options.merge_inputs.front().c_str());
+    usage(1);
   }
   if (!options.plan_path.empty()) {
     if (!options.single_run_flags.empty()) {
@@ -229,17 +291,38 @@ CliOptions parse_cli(int argc, char** argv) {
                    "--plan describes the whole campaign; it does not combine with %s "
                    "(use --set=KEY=VALUE to override plan-file keys)\n\n",
                    flags.c_str());
-      usage(2);
+      usage(1);
+    }
+    if (options.resume) {
+      if (options.journal_path.empty()) {
+        std::fputs("--resume needs --journal=FILE (the journal to replay)\n\n", stderr);
+        usage(1);
+      }
+      if (options.jsonl_path.empty() || options.jsonl_path == "-") {
+        std::fputs("--resume needs --jsonl=FILE (a real file, not '-'): the output is\n"
+                   "truncated to the last journaled offset and continued in place\n\n",
+                   stderr);
+        usage(1);
+      }
+      if (!options.plan_csv_path.empty()) {
+        std::fputs("--resume does not combine with --plan-csv (a CSV cannot be resumed "
+                   "mid-campaign; re-derive it from the merged JSONL)\n\n",
+                   stderr);
+        usage(1);
+      }
     }
     return options;
   }
-  if (!options.sets.empty() || !options.jsonl_path.empty() || !options.plan_csv_path.empty()) {
-    std::fputs("--set/--jsonl/--plan-csv only apply to a --plan campaign\n\n", stderr);
-    usage(2);
+  if (!options.sets.empty() || !options.jsonl_path.empty() || !options.plan_csv_path.empty() ||
+      !options.journal_path.empty() || options.resume || !options.shard.empty()) {
+    std::fputs("--set/--jsonl/--plan-csv/--journal/--resume/--shard only apply to a "
+               "--plan campaign\n\n",
+               stderr);
+    usage(1);
   }
   if (options.apps.empty()) {
     std::fputs("no --app given\n\n", stderr);
-    usage(2);
+    usage(1);
   }
   return options;
 }
@@ -295,6 +378,16 @@ class ProgressSink final : public dfly::PlanSink {
     std::fflush(out_);
   }
 
+  void cell_failed(const PlanCell& cell, const CellFailure& failure) override {
+    const char* why = failure.timeout ? " (wall-clock timeout)"
+                      : failure.sink_error ? " (output write failed)"
+                                           : "";
+    std::fprintf(out_, "[%zu/%zu] cell %zu FAILED%s after %d attempt%s: %s\n", cell.index + 1,
+                 total_, cell.index, why, failure.attempts, failure.attempts == 1 ? "" : "s",
+                 failure.message.c_str());
+    std::fflush(out_);
+  }
+
  private:
   std::FILE* out_;
   std::size_t total_{0};
@@ -305,13 +398,43 @@ int run_campaign(const CliOptions& options) {
   for (const auto& [key, value] : options.sets) file.set(key, value);
   const ExperimentPlan plan = plan_from_config(file);
 
+  RunPlanOptions run_options;
+  run_options.jobs = options.jobs;
+  if (!options.shard.empty()) run_options.shard = parse_shard(options.shard);
+
+  // Journal / resume (docs/ROBUSTNESS.md). Order matters: recover the
+  // journal (repairing any torn tail), truncate the output back to the last
+  // journaled byte, and only then open the sink in append mode.
+  std::vector<JournalRecord> resume_records;
+  if (options.resume) {
+    resume_records = PlanJournal::recover(options.journal_path);
+    const std::uint64_t offset = resume_records.empty() ? 0 : resume_records.back().offset;
+    truncate_file(options.jsonl_path, offset);
+    run_options.resume = &resume_records;
+    std::fprintf(stderr, "resume: %zu journaled cell(s), output truncated to %llu bytes\n",
+                 resume_records.size(), static_cast<unsigned long long>(offset));
+  } else if (!options.journal_path.empty()) {
+    // A fresh campaign must not silently append to a previous journal: the
+    // cell indices would collide and a later --resume would skip work.
+    std::ifstream existing(options.journal_path, std::ios::binary | std::ios::ate);
+    if (existing && existing.tellg() > 0) {
+      std::fprintf(stderr,
+                   "dflysim: journal %s already exists and is non-empty; pass --resume to "
+                   "continue that campaign, or remove the journal (and its output) to start "
+                   "over\n",
+                   options.journal_path.c_str());
+      return 1;
+    }
+  }
+
   TeeSink sinks;
   ProgressSink progress(options.jsonl_path == "-" ? stderr : stdout);
   sinks.add(&progress);
   std::unique_ptr<JsonlSink> jsonl;
   if (!options.jsonl_path.empty()) {
-    jsonl = options.jsonl_path == "-" ? std::make_unique<JsonlSink>(std::cout)
-                                      : std::make_unique<JsonlSink>(options.jsonl_path);
+    jsonl = options.jsonl_path == "-"
+                ? std::make_unique<JsonlSink>(std::cout)
+                : std::make_unique<JsonlSink>(options.jsonl_path, /*append=*/options.resume);
     sinks.add(jsonl.get());
   }
   std::unique_ptr<CsvSink> csv;
@@ -320,16 +443,48 @@ int run_campaign(const CliOptions& options) {
     sinks.add(csv.get());
   }
 
-  const PlanOutcome outcome = run_plan(plan, sinks, options.jobs);
-  std::fprintf(options.jsonl_path == "-" ? stderr : stdout, "%zu/%zu cells completed\n",
-               outcome.completed, outcome.cells);
+  std::unique_ptr<PlanJournal> journal;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<PlanJournal>(options.journal_path);
+    run_options.journal = journal.get();
+    if (jsonl != nullptr && options.jsonl_path != "-") {
+      JsonlSink* output = jsonl.get();
+      run_options.output_offset = [output] { return output->bytes_written(); };
+    }
+  }
+
+  const PlanOutcome outcome = run_plan(plan, sinks, run_options);
+  std::FILE* info = options.jsonl_path == "-" ? stderr : stdout;
+  std::fprintf(info, "%zu/%zu cells completed", outcome.completed, outcome.cells);
+  if (outcome.resumed > 0) std::fprintf(info, " (%zu resumed from journal)", outcome.resumed);
+  std::fputc('\n', info);
+  if (!outcome.failures.empty()) {
+    std::fprintf(stderr, "%zu cell(s) failed:\n", outcome.failures.size());
+    for (const CellFailure& failure : outcome.failures) {
+      std::fprintf(stderr, "  cell %zu:%s %s (attempts=%d)\n", failure.index,
+                   failure.timeout ? " [timeout]" : failure.sink_error ? " [sink]" : "",
+                   failure.message.c_str(), failure.attempts);
+    }
+  }
+  if (outcome.worker_errors.any()) {
+    std::fprintf(stderr, "infrastructure errors: %s\n",
+                 outcome.worker_errors.summary().c_str());
+  }
   if (!options.jsonl_path.empty() && options.jsonl_path != "-") {
     std::fprintf(stderr, "wrote %s\n", options.jsonl_path.c_str());
   }
   if (!options.plan_csv_path.empty()) {
     std::fprintf(stderr, "wrote %s\n", options.plan_csv_path.c_str());
   }
-  return outcome.completed == outcome.cells ? 0 : 1;
+  return outcome.all_ok() ? 0 : 2;
+}
+
+int run_merge(const CliOptions& options) {
+  const std::size_t lines = merge_shard_jsonl(options.merge_inputs, options.merge_out,
+                                              &std::cerr);
+  std::fprintf(stderr, "merged %zu cell line(s) from %zu shard file(s) into %s\n", lines,
+               options.merge_inputs.size(), options.merge_out.c_str());
+  return 0;
 }
 
 void print_table(const Report& report) {
@@ -357,6 +512,7 @@ void print_table(const Report& report) {
 int main(int argc, char** argv) {
   try {
     const CliOptions options = parse_cli(argc, argv);
+    if (!options.merge_out.empty()) return run_merge(options);
     if (!options.plan_path.empty()) return run_campaign(options);
     if (options.sweep <= 1) {
       const Report report = run_once(options, options.config.seed, /*side_outputs=*/true);
@@ -370,7 +526,7 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "wrote %s\n", options.json_path.c_str());
         }
       }
-      return report.completed ? 0 : 1;
+      return report.completed ? 0 : 2;
     }
     // Multi-seed sweep: the cells shard across --jobs workers (results are
     // identical for any worker count); aggregate, print, optionally dump JSON.
@@ -394,9 +550,9 @@ int main(int argc, char** argv) {
         save_json(options.json_path, json);
       }
     }
-    return summary.completed_runs == summary.runs ? 0 : 1;
+    return summary.completed_runs == summary.runs ? 0 : 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "dflysim: %s\n", error.what());
-    return 2;
+    return 1;
   }
 }
