@@ -3,10 +3,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "core/arena.hpp"
@@ -19,8 +22,21 @@ ParallelRunner::ParallelRunner(int jobs) : jobs_(resolve_jobs(jobs, 1)) {}
 int ParallelRunner::resolve_jobs(int requested, int fallback) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("DFSIM_JOBS")) {
-    const int jobs = std::atoi(env);
-    if (jobs > 0) return jobs;
+    // Strict full-string parse. std::atoi silently turned "4x" into 4 jobs
+    // and "abc" into the fallback — a typo'd environment either ran the
+    // wrong worker count or ignored the user's intent without a word.
+    char* end = nullptr;
+    errno = 0;
+    const long jobs = std::strtol(env, &end, 10);
+    // strtol tolerates leading whitespace and a '+'; a *strict* value is
+    // digits only, so require the first character to be one.
+    const bool starts_with_digit = env[0] >= '0' && env[0] <= '9';
+    if (!starts_with_digit || end == env || *end != '\0' || errno == ERANGE || jobs < 1 ||
+        jobs > INT_MAX) {
+      throw std::invalid_argument("DFSIM_JOBS must be a positive integer, got '" +
+                                  std::string(env) + "'");
+    }
+    return static_cast<int>(jobs);
   }
   return fallback < 1 ? 1 : fallback;
 }
@@ -184,6 +200,81 @@ void ParallelRunner::run_indexed(std::size_t n, const std::function<void(std::si
     return;  // diagnostic mode: the caller owns failure policy, no rethrow
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+// --- SubmissionQueue ---------------------------------------------------------
+
+SubmissionQueue::SubmissionQueue(int jobs, int fallback)
+    : jobs_(ParallelRunner::resolve_jobs(jobs, fallback)),
+      cache_(std::make_unique<BlueprintCache>()) {
+  workers_.reserve(static_cast<std::size_t>(jobs_));
+  for (int id = 0; id < jobs_; ++id) {
+    workers_.emplace_back(&SubmissionQueue::worker_main, this, static_cast<std::size_t>(id));
+  }
+}
+
+SubmissionQueue::~SubmissionQueue() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void SubmissionQueue::worker_main(std::size_t id) {
+  // Mirrors ParallelRunner's per-worker setup, but for the pool's whole
+  // lifetime: the arena carries hot storage and the shared cache carries
+  // blueprints from campaign to campaign, not just cell to cell.
+  SimArena arena;
+  ScopedArenaBinding binding(arena_enabled() ? &arena : nullptr);
+  ScopedBlueprintCacheBinding cache_binding(blueprint_enabled() ? cache_.get() : nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    Batch* batch = pending_.front();
+    const std::size_t i = batch->next++;
+    if (batch->next >= batch->n) pending_.pop_front();  // fully claimed
+    lock.unlock();
+    bool threw = false;
+    std::string message;
+    try {
+      (*batch->fn)(i);
+    } catch (...) {
+      threw = true;
+      message = current_exception_message();
+    }
+    lock.lock();
+    if (threw) {
+      WorkerErrors::Worker& me = batch->errors.workers[id];
+      if (me.failures++ == 0) me.first = std::move(message);
+    }
+    if (--batch->remaining == 0) batch->done_cv.notify_all();
+  }
+}
+
+void SubmissionQueue::run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                                  WorkerErrors* errors) {
+  if (errors != nullptr) {
+    errors->workers.clear();
+    errors->workers.resize(static_cast<std::size_t>(jobs_));
+  }
+  if (n == 0) return;
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  batch.remaining = n;
+  batch.errors.workers.resize(static_cast<std::size_t>(jobs_));
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) throw std::runtime_error("SubmissionQueue: pool is shutting down");
+  pending_.push_back(&batch);
+  work_cv_.notify_all();
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (errors != nullptr) *errors = std::move(batch.errors);
 }
 
 }  // namespace dfly

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 /// Parallel experiment execution.
@@ -56,8 +61,11 @@ class ParallelRunner {
 
   int jobs() const { return jobs_; }
 
-  /// `requested` > 0 wins; else DFSIM_JOBS (when set to an integer >= 1);
-  /// else `fallback` (clamped to >= 1).
+  /// `requested` > 0 wins; else DFSIM_JOBS (which must be a positive
+  /// integer, parsed strictly over the whole string — "4x", "abc", "" and
+  /// "0" throw std::invalid_argument with one clear line, exactly like a bad
+  /// config value, instead of being silently truncated or ignored); else
+  /// `fallback` (clamped to >= 1).
   static int resolve_jobs(int requested, int fallback = 1);
 
   /// Per-cell peak-RSS budget used by memory_jobs_cap(): the measured
@@ -117,6 +125,74 @@ class ParallelRunner {
 
  private:
   int jobs_;
+};
+
+class BlueprintCache;
+
+/// Persistent worker pool with a FIFO submission queue — the daemon-mode
+/// (`dflysim --serve`) counterpart of ParallelRunner.
+///
+/// A ParallelRunner spins its workers up per call, so each campaign starts
+/// with cold arenas and an empty BlueprintCache. A SubmissionQueue instead
+/// keeps one process-wide pool alive for its whole lifetime: every worker
+/// binds a persistent SimArena once, all workers share ONE BlueprintCache,
+/// and independent run_indexed() calls — one per campaign, possibly from
+/// many threads at once — multiplex their cells onto the same warm workers.
+/// The second campaign of a given shape therefore starts with hot storage
+/// and a prebuilt blueprint instead of paying setup cost again.
+///
+/// Scheduling is FIFO across submissions and index-ordered within one:
+/// workers drain the oldest submission's unclaimed cells first, so an
+/// earlier campaign is never starved by a later one. Cell -> worker
+/// assignment is as output-neutral as in ParallelRunner (arena reuse and
+/// blueprint sharing never change bytes), so results are identical to a
+/// private run.
+class SubmissionQueue {
+ public:
+  /// `jobs` resolves exactly like ParallelRunner: > 0 exact, else
+  /// DFSIM_JOBS, else `fallback` workers. Workers start immediately and run
+  /// until destruction.
+  explicit SubmissionQueue(int jobs = 0, int fallback = 1);
+  /// Drains nothing: callers must not destroy the queue while a
+  /// run_indexed() call is in flight. Joins all workers.
+  ~SubmissionQueue();
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// The pool-wide blueprint cache every worker reads through; its stats
+  /// prove cross-campaign sharing (the daemon's `stats` op reports them).
+  BlueprintCache& cache() { return *cache_; }
+
+  /// Invoke fn(0) .. fn(n-1) on the pool and block until every call
+  /// finished. Thread-safe: concurrent calls queue FIFO and interleave on
+  /// the shared workers. Exception semantics match ParallelRunner's collect
+  /// mode — nothing is rethrown, every cell is attempted, and per-worker
+  /// failure diagnostics land in *errors when provided (entries are indexed
+  /// by pool worker id).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   WorkerErrors* errors = nullptr);
+
+ private:
+  struct Batch {
+    std::size_t n{0};
+    const std::function<void(std::size_t)>* fn{nullptr};
+    std::size_t next{0};       ///< first unclaimed index
+    std::size_t remaining{0};  ///< cells not yet finished
+    WorkerErrors errors;       ///< per pool worker, guarded by queue mutex
+    std::condition_variable done_cv;
+  };
+
+  void worker_main(std::size_t id);
+
+  int jobs_;
+  std::unique_ptr<BlueprintCache> cache_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Batch*> pending_;  ///< batches with unclaimed cells, FIFO
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace dfly

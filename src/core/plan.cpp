@@ -525,16 +525,29 @@ PlanOutcome run_plan(const ExperimentPlan& plan, PlanSink& sink,
     }
   };
 
-  ParallelRunner(options.jobs).run_indexed(
-      work.size(),
-      [&](std::size_t k) {
-        CellResult result = run_cell_isolated(plan, cells[work[k]]);
-        const std::lock_guard<std::mutex> lock(emit_mutex);
-        slots[k] = std::move(result);
-        ready[k] = 1;
-        while (next_emit < work.size() && ready[next_emit]) emit(next_emit++);
-      },
-      &outcome.worker_errors);
+  const auto run_one = [&](std::size_t k) {
+    CellResult result;
+    if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+      // Cancelled before this cell started: record it without simulating.
+      // In-flight cells finish normally, so a cancel never tears a cell.
+      result.failure.index = cells[work[k]].index;
+      result.failure.message = "campaign cancelled";
+      result.failure.attempts = 0;
+    } else {
+      result = run_cell_isolated(plan, cells[work[k]]);
+    }
+    const std::lock_guard<std::mutex> lock(emit_mutex);
+    slots[k] = std::move(result);
+    ready[k] = 1;
+    while (next_emit < work.size() && ready[next_emit]) emit(next_emit++);
+  };
+  if (options.queue != nullptr) {
+    // Daemon mode: multiplex this campaign's cells onto the shared warm pool
+    // (per-worker arenas and the cross-campaign BlueprintCache stay hot).
+    options.queue->run_indexed(work.size(), run_one, &outcome.worker_errors);
+  } else {
+    ParallelRunner(options.jobs).run_indexed(work.size(), run_one, &outcome.worker_errors);
+  }
 
   sink.end();
 
@@ -599,7 +612,7 @@ JsonlSink::JsonlSink(const std::string& path, bool append)
   }
 }
 
-void JsonlSink::cell_done(const PlanCell& cell, const Report& report) {
+std::string plan_cell_jsonl(const PlanCell& cell, const Report& report) {
   JsonWriter w;
   w.begin_object();
   w.key("cell").value(static_cast<std::uint64_t>(cell.index));
@@ -622,12 +635,17 @@ void JsonlSink::cell_done(const PlanCell& cell, const Report& report) {
   w.key("report");
   write_report(w, report);
   w.end_object();
-  *out_ << w.str() << '\n' << std::flush;
+  return w.str();
+}
+
+void JsonlSink::cell_done(const PlanCell& cell, const Report& report) {
+  const std::string line = plan_cell_jsonl(cell, report);
+  *out_ << line << '\n' << std::flush;
   if (!out_->good()) {
     throw std::runtime_error("JsonlSink: write failed" +
                              (path_.empty() ? std::string() : " on " + path_));
   }
-  bytes_ += w.str().size() + 1;
+  bytes_ += line.size() + 1;
 }
 
 CsvSink::CsvSink(std::ostream& out) : out_(&out) {}
@@ -771,6 +789,14 @@ std::vector<PlanJob> parse_plan_jobs(const ConfigFile& file, const std::string& 
       } catch (const std::exception&) {
         throw std::invalid_argument("ConfigFile: " + file.where(key) + ": job '" + item +
                                     "' wants APP or APP:NODES");
+      }
+      // An explicit node count must be a real allocation: "fft3d:-3" and
+      // "fft3d:0" used to slip through here and either throw much later
+      // (without the offending line) or silently mean "fill the machine".
+      if (job.nodes < 1) {
+        throw std::invalid_argument("ConfigFile: " + file.where(key) + ": job '" + item +
+                                    "' wants a node count >= 1 (write just '" + job.app +
+                                    "' to fill the machine)");
       }
     }
     jobs.push_back(std::move(job));

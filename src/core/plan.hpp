@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <fstream>
@@ -218,6 +219,14 @@ class CollectSink final : public PlanSink {
   std::vector<CellFailure> failures_;
 };
 
+/// One campaign-output JSON line for a finished cell (no trailing newline).
+/// This is the single serialisation both output surfaces share: JsonlSink
+/// writes exactly these bytes to its file/stream, and the daemon
+/// (src/serve/) streams exactly these bytes to a submitting client — so a
+/// socket-submitted campaign is byte-identical to `--plan=FILE --jsonl=-`
+/// by construction, not by parallel maintenance of two formatters.
+std::string plan_cell_jsonl(const PlanCell& cell, const Report& report);
+
 /// JSON Lines: one self-contained object per cell —
 ///   {"cell":N,"kind":...,"variant":...,"routing":...,"placement":...,
 ///    "seed":N,"scale":N,"target":...,"background":...,"jobs":[...],
@@ -354,6 +363,16 @@ struct RunPlanOptions {
   /// emitted (JsonlSink::bytes_written bound by the CLI). Recorded in each
   /// journal record as the resume truncation point; unset records offset 0.
   std::function<std::uint64_t()> output_offset;
+  /// Cooperative cancellation (daemon mode: client disconnect / `cancel`
+  /// op). Once it reads true, cells not yet started are recorded as
+  /// "campaign cancelled" failures without simulating (attempts = 0);
+  /// in-flight cells finish and emit normally. Not owned; may be null.
+  const std::atomic<bool>* cancel{nullptr};
+  /// When set, cells execute on this shared persistent pool (daemon mode:
+  /// all campaigns multiplex onto one warm SubmissionQueue, sharing worker
+  /// arenas and one BlueprintCache) instead of a per-call ParallelRunner;
+  /// `jobs` is then ignored. Not owned.
+  SubmissionQueue* queue{nullptr};
 };
 
 /// THE campaign entry point: expand the plan, shard the cells across
@@ -392,7 +411,8 @@ std::size_t merge_shard_jsonl(const std::vector<std::string>& inputs,
 ///   plan.placements  = random,contiguous
 ///   plan.scales      = 1,8
 ///   plan.seeds       = 42..46,100              (ranges are inclusive)
-///   plan.jobs        = FFT3D:528,Halo3D:0      (mode single; 0 = fill)
+///   plan.jobs        = FFT3D:528,Halo3D        (mode single; an explicit
+///                      NODES must be >= 1, a bare APP fills the machine)
 ///   plan.targets     = FFT3D,LU                (mode pairwise)
 ///   plan.backgrounds = None,UR,Halo3D          (mode pairwise)
 ///   plan.solos       = true                    (mode mixed)

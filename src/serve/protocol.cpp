@@ -1,0 +1,415 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/json_report.hpp"
+
+namespace dfly::serve {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader over exactly the shapes the
+/// protocol uses: one object of string keys whose values are strings,
+/// objects-of-strings, or (ignored) scalars. Kept deliberately smaller than
+/// a general JSON library — unknown structure is an error, not a tree.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("request: " + why + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // The protocol is byte-oriented (plan files are ASCII/UTF-8 passed
+          // through verbatim); only control characters are \u-escaped.
+          if (value > 0xff) fail("\\u escape above 0xff unsupported");
+          out += static_cast<char>(value);
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  /// Skip one scalar value we don't care about (number / true / false / null).
+  void skip_scalar() {
+    const char c = peek();
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::strchr("0123456789.eE+-", text_[pos_]) != nullptr)) {
+        ++pos_;
+      }
+      return;
+    }
+    for (const char* word : {"true", "false", "null"}) {
+      const std::size_t len = std::strlen(word);
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        return;
+      }
+    }
+    fail("unsupported value");
+  }
+
+  /// Parse {"k":"v",...} where every value must be a string.
+  std::vector<std::pair<std::string, std::string>> parse_string_object() {
+    std::vector<std::pair<std::string, std::string>> out;
+    expect('{');
+    if (consume('}')) return out;
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      std::string value = parse_string();
+      out.emplace_back(std::move(key), std::move(value));
+      if (consume('}')) return out;
+      expect(',');
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  JsonReader in(line);
+  Request request;
+  bool have_op = false;
+  std::string mode;
+  in.expect('{');
+  if (!in.consume('}')) {
+    for (;;) {
+      const std::string key = in.parse_string();
+      in.expect(':');
+      if (key == "op") {
+        request.op = in.parse_string();
+        have_op = true;
+      } else if (key == "plan") {
+        request.plan_text = in.parse_string();
+      } else if (key == "set") {
+        request.sets = in.parse_string_object();
+      } else if (key == "campaign") {
+        request.campaign = in.parse_string();
+      } else if (key == "mode") {
+        mode = in.parse_string();
+      } else if (in.peek() == '"') {
+        in.parse_string();  // tolerate unknown string fields (forward compat)
+      } else {
+        in.skip_scalar();
+      }
+      if (in.consume('}')) break;
+      in.expect(',');
+    }
+  }
+  if (!in.at_end()) in.fail("trailing content after request object");
+  if (!have_op) throw std::invalid_argument("request: missing \"op\"");
+  if (request.op != "submit" && request.op != "status" && request.op != "cancel" &&
+      request.op != "stats" && request.op != "shutdown") {
+    throw std::invalid_argument("request: unknown op '" + request.op + "'");
+  }
+  if (request.op == "submit" && request.plan_text.empty()) {
+    throw std::invalid_argument("request: submit needs a non-empty \"plan\"");
+  }
+  if ((request.op == "status" || request.op == "cancel") && request.campaign.empty()) {
+    throw std::invalid_argument("request: " + request.op + " needs a \"campaign\" id");
+  }
+  if (!mode.empty()) {
+    if (mode != "drain" && mode != "now") {
+      throw std::invalid_argument("request: shutdown mode wants drain|now, got '" + mode + "'");
+    }
+    request.drain = mode == "drain";
+  }
+  return request;
+}
+
+std::string format_request(const Request& request) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("op").value(request.op);
+  if (!request.plan_text.empty()) w.key("plan").value(request.plan_text);
+  if (!request.sets.empty()) {
+    w.key("set").begin_object();
+    for (const auto& [key, value] : request.sets) w.key(key).value(value);
+    w.end_object();
+  }
+  if (!request.campaign.empty()) w.key("campaign").value(request.campaign);
+  if (request.op == "shutdown" && !request.drain) w.key("mode").value("now");
+  w.end_object();
+  return w.str();
+}
+
+bool is_control_line(const std::string& line) {
+  return line.rfind("{\"serve\":", 0) == 0;
+}
+
+std::string control_field(const std::string& line, const std::string& key) {
+  const std::string needle = '"' + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t pos = at + needle.size();
+  if (pos >= line.size()) return "";
+  if (line[pos] != '"') {
+    // Bare scalar (number / bool): read to the next delimiter.
+    const std::size_t end = line.find_first_of(",}", pos);
+    return line.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
+  }
+  ++pos;
+  std::string out;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) {
+      const char esc = line[pos + 1];
+      out += esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+      pos += 2;
+      continue;
+    }
+    out += line[pos++];
+  }
+  return out;
+}
+
+// --- socket helpers ----------------------------------------------------------
+
+int connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket(): ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("serve: cannot connect to " + socket_path + ": " +
+                             std::strerror(saved));
+  }
+  return fd;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-campaign must surface as EPIPE
+    // (which the session turns into a cancel), never as a fatal SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool pop_line(std::string& buffer, std::string& line) {
+  const std::size_t newline = buffer.find('\n');
+  if (newline == std::string::npos) return false;
+  line.assign(buffer, 0, newline);
+  buffer.erase(0, newline + 1);
+  return true;
+}
+
+// --- client modes ------------------------------------------------------------
+
+namespace {
+
+/// Read response lines until EOF, calling on_line for each complete line.
+/// Returns false on a read error.
+template <typename Fn>
+bool read_lines(int fd, Fn&& on_line) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;  // server closed: response complete
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::string line;
+    while (pop_line(buffer, line)) on_line(line);
+  }
+}
+
+}  // namespace
+
+int submit_plan(const std::string& socket_path, const std::string& plan_text,
+                const std::vector<std::pair<std::string, std::string>>& sets,
+                std::FILE* out, std::FILE* err) {
+  int fd = -1;
+  try {
+    fd = connect_unix(socket_path);
+  } catch (const std::exception& error) {
+    std::fprintf(err, "dflysim: %s\n", error.what());
+    return 1;
+  }
+  Request request;
+  request.op = "submit";
+  request.plan_text = plan_text;
+  request.sets = sets;
+  if (!write_all(fd, format_request(request) + '\n')) {
+    std::fprintf(err, "dflysim: lost connection to %s while submitting\n",
+                 socket_path.c_str());
+    ::close(fd);
+    return 1;
+  }
+
+  int status = 1;  // no "done" line = protocol/connection error
+  bool done = false;
+  const bool read_ok = read_lines(fd, [&](const std::string& line) {
+    if (!is_control_line(line)) {
+      // A raw campaign cell record: forward byte-identically.
+      std::fprintf(out, "%s\n", line.c_str());
+      std::fflush(out);
+      return;
+    }
+    const std::string kind = control_field(line, "serve");
+    if (kind == "accepted") {
+      std::fprintf(err, "campaign %s accepted (%s cells)\n",
+                   control_field(line, "campaign").c_str(),
+                   control_field(line, "cells").c_str());
+    } else if (kind == "cell_failed") {
+      std::fprintf(err, "cell %s FAILED: %s\n", control_field(line, "cell").c_str(),
+                   control_field(line, "message").c_str());
+    } else if (kind == "done") {
+      done = true;
+      status = control_field(line, "ok") == "true" ? 0 : 2;
+      std::fprintf(err, "campaign %s: %s/%s cells completed%s\n",
+                   control_field(line, "campaign").c_str(),
+                   control_field(line, "completed").c_str(),
+                   control_field(line, "cells").c_str(),
+                   control_field(line, "cancelled") == "true" ? " (cancelled)" : "");
+    } else if (kind == "error") {
+      done = true;
+      status = 1;
+      std::fprintf(err, "dflysim: server rejected request: %s\n",
+                   control_field(line, "message").c_str());
+    }
+  });
+  ::close(fd);
+  if (!read_ok || !done) {
+    std::fprintf(err, "dflysim: connection to %s ended before the campaign finished\n",
+                 socket_path.c_str());
+    return 1;
+  }
+  return status;
+}
+
+int request_shutdown(const std::string& socket_path, bool drain, std::FILE* err) {
+  int fd = -1;
+  try {
+    fd = connect_unix(socket_path);
+  } catch (const std::exception& error) {
+    std::fprintf(err, "dflysim: %s\n", error.what());
+    return 1;
+  }
+  Request request;
+  request.op = "shutdown";
+  request.drain = drain;
+  bool ok = write_all(fd, format_request(request) + '\n');
+  std::string reply;
+  if (ok) {
+    ok = false;
+    read_lines(fd, [&](const std::string& line) {
+      if (control_field(line, "serve") == "ok") ok = true;
+      reply = line;
+    });
+  }
+  ::close(fd);
+  if (!ok) {
+    std::fprintf(err, "dflysim: shutdown not acknowledged by %s%s%s\n", socket_path.c_str(),
+                 reply.empty() ? "" : ": ", reply.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dfly::serve

@@ -1,0 +1,342 @@
+#include "serve/server.hpp"
+
+#include <dirent.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/config_file.hpp"
+#include "core/json_report.hpp"
+#include "core/plan.hpp"
+#include "serve/protocol.hpp"
+
+namespace dfly::serve {
+
+namespace {
+
+/// A request line (and therefore an embedded plan file) larger than this is
+/// rejected instead of buffered forever.
+constexpr std::size_t kMaxRequestBytes = 1 << 20;  // 1 MiB
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::string read_file_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string error_line(const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("serve").value("error");
+  w.key("message").value(message);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options) : options_(std::move(options)), queue_(options_.jobs) {
+  if (options_.spool_dir.empty()) options_.spool_dir = options_.socket_path + ".spool";
+  if (::mkdir(options_.spool_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error(errno_text("mkdir '" + options_.spool_dir + "'"));
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: '" + options_.socket_path + "'");
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) throw std::runtime_error(errno_text("socket"));
+  // A previous daemon that died uncleanly leaves its socket file behind;
+  // binding over it is the expected restart path (spool resume handles the
+  // campaigns it left unfinished).
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = errno_text("bind '" + options_.socket_path + "'");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(message);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string message = errno_text("listen '" + options_.socket_path + "'");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    throw std::runtime_error(message);
+  }
+}
+
+Server::~Server() {
+  reap_finished_drivers(/*join_all=*/true);
+  for (PendingConn& conn : pending_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+std::string Server::next_campaign_id() {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "c%06zu", next_id_++);
+  return buffer;
+}
+
+void Server::scan_spool_for_resume() {
+  // Every <id>.plan without a <id>.done marker is a campaign some earlier
+  // daemon accepted but never finished — resume it (no client attached; the
+  // spool JSONL is the durable output). .done entries only advance next_id_
+  // so restarted daemons never reuse an id.
+  DIR* dir = ::opendir(options_.spool_dir.c_str());
+  if (dir == nullptr) throw std::runtime_error(errno_text("opendir '" + options_.spool_dir + "'"));
+  std::vector<std::string> unfinished;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    const std::string suffix = ".plan";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string id = name.substr(0, name.size() - suffix.size());
+    if (id.size() < 2 || id[0] != 'c') continue;
+    char* end = nullptr;
+    const unsigned long number = std::strtoul(id.c_str() + 1, &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    if (number + 1 > next_id_) next_id_ = number + 1;
+    if (!file_exists(options_.spool_dir + "/" + id + ".done")) unfinished.push_back(id);
+  }
+  ::closedir(dir);
+
+  std::sort(unfinished.begin(), unfinished.end());
+  for (const std::string& id : unfinished) {
+    const std::string plan_path = options_.spool_dir + "/" + id + ".plan";
+    auto campaign = std::make_shared<Campaign>(id, options_.spool_dir,
+                                               read_file_text(plan_path),
+                                               /*client_fd=*/-1, /*resume=*/true);
+    start_campaign(campaign);
+  }
+}
+
+void Server::start_campaign(const std::shared_ptr<Campaign>& campaign) {
+  campaigns_[campaign->id()] = campaign;
+  SubmissionQueue* queue = &queue_;
+  drivers_.emplace_back(std::thread([campaign, queue] { campaign->run(*queue); }), campaign);
+}
+
+void Server::reap_finished_drivers(bool join_all) {
+  for (auto it = drivers_.begin(); it != drivers_.end();) {
+    if (join_all || it->second->finished()) {
+      it->first.join();
+      it = drivers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::reply_and_close(int fd, const std::string& line) {
+  write_all(fd, line + "\n");
+  ::close(fd);
+}
+
+void Server::dispatch(const std::string& line, int fd) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& error) {
+    reply_and_close(fd, error_line(error.what()));
+    return;
+  }
+
+  if (request.op == "submit") {
+    std::string config_text;
+    std::size_t cells = 0;
+    try {
+      ConfigFile file = ConfigFile::parse(request.plan_text);
+      for (const auto& [key, value] : request.sets) file.set(key, value);
+      const ExperimentPlan plan = plan_from_config(file);
+      cells = plan.expand().size();
+      // Spool exactly what will run: the emitted post-override file, so a
+      // restarted daemon re-parses the identical configuration.
+      config_text = file.emit();
+    } catch (const std::exception& error) {
+      reply_and_close(fd, error_line(error.what()));
+      return;
+    }
+
+    const std::string id = next_campaign_id();
+    const std::string plan_path = options_.spool_dir + "/" + id + ".plan";
+    {
+      std::ofstream out(plan_path, std::ios::binary | std::ios::trunc);
+      out << config_text;
+      out.flush();
+      if (!out.good()) {
+        reply_and_close(fd, error_line("cannot spool plan to '" + plan_path + "'"));
+        return;
+      }
+    }
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("serve").value("accepted");
+    w.key("campaign").value(id);
+    w.key("cells").value(static_cast<std::uint64_t>(cells));
+    w.end_object();
+    if (!write_all(fd, w.str() + "\n")) {
+      // Client vanished between submitting and the accept line: nothing has
+      // run yet, so drop the spool entry rather than run for nobody.
+      ::close(fd);
+      ::unlink(plan_path.c_str());
+      return;
+    }
+    start_campaign(std::make_shared<Campaign>(id, options_.spool_dir, config_text, fd,
+                                              /*resume=*/false));
+    return;
+  }
+
+  if (request.op == "status" || request.op == "cancel") {
+    const auto it = campaigns_.find(request.campaign);
+    if (it == campaigns_.end()) {
+      reply_and_close(fd, error_line("unknown campaign '" + request.campaign + "'"));
+      return;
+    }
+    if (request.op == "cancel") {
+      it->second->cancel();
+      JsonWriter w;
+      w.begin_object();
+      w.key("serve").value("ok");
+      w.key("campaign").value(request.campaign);
+      w.end_object();
+      reply_and_close(fd, w.str());
+      return;
+    }
+    reply_and_close(fd, it->second->status_line());
+    return;
+  }
+
+  if (request.op == "stats") {
+    std::size_t active = 0;
+    for (const auto& [id, campaign] : campaigns_) {
+      if (!campaign->finished()) ++active;
+    }
+    const BlueprintCache::Stats stats = queue_.cache().stats();
+    JsonWriter w;
+    w.begin_object();
+    w.key("serve").value("stats");
+    w.key("jobs").value(queue_.jobs());
+    w.key("campaigns").value(static_cast<std::uint64_t>(campaigns_.size()));
+    w.key("active").value(static_cast<std::uint64_t>(active));
+    w.key("blueprint_hits").value(static_cast<std::uint64_t>(stats.hits));
+    w.key("blueprint_misses").value(static_cast<std::uint64_t>(stats.misses));
+    w.end_object();
+    reply_and_close(fd, w.str());
+    return;
+  }
+
+  // shutdown (parse_request rejects every other op)
+  shutdown_requested_ = true;
+  shutdown_drain_ = request.drain;
+  JsonWriter w;
+  w.begin_object();
+  w.key("serve").value("ok");
+  w.end_object();
+  reply_and_close(fd, w.str());
+}
+
+int Server::serve() {
+  scan_spool_for_resume();
+
+  while (!shutdown_requested_ && !stop_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const PendingConn& conn : pending_) fds.push_back({conn.fd, POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) {
+      throw std::runtime_error(errno_text("poll"));
+    }
+
+    if (ready > 0 && (fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN: drained
+        }
+        pending_.push_back(PendingConn{fd, {}});
+      }
+    }
+
+    // Walk the connections that were polled (new accepts wait a cycle).
+    // dispatch() owns each completed request's fd, so a conn leaves
+    // pending_ the moment its line is complete.
+    for (std::size_t i = fds.size() - 1; i >= 1; --i) {
+      if (ready <= 0 || (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      PendingConn& conn = pending_[i - 1];
+      char buffer[4096];
+      const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      if (n <= 0) {
+        // Hung up before completing a request line.
+        ::close(conn.fd);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+        continue;
+      }
+      conn.buffer.append(buffer, static_cast<std::size_t>(n));
+      std::string line;
+      if (pop_line(conn.buffer, line)) {
+        const int fd = conn.fd;
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+        dispatch(line, fd);
+      } else if (conn.buffer.size() > kMaxRequestBytes) {
+        reply_and_close(conn.fd, error_line("request exceeds 1 MiB"));
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      }
+    }
+
+    reap_finished_drivers(/*join_all=*/false);
+    if (shutdown_requested_) break;
+  }
+
+  // Stop accepting first so drain can't race new submissions.
+  ::close(listen_fd_);
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = -1;
+  for (PendingConn& conn : pending_) ::close(conn.fd);
+  pending_.clear();
+
+  if (!shutdown_drain_) {
+    for (const auto& [id, campaign] : campaigns_) campaign->cancel();
+  }
+  reap_finished_drivers(/*join_all=*/true);
+  return 0;
+}
+
+}  // namespace dfly::serve

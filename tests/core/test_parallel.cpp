@@ -127,15 +127,35 @@ TEST(ParallelRunner, ResolveJobsPrefersExplicitThenEnvThenFallback) {
   EXPECT_EQ(ParallelRunner::resolve_jobs(0, 1), 7);  // env next
   EXPECT_EQ(ParallelRunner(0).jobs(), 7);
 
-  ::setenv("DFSIM_JOBS", "not-a-number", 1);
-  EXPECT_EQ(ParallelRunner::resolve_jobs(0, 5), 5);  // bad env -> fallback
-
   ::unsetenv("DFSIM_JOBS");
   EXPECT_EQ(ParallelRunner::resolve_jobs(0, 2), 2);
   EXPECT_EQ(ParallelRunner::resolve_jobs(0, 0), 1);  // fallback clamped to 1
 
   if (saved) {
     ::setenv("DFSIM_JOBS", saved_value.c_str(), 1);
+  }
+}
+
+// A malformed DFSIM_JOBS used to be swallowed silently — std::atoi turned
+// "4x" into 4 workers and "abc" into the fallback, so a typo'd environment
+// ran with the wrong parallelism and nobody noticed. It now fails loudly,
+// full-string and positive-only, like any bad config value.
+TEST(ParallelRunner, ResolveJobsRejectsMalformedEnvLoudly) {
+  const char* saved = std::getenv("DFSIM_JOBS");
+  const std::string saved_value = saved ? saved : "";
+
+  for (const char* bad : {"not-a-number", "4x", "", " 4", "0", "-3", "1e3",
+                          "99999999999999999999"}) {
+    ::setenv("DFSIM_JOBS", bad, 1);
+    EXPECT_THROW(ParallelRunner::resolve_jobs(0, 5), std::invalid_argument) << bad;
+    // An explicit request never consults the env, so it still works.
+    EXPECT_EQ(ParallelRunner::resolve_jobs(3, 5), 3) << bad;
+  }
+
+  if (saved) {
+    ::setenv("DFSIM_JOBS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("DFSIM_JOBS");
   }
 }
 
@@ -308,6 +328,80 @@ TEST(PairwiseParallelDeterminism, CellBatchMatchesIndividualRuns) {
     EXPECT_EQ(batch[i].routing, cells[i].routing);
     EXPECT_EQ(batch[i].target, cells[i].target);
     EXPECT_EQ(batch[i].background, cells[i].background);
+  }
+}
+
+// --- SubmissionQueue: the daemon's persistent pool ---------------------------
+
+TEST(SubmissionQueue, RunsEveryIndexExactlyOnce) {
+  SubmissionQueue queue(3);
+  EXPECT_EQ(queue.jobs(), 3);
+  std::vector<std::atomic<int>> hits(100);
+  queue.run_indexed(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  // The pool survives between submissions — a second batch reuses it.
+  std::atomic<int> total{0};
+  queue.run_indexed(17, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 17);
+}
+
+TEST(SubmissionQueue, ConcurrentSubmissionsInterleaveAndBothComplete) {
+  SubmissionQueue queue(2);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread first([&] { queue.run_indexed(40, [&](std::size_t) { a.fetch_add(1); }); });
+  std::thread second([&] { queue.run_indexed(40, [&](std::size_t) { b.fetch_add(1); }); });
+  first.join();
+  second.join();
+  EXPECT_EQ(a.load(), 40);
+  EXPECT_EQ(b.load(), 40);
+}
+
+TEST(SubmissionQueue, CollectsExceptionsLikeParallelRunnerCollectMode) {
+  SubmissionQueue queue(1);
+  WorkerErrors errors;
+  std::atomic<int> calls{0};
+  queue.run_indexed(
+      8,
+      [&](std::size_t i) {
+        calls.fetch_add(1);
+        if (i == 2 || i == 5) throw std::runtime_error("boom at " + std::to_string(i));
+      },
+      &errors);
+  EXPECT_EQ(calls.load(), 8);  // nothing rethrown, every cell attempted
+  EXPECT_EQ(errors.total(), 2u);
+  ASSERT_EQ(errors.workers.size(), 1u);
+  EXPECT_NE(errors.workers[0].first.find("boom at 2"), std::string::npos);
+}
+
+// The reason the queue exists: campaigns submitted one after the other share
+// ONE BlueprintCache, so the second campaign of a given shape starts from a
+// cache hit instead of rebuilding the topology plan.
+TEST(SubmissionQueue, SharesOneBlueprintCacheAcrossSubmissions) {
+  SubmissionQueue queue(2);
+  const auto run_campaign = [&queue] {
+    queue.run_indexed(4, [](std::size_t i) { tiny_experiment(42 + i); });
+  };
+  run_campaign();
+  const BlueprintCache::Stats after_first = queue.cache().stats();
+  EXPECT_EQ(after_first.misses, 1u);  // one shape, built once
+  EXPECT_GE(after_first.hits, 3u);
+
+  run_campaign();
+  const BlueprintCache::Stats after_second = queue.cache().stats();
+  EXPECT_EQ(after_second.misses, 1u);  // no rebuild: the cache carried over
+  EXPECT_GE(after_second.hits, after_first.hits + 4);
+}
+
+// Arena reuse and blueprint sharing never change bytes: a report produced on
+// the persistent pool is identical to a cold private run.
+TEST(SubmissionQueue, PooledRunByteIdenticalToPrivateRun) {
+  SubmissionQueue queue(2);
+  std::vector<std::string> pooled(3);
+  queue.run_indexed(pooled.size(),
+                    [&](std::size_t i) { pooled[i] = report_to_json(tiny_experiment(7 + i)); });
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    EXPECT_EQ(pooled[i], report_to_json(tiny_experiment(7 + i))) << i;
   }
 }
 

@@ -827,6 +827,20 @@ TEST(PlanFromConfig, ErrorsNameTheOffendingLine) {
   EXPECT_THROW(plan_from_config(ConfigFile::parse(
                    "plan.mode = single\nplan.jobs = UR:many\n")),
                std::invalid_argument);
+  // Zero/negative node counts used to slip through and fail (or worse,
+  // misbehave) deep inside expansion; now the parser rejects them, naming
+  // the line and the bare-APP "fill the machine" alternative.
+  for (const char* jobs : {"UR:0", "UR:-5", "FFT3D:528,UR:0"}) {
+    try {
+      plan_from_config(
+          ConfigFile::parse("plan.mode = single\nplan.jobs = " + std::string(jobs) + "\n"));
+      FAIL() << "expected invalid_argument for plan.jobs = " << jobs;
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+      EXPECT_NE(what.find(">= 1"), std::string::npos) << what;
+    }
+  }
   // Variant override without '='.
   EXPECT_THROW(plan_from_config(ConfigFile::parse(
                    "plan.mode = single\nplan.jobs = UR\nplan.variant.x = nonsense\n")),

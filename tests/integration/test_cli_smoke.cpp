@@ -18,8 +18,9 @@ namespace {
 #error "DFSIM_CLI_PATH must be defined to the dflysim binary path"
 #endif
 
-int run_cli(const std::string& args) {
-  const std::string command = std::string(DFSIM_CLI_PATH) + " " + args;
+int run_cli(const std::string& args, const std::string& env = "") {
+  const std::string command =
+      (env.empty() ? std::string() : "env " + env + " ") + DFSIM_CLI_PATH + " " + args;
   const int status = std::system(command.c_str());
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
@@ -138,6 +139,68 @@ TEST(CliSmoke, PlanRunStreamsJsonlAndHonoursSetOverrides) {
   std::remove(plan_path.c_str());
   std::remove(jsonl_path.c_str());
   std::remove(csv_path.c_str());
+}
+
+TEST(CliSmoke, MalformedDfsimJobsEnvFailsLoudly) {
+  const std::string err_path = temp_json_path() + ".jobs_stderr";
+  // DFSIM_JOBS=4x used to silently run 4 workers; abc silently ran 1. Both
+  // must now be one clean fatal line and exit 1.
+  EXPECT_EQ(run_cli("--app=UR:16 --scale=64 --sweep=2 > /dev/null 2> " + err_path,
+                    "DFSIM_JOBS=4x"),
+            1);
+  const std::string err = slurp(err_path);
+  EXPECT_NE(err.find("DFSIM_JOBS must be a positive integer, got '4x'"), std::string::npos)
+      << err;
+  EXPECT_EQ(run_cli("--app=UR:16 --scale=64 --sweep=2 > /dev/null 2>&1", "DFSIM_JOBS=abc"), 1);
+  // An explicit --jobs never consults the env, so it still runs.
+  EXPECT_EQ(run_cli("--app=UR:64 --routing=MIN --scale=64 --sweep=2 --jobs=2 "
+                    "> /dev/null 2>&1",
+                    "DFSIM_JOBS=abc"),
+            0);
+  std::remove(err_path.c_str());
+}
+
+TEST(CliSmoke, PlanJobsWithNonPositiveNodesIsRejectedAtTheOffendingLine) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string base = std::string(dir != nullptr ? dir : "/tmp");
+  const std::string plan_path = base + "/dfsim_cli_smoke_badnodes.cfg";
+  const std::string err_path = temp_json_path() + ".nodes_stderr";
+  {
+    std::ofstream out(plan_path);
+    out << "plan.mode = single\nplan.jobs = UR:0\n";
+  }
+  EXPECT_EQ(run_cli("--plan=" + plan_path + " > /dev/null 2> " + err_path), 1);
+  const std::string err = slurp(err_path);
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find(">= 1"), std::string::npos) << err;
+  std::remove(plan_path.c_str());
+  std::remove(err_path.c_str());
+}
+
+TEST(CliSmoke, CampaignPipedIntoHeadRecordsSinkFailuresInsteadOfDyingOfSigpipe) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string base = std::string(dir != nullptr ? dir : "/tmp");
+  const std::string plan_path = base + "/dfsim_cli_smoke_pipe.cfg";
+  const std::string status_path = base + "/dfsim_cli_smoke_pipe.status";
+  {
+    std::ofstream out(plan_path);
+    out << "topo.p = 2\ntopo.a = 4\ntopo.h = 2\ntopo.g = 9\nscale = 64\n"
+           "plan.mode = single\nplan.jobs = UR:32\nplan.routings = MIN,UGALg\n"
+           "plan.seeds = 42..43\n";
+  }
+  std::remove(status_path.c_str());
+  // `head -n 1` closes the pipe after the first cell line; the remaining
+  // cells hit EPIPE. Pre-fix the whole process died of SIGPIPE (no exit
+  // status at all); now the broken sink is recorded per cell and the run
+  // finishes with exit 2, like any campaign with failures.
+  const std::string command = std::string("( ") + DFSIM_CLI_PATH + " --plan=" + plan_path +
+                              " --jsonl=- 2>/dev/null; echo $? > " + status_path +
+                              " ) | head -n 1 > /dev/null";
+  std::system(command.c_str());
+  const std::string status = slurp(status_path);
+  EXPECT_EQ(status, "2\n") << "campaign into head should exit 2, got: " << status;
+  std::remove(plan_path.c_str());
+  std::remove(status_path.c_str());
 }
 
 TEST(CliSmoke, JsonToStdout) {

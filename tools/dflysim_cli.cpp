@@ -31,11 +31,13 @@
 //   2  the run finished, but with recorded failures or incomplete cells
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -53,6 +55,13 @@
 #include "topo/placement.hpp"
 #include "viz/ascii.hpp"
 #include "workloads/factory.hpp"
+
+#ifndef _WIN32
+#include <csignal>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#endif
 
 namespace {
 
@@ -83,6 +92,12 @@ struct CliOptions {
   std::string shard;         ///< --shard=K/N: run a deterministic slice
   std::string merge_out;     ///< --merge-shards=OUT: reassemble shard JSONLs
   std::vector<std::string> merge_inputs;  ///< positional inputs for the merge
+  // Campaign daemon (src/serve, docs/DAEMON.md):
+  std::string serve_socket;     ///< --serve=SOCKET: run the campaign daemon
+  std::string spool_dir;        ///< --spool=DIR: daemon spool (default SOCKET.spool)
+  std::string submit_socket;    ///< --submit=SOCKET: send --plan to a daemon
+  std::string shutdown_socket;  ///< --shutdown=SOCKET: stop a daemon
+  bool shutdown_now{false};     ///< --now: cancel running campaigns, don't drain
   /// Single-run/sweep flags seen on the command line; a --plan run rejects
   /// them instead of silently ignoring them (the plan file owns the config).
   std::vector<std::string> single_run_flags;
@@ -112,6 +127,17 @@ struct CliOptions {
       "                       N invocations partition the campaign deterministically\n"
       "  --merge-shards=OUT   reassemble per-shard --jsonl outputs into one\n"
       "                       campaign file: dflysim --merge-shards=OUT A B ...\n"
+      "  --serve=SOCKET       run as a campaign daemon on a unix socket: accept\n"
+      "                       submitted plans over newline-delimited JSON, stream\n"
+      "                       results back, journal every campaign under the spool\n"
+      "                       dir, and resume unfinished campaigns on restart\n"
+      "                       (combines with --jobs/--spool; see docs/DAEMON.md)\n"
+      "  --spool=DIR          daemon spool directory (default: SOCKET.spool)\n"
+      "  --submit=SOCKET      submit --plan=FILE (plus --set overrides) to a\n"
+      "                       serving daemon; cell JSONL streams to stdout\n"
+      "                       byte-identical to a local --plan run with --jsonl=-\n"
+      "  --shutdown=SOCKET    ask a serving daemon to exit after draining running\n"
+      "                       campaigns (add --now to cancel them instead)\n"
       "  --app=NAME:NODES     add an application (repeatable; NODES=0 fills the machine)\n"
       "  --routing=NAME       MIN|VALg|VALn|UGALg|UGALn|PAR|FlowUGAL|AppAware|Q-adp\n"
       "  --placement=NAME     random|contiguous|linear\n"
@@ -240,6 +266,16 @@ CliOptions parse_cli(int argc, char** argv) {
       options.shard = value_of(arg);
     } else if (std::strncmp(arg, "--merge-shards=", 15) == 0) {
       options.merge_out = value_of(arg);
+    } else if (std::strncmp(arg, "--serve=", 8) == 0) {
+      options.serve_socket = value_of(arg);
+    } else if (std::strncmp(arg, "--spool=", 8) == 0) {
+      options.spool_dir = value_of(arg);
+    } else if (std::strncmp(arg, "--submit=", 9) == 0) {
+      options.submit_socket = value_of(arg);
+    } else if (std::strncmp(arg, "--shutdown=", 11) == 0) {
+      options.shutdown_socket = value_of(arg);
+    } else if (std::strcmp(arg, "--now") == 0) {
+      options.shutdown_now = true;
     } else if (arg[0] != '-') {
       options.merge_inputs.emplace_back(arg);  // positional: shard inputs
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -262,6 +298,59 @@ CliOptions parse_cli(int argc, char** argv) {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       usage(1);
     }
+  }
+  // Daemon modes (docs/DAEMON.md). Each is a standalone mode like
+  // --merge-shards: anything it cannot honour is rejected, not ignored.
+  const int daemon_modes = (options.serve_socket.empty() ? 0 : 1) +
+                           (options.submit_socket.empty() ? 0 : 1) +
+                           (options.shutdown_socket.empty() ? 0 : 1);
+  if (daemon_modes > 1) {
+    std::fputs("--serve, --submit and --shutdown are mutually exclusive modes\n\n", stderr);
+    usage(1);
+  }
+  if (!options.spool_dir.empty() && options.serve_socket.empty()) {
+    std::fputs("--spool only applies to --serve (the daemon owns the spool)\n\n", stderr);
+    usage(1);
+  }
+  if (options.shutdown_now && options.shutdown_socket.empty()) {
+    std::fputs("--now only applies to --shutdown\n\n", stderr);
+    usage(1);
+  }
+  if (!options.serve_socket.empty()) {
+    if (!options.single_run_flags.empty() || !options.plan_path.empty() ||
+        !options.merge_out.empty() || !options.sets.empty() || !options.jsonl_path.empty() ||
+        !options.plan_csv_path.empty() || !options.journal_path.empty() || options.resume ||
+        !options.shard.empty()) {
+      std::fputs("--serve is a standalone mode: clients submit plans (and --set\n"
+                 "overrides) over the socket; only --jobs and --spool combine with it\n\n",
+                 stderr);
+      usage(1);
+    }
+    return options;
+  }
+  if (!options.submit_socket.empty()) {
+    if (options.plan_path.empty()) {
+      std::fputs("--submit needs --plan=FILE (the campaign to send)\n\n", stderr);
+      usage(1);
+    }
+    if (!options.single_run_flags.empty() || !options.merge_out.empty() ||
+        !options.jsonl_path.empty() || !options.plan_csv_path.empty() ||
+        !options.journal_path.empty() || options.resume || !options.shard.empty()) {
+      std::fputs("--submit sends --plan (plus --set) to the daemon, which owns the\n"
+                 "journal and spool; cell JSONL streams to stdout — other campaign\n"
+                 "flags do not apply\n\n",
+                 stderr);
+      usage(1);
+    }
+    return options;
+  }
+  if (!options.shutdown_socket.empty()) {
+    if (!options.single_run_flags.empty() || !options.plan_path.empty() ||
+        !options.merge_out.empty() || !options.sets.empty()) {
+      std::fputs("--shutdown is a standalone mode (only --now combines with it)\n\n", stderr);
+      usage(1);
+    }
+    return options;
   }
   if (!options.merge_out.empty()) {
     if (!options.plan_path.empty() || !options.apps.empty()) {
@@ -479,6 +568,46 @@ int run_campaign(const CliOptions& options) {
   return outcome.all_ok() ? 0 : 2;
 }
 
+#ifndef _WIN32
+/// SIGINT/SIGTERM ask the daemon's accept loop to stop (drain semantics);
+/// request_stop is one lock-free atomic store, so it is signal-safe.
+std::atomic<serve::Server*> g_server{nullptr};
+
+void handle_stop_signal(int) {
+  if (serve::Server* server = g_server.load(std::memory_order_relaxed)) {
+    server->request_stop();
+  }
+}
+
+int run_serve(const CliOptions& options) {
+  serve::ServeOptions serve_options;
+  serve_options.socket_path = options.serve_socket;
+  serve_options.spool_dir = options.spool_dir;
+  serve_options.jobs = options.jobs;
+  serve::Server server(std::move(serve_options));
+  g_server.store(&server, std::memory_order_relaxed);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::fprintf(stderr, "dflysim: serving on %s (spool %s, %d job%s)\n",
+               server.socket_path().c_str(), server.spool_dir().c_str(), server.jobs(),
+               server.jobs() == 1 ? "" : "s");
+  const int status = server.serve();
+  g_server.store(nullptr, std::memory_order_relaxed);
+  std::fprintf(stderr, "dflysim: daemon on %s stopped\n", options.serve_socket.c_str());
+  return status;
+}
+
+int run_submit(const CliOptions& options) {
+  // Ship the plan file's raw text; the daemon parses it (and applies the
+  // --set overrides) so errors come back as one {"serve":"error"} line.
+  std::ifstream in(options.plan_path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read plan file '" + options.plan_path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return serve::submit_plan(options.submit_socket, text.str(), options.sets, stdout, stderr);
+}
+#endif  // !_WIN32
+
 int run_merge(const CliOptions& options) {
   const std::size_t lines = merge_shard_jsonl(options.merge_inputs, options.merge_out,
                                               &std::cerr);
@@ -510,8 +639,21 @@ void print_table(const Report& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifndef _WIN32
+  // A campaign piped into `head` (or a submit client that hung up) must show
+  // up as a write error — recorded as a sink_error cell failure / campaign
+  // cancellation — not kill the process with SIGPIPE mid-journal.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   try {
     const CliOptions options = parse_cli(argc, argv);
+#ifndef _WIN32
+    if (!options.serve_socket.empty()) return run_serve(options);
+    if (!options.submit_socket.empty()) return run_submit(options);
+    if (!options.shutdown_socket.empty()) {
+      return serve::request_shutdown(options.shutdown_socket, !options.shutdown_now, stderr);
+    }
+#endif
     if (!options.merge_out.empty()) return run_merge(options);
     if (!options.plan_path.empty()) return run_campaign(options);
     if (options.sweep <= 1) {
