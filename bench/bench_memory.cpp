@@ -81,6 +81,7 @@ struct CellMetrics {
   double wall_ms{0};
   std::uint64_t allocs{0};
   std::string report_json;
+  EngineStats engine;  ///< per-kind schedule/pop counters (Engine::stats())
 };
 
 struct PhaseMetrics {
@@ -117,6 +118,7 @@ CellMetrics run_cell(const StudyConfig& base, std::uint64_t seed, const std::str
     Study study(config, arena);
     study.add_app(app, nodes);
     metrics.report_json = report_to_json(study.run());
+    metrics.engine = study.engine().stats();
   }
   metrics.allocs = allocation_count() - a0;
   metrics.wall_ms =
@@ -139,6 +141,15 @@ PhaseMetrics run_phase(const StudyConfig& base, const std::string& app, int node
   }
   phase.rss_kb_after = peak_rss_kb();
   return phase;
+}
+
+std::string kind_array(const std::array<std::uint64_t, EngineStats::kKinds + 1>& counts) {
+  std::string out = "[";
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += std::to_string(counts[k]);
+  }
+  return out + "]";
 }
 
 std::string json_array(const std::vector<CellMetrics>& cells, bool wall) {
@@ -295,6 +306,15 @@ int run(int argc, char** argv) {
     json += "  \"fresh\": {\"cell_wall_ms\": " + json_array(fresh.cells, true) +
             ", \"cell_allocs\": " + json_array(fresh.cells, false) +
             ", \"peak_rss_kb\": " + std::to_string(fresh.rss_kb_after) + "},\n";
+    // Per-kind schedule/pop counters of the first cell (what the workload's
+    // event mix looks like; identical whether storage came from the arena).
+    const EngineStats& engine_stats = fresh.cells.front().engine;
+    json += "  \"engine\": {\"scheduled_total\": " +
+            std::to_string(engine_stats.scheduled_total()) +
+            ", \"executed_total\": " + std::to_string(engine_stats.executed_total()) +
+            ",\n    \"scheduled_by_kind\": " + kind_array(engine_stats.scheduled_by_kind) +
+            ",\n    \"executed_by_kind\": " + kind_array(engine_stats.executed_by_kind) +
+            "},\n";
     // rss readings are cumulative ru_maxrss snapshots (the arena phase runs
     // second); arena_rss_delta_kb is the peak the carried storage added.
     json += "  \"arena\": {\"cell_wall_ms\": " + json_array(reused.cells, true) +

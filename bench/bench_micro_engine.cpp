@@ -31,6 +31,21 @@ class NullComponent final : public Component {
   }
 };
 
+/// Surface the engine's per-kind schedule/pop counters (Engine::stats()) on
+/// the benchmark so BENCH_engine.json records what each workload actually
+/// ran: totals always, per-kind only where non-zero to keep the JSON small.
+void report_engine_stats(benchmark::State& state, const EngineStats& stats) {
+  state.counters["ev_scheduled"] =
+      benchmark::Counter(static_cast<double>(stats.scheduled_total()));
+  state.counters["ev_executed"] =
+      benchmark::Counter(static_cast<double>(stats.executed_total()));
+  for (std::size_t k = 0; k < stats.executed_by_kind.size(); ++k) {
+    if (stats.executed_by_kind[k] == 0) continue;
+    state.counters["ev_kind" + std::to_string(k)] =
+        benchmark::Counter(static_cast<double>(stats.executed_by_kind[k]));
+  }
+}
+
 /// Verbatim re-creation of the seed Engine's queue and dispatch loop: binary
 /// min-heap of full 48-byte entries via the std::*_heap algorithms, one pop
 /// + re-sift per event, and the seed's exact per-event bookkeeping (the
@@ -96,6 +111,7 @@ class LegacyNullSink final : public LegacyEngine::Sink {
 
 /// Pure engine overhead: schedule + dispatch of chained events.
 void BM_EngineEventChain(benchmark::State& state) {
+  EngineStats engine_stats;
   for (auto _ : state) {
     Engine engine;
     NullComponent component;
@@ -103,7 +119,9 @@ void BM_EngineEventChain(benchmark::State& state) {
     engine.schedule_at(0, component, 0, chain);
     engine.run();
     benchmark::DoNotOptimize(engine.executed());
+    engine_stats = engine.stats();
   }
+  report_engine_stats(state, engine_stats);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100001);
 }
 BENCHMARK(BM_EngineEventChain)->Unit(benchmark::kMillisecond);
@@ -187,6 +205,7 @@ class SteadyComponent final : public Component {
 void BM_EngineSteadyState(benchmark::State& state) {
   const int depth = static_cast<int>(state.range(0));
   const std::uint64_t rounds = 20;  // events per chain; total = depth * rounds
+  EngineStats engine_stats;
   for (auto _ : state) {
     Engine engine;
     SteadyComponent component(1);
@@ -195,7 +214,9 @@ void BM_EngineSteadyState(benchmark::State& state) {
       engine.schedule_at(static_cast<SimTime>(rng.next_below(100000)), component, 0, rounds);
     }
     engine.run();
+    engine_stats = engine.stats();
   }
+  report_engine_stats(state, engine_stats);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * depth *
                           static_cast<std::int64_t>(rounds + 1));
 }
@@ -246,6 +267,7 @@ BENCHMARK(BM_LegacySteadyState)
 void BM_EngineSameTimeFlood(benchmark::State& state) {
   const int timestamps = 1000;
   const int per_timestamp = static_cast<int>(state.range(0));
+  EngineStats engine_stats;
   for (auto _ : state) {
     Engine engine;
     NullComponent component;
@@ -255,7 +277,9 @@ void BM_EngineSameTimeFlood(benchmark::State& state) {
       }
     }
     engine.run();
+    engine_stats = engine.stats();
   }
+  report_engine_stats(state, engine_stats);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * timestamps *
                           per_timestamp);
 }
@@ -285,6 +309,7 @@ void BM_NetworkPacketRate(benchmark::State& state) {
   const std::string routing_name =
       state.range(0) == 0 ? "MIN" : (state.range(0) == 1 ? "UGALn" : "Q-adp");
   std::int64_t packets = 0;
+  EngineStats engine_stats;
   // The immutable plan is loop-invariant: build it once outside the timed
   // region (pre-blueprint, the per-iteration Dragonfly build was timed; the
   // benchmark measures engine/network packet rate, not plan construction).
@@ -310,7 +335,9 @@ void BM_NetworkPacketRate(benchmark::State& state) {
     }
     engine.run();
     packets += static_cast<std::int64_t>(net.packet_log().delivered_packets(0));
+    engine_stats = engine.stats();
   }
+  report_engine_stats(state, engine_stats);
   state.SetItemsProcessed(packets);
   state.SetLabel(routing_name);
 }

@@ -1,0 +1,191 @@
+// Intra-cell parallelism bench: full-cell wall time under --cell-threads
+// 1 / 2 / 4 plus a cross-domain-heavy synthetic, with the byte-identity
+// guarantee checked on every run.
+//
+// Two scenarios, both on MIN routing (eligible for group partitioning):
+//   fft3d_ur  — FFT3D on half the machine + a UR background on the rest,
+//               the paper's interference shape (§V)
+//   ur_flood  — UR filling the machine: uniform-random destinations make
+//               almost every message cross groups, the worst case for the
+//               conservative window protocol (lots of small windows).
+//
+// Per scenario and thread count: wall time, the PdesCell's window /
+// merged-event / cross-domain-event counters, and the engine's per-kind
+// schedule/execute counters. cell_threads=1 falls back to the sequential
+// engine, so it doubles as the baseline; every report must be byte-identical
+// to it or the bench exits non-zero.
+//
+//   bench_pdes --smoke --json=BENCH_pdes.json   # the CI invocation
+//   bench_pdes --scale=8 --routing=MIN
+//
+// Caveat (same as the PR-2 perf baselines): CI runners are often 1-2 cores,
+// so the wall-time columns there measure protocol overhead, not speedup —
+// read them as a trajectory, and benchmark speedup on a multi-core box.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/json_report.hpp"
+#include "core/study.hpp"
+#include "sim/pdes.hpp"
+
+namespace dfly::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Scenario {
+  std::string name;
+  std::string target;      ///< app on the first half of the machine
+  std::string background;  ///< app filling the rest ("" = target fills all)
+};
+
+struct CellRun {
+  double wall_ms{0};
+  std::string report_json;
+  PdesStats pdes;          ///< zeros when the cell ran sequentially
+  EngineStats engine;
+};
+
+CellRun run_cell(const StudyConfig& base, const Scenario& scenario, int cell_threads) {
+  StudyConfig config = base;
+  config.cell_threads = cell_threads;
+  CellRun run;
+  const auto t0 = Clock::now();
+  {
+    Study study(config);
+    if (scenario.background.empty()) {
+      study.add_app(scenario.target, 0);
+    } else {
+      study.add_app(scenario.target, study.free_nodes() / 2);
+      study.add_app(scenario.background, 0);
+    }
+    run.report_json = report_to_json(study.run());
+    if (study.pdes() != nullptr) run.pdes = study.pdes()->stats();
+    run.engine = study.engine().stats();
+  }
+  run.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+          .count();
+  return run;
+}
+
+std::string kind_array(const std::array<std::uint64_t, EngineStats::kKinds + 1>& counts) {
+  std::string out = "[";
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += std::to_string(counts[k]);
+  }
+  return out + "]";
+}
+
+int run(int argc, char** argv) {
+  Caps caps;
+  caps.json = true;
+  caps.smoke = true;
+  caps.jobs = false;  // one cell at a time so wall numbers are clean
+  const Options options = Options::parse(argc, argv, /*default_scale=*/16, caps);
+
+  const std::string routing = options.routing.empty() ? "MIN" : options.routing;
+  StudyConfig base = options.config(routing);
+  if (options.smoke) base.topo = DragonflyParams::tiny();  // 72 nodes, 9 groups
+
+  const std::vector<int> thread_counts{1, 2, 4};
+  const std::vector<Scenario> scenarios{
+      {"fft3d_ur", "FFT3D", "UR"},
+      {"ur_flood", "UR", ""},
+  };
+
+  print_header("Intra-cell parallel engine (--cell-threads): " + routing +
+               ", threads 1/2/4, byte-identity checked (wall times on a 1-2 core "
+               "CI box measure overhead, not speedup)");
+
+  bool identical = true;
+  std::vector<std::vector<CellRun>> results;  // [scenario][thread index]
+  for (const Scenario& scenario : scenarios) {
+    results.emplace_back();
+    for (const int threads : thread_counts) {
+      results.back().push_back(run_cell(base, scenario, threads));
+      const CellRun& run = results.back().back();
+      if (run.report_json != results.back().front().report_json) {
+        identical = false;
+        std::fprintf(stderr, "%s: cell_threads=%d report differs from sequential!\n",
+                     scenario.name.c_str(), threads);
+      }
+      std::printf("%-10s threads=%d  %9.3f ms  domains=%d  windows=%llu  merged=%llu  "
+                  "cross=%llu\n",
+                  scenario.name.c_str(), threads, run.wall_ms, run.pdes.num_domains,
+                  static_cast<unsigned long long>(run.pdes.windows),
+                  static_cast<unsigned long long>(run.pdes.merged_events),
+                  static_cast<unsigned long long>(run.pdes.cross_domain_events));
+    }
+    print_rule();
+  }
+  std::printf("outputs byte-identical across thread counts: %s\n",
+              identical ? "yes" : "NO (regression!)");
+
+  if (!options.json_path.empty()) {
+    std::string json = "{\n  \"bench\": \"pdes\",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  \"routing\": \"%s\", \"scale\": %d, \"seed\": %llu, \"smoke\": %s,\n",
+                  routing.c_str(), options.scale,
+                  static_cast<unsigned long long>(options.seed),
+                  options.smoke ? "true" : "false");
+    json += buf;
+    json += "  \"scenarios\": [\n";
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const std::vector<CellRun>& runs = results[s];
+      json += "    {\"name\": \"" + scenarios[s].name + "\", \"cell_threads\": [";
+      for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+        json += (t > 0 ? ", " : "") + std::to_string(thread_counts[t]);
+      }
+      json += "],\n     \"wall_ms\": [";
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        std::snprintf(buf, sizeof buf, "%s%.3f", t > 0 ? ", " : "", runs[t].wall_ms);
+        json += buf;
+      }
+      json += "],\n     \"num_domains\": [";
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        json += (t > 0 ? ", " : "") + std::to_string(runs[t].pdes.num_domains);
+      }
+      json += "], \"lookahead_ps\": " + std::to_string(runs.back().pdes.lookahead);
+      json += ",\n     \"windows\": [";
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        json += (t > 0 ? ", " : "") + std::to_string(runs[t].pdes.windows);
+      }
+      json += "], \"merged_events\": [";
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        json += (t > 0 ? ", " : "") + std::to_string(runs[t].pdes.merged_events);
+      }
+      json += "], \"cross_domain_events\": [";
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        json += (t > 0 ? ", " : "") + std::to_string(runs[t].pdes.cross_domain_events);
+      }
+      // The engine's per-kind counters are identical across thread counts
+      // (the parallel run replays the same events); emit the sequential ones.
+      json += "],\n     \"engine\": {\"scheduled_total\": " +
+              std::to_string(runs.front().engine.scheduled_total()) +
+              ", \"executed_total\": " + std::to_string(runs.front().engine.executed_total()) +
+              ",\n       \"scheduled_by_kind\": " +
+              kind_array(runs.front().engine.scheduled_by_kind) +
+              ",\n       \"executed_by_kind\": " +
+              kind_array(runs.front().engine.executed_by_kind) + "}}";
+      json += s + 1 < scenarios.size() ? ",\n" : "\n";
+    }
+    json += "  ],\n  \"derived\": {\"identical_output\": ";
+    json += identical ? "true" : "false";
+    json += "}\n}\n";
+    save_json(options.json_path, json);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dfly::bench
+
+int main(int argc, char** argv) { return dfly::bench::run(argc, argv); }

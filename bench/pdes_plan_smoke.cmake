@@ -1,0 +1,40 @@
+# CTest script: run the committed Fig-4 campaign file through the unified
+# plan runner (`dflysim --plan`) at --cell-threads=1, 2 and 4 and require
+# byte-identical JSON Lines output — the intra-cell parallel engine
+# (src/sim/pdes.cpp) must be invisible to everything downstream of the
+# event order it replays. --cell-threads=1 resolves to the plain sequential
+# engine, so this also pins the parallel path against the sequential one.
+# The campaign is trimmed to the same 3-cell slice as plan_smoke.cmake.
+# Invoked by the pdes_plan_smoke test with -DDFLYSIM=<binary>
+# -DCAMPAIGN=<examples/fig4_campaign.cfg> -DWORK_DIR=<build dir>.
+set(ARGS --plan=${CAMPAIGN}
+    --set=plan.routings=MIN
+    --set=plan.targets=FFT3D
+    --set=plan.backgrounds=None,UR,LU
+    --set=scale=64
+    --jobs=1)
+
+foreach(threads 1 2 4)
+  execute_process(
+    COMMAND ${DFLYSIM} ${ARGS} --cell-threads=${threads}
+            --jsonl=${WORK_DIR}/pdes_plan_t${threads}.jsonl
+    RESULT_VARIABLE RUN_RESULT OUTPUT_QUIET)
+  if(NOT RUN_RESULT EQUAL 0)
+    message(FATAL_ERROR
+            "--cell-threads=${threads} plan run failed with exit code ${RUN_RESULT}")
+  endif()
+endforeach()
+
+foreach(threads 2 4)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/pdes_plan_t1.jsonl ${WORK_DIR}/pdes_plan_t${threads}.jsonl
+    RESULT_VARIABLE DIFF_RESULT)
+  if(NOT DIFF_RESULT EQUAL 0)
+    message(FATAL_ERROR
+            "--cell-threads=${threads} campaign JSONL differs from --cell-threads=1 "
+            "(parallel engine determinism regression)")
+  endif()
+endforeach()
+
+message(STATUS "cell-threads 1/2/4 campaign JSONL outputs are byte-identical")

@@ -23,7 +23,8 @@ SOCK=$WORK/serve_smoke.sock
 SPOOL=$WORK/serve_smoke.spool
 REF=$WORK/serve_smoke_ref.jsonl
 OUT=$WORK/serve_smoke.jsonl
-rm -rf "$SOCK" "$SPOOL" "$REF" "$OUT"
+CT=$WORK/serve_smoke_ct.jsonl
+rm -rf "$SOCK" "$SPOOL" "$REF" "$OUT" "$CT"
 
 cleanup() {
   [ -n "${SRV:-}" ] && kill "$SRV" 2>/dev/null
@@ -61,10 +62,23 @@ else
   exit 1
 fi
 
+echo "== submit with cell_threads=2; the streamed JSONL must not change =="
+"$DFLYSIM" --submit="$SOCK" --plan="$CAMPAIGN" "${SETS[@]}" --set=cell_threads=2 \
+    2>/dev/null > "$CT" || {
+  echo "FAIL: cell_threads submit exited $?"
+  exit 1
+}
+if cmp "$REF" "$CT"; then
+  echo "PASS: cell_threads=2 socket JSONL is byte-identical to the sequential reference"
+else
+  echo "FAIL: cell_threads=2 socket JSONL differs from the sequential reference"
+  exit 1
+fi
+
 echo "== submit again, SIGKILL the daemon mid-campaign =="
 "$DFLYSIM" --submit="$SOCK" --plan="$CAMPAIGN" "${SETS[@]}" >/dev/null 2>&1 &
 CLIENT=$!
-JOURNAL=$SPOOL/c000002.journal
+JOURNAL=$SPOOL/c000003.journal
 for _ in $(seq 1 3000); do
   [ -s "$JOURNAL" ] && break
   kill -0 "$SRV" 2>/dev/null || break
@@ -84,18 +98,18 @@ echo "== restart the daemon; it must resume the spooled campaign unprompted =="
 SRV=$!
 wait_for_socket
 for _ in $(seq 1 3000); do
-  [ -f "$SPOOL/c000002.done" ] && break
+  [ -f "$SPOOL/c000003.done" ] && break
   sleep 0.1
 done
 "$DFLYSIM" --shutdown="$SOCK" >/dev/null 2>&1
 wait "$SRV" 2>/dev/null
 SRV=
 
-if [ ! -f "$SPOOL/c000002.done" ]; then
+if [ ! -f "$SPOOL/c000003.done" ]; then
   echo "FAIL: restarted daemon never finished the spooled campaign"
   exit 1
 fi
-if cmp "$SPOOL/c000002.jsonl" "$REF"; then
+if cmp "$SPOOL/c000003.jsonl" "$REF"; then
   echo "PASS: resumed spool JSONL is byte-identical to the uninterrupted reference"
 else
   echo "FAIL: resumed spool JSONL differs from the reference"

@@ -295,6 +295,16 @@ const std::vector<KeySpec>& key_specs() {
          }
        },
        [](const C& c) { return format_double(c.wall_limit_s); }},
+      {"cell_threads",
+       [](C& c, const F& f, const std::string& k) {
+         c.cell_threads = f.get_int(k);
+         if (c.cell_threads < 0) {
+           throw std::invalid_argument("ConfigFile: " + f.where(k) +
+                                       ": 'cell_threads' must be >= 0 (0 = resolve from "
+                                       "DFSIM_CELL_THREADS)");
+         }
+       },
+       [](const C& c) { return std::to_string(c.cell_threads); }},
       {"net.flit_bytes",
        [](C& c, const F& f, const std::string& k) { c.net.flit_bytes = f.get_int(k); },
        [](const C& c) { return std::to_string(c.net.flit_bytes); }},

@@ -41,6 +41,25 @@ int ParallelRunner::resolve_jobs(int requested, int fallback) {
   return fallback < 1 ? 1 : fallback;
 }
 
+int ParallelRunner::resolve_cell_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DFSIM_CELL_THREADS")) {
+    // Same strict full-string parse as DFSIM_JOBS: a typo'd value must fail
+    // loudly, not silently run the wrong (or no) intra-cell parallelism.
+    char* end = nullptr;
+    errno = 0;
+    const long threads = std::strtol(env, &end, 10);
+    const bool starts_with_digit = env[0] >= '0' && env[0] <= '9';
+    if (!starts_with_digit || end == env || *end != '\0' || errno == ERANGE || threads < 1 ||
+        threads > INT_MAX) {
+      throw std::invalid_argument("DFSIM_CELL_THREADS must be a positive integer, got '" +
+                                  std::string(env) + "'");
+    }
+    return static_cast<int>(threads);
+  }
+  return 1;
+}
+
 namespace {
 
 /// The memory actually available to THIS process: the host's physical RAM,
@@ -76,10 +95,13 @@ std::uint64_t available_memory_bytes() {
 
 }  // namespace
 
-int ParallelRunner::memory_jobs_cap() {
+int ParallelRunner::memory_jobs_cap(int cell_threads) {
+  if (cell_threads < 1) cell_threads = 1;
+  const std::uint64_t budget =
+      kCellBudgetBytes + static_cast<std::uint64_t>(cell_threads - 1) * kDomainBudgetBytes;
   const std::uint64_t memory = available_memory_bytes();
   if (memory > 0) {
-    const std::uint64_t cells = memory / 2 / kCellBudgetBytes;
+    const std::uint64_t cells = memory / 2 / budget;
     if (cells < 1) return 1;
     if (cells > 256) return 256;
     return static_cast<int>(cells);
@@ -87,10 +109,11 @@ int ParallelRunner::memory_jobs_cap() {
   return 12;  // the pre-blueprint fixed cap, kept as the conservative fallback
 }
 
-int ParallelRunner::hardware_jobs() {
-  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+int ParallelRunner::hardware_jobs(int cell_threads) {
+  if (cell_threads < 1) cell_threads = 1;
+  int jobs = static_cast<int>(std::thread::hardware_concurrency()) / cell_threads;
   if (jobs < 1) jobs = 1;
-  const int cap = memory_jobs_cap();
+  const int cap = memory_jobs_cap(cell_threads);
   return jobs < cap ? jobs : cap;
 }
 

@@ -68,6 +68,13 @@ class ParallelRunner {
   /// `fallback` (clamped to >= 1).
   static int resolve_jobs(int requested, int fallback = 1);
 
+  /// Intra-cell thread-count resolution for --cell-threads (the second
+  /// parallelism level: threads *inside* one cell, src/sim/pdes.hpp).
+  /// `requested` > 0 wins; else DFSIM_CELL_THREADS with the same strict
+  /// full-string parse as DFSIM_JOBS; else 1 (sequential). Output never
+  /// depends on the resolved value.
+  static int resolve_cell_threads(int requested);
+
   /// Per-cell peak-RSS budget used by memory_jobs_cap(): the measured
   /// high-water mutable footprint of one full 1,056-node cell *with*
   /// blueprint sharing and arena reuse on, rounded up generously. Re-derive
@@ -83,10 +90,22 @@ class ParallelRunner {
   /// at kCellBudgetBytes each (the blueprint keeps the read-only plan out of
   /// that constant; pre-blueprint this was a fixed cap of 12 workers). Falls
   /// back to 12 when no limit can be determined; clamped to [1, 256].
-  static int memory_jobs_cap();
+  ///
+  /// `cell_threads` > 1 widens the per-cell budget: each extra domain engine
+  /// carries its own event heap, closure slab and packet-log shard
+  /// (kDomainBudgetBytes apiece), so `jobs x cell_threads` oversubscription
+  /// is charged for, not ignored.
+  static int memory_jobs_cap(int cell_threads = 1);
 
-  /// min(hardware_concurrency, memory_jobs_cap()), at least 1.
-  static int hardware_jobs();
+  /// Per-extra-domain memory charge under --cell-threads (heap + closures +
+  /// stats shard of one secondary engine; small next to the cell's pool and
+  /// router buffers, which stay shared across domains).
+  static constexpr std::uint64_t kDomainBudgetBytes = 16ull << 20;  // 16 MiB
+
+  /// min(hardware_concurrency / cell_threads, memory_jobs_cap(cell_threads)),
+  /// at least 1: the worker count that keeps jobs x cell_threads at or below
+  /// the machine's cores and memory.
+  static int hardware_jobs(int cell_threads = 1);
 
   /// Invoke fn(0) .. fn(n-1), sharded across jobs() worker threads
   /// (sequential when jobs() == 1 or n <= 1). `fn` must only touch state

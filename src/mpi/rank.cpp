@@ -11,13 +11,21 @@ constexpr std::uint32_t kResume = 1;
 }
 
 RankCtx::RankCtx(Job& job, int rank, int node, Rng rng)
-    : job_(&job), rank_(rank), node_(node), rng_(rng) {}
+    : job_(&job), rank_(rank), node_(node), rng_(rng) {
+  bind_engine();
+}
+
+void RankCtx::bind_engine() {
+  engine_ = &job_->network().engine_for_node(node_);
+  set_pdes_domain(engine_->pdes_domain_id());
+}
 
 void RankCtx::reinit(Job& job, int rank, int node, Rng rng) {
   job_ = &job;
   rank_ = rank;
   node_ = node;
   rng_ = rng;
+  bind_engine();
   match_.reset();
   slots_.clear();        // capacity kept: ids are handed out 0, 1, 2, ... again
   free_slots_.clear();
@@ -33,7 +41,9 @@ void RankCtx::reinit(Job& job, int rank, int node, Rng rng) {
 }
 
 int RankCtx::size() const { return job_->size(); }
-SimTime RankCtx::now() const { return job_->engine().now(); }
+// The rank's own domain engine: in a parallel cell the job's primary engine
+// may be mid-window on another domain's clock.
+SimTime RankCtx::now() const { return engine_->now(); }
 
 ReqId RankCtx::alloc_request() {
   if (free_slots_.empty()) {
@@ -127,7 +137,7 @@ void RankCtx::note_block() {
 void RankCtx::schedule_resume(std::coroutine_handle<> h, SimTime delay) {
   assert(!pending_resume_ && "one compute at a time per rank");
   pending_resume_ = h;
-  job_->engine().schedule_in(delay, *this, kResume);
+  engine_->schedule_in(delay, *this, kResume);
 }
 
 void RankCtx::handle(Engine&, const Event& event) {

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -46,75 +47,131 @@ struct Packet {
   bool ecn{false};           ///< congestion-experienced mark (net/congestion_control.hpp)
 };
 
-/// Free-list pool with stable addresses (deque-backed slabs).
+/// Free-list pool with stable addresses (fixed-size chunks behind a
+/// pre-allocated chunk directory).
 ///
-/// Reuse: reset() returns every slot to the free list while keeping the slab,
-/// so a pool that has grown to one cell's peak in-flight depth serves the
-/// next same-shape cell without touching the allocator (the arena reuse path,
-/// core/arena.hpp). A reset pool hands out slot ids 0, 1, 2, ... exactly like
-/// a fresh one, so reuse is invisible to the simulation.
+/// Reuse: reset() returns every slot to the free list while keeping the
+/// chunks, so a pool that has grown to one cell's peak in-flight depth serves
+/// the next same-shape cell without touching the allocator (the arena reuse
+/// path, core/arena.hpp). A reset pool hands out slot ids 0, 1, 2, ... exactly
+/// like a fresh one, so reuse is invisible to the simulation.
 ///
-/// Thread-safety: none, by design. A PacketPool belongs to one Network and
-/// therefore to one simulation cell; parallel sweeps (core/parallel.hpp)
-/// give every worker its own cell and never share a pool across threads.
+/// Thread-safety: a PacketPool belongs to one Network and therefore to one
+/// simulation cell. In a parallel cell (--cell-threads, src/sim/pdes.hpp)
+/// the cell's domains share it: set_locking(true) serialises alloc/release
+/// behind a mutex, while get() stays lock-free by construction — the chunk
+/// directory is a fixed array allocated up front (so lookups never race a
+/// growth reallocation), and a foreign domain only learns a packet id through
+/// a cross-domain event delivered at a barrier, which happens-after the chunk
+/// publication under the alloc mutex. Sequential cells leave locking off and
+/// pay one predictable branch per alloc/release.
 class PacketPool {
  public:
+  /// 4096 packets per chunk; the directory holds up to 4096 chunk pointers
+  /// (~16.7M concurrently-live packets, far beyond any cell's peak).
+  static constexpr std::uint32_t kChunkShift = 12;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kMaxChunks = 4096;
+
   Packet& alloc() {
+    const MaybeLock lock(locking_ ? mutex_.get() : nullptr);
     if (free_.empty()) {
-      slab_.emplace_back();
-      slab_.back().id = static_cast<std::uint32_t>(slab_.size() - 1);
-      if (slab_.size() > peak_in_use_) peak_in_use_ = slab_.size();
-      return slab_.back();
+      const std::uint32_t id = size_++;
+      if ((id & (kChunkSize - 1)) == 0) grow_chunk(id >> kChunkShift);
+      Packet& p = dir_[id >> kChunkShift][id & (kChunkSize - 1)];
+      p.id = id;
+      if (size_ > peak_in_use_) peak_in_use_ = size_;
+      return p;
     }
     const std::uint32_t id = free_.back();
     free_.pop_back();
-    Packet& p = slab_[id];
-    const std::uint32_t keep = p.id;
+    Packet& p = dir_[id >> kChunkShift][id & (kChunkSize - 1)];
     p = Packet{};
-    p.id = keep;
-    const std::size_t used = slab_.size() - free_.size();
+    p.id = id;
+    const std::size_t used = size_ - free_.size();
     if (used > peak_in_use_) peak_in_use_ = used;
     return p;
   }
 
-  void release(const Packet& p) { free_.push_back(p.id); }
+  void release(const Packet& p) {
+    const MaybeLock lock(locking_ ? mutex_.get() : nullptr);
+    free_.push_back(p.id);
+  }
 
-  /// Return every slot to the free list, keeping the slab storage. The free
+  /// Return every slot to the free list, keeping the chunk storage. The free
   /// list is rebuilt descending so the next allocations draw ids 0, 1, 2, ...
   /// — byte-identical behaviour to a freshly-constructed pool. Zeroes the
-  /// per-cell peak counter.
+  /// per-cell peak counter and turns locking back off.
   void reset() {
     free_.clear();
-    free_.reserve(slab_.size());
-    for (std::size_t id = slab_.size(); id-- > 0;) {
+    free_.reserve(size_);
+    for (std::size_t id = size_; id-- > 0;) {
       free_.push_back(static_cast<std::uint32_t>(id));
     }
     peak_in_use_ = 0;
+    locking_ = false;
   }
 
-  /// Grow the slab to at least `slots` packets. Only meaningful on an idle
+  /// Grow the storage to at least `slots` packets. Only meaningful on an idle
   /// pool (nothing in flight); call right after reset().
   void reserve(std::size_t slots) {
-    while (slab_.size() < slots) {
-      slab_.emplace_back();
-      slab_.back().id = static_cast<std::uint32_t>(slab_.size() - 1);
+    while (size_ < slots) {
+      const std::uint32_t id = size_++;
+      if ((id & (kChunkSize - 1)) == 0) grow_chunk(id >> kChunkShift);
+      dir_[id >> kChunkShift][id & (kChunkSize - 1)].id = id;
     }
     reset();
   }
 
-  Packet& get(std::uint32_t id) { return slab_[id]; }
-  const Packet& get(std::uint32_t id) const { return slab_[id]; }
+  /// Serialise alloc/release for a parallel cell. Enabled by Network when the
+  /// cell runs domains on multiple threads; reset() disables it again.
+  void set_locking(bool locking) {
+    if (locking && mutex_ == nullptr) mutex_ = std::make_unique<std::mutex>();
+    locking_ = locking;
+  }
 
-  std::size_t capacity() const { return slab_.size(); }
-  std::size_t in_use() const { return slab_.size() - free_.size(); }
+  Packet& get(std::uint32_t id) { return dir_[id >> kChunkShift][id & (kChunkSize - 1)]; }
+  const Packet& get(std::uint32_t id) const {
+    return dir_[id >> kChunkShift][id & (kChunkSize - 1)];
+  }
+
+  std::size_t capacity() const { return size_; }
+  std::size_t in_use() const { return size_ - free_.size(); }
   /// High-water mark of simultaneously-allocated packets since construction
   /// or the last reset().
   std::size_t peak_in_use() const { return peak_in_use_; }
 
  private:
-  std::deque<Packet> slab_;
+  /// Locks the pool mutex only when locking is enabled; the sequential path
+  /// pays one branch.
+  class MaybeLock {
+   public:
+    explicit MaybeLock(std::mutex* mutex) : mutex_(mutex) {
+      if (mutex_ != nullptr) mutex_->lock();
+    }
+    ~MaybeLock() {
+      if (mutex_ != nullptr) mutex_->unlock();
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+
+   private:
+    std::mutex* mutex_;
+  };
+
+  /// Publish a new chunk. The directory itself is allocated once, lazily, at
+  /// its full fixed size, so get() never observes it mid-reallocation.
+  void grow_chunk(std::uint32_t chunk) {
+    if (dir_ == nullptr) dir_ = std::make_unique<std::unique_ptr<Packet[]>[]>(kMaxChunks);
+    dir_[chunk] = std::make_unique<Packet[]>(kChunkSize);
+  }
+
+  std::unique_ptr<std::unique_ptr<Packet[]>[]> dir_;
+  std::uint32_t size_{0};  ///< slots constructed across all chunks
   std::vector<std::uint32_t> free_;
   std::size_t peak_in_use_{0};
+  std::unique_ptr<std::mutex> mutex_;  ///< created on first set_locking(true)
+  bool locking_{false};
 };
 
 }  // namespace dfly

@@ -35,6 +35,15 @@ struct RoutingContext {
 std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
                                                const RoutingContext& context);
 
+/// Whether a policy is eligible for intra-cell parallel execution under
+/// --cell-threads (src/sim/pdes.hpp). True for the stateless-per-packet
+/// policies — MIN, VALg, VALn, UGALg, UGALn, PAR — whose decisions read only
+/// the deciding router's own state, which lives in that router's domain.
+/// False for the learning/flow-table policies (Q-adp, FlowUGAL, AppAware),
+/// which mutate routing state shared across groups on every packet; Study
+/// silently falls back to the sequential engine for those.
+bool is_cell_parallel(const std::string& name);
+
 /// The four policies evaluated in the paper, in figure order.
 const std::vector<std::string>& paper_routings();
 

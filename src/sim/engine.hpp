@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -11,6 +12,34 @@
 #include "sim/time.hpp"
 
 namespace dfly {
+
+class PdesCell;
+
+/// Cheap per-event-kind schedule/execute counters (Engine::stats()). Kinds
+/// 0..15 get their own slot; anything larger lands in the overflow slot so a
+/// stray kind cannot index out of bounds. The counters cost one array
+/// increment per schedule/dispatch and exist so perf work can see where event
+/// volume lives (bench_micro_engine / bench_memory surface them) — they never
+/// appear in simulation reports.
+struct EngineStats {
+  static constexpr std::size_t kKinds = 16;
+  std::array<std::uint64_t, kKinds + 1> scheduled_by_kind{};
+  std::array<std::uint64_t, kKinds + 1> executed_by_kind{};
+
+  static std::size_t slot(std::uint32_t kind) {
+    return kind < kKinds ? kind : kKinds;
+  }
+  std::uint64_t scheduled_total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : scheduled_by_kind) sum += v;
+    return sum;
+  }
+  std::uint64_t executed_total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : executed_by_kind) sum += v;
+    return sum;
+  }
+};
 
 /// Thrown by Engine::run() when the cooperative wall-clock deadline set with
 /// set_wall_deadline() expires. Campaign drivers (core/plan.hpp) catch this
@@ -60,6 +89,11 @@ class Engine {
   SimTime now() const { return now_; }
 
   /// Schedule `target->handle` at absolute time `when` (>= now).
+  ///
+  /// When this engine is one domain of a group-partitioned parallel cell
+  /// (src/sim/pdes.hpp), the call is routed through the cell so cross-domain
+  /// events land in the creating domain's emission log instead of a foreign
+  /// heap; the sequential path pays one predicted-not-taken branch.
   void schedule_at(SimTime when, Component& target, std::uint32_t kind,
                    std::uint64_t a = 0, std::uint64_t b = 0);
 
@@ -147,6 +181,14 @@ class Engine {
   /// (test hook for the reclamation guarantee).
   std::size_t live_closures() const { return live_closures_; }
 
+  /// Per-event-kind schedule/execute counters since construction or the last
+  /// reset(). Observability only — never part of a simulation report.
+  const EngineStats& stats() const { return stats_; }
+
+  /// Domain index of this engine inside a parallel cell (0 when sequential
+  /// or when this engine is the cell's first domain).
+  std::int32_t pdes_domain_id() const { return pdes_domain_id_; }
+
   /// High-water mark of concurrently-queued events since construction or the
   /// last reset() (sizes the next cell's reserve carry-forward).
   std::size_t peak_queued() const { return peak_queued_; }
@@ -190,6 +232,30 @@ class Engine {
   void dispatch(const Entry& entry);
   void release_closure(std::uint32_t slot);
 
+  /// Parallel-cell hooks (PdesCell only). push_raw inserts an event with a
+  /// caller-chosen sequence number, bypassing both next_seq_ and the pdes
+  /// routing in schedule_at — the cell uses it to deliver barrier-merged
+  /// events with their canonical global seq. attach_pdes/detach_pdes bind
+  /// this engine to a cell as domain `domain_id`.
+  void push_raw(SimTime when, std::uint64_t seq, Component& target,
+                std::uint32_t kind, std::uint64_t a, std::uint64_t b) {
+    push(make_key(when, seq), Payload{&target, kind, a, b});
+  }
+  void attach_pdes(PdesCell* cell, std::int32_t domain_id) {
+    pdes_ = cell;
+    pdes_domain_id_ = domain_id;
+  }
+  void detach_pdes() {
+    pdes_ = nullptr;
+    pdes_domain_id_ = 0;
+  }
+  /// Seq of the event currently being dispatched (the would-be creator seq
+  /// for anything its handler schedules).
+  std::uint64_t cur_seq() const { return cur_seq_; }
+
+  friend class PdesCell;
+  friend class PdesRunner;
+
   /// One-per-event watchdog probe: counts down kDeadlineStride events, then
   /// reads the real clock and throws WallDeadlineExceeded when it has passed
   /// the armed deadline. The countdown starts at 0 so the very first event
@@ -218,6 +284,12 @@ class Engine {
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
   std::size_t peak_queued_{0};
+  EngineStats stats_;
+  // Parallel-cell binding: when pdes_ is set, schedule_at routes through the
+  // cell (src/sim/pdes.hpp) instead of pushing into the local heap directly.
+  PdesCell* pdes_{nullptr};
+  std::int32_t pdes_domain_id_{0};
+  std::uint64_t cur_seq_{0};  ///< seq of the event currently dispatching
   // Cooperative wall-clock watchdog (see set_wall_deadline()).
   std::chrono::steady_clock::time_point wall_deadline_{};
   std::uint32_t deadline_stride_{0};

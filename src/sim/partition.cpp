@@ -1,0 +1,51 @@
+#include "sim/partition.hpp"
+
+#include "core/blueprint.hpp"
+
+namespace dfly {
+
+CellPartition CellPartition::build(const SystemBlueprint& blueprint, int threads) {
+  const Dragonfly& topo = blueprint.topo();
+  const int groups = topo.num_groups();
+  CellPartition part;
+  part.num_domains = threads < groups ? threads : groups;
+  if (part.num_domains < 1) part.num_domains = 1;
+
+  const int routers = topo.num_routers();
+  const int nodes = topo.num_nodes();
+  part.router_domain.resize(static_cast<std::size_t>(routers));
+  part.node_domain.resize(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < routers; ++r) {
+    const std::int64_t group = topo.group_of_router(r);
+    part.router_domain[static_cast<std::size_t>(r)] =
+        static_cast<std::int32_t>(group * part.num_domains / groups);
+  }
+  for (int n = 0; n < nodes; ++n) {
+    part.node_domain[static_cast<std::size_t>(n)] =
+        part.router_domain[static_cast<std::size_t>(topo.router_of_node(n))];
+  }
+
+  // Lookahead: minimum plan latency over wires whose endpoint routers live in
+  // different domains. Groups are contiguous blocks, so local and terminal
+  // wires never cross; only global links can. Router::transmit schedules the
+  // peer's arrival at busy_until + latency + extra_latency (+ router_latency),
+  // and busy_until >= now, so every cross-domain event lands at least
+  // `lookahead` past the sender's clock.
+  const int radix = topo.radix();
+  SimTime lookahead = 0;
+  for (int r = 0; r < routers; ++r) {
+    for (int port = 0; port < radix; ++port) {
+      const SystemBlueprint::PortPlan& plan = blueprint.port(r, port);
+      if (plan.peer_router < 0) continue;  // terminal wire (NIC peer)
+      if (part.router_domain[static_cast<std::size_t>(r)] ==
+          part.router_domain[static_cast<std::size_t>(plan.peer_router)]) {
+        continue;
+      }
+      if (lookahead == 0 || plan.latency < lookahead) lookahead = plan.latency;
+    }
+  }
+  part.lookahead = part.num_domains > 1 ? lookahead : 0;
+  return part;
+}
+
+}  // namespace dfly

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dfly {
+
+class SystemBlueprint;
+
+/// Static domain map for an intra-cell parallel run (src/sim/pdes.hpp).
+///
+/// Routers and NICs are partitioned by Dragonfly group into `num_domains`
+/// contiguous blocks — every router of a group, and every NIC attached to it,
+/// lands in the same domain, so local and terminal wires never cross a domain
+/// boundary. The only cross-domain edges are global links, whose plan latency
+/// bounds how far one domain can run ahead of another: `lookahead` is the
+/// minimum plan latency over all cross-domain wires (fault degradation only
+/// ADDS latency on top of the plan, so the plan value is a safe lower bound).
+///
+/// A partition with fewer than two domains, or zero lookahead, means the cell
+/// cannot be parallelised and the caller falls back to the sequential engine.
+struct CellPartition {
+  std::int32_t num_domains{1};
+  SimTime lookahead{0};                    ///< min cross-domain wire latency
+  std::vector<std::int32_t> router_domain; ///< router id -> domain
+  std::vector<std::int32_t> node_domain;   ///< node id -> domain
+
+  std::int32_t domain_of_router(int router) const { return router_domain[router]; }
+  std::int32_t domain_of_node(int node) const { return node_domain[node]; }
+
+  /// Partition the blueprint's topology into min(threads, num_groups)
+  /// domains of contiguous groups (domain(g) = g * D / G, so block sizes
+  /// differ by at most one group) and compute the cross-domain lookahead
+  /// from the blueprint's port plan.
+  static CellPartition build(const SystemBlueprint& blueprint, int threads);
+};
+
+}  // namespace dfly

@@ -34,6 +34,18 @@ void PacketLog::record(const PacketRecord& record) {
   if (keep_records_) records_.push_back(record);
 }
 
+void PacketLog::merge_from(const PacketLog& other) {
+  for (std::size_t app = 0; app < per_app_lat_.size(); ++app) {
+    per_app_lat_[app].merge(other.per_app_lat_[app]);
+    per_app_bytes_[app].merge_from(other.per_app_bytes_[app]);
+    per_app_count_[app] += other.per_app_count_[app];
+    per_app_nonmin_[app] += other.per_app_nonmin_[app];
+    per_app_hops_[app] += other.per_app_hops_[app];
+  }
+  system_lat_.merge(other.system_lat_);
+  system_bytes_.merge_from(other.system_bytes_);
+}
+
 Histogram PacketLog::latency_between(int app_id, SimTime t0, SimTime t1) const {
   Histogram out;
   for (const auto& r : records_) {

@@ -27,6 +27,15 @@ class TimeSeries {
     buckets_[idx] += value;
   }
 
+  /// Element-wise accumulate another series with the same bucket width
+  /// (extending to its length). Bucket values are integer-valued doubles far
+  /// below 2^53 (byte counts), so the addition is exact and order-independent
+  /// — parallel-cell shard merging (src/sim/pdes.hpp) relies on this.
+  void merge_from(const TimeSeries& other) {
+    if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0.0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  }
+
   SimTime bucket_width() const { return bucket_width_; }
   std::size_t num_buckets() const { return buckets_.size(); }
   double bucket(std::size_t i) const { return i < buckets_.size() ? buckets_[i] : 0.0; }

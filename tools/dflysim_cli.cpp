@@ -81,6 +81,7 @@ struct CliOptions {
   std::string trace_path;
   int sweep{1};
   int jobs{0};  ///< sweep/plan worker threads; 0 = DFSIM_JOBS, else sequential
+  int cell_threads{0};  ///< intra-cell threads; 0 = DFSIM_CELL_THREADS, else 1
   // Campaign mode (core/plan.hpp):
   std::string plan_path;                                    ///< --plan=FILE
   std::vector<std::pair<std::string, std::string>> sets;    ///< --set=KEY=VALUE
@@ -148,6 +149,11 @@ struct CliOptions {
       "  --jobs=N             worker threads for --sweep cells (default: the\n"
       "                       DFSIM_JOBS env var, else 1; output is identical\n"
       "                       for any N)\n"
+      "  --cell-threads=N     threads *inside* each cell: partition the groups\n"
+      "                       across N domain engines (default: the\n"
+      "                       DFSIM_CELL_THREADS env var, else 1; output is\n"
+      "                       byte-identical for any N; ineligible cells fall\n"
+      "                       back to sequential; total threads ~ jobs x N)\n"
       "  --no-arena           rebuild every sweep cell from scratch instead of\n"
       "                       reusing per-worker arena storage (DFSIM_NO_ARENA\n"
       "                       does the same; output is identical either way)\n"
@@ -241,6 +247,9 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       options.jobs = std::stoi(value_of(arg));
       if (options.jobs < 0) options.jobs = 0;  // 0 = auto (DFSIM_JOBS, else 1)
+    } else if (std::strncmp(arg, "--cell-threads=", 15) == 0) {
+      options.cell_threads = std::stoi(value_of(arg));
+      if (options.cell_threads < 0) options.cell_threads = 0;  // 0 = auto
     } else if (std::strcmp(arg, "--no-arena") == 0) {
       set_arena_enabled(false);
     } else if (std::strcmp(arg, "--no-blueprint") == 0) {
@@ -419,6 +428,7 @@ CliOptions parse_cli(int argc, char** argv) {
 Report run_once(const CliOptions& options, std::uint64_t seed, bool side_outputs) {
   StudyConfig config = options.config;
   config.seed = seed;
+  if (config.cell_threads == 0) config.cell_threads = options.cell_threads;
   Study study(std::move(config));
   for (const AppSpec& spec : options.apps) study.add_app(spec.name, spec.nodes);
   if (side_outputs && options.trace_app >= 0) study.record_trace(options.trace_app);
@@ -489,6 +499,7 @@ int run_campaign(const CliOptions& options) {
 
   RunPlanOptions run_options;
   run_options.jobs = options.jobs;
+  run_options.cell_threads = options.cell_threads;
   if (!options.shard.empty()) run_options.shard = parse_shard(options.shard);
 
   // Journal / resume (docs/ROBUSTNESS.md). Order matters: recover the
