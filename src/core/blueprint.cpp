@@ -129,6 +129,7 @@ SystemBlueprint::SystemBlueprint(BlueprintKey key)
     : key_(std::move(key)), topo_(key_.topo), links_(topo_), radix_(topo_.radix()) {}
 
 std::shared_ptr<const SystemBlueprint> SystemBlueprint::build(const StudyConfig& config) {
+  // dfsim-lint: allow(det-clock) build_ms_ is cache diagnostics, not output
   const auto t0 = std::chrono::steady_clock::now();
   // make_shared needs a public ctor; the private-ctor new is fine here.
   std::shared_ptr<SystemBlueprint> bp(new SystemBlueprint(BlueprintKey::of(config)));
@@ -162,9 +163,10 @@ std::shared_ptr<const SystemBlueprint> SystemBlueprint::build(const StudyConfig&
     bp->qinit_ = routing::build_initial_qtables(topo, bp->key_.net);
   }
 
-  bp->build_ms_ = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+  // dfsim-lint: allow(det-clock) build_ms_ is cache diagnostics, not output
+  const auto t1 = std::chrono::steady_clock::now();
+  bp->build_ms_ =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0).count();
   return bp;
 }
 
@@ -186,7 +188,7 @@ BlueprintCache* BlueprintCache::current() { return t_current_cache; }
 std::shared_ptr<const SystemBlueprint> BlueprintCache::get_or_build(const StudyConfig& config) {
   const BlueprintKey key = BlueprintKey::of(config);
   const std::size_t hash = key.hash();
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& bucket = by_hash_[hash];
   for (const auto& entry : bucket) {
     if (entry->key() == key) {
@@ -202,13 +204,15 @@ std::shared_ptr<const SystemBlueprint> BlueprintCache::get_or_build(const StudyC
 }
 
 BlueprintCache::Stats BlueprintCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t BlueprintCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t n = 0;
+  // dfsim-lint: allow(det-unordered-iter) summing bucket sizes is
+  // order-independent; nothing here reaches simulation output.
   for (const auto& [hash, bucket] : by_hash_) n += bucket.size();
   return n;
 }

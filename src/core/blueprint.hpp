@@ -2,10 +2,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "core/mutex.hpp"
 
 #include "mpi/job.hpp"
 #include "net/config.hpp"
@@ -169,10 +170,13 @@ class BlueprintCache {
   static BlueprintCache* current();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // hash -> entries with that hash (collisions resolved by key equality).
-  std::unordered_map<std::size_t, std::vector<std::shared_ptr<const SystemBlueprint>>> by_hash_;
-  Stats stats_;
+  // Workers race get_or_build on the same shapes, so both the table and the
+  // stats are provably lock-protected (see core/thread_annotations.hpp).
+  std::unordered_map<std::size_t, std::vector<std::shared_ptr<const SystemBlueprint>>> by_hash_
+      GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 /// RAII binding of a cache to the calling thread (see BlueprintCache::

@@ -8,12 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "core/arena.hpp"
 #include "core/blueprint.hpp"
+#include "core/mutex.hpp"
 
 namespace dfly {
 
@@ -169,7 +169,17 @@ void ParallelRunner::run_indexed(std::size_t n, const std::function<void(std::si
   const bool use_arena = arena_enabled();
   BlueprintCache blueprint_cache;
   BlueprintCache* shared_cache = blueprint_enabled() ? &blueprint_cache : nullptr;
-  std::exception_ptr first_error;
+  // The cross-worker error channel, shaped so the thread-safety analysis can
+  // prove the discipline: `first` is only touched under `mutex`.
+  struct FirstError {
+    Mutex mutex;
+    std::exception_ptr first GUARDED_BY(mutex);
+
+    std::exception_ptr take() {
+      const MutexLock lock(mutex);
+      return first;
+    }
+  } error;
   if (workers <= 1) {
     SimArena arena;
     ScopedArenaBinding binding(use_arena ? &arena : nullptr);
@@ -181,7 +191,8 @@ void ParallelRunner::run_indexed(std::size_t n, const std::function<void(std::si
         WorkerErrors::Worker& me = collected.workers[0];
         if (me.failures++ == 0) {
           me.first = current_exception_message();
-          first_error = std::current_exception();
+          const MutexLock lock(error.mutex);
+          error.first = std::current_exception();
         }
         if (stop_early) break;
       }
@@ -191,7 +202,6 @@ void ParallelRunner::run_indexed(std::size_t n, const std::function<void(std::si
     // so a cheap cell never waits behind an expensive one on the same worker.
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::mutex error_mutex;
     auto worker = [&](std::size_t id) {
       SimArena arena;
       ScopedArenaBinding binding(use_arena ? &arena : nullptr);
@@ -205,8 +215,8 @@ void ParallelRunner::run_indexed(std::size_t n, const std::function<void(std::si
           fn(i);
         } catch (...) {
           if (me.failures++ == 0) me.first = current_exception_message();
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          const MutexLock lock(error.mutex);
+          if (!error.first) error.first = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
         }
       }
@@ -222,7 +232,7 @@ void ParallelRunner::run_indexed(std::size_t n, const std::function<void(std::si
     *errors = std::move(collected);
     return;  // diagnostic mode: the caller owns failure policy, no rethrow
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (std::exception_ptr first = error.take()) std::rethrow_exception(first);
 }
 
 // --- SubmissionQueue ---------------------------------------------------------
@@ -238,7 +248,7 @@ SubmissionQueue::SubmissionQueue(int jobs, int fallback)
 
 SubmissionQueue::~SubmissionQueue() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -252,9 +262,11 @@ void SubmissionQueue::worker_main(std::size_t id) {
   SimArena arena;
   ScopedArenaBinding binding(arena_enabled() ? &arena : nullptr);
   ScopedBlueprintCacheBinding cache_binding(blueprint_enabled() ? cache_.get() : nullptr);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    // Explicit wait loop (not a predicate lambda) so the thread-safety
+    // analysis sees every read of the guarded fields under the lock.
+    while (!stopping_ && pending_.empty()) lock.wait(work_cv_);
     if (pending_.empty()) {
       if (stopping_) return;
       continue;
@@ -292,11 +304,11 @@ void SubmissionQueue::run_indexed(std::size_t n, const std::function<void(std::s
   batch.fn = &fn;
   batch.remaining = n;
   batch.errors.workers.resize(static_cast<std::size_t>(jobs_));
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (stopping_) throw std::runtime_error("SubmissionQueue: pool is shutting down");
   pending_.push_back(&batch);
   work_cv_.notify_all();
-  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  while (batch.remaining != 0) lock.wait(batch.done_cv);
   if (errors != nullptr) *errors = std::move(batch.errors);
 }
 

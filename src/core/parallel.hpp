@@ -6,10 +6,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.hpp"
 
 /// Parallel experiment execution.
 ///
@@ -194,6 +195,10 @@ class SubmissionQueue {
                    WorkerErrors* errors = nullptr);
 
  private:
+  /// One run_indexed() call in flight. Every field is written under the
+  /// queue-wide mutex_ (a nested struct cannot name the enclosing member in
+  /// GUARDED_BY, so the discipline is enforced at the SubmissionQueue level:
+  /// batches are only reachable through pending_, which is guarded).
   struct Batch {
     std::size_t n{0};
     const std::function<void(std::size_t)>* fn{nullptr};
@@ -207,10 +212,10 @@ class SubmissionQueue {
 
   int jobs_;
   std::unique_ptr<BlueprintCache> cache_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable work_cv_;
-  std::deque<Batch*> pending_;  ///< batches with unclaimed cells, FIFO
-  bool stopping_{false};
+  std::deque<Batch*> pending_ GUARDED_BY(mutex_);  ///< unclaimed batches, FIFO
+  bool stopping_ GUARDED_BY(mutex_){false};
   std::vector<std::thread> workers_;
 };
 

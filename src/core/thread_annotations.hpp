@@ -1,0 +1,55 @@
+#pragma once
+
+/// Clang Thread Safety Analysis annotation macros.
+///
+/// These macros wrap Clang's `-Wthread-safety` attributes so that lock
+/// discipline — which mutex guards which field, which functions must (or must
+/// not) be called with a lock held — is part of a declaration and checked at
+/// COMPILE TIME, not just exercised at runtime by the TSan CI leg. On any
+/// compiler without the attributes (GCC builds the default CI matrix) every
+/// macro expands to nothing, so annotated headers stay portable.
+///
+/// The vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+///  - CAPABILITY("mutex")   on a class: instances are lockable capabilities.
+///  - GUARDED_BY(mu)        on a field: reads and writes require holding mu.
+///  - PT_GUARDED_BY(mu)     on a pointer field: the pointee requires mu.
+///  - REQUIRES(mu)          on a function: callers must already hold mu.
+///  - ACQUIRE(mu)/RELEASE(mu) on functions that take / drop the lock.
+///  - EXCLUDES(mu)          on a function: callers must NOT hold mu (catches
+///                          self-deadlock on non-recursive mutexes).
+///  - SCOPED_CAPABILITY     on RAII lock holders (see core/mutex.hpp).
+///  - NO_THREAD_SAFETY_ANALYSIS escape hatch — always pair with a comment
+///                          saying why the analysis cannot see the invariant.
+///
+/// The `static-analysis` CI job compiles the tree with clang and
+/// `-Wthread-safety -Wthread-safety-beta` promoted to errors, so deleting a
+/// lock acquisition around any GUARDED_BY field breaks the build. See
+/// docs/STATIC_ANALYSIS.md for how the layers (annotations, TSan, dfsim-lint,
+/// clang-tidy) divide the work.
+
+#if defined(__clang__) && !defined(SWIG)
+#define DFSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DFSIM_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no TSA attributes
+#endif
+
+#define CAPABILITY(x) DFSIM_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY DFSIM_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) DFSIM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) DFSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) DFSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DFSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) DFSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) DFSIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) DFSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) DFSIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DFSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) DFSIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) DFSIM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) DFSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) DFSIM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) DFSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) DFSIM_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) DFSIM_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) DFSIM_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS DFSIM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -40,18 +40,16 @@ RouteDecision FlowAwareRouting::route(Router& router, Packet& pkt) {
   const int dst_group = topo.group_of_router(dst_router_of(router, pkt));
   if (pkt.hops == 0 && dst_group != router.group()) {
     const std::uint64_t key = flow_key(pkt);
-    auto it = flows_.find(key);
+    FlowEntry* slot = flows_.find(key);
     const SimTime now = router.engine().now();
-    if (it == flows_.end() || now - it->second.decided_at >= params_.refresh_period) {
-      const FlowEntry fresh = decide(router, pkt);
-      if (it == flows_.end()) {
-        it = flows_.emplace(key, fresh).first;
-      } else {
-        it->second = fresh;
-        ++refreshes_;
-      }
+    if (slot == nullptr) {
+      flows_.emplace(key, decide(router, pkt));
+      slot = flows_.find(key);
+    } else if (now - slot->decided_at >= params_.refresh_period) {
+      *slot = decide(router, pkt);
+      ++refreshes_;
     }
-    const FlowEntry& entry = it->second;
+    const FlowEntry& entry = *slot;
     if (entry.int_group >= 0) {
       commit_valiant(pkt, entry.int_group, entry.int_router);
       pkt.phase = RoutePhase::kAtSource;

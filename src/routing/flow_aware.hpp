@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "core/flat_map.hpp"
 #include "net/routing_iface.hpp"
 #include "routing/ugal.hpp"
 #include "sim/time.hpp"
@@ -50,6 +50,8 @@ class FlowAwareRouting final : public RoutingAlgorithm {
     SimTime decided_at{0};
   };
 
+  /// FlatMap keys must be non-zero: key 0 would mean node 0 sending to
+  /// itself, and route() only consults the table for inter-group packets.
   static std::uint64_t flow_key(const Packet& pkt) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pkt.src_node)) << 32) |
            static_cast<std::uint32_t>(pkt.dst_node);
@@ -58,8 +60,10 @@ class FlowAwareRouting final : public RoutingAlgorithm {
   FlowEntry decide(Router& router, Packet& pkt) const;
 
   // Immutable parameterisation; the flow table below is per-cell state.
+  // Open-addressing FlatMap: flows are never erased, so steady state is
+  // zero-allocation once the table has seen every active (src, dst) pair.
   const FlowAwareParams params_;
-  std::unordered_map<std::uint64_t, FlowEntry> flows_;
+  FlatMap<FlowEntry> flows_;
   std::uint64_t refreshes_{0};
 };
 

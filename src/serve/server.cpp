@@ -104,6 +104,7 @@ Server::~Server() {
 }
 
 std::string Server::next_campaign_id() {
+  const MutexLock lock(mutex_);
   char buffer[16];
   std::snprintf(buffer, sizeof(buffer), "c%06zu", next_id_++);
   return buffer;
@@ -117,20 +118,23 @@ void Server::scan_spool_for_resume() {
   DIR* dir = ::opendir(options_.spool_dir.c_str());
   if (dir == nullptr) throw std::runtime_error(errno_text("opendir '" + options_.spool_dir + "'"));
   std::vector<std::string> unfinished;
-  while (const dirent* entry = ::readdir(dir)) {
-    const std::string name = entry->d_name;
-    const std::string suffix = ".plan";
-    if (name.size() <= suffix.size() ||
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-      continue;
+  {
+    const MutexLock lock(mutex_);
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      const std::string suffix = ".plan";
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        continue;
+      }
+      const std::string id = name.substr(0, name.size() - suffix.size());
+      if (id.size() < 2 || id[0] != 'c') continue;
+      char* end = nullptr;
+      const unsigned long number = std::strtoul(id.c_str() + 1, &end, 10);
+      if (end == nullptr || *end != '\0') continue;
+      if (number + 1 > next_id_) next_id_ = number + 1;
+      if (!file_exists(options_.spool_dir + "/" + id + ".done")) unfinished.push_back(id);
     }
-    const std::string id = name.substr(0, name.size() - suffix.size());
-    if (id.size() < 2 || id[0] != 'c') continue;
-    char* end = nullptr;
-    const unsigned long number = std::strtoul(id.c_str() + 1, &end, 10);
-    if (end == nullptr || *end != '\0') continue;
-    if (number + 1 > next_id_) next_id_ = number + 1;
-    if (!file_exists(options_.spool_dir + "/" + id + ".done")) unfinished.push_back(id);
   }
   ::closedir(dir);
 
@@ -145,12 +149,17 @@ void Server::scan_spool_for_resume() {
 }
 
 void Server::start_campaign(const std::shared_ptr<Campaign>& campaign) {
+  const MutexLock lock(mutex_);
   campaigns_[campaign->id()] = campaign;
   SubmissionQueue* queue = &queue_;
   drivers_.emplace_back(std::thread([campaign, queue] { campaign->run(*queue); }), campaign);
 }
 
 void Server::reap_finished_drivers(bool join_all) {
+  // join() can block (join_all drains whole campaigns), but only the
+  // acceptor thread ever takes mutex_, so holding it across the join cannot
+  // deadlock — campaign drivers never touch Server state.
+  const MutexLock lock(mutex_);
   for (auto it = drivers_.begin(); it != drivers_.end();) {
     if (join_all || it->second->finished()) {
       it->first.join();
@@ -222,13 +231,18 @@ void Server::dispatch(const std::string& line, int fd) {
   }
 
   if (request.op == "status" || request.op == "cancel") {
-    const auto it = campaigns_.find(request.campaign);
-    if (it == campaigns_.end()) {
+    std::shared_ptr<Campaign> campaign;
+    {
+      const MutexLock lock(mutex_);
+      const auto it = campaigns_.find(request.campaign);
+      if (it != campaigns_.end()) campaign = it->second;
+    }
+    if (campaign == nullptr) {
       reply_and_close(fd, error_line("unknown campaign '" + request.campaign + "'"));
       return;
     }
     if (request.op == "cancel") {
-      it->second->cancel();
+      campaign->cancel();
       JsonWriter w;
       w.begin_object();
       w.key("serve").value("ok");
@@ -237,21 +251,26 @@ void Server::dispatch(const std::string& line, int fd) {
       reply_and_close(fd, w.str());
       return;
     }
-    reply_and_close(fd, it->second->status_line());
+    reply_and_close(fd, campaign->status_line());
     return;
   }
 
   if (request.op == "stats") {
     std::size_t active = 0;
-    for (const auto& [id, campaign] : campaigns_) {
-      if (!campaign->finished()) ++active;
+    std::size_t total = 0;
+    {
+      const MutexLock lock(mutex_);
+      total = campaigns_.size();
+      for (const auto& [id, campaign] : campaigns_) {
+        if (!campaign->finished()) ++active;
+      }
     }
     const BlueprintCache::Stats stats = queue_.cache().stats();
     JsonWriter w;
     w.begin_object();
     w.key("serve").value("stats");
     w.key("jobs").value(queue_.jobs());
-    w.key("campaigns").value(static_cast<std::uint64_t>(campaigns_.size()));
+    w.key("campaigns").value(static_cast<std::uint64_t>(total));
     w.key("active").value(static_cast<std::uint64_t>(active));
     w.key("blueprint_hits").value(static_cast<std::uint64_t>(stats.hits));
     w.key("blueprint_misses").value(static_cast<std::uint64_t>(stats.misses));
@@ -333,6 +352,7 @@ int Server::serve() {
   pending_.clear();
 
   if (!shutdown_drain_) {
+    const MutexLock lock(mutex_);
     for (const auto& [id, campaign] : campaigns_) campaign->cancel();
   }
   reap_finished_drivers(/*join_all=*/true);

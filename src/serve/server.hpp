@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/blueprint.hpp"
+#include "core/mutex.hpp"
 #include "core/parallel.hpp"
 #include "serve/session.hpp"
 
@@ -70,25 +71,32 @@ class Server {
     std::string buffer;
   };
 
-  void scan_spool_for_resume();
-  void start_campaign(const std::shared_ptr<Campaign>& campaign);
+  void scan_spool_for_resume() EXCLUDES(mutex_);
+  void start_campaign(const std::shared_ptr<Campaign>& campaign) EXCLUDES(mutex_);
   /// Handle one complete request line; owns the decision to keep `fd` (a
   /// submit hands it to the campaign) or close it. Never throws.
-  void dispatch(const std::string& line, int fd);
+  void dispatch(const std::string& line, int fd) EXCLUDES(mutex_);
   void reply_and_close(int fd, const std::string& line);
-  std::string next_campaign_id();
-  void reap_finished_drivers(bool join_all);
+  std::string next_campaign_id() EXCLUDES(mutex_);
+  void reap_finished_drivers(bool join_all) EXCLUDES(mutex_);
 
   ServeOptions options_;
   SubmissionQueue queue_;
   int listen_fd_{-1};
-  std::size_t next_id_{1};
   std::atomic<bool> stop_{false};
+  // Acceptor-loop-only state: the poll bookkeeping and shutdown latches are
+  // touched by serve()'s thread alone, never by campaign drivers.
   bool shutdown_requested_{false};
   bool shutdown_drain_{true};
   std::vector<PendingConn> pending_;
-  std::map<std::string, std::shared_ptr<Campaign>> campaigns_;
-  std::vector<std::pair<std::thread, std::shared_ptr<Campaign>>> drivers_;
+  // Campaign bookkeeping. Today only the acceptor thread touches these, but
+  // the lock (and the annotations proving it is taken) is the contract the
+  // multi-node coordinator work builds on: campaign drivers stay confined to
+  // their Campaign, and every id/map/driver-list access goes through mutex_.
+  Mutex mutex_;
+  std::size_t next_id_ GUARDED_BY(mutex_){1};
+  std::map<std::string, std::shared_ptr<Campaign>> campaigns_ GUARDED_BY(mutex_);
+  std::vector<std::pair<std::thread, std::shared_ptr<Campaign>>> drivers_ GUARDED_BY(mutex_);
 };
 
 }  // namespace dfly::serve

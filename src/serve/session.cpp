@@ -178,7 +178,7 @@ void Campaign::run(SubmissionQueue& queue) {
   if (!ran) {
     final_state = State::kFailed;
     {
-      const std::lock_guard<std::mutex> lock(error_mutex_);
+      const MutexLock lock(error_mutex_);
       error_ = fatal;
     }
     write_done_marker("failed", nullptr);
@@ -228,7 +228,7 @@ std::string Campaign::status_line() const {
   w.key("failed").value(static_cast<std::uint64_t>(failed_.load(std::memory_order_relaxed)));
   w.key("resumed").value(static_cast<std::uint64_t>(resumed_.load(std::memory_order_relaxed)));
   {
-    const std::lock_guard<std::mutex> lock(error_mutex_);
+    const MutexLock lock(error_mutex_);
     w.key("error").value(error_);
   }
   w.end_object();

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <string>
 
+#include "core/mutex.hpp"
 #include "core/parallel.hpp"
 #include "core/plan.hpp"
 
@@ -84,9 +84,10 @@ class Campaign {
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> failed_{0};
   std::atomic<std::size_t> resumed_{0};
-  // First fatal (infrastructure) error, for status after State::kFailed.
-  mutable std::mutex error_mutex_;
-  std::string error_;
+  // First fatal (infrastructure) error, for status after State::kFailed —
+  // written by the driver thread, read by the acceptor's status op.
+  mutable Mutex error_mutex_;
+  std::string error_ GUARDED_BY(error_mutex_);
 };
 
 }  // namespace dfly::serve

@@ -156,7 +156,12 @@ void PdesRunner::run() {
   worker(0);
   for (std::thread& t : threads) t.join();
   for (std::int32_t d = 1; d < domains; ++d) cell_.engine(d).clear_wall_deadline();
-  if (error_) std::rethrow_exception(error_);
+  std::exception_ptr error;
+  {
+    const MutexLock lock(error_mutex_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void PdesRunner::worker(std::int32_t domain) {
@@ -171,7 +176,7 @@ void PdesRunner::worker(std::int32_t domain) {
         engine.run(run_until_);
       } catch (...) {
         failed_.store(true, std::memory_order_relaxed);
-        const std::lock_guard<std::mutex> lock(error_mutex_);
+        const MutexLock lock(error_mutex_);
         if (!error_) error_ = std::current_exception();
       }
     }

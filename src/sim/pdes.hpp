@@ -5,9 +5,9 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <vector>
 
+#include "core/mutex.hpp"
 #include "sim/engine.hpp"
 #include "sim/partition.hpp"
 #include "sim/time.hpp"
@@ -177,11 +177,15 @@ class PdesRunner {
   PdesCell& cell_;
   SimTime time_limit_;
   std::barrier<> sync_;
+  // run_until_ and done_ are written by thread 0 between the two barriers of
+  // a round and read by every domain after the second barrier — the barrier
+  // itself is the synchronisation (TSan checks it; annotations cannot model
+  // barrier phases, so these two stay unannotated by design).
   SimTime run_until_{0};
   bool done_{false};
   std::atomic<bool> failed_{false};
-  std::exception_ptr error_;
-  std::mutex error_mutex_;
+  Mutex error_mutex_;
+  std::exception_ptr error_ GUARDED_BY(error_mutex_);
 };
 
 }  // namespace dfly

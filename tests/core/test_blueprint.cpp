@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/arena.hpp"
@@ -42,6 +44,45 @@ Report run_cell(const StudyConfig& config, const std::string& app, int nodes,
   study.add_app(app, nodes);
   return study.run();
 }
+
+// --- field-count guard -------------------------------------------------------
+//
+// BlueprintKey::of() copies shape fields out of StudyConfig by hand, so a new
+// StudyConfig field silently defaults to "not shape" — correct for knobs like
+// seed or wall_limit_s, but a cache-poisoning bug if the field changes the
+// built network. These static_asserts pin both field counts: adding a field
+// fails compilation right here, forcing the author to classify it in the
+// perturbation table below (and, if it is shape, add it to BlueprintKey, of()
+// and hash()).
+
+/// Converts to anything except T itself (so T's copy constructor can never
+/// swallow the probe), declared-only: used in unevaluated requires-clauses.
+template <class T>
+struct AnyFieldBut {
+  template <class U>
+    requires(!std::is_same_v<std::remove_cvref_t<U>, T>)
+  constexpr operator U() const noexcept;
+};
+
+/// Number of fields of aggregate T: the largest N for which T can be
+/// brace-initialised with N probe arguments.
+template <class T, class... Probe>
+constexpr std::size_t field_count() {
+  if constexpr (requires { T{Probe{}...}; }) {
+    return field_count<T, Probe..., AnyFieldBut<T>>();
+  } else {
+    return sizeof...(Probe) - 1;
+  }
+}
+
+static_assert(field_count<StudyConfig>() == 14,
+              "StudyConfig changed: classify the new field as shape or non-shape in "
+              "PerturbationSweepCoversEveryField (tests/core/test_blueprint.cpp); if it is "
+              "shape, add it to BlueprintKey, BlueprintKey::of() and BlueprintKey::hash()");
+static_assert(field_count<BlueprintKey>() == 8,
+              "BlueprintKey changed: update BlueprintKey::of(), BlueprintKey::hash(), the "
+              "shape perturbation list in tests/core/test_blueprint.cpp, and the non-shape "
+              "comment in core/blueprint.hpp");
 
 // --- key / hash --------------------------------------------------------------
 
@@ -96,6 +137,57 @@ TEST(BlueprintKey, EveryShapeFieldChangesTheKey) {
     StudyConfig c = tiny_config();
     c.faults = parse_fault_plan("0:2:4");
     EXPECT_FALSE(BlueprintKey::of(c) == base);
+  }
+}
+
+TEST(BlueprintKey, PerturbationSweepCoversEveryField) {
+  // One perturbation per StudyConfig field, each classified shape (must
+  // change key AND hash) or non-shape (must change neither). The count
+  // assertion at the bottom ties the table to the static_assert above: a new
+  // field cannot compile without also being classified here.
+  struct Perturbation {
+    const char* field;
+    void (*apply)(StudyConfig&);
+  };
+  const std::vector<Perturbation> shape{
+      {"topo", [](StudyConfig& c) { c.topo = DragonflyParams{2, 4, 2, 5}; }},
+      {"net", [](StudyConfig& c) { c.net.buffer_packets = 7; }},
+      {"routing", [](StudyConfig& c) { c.routing = "UGALg"; }},
+      {"placement", [](StudyConfig& c) { c.placement = PlacementPolicy::kContiguous; }},
+      {"protocol", [](StudyConfig& c) { c.protocol.eager_threshold = 1024; }},
+      {"ugal", [](StudyConfig& c) { c.ugal.bias = 99; }},
+      {"qadp", [](StudyConfig& c) { c.qadp.alpha = 0.9; }},
+      {"faults", [](StudyConfig& c) { c.faults = parse_fault_plan("0:2:4"); }},
+  };
+  const std::vector<Perturbation> non_shape{
+      {"seed", [](StudyConfig& c) { c.seed = 999; }},
+      {"scale", [](StudyConfig& c) { c.scale = 3; }},
+      {"observability", [](StudyConfig& c) { c.observability.keep_packet_records = true; }},
+      {"time_limit", [](StudyConfig& c) { c.time_limit = kSec; }},
+      {"wall_limit_s", [](StudyConfig& c) { c.wall_limit_s = 5.0; }},
+      {"cell_threads", [](StudyConfig& c) { c.cell_threads = 2; }},
+  };
+  ASSERT_EQ(shape.size() + non_shape.size(), field_count<StudyConfig>())
+      << "every StudyConfig field must appear in exactly one perturbation list";
+  ASSERT_EQ(shape.size(), field_count<BlueprintKey>())
+      << "every BlueprintKey field must have a shape perturbation";
+
+  const BlueprintKey base = BlueprintKey::of(tiny_config());
+  for (const Perturbation& p : shape) {
+    StudyConfig c = tiny_config();
+    p.apply(c);
+    const BlueprintKey key = BlueprintKey::of(c);
+    EXPECT_FALSE(key == base) << "shape field '" << p.field << "' ignored by operator==";
+    EXPECT_NE(key.hash(), base.hash())
+        << "shape field '" << p.field << "' ignored by BlueprintKey::hash()";
+  }
+  for (const Perturbation& p : non_shape) {
+    StudyConfig c = tiny_config();
+    p.apply(c);
+    const BlueprintKey key = BlueprintKey::of(c);
+    EXPECT_TRUE(key == base) << "non-shape field '" << p.field << "' leaked into the key";
+    EXPECT_EQ(key.hash(), base.hash())
+        << "non-shape field '" << p.field << "' leaked into the hash";
   }
 }
 

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Node {};
+
+struct PointerKeyed {
+  std::map<Node*, int> by_address;        // det-pointer-key
+  std::unordered_set<const Node*> seen;   // det-pointer-key
+  std::hash<Node*> hasher;                // det-pointer-key
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#include <cstdio>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> counters;
+
+void dump() {
+  // Bucket order is history-dependent: this print order differs run to run.
+  for (const auto& [key, value] : counters) {  // det-unordered-iter
+    std::printf("%d=%d\n", key, value);
+  }
+}
+
+}  // namespace fixture

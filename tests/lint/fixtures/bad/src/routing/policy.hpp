@@ -1,0 +1,24 @@
+#pragma once
+
+namespace fixture {
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+};
+
+struct Params {
+  int knob{0};
+};
+
+class LeakyPolicy final : public RoutingAlgorithm {
+ public:
+  explicit LeakyPolicy(Params params) : params_(params) {}
+
+ private:
+  const Params params_;     // fine: immutable parameterisation
+  mutable int scratch_{0};  // fine: scratch
+  int drift_{0};            // routing-state: unregistered mutable member
+};
+
+}  // namespace fixture

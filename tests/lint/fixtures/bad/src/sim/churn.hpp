@@ -1,0 +1,19 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace fixture {
+
+// Every member below must trip alloc-churn: hot-directory code may not hold
+// allocation-churn std:: types.
+struct HotState {
+  std::function<void()> callback;                 // alloc-churn
+  std::unordered_map<int, int> table;             // alloc-churn
+  std::deque<int> queue;                          // alloc-churn
+  std::shared_ptr<int> shared;                    // alloc-churn
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+std::map<int, int> ordered;
+std::unordered_map<int, int> histogram;
+
+void dump() {
+  // Ordered containers iterate deterministically.
+  for (const auto& [key, value] : ordered) {
+    std::printf("%d=%d\n", key, value);
+  }
+  // Order-independent accumulation over an unordered container is legal with
+  // a justified allow.
+  int total = 0;
+  // dfsim-lint: allow(det-unordered-iter) fixture: sum is order-independent
+  for (const auto& [key, value] : histogram) {
+    total += value;
+  }
+  std::printf("%d\n", total);
+}
+
+}  // namespace fixture

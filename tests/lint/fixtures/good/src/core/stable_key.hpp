@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+// Keying by stable integer ids is always fine.
+struct StableKeyed {
+  std::map<std::uint64_t, int> by_id;
+  std::vector<int*> slots;  // a pointer *value*, not a pointer *key*
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+};
+
+struct Params {
+  int knob{0};
+};
+
+// Members are const parameterisation or mutable scratch: nothing to register.
+class CleanPolicy final : public RoutingAlgorithm {
+ public:
+  explicit CleanPolicy(Params params) : params_(params) {}
+
+ private:
+  const Params params_;
+  mutable std::uint64_t scratch_{0};
+};
+
+// Not a routing policy: unregistered plain members are out of scope here.
+class Bystander {
+ private:
+  int drift_{0};
+};
+
+}  // namespace fixture

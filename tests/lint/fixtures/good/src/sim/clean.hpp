@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// Hot-directory code built on flat containers: nothing here may fire.
+struct HotState {
+  std::vector<std::uint64_t> ids;
+  // A comment naming std::function or std::unordered_map must not fire.
+  std::uint64_t count{0};
+};
+
+// Inline allows silence a deliberate exception on the same line:
+#include <deque>
+struct Suppressed {
+  std::deque<int> warm_;  // dfsim-lint: allow(alloc-churn) fixture: setup-phase only
+};
+
+}  // namespace fixture
